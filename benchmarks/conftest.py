@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures: collect every regenerated table and write the
+bundle to ``benchmarks/_output/tables.txt`` at the end of the session, so
+EXPERIMENTS.md can be refreshed from one artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_TABLES: list = []
+_OUTPUT = pathlib.Path(__file__).parent / "_output"
+
+
+@pytest.fixture
+def record_table():
+    """Call with a TableResult to print it and include it in the bundle."""
+
+    def _record(table):
+        _TABLES.append(table)
+        print()
+        print(table.render())
+        return table
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TABLES:
+        return
+    _OUTPUT.mkdir(exist_ok=True)
+    path = _OUTPUT / "tables.txt"
+    with path.open("w") as fh:
+        for table in _TABLES:
+            fh.write(table.render())
+            fh.write("\n\n")

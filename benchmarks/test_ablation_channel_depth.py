@@ -1,0 +1,17 @@
+"""Ablation bench: bounded channel depth (paper §4.1) — producer stalls
+versus item staleness."""
+
+from repro.bench.ablations import channel_depth_ablation
+
+
+def test_ablation_channel_depth(benchmark, record_table):
+    table = benchmark.pedantic(
+        channel_depth_ablation, kwargs={"items": 60}, rounds=1, iterations=1
+    )
+    record_table(table)
+    depths = list(table.rows)
+    blocks = [table.rows[d]["producer_block_us"] for d in depths]
+    staleness = [table.rows[d]["mean_staleness_frames"] for d in depths]
+    # blocking monotonically decreases with capacity; staleness increases
+    assert blocks[0] > blocks[-1]
+    assert staleness[0] <= staleness[-1]

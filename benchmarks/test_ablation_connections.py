@@ -1,0 +1,17 @@
+"""Ablation bench: channel placement — the mechanism behind connection
+hints and the §9 "preemptively send data towards consumers" future work."""
+
+from repro.bench.ablations import placement_ablation
+
+
+def test_ablation_placement(benchmark, record_table):
+    table = benchmark.pedantic(placement_ablation, rounds=1, iterations=1)
+    record_table(table)
+    rows = table.rows
+    consumer = rows["consumer space (data pushed early)"]
+    producer = rows["producer space (data pulled on get)"]
+    third = rows["third space (two hops)"]
+    # pushing data toward the consumer beats the two-hop detour...
+    assert consumer["latency_us"] < third["latency_us"]
+    # ...and no placement beats co-locating data with its consumer
+    assert consumer["latency_us"] <= producer["latency_us"] * 1.05

@@ -1,0 +1,19 @@
+"""Ablation bench: GC strategies — eager refcount vs reachability vs hybrid
+(the design choice of paper §6 "Garbage Collection")."""
+
+from repro.bench.ablations import gc_strategy_ablation
+
+
+def test_ablation_gc_strategy(benchmark, record_table):
+    table = benchmark.pedantic(
+        gc_strategy_ablation, kwargs={"items": 120, "consumers": 3},
+        rounds=1, iterations=1,
+    )
+    record_table(table)
+    ref = table.rows["refcount"]
+    reach = table.rows["reachability"]
+    hybrid = table.rows["hybrid"]
+    assert ref["peak_items"] < reach["peak_items"]
+    assert hybrid["peak_items"] <= reach["peak_items"]
+    assert ref["collected_refcount"] == 120
+    assert reach["collected_reachability"] == 120

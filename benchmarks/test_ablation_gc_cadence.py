@@ -1,0 +1,16 @@
+"""Ablation bench: GC recomputation cadence (paper §4.2) — buffered bytes
+versus GC traffic."""
+
+from repro.bench.ablations import gc_cadence_ablation
+
+
+def test_ablation_gc_cadence(benchmark, record_table):
+    table = benchmark.pedantic(
+        gc_cadence_ablation, kwargs={"items": 60}, rounds=1, iterations=1
+    )
+    record_table(table)
+    periods = list(table.rows)
+    rounds = [table.rows[p]["gc_rounds"] for p in periods]
+    buffered = [table.rows[p]["peak_buffered_mb"] for p in periods]
+    assert rounds == sorted(rounds, reverse=True)
+    assert buffered == sorted(buffered)

@@ -1,0 +1,44 @@
+"""Ablation bench: exhaustive placement search for the kiosk pipeline
+(the §9 / companion-paper scheduling direction)."""
+
+from repro.bench.tables import TableResult
+from repro.runtime.placement import KIOSK_PIPELINE, optimal_placement, predict
+from repro.transport.clf import ClusterTopology
+
+
+def placement_search_table(n_spaces: int = 3) -> TableResult:
+    table = TableResult(
+        title="Ablation: pipeline placement search (§9 scheduling)",
+        row_label="placement (digitizer pinned to space 0)",
+        col_label="",
+        columns=["latency_us", "throughput_fps"],
+    )
+    topology = ClusterTopology(n_spaces)
+    best_lat = optimal_placement(
+        KIOSK_PIPELINE, n_spaces, "latency", pinned={"digitizer": 0}
+    )
+    best_tp = optimal_placement(
+        KIOSK_PIPELINE, n_spaces, "throughput", pinned={"digitizer": 0},
+        cpus_per_space=1,
+    )
+    naive = predict(KIOSK_PIPELINE, tuple(
+        i % n_spaces for i in range(len(KIOSK_PIPELINE.stages))
+    ), topology)
+    for label, pred in [
+        ("best for latency", best_lat),
+        ("best for throughput (1 cpu/space)", best_tp),
+        ("naive round-robin", naive),
+    ]:
+        table.rows[f"{label}: {pred.placement}"] = {
+            "latency_us": pred.latency_us,
+            "throughput_fps": pred.throughput_fps,
+        }
+    return table
+
+
+def test_ablation_placement_search(benchmark, record_table):
+    table = benchmark(placement_search_table)
+    record_table(table)
+    rows = list(table.rows.values())
+    best_lat, _best_tp, naive = rows
+    assert best_lat["latency_us"] <= naive["latency_us"]

@@ -1,0 +1,20 @@
+"""Ablation bench: the §9 eager-push optimization, measured on this host.
+
+    "we would like to use information about the current connections to a
+    channel to preemptively send data towards consumers, thereby improving
+    latency and bandwidth through the channel."
+"""
+
+from repro.bench.ablations import push_ablation
+
+
+def test_ablation_push(benchmark, record_table):
+    table = benchmark.pedantic(
+        push_ablation, kwargs={"items": 12}, rounds=1, iterations=1
+    )
+    record_table(table)
+    pull = table.rows["pull (data sent at get time)"]
+    push = table.rows["push (data sent at put time)"]
+    # With the payload pre-positioned, the get path should be faster on
+    # average (it moves ~100 header bytes instead of a 230 KB frame).
+    assert push["mean_get_us"] < pull["mean_get_us"]

@@ -1,0 +1,15 @@
+"""Ablation bench: STM_LATEST_UNSEEN transparent skipping vs strict
+in-order consumption for a consumer slower than the camera (paper §3)."""
+
+from repro.bench.ablations import skipping_ablation
+
+
+def test_ablation_skipping(benchmark, record_table):
+    table = benchmark.pedantic(
+        skipping_ablation, kwargs={"items": 90}, rounds=1, iterations=1
+    )
+    record_table(table)
+    skip = table.rows["latest_unseen"]
+    strict = table.rows["strict_oldest"]
+    assert skip["skipped"] > 0 and strict["skipped"] == 0
+    assert skip["mean_staleness_frames"] < strict["mean_staleness_frames"]

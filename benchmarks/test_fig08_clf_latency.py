@@ -1,0 +1,37 @@
+"""Regenerates paper Fig. 8: minimum one-way CLF latencies.
+
+Run with ``pytest benchmarks/test_fig08_clf_latency.py --benchmark-only -s``
+to see the tables.  The *simulated* table reproduces the 1998 hardware
+(published 8-byte cells shown in parentheses); the *measured* table reports
+this host's in-process CLF software overhead.
+"""
+
+import pytest
+
+from repro.bench.fig08 import PACKET_SIZES, clf_latency_table, measure_clf_roundtrip_us
+from repro.transport.media import MEMORY_CHANNEL, SHARED_MEMORY, UDP_LAN
+
+
+def test_fig08_simulated(benchmark, record_table):
+    table = benchmark(clf_latency_table, "simulated")
+    record_table(table)
+    # paper anchors
+    assert table.cell(SHARED_MEMORY.name, 8) == pytest.approx(17, rel=0.05)
+    assert table.cell(MEMORY_CHANNEL.name, 8) == pytest.approx(19, rel=0.05)
+    assert table.cell(UDP_LAN.name, 8) == pytest.approx(227, rel=0.05)
+    # latency grows with packet size on every medium
+    for cells in table.rows.values():
+        values = [cells[c] for c in PACKET_SIZES]
+        assert values == sorted(values)
+
+
+def test_fig08_measured_on_this_host(record_table):
+    table = clf_latency_table("measured", sizes=[8, 1024, 8152])
+    record_table(table)
+    (row,) = table.rows.values()
+    assert all(v > 0 for v in row.values())
+
+
+def test_clf_ping_microbenchmark(benchmark):
+    """Raw CLF ping-pong on this host (pytest-benchmark statistics)."""
+    benchmark(measure_clf_roundtrip_us, 1024, 20)

@@ -1,0 +1,34 @@
+"""Regenerates paper Fig. 9: maximum CLF bandwidths (incl. the acked column)."""
+
+import pytest
+
+from repro.bench.fig09 import clf_bandwidth_table, measure_clf_stream_mbps
+from repro.transport.media import (
+    CAMERA_BANDWIDTH_MBPS,
+    MEMORY_CHANNEL,
+    SHARED_MEMORY,
+    UDP_LAN,
+)
+
+
+def test_fig09_simulated(benchmark, record_table):
+    table = benchmark(clf_bandwidth_table, "simulated")
+    record_table(table)
+    assert table.cell(SHARED_MEMORY.name, 8) == pytest.approx(2.3, rel=0.05)
+    assert table.cell(UDP_LAN.name, 8) == pytest.approx(0.13, rel=0.05)
+    for cells in table.rows.values():
+        assert cells["8152*"] < cells[8152]  # ack-per-image column is lower
+    # the cluster interconnect sustains the camera stream; FDDI UDP does not
+    assert table.cell(MEMORY_CHANNEL.name, 8152) > 5 * CAMERA_BANDWIDTH_MBPS
+    assert table.cell(UDP_LAN.name, 8152) < CAMERA_BANDWIDTH_MBPS
+
+
+def test_fig09_measured_on_this_host(record_table):
+    table = clf_bandwidth_table("measured", sizes=[1024, 8152])
+    record_table(table)
+    (row,) = table.rows.values()
+    assert row[8152] > row[1024] * 0.5  # larger packets shouldn't collapse
+
+
+def test_clf_stream_microbenchmark(benchmark):
+    benchmark(measure_clf_stream_mbps, 8152, 230_400)

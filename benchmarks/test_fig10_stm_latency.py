@@ -1,0 +1,43 @@
+"""Regenerates paper Fig. 10: minimum STM one-way latencies.
+
+Producer puts on one address space; the consumer (co-located with the
+channel) gets and consumes.  Simulated mode must land within 15 % of the
+paper's surviving UDP row; measured mode reports this host's thread runtime.
+"""
+
+import pytest
+
+from repro.bench.fig10 import (
+    STM_PAYLOAD_SIZES,
+    measure_stm_latency_us,
+    simulate_stm_latency_us,
+    stm_latency_table,
+)
+from repro.transport.media import MEMORY_CHANNEL, UDP_LAN
+
+
+def test_fig10_simulated(benchmark, record_table):
+    table = benchmark(stm_latency_table, "simulated")
+    record_table(table)
+    for col, published in table.paper[UDP_LAN.name].items():
+        assert table.rows[UDP_LAN.name][col] == pytest.approx(published, rel=0.15)
+    for medium in (MEMORY_CHANNEL, UDP_LAN):
+        for col in STM_PAYLOAD_SIZES:
+            cell = table.rows[medium.name][col]
+            assert cell > medium.one_way_latency_us(col)  # STM > raw CLF
+            assert cell < 33_333  # well below the frame interval (§8.2)
+
+
+def test_fig10_measured_on_this_host(record_table):
+    table = stm_latency_table("measured", sizes=[8, 8112], items=30)
+    record_table(table)
+    (row,) = table.rows.values()
+    assert all(v > 0 for v in row.values())
+
+
+def test_stm_put_get_consume_microbenchmark(benchmark):
+    benchmark(measure_stm_latency_us, 1024, 20)
+
+
+def test_simulated_latency_single_point(benchmark):
+    benchmark(simulate_stm_latency_us, MEMORY_CHANNEL, 8112, 30)

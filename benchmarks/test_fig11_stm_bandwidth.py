@@ -1,0 +1,43 @@
+"""Regenerates paper Fig. 11: STM bandwidths for image payloads.
+
+Shape claims (§8.2): column A (1P/1C) is much less than raw CLF because the
+synchronization serializes data movement into per-item bursts, yet is
+comfortably above the 6.912 MB/s camera rate; column B (2P/2C into one
+space) overlaps one pair's data movement with the other's synchronization
+and approaches raw CLF bandwidth.
+"""
+
+import pytest
+
+from repro.bench.fig11 import (
+    measure_stm_bandwidth_mbps,
+    simulate_stm_bandwidth_mbps,
+    stm_bandwidth_table,
+)
+from repro.transport.media import CAMERA_BANDWIDTH_MBPS, MEMORY_CHANNEL
+
+
+def test_fig11_simulated(benchmark, record_table):
+    table = benchmark(stm_bandwidth_table, "simulated")
+    record_table(table)
+    a = table.rows["A: 1 producer / 1 consumer"]["MB/s"]
+    b = table.rows["B: 2 producers / 2 consumers"]["MB/s"]
+    raw = MEMORY_CHANNEL.wire_bandwidth_mbps
+    assert CAMERA_BANDWIDTH_MBPS < a < 0.85 * raw
+    assert b > a
+    assert b > 0.9 * raw
+
+
+def test_fig11_measured_on_this_host(record_table):
+    table = stm_bandwidth_table("measured", items=8)
+    record_table(table)
+    a = table.rows["A: 1 producer / 1 consumer"]["MB/s"]
+    assert a > 0
+
+
+def test_stm_image_bandwidth_microbenchmark(benchmark):
+    benchmark(measure_stm_bandwidth_mbps, 1, 6)
+
+
+def test_simulated_bandwidth_point(benchmark):
+    benchmark(simulate_stm_bandwidth_mbps, 2, MEMORY_CHANNEL, 20)

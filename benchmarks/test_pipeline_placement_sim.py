@@ -1,0 +1,18 @@
+"""Bench: simulated kiosk pipeline latency per placement, validating the
+placement scheduler's analytic model against the discrete-event cluster."""
+
+from repro.bench.pipeline_sim import pipeline_placement_table
+
+
+def test_pipeline_placement_sim(benchmark, record_table):
+    table = benchmark.pedantic(
+        pipeline_placement_table, kwargs={"frames": 15}, rounds=1, iterations=1
+    )
+    record_table(table)
+    for row, cells in table.rows.items():
+        sim, pred = cells["simulated_us"], cells["predicted_us"]
+        assert 0.4 < pred / sim < 2.5, f"model diverged from sim at {row}"
+    # the model and the simulator agree on the ranking of placements
+    by_sim = sorted(table.rows, key=lambda r: table.rows[r]["simulated_us"])
+    by_pred = sorted(table.rows, key=lambda r: table.rows[r]["predicted_us"])
+    assert by_sim[0] == by_pred[0]  # same winner

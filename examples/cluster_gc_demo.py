@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Watching the timestamp-based garbage collector work (paper §4.2, §6).
+
+A fast producer fills a channel at 300 items/s; a slow consumer takes every
+third item with STM_LATEST_UNSEEN and consumes-through.  Without GC the
+channel would grow without bound — the skipped items are never gotten.  The
+distributed GC daemon recomputes the global minimum (producer's virtual
+time, consumer's visibility, unconsumed timestamps) and reclaims everything
+below it.  The demo samples channel occupancy and the GC horizon while the
+pipeline runs, then prints the trace.
+
+Run:  python examples/cluster_gc_demo.py
+"""
+
+import time
+
+from repro import Cluster, INFINITY, STM, STM_LATEST_UNSEEN
+from repro.runtime import current_thread
+from repro.stm import SpaceTimeView
+
+N_ITEMS = 150
+ITEM_BYTES = 4096
+
+
+def producer(cluster):
+    me = current_thread()
+    out = STM(cluster.space(0)).lookup("stream").attach_output()
+    for ts in range(N_ITEMS):
+        me.set_virtual_time(ts)
+        out.put(ts, bytes(ITEM_BYTES))
+        time.sleep(1 / 300)
+    me.set_virtual_time(10**9)
+    out.put(10**9, None)
+    out.detach()
+    me.set_virtual_time(INFINITY)
+
+
+def slow_consumer(cluster):
+    me = current_thread()
+    inp = STM(cluster.space(1)).lookup("stream").attach_input()
+    me.set_virtual_time(INFINITY)
+    processed = 0
+    while True:
+        item = inp.get(STM_LATEST_UNSEEN)
+        inp.consume_until(item.timestamp)  # releases the skipped items too
+        if item.value is None:
+            break
+        processed += 1
+        time.sleep(1 / 100)  # 3x slower than the producer
+    inp.detach()
+    return processed
+
+
+def main():
+    samples = []
+    with Cluster(n_spaces=2, gc_period=0.02) as cluster:
+        boot = cluster.space(0).adopt_current_thread(virtual_time=0)
+        chan = STM(cluster.space(0)).create_channel("stream", home=1)
+        threads = [
+            cluster.space(1).spawn(slow_consumer, (cluster,), virtual_time=0),
+            cluster.space(0).spawn(producer, (cluster,), virtual_time=0),
+        ]
+        boot.set_virtual_time(INFINITY)
+        kernel = cluster.space(1)._channel(chan.channel_id).kernel
+        midrun_view = None
+        while any(t.os_thread.is_alive() for t in threads):
+            samples.append(
+                (len(kernel), kernel.gc_horizon, kernel.total_collected)
+            )
+            if len(samples) == 6:  # one mid-run look at the space-time table
+                midrun_view = SpaceTimeView(cluster).render(max_columns=10)
+            time.sleep(0.05)
+        for t in threads:
+            t.join(30.0)
+        cluster.gc_once()
+        samples.append((len(kernel), kernel.gc_horizon, kernel.total_collected))
+        stats = cluster.gc_daemon.stats
+        boot.exit()
+
+    if midrun_view:
+        print("\n=== mid-run space-time table (Fig. 3 rendered) ===")
+        print(midrun_view)
+        print()
+    print("=== timestamp-based GC trace ===")
+    print(f"{'sample':>6} {'stored':>7} {'horizon':>8} {'collected':>10}")
+    for i, (stored, horizon, collected) in enumerate(samples):
+        print(f"{i:>6} {stored:>7} {str(horizon):>8} {collected:>10}")
+    peak = max(s for s, _, _ in samples)
+    print(f"\nproducer put {N_ITEMS} items of {ITEM_BYTES} B")
+    print(f"peak channel occupancy : {peak} items "
+          f"(bounded by GC, not by the stream length)")
+    print(f"items reclaimed        : {samples[-1][2]}")
+    print(f"GC rounds run          : {stats.epochs}")
+    assert samples[-1][0] <= 1, "channel should be (nearly) empty at the end"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Image-based rendering on STM: replicated workers, out-of-order puts.
+
+The second Stampede application (paper §5).  Three replicated renderer
+threads pull view requests from one channel (partitioned by timestamp
+modulo), synthesize views by blending reference images, and put results
+into a shared output channel **out of order** — §4.1's replicated-module
+scenario.  The display thread reassembles the stream simply by getting
+timestamps 0..N-1 in order: STM's timestamp indexing is the resequencing
+buffer.
+
+Run:  python examples/ibr_demo.py
+"""
+
+from repro import Cluster
+from repro.ibr import IbrConfig, run_ibr
+
+
+def main():
+    config = IbrConfig(
+        n_requests=30,
+        n_workers=3,
+        reference_angles=(-10.0, -5.0, 0.0, 5.0, 10.0),
+        sweep=(-9.0, 9.0),
+        view_size=96,
+        worker_space=1,
+    )
+    with Cluster(n_spaces=2, gc_period=0.02) as cluster:
+        result = run_ibr(cluster, config)
+
+    print("=== image-based rendering on STM ===")
+    print(f"views synthesized      : {len(result.views)}")
+    print(f"workers                : {dict(sorted(result.per_worker.items()))}")
+    print(f"out-of-order completions: {result.out_of_order_completions} "
+          f"(display still saw 0..{config.n_requests - 1} in order)")
+    print(f"mean PSNR vs direct render: {result.mean_psnr:.1f} dB")
+    print(f"wall time              : {result.wall_seconds:.2f} s")
+    worst = min(result.views.items(), key=lambda kv: kv[1])
+    best = max(result.views.items(), key=lambda kv: kv[1])
+    print(f"best view  : request {best[0]} at {best[1]:.1f} dB")
+    print(f"worst view : request {worst[0]} at {worst[1]:.1f} dB")
+
+
+if __name__ == "__main__":
+    main()

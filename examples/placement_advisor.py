@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Placement advisor: schedule the kiosk pipeline across a cluster (§9/[12]).
+
+    "It explores optimal latency-reducing schedules for task- and
+    data-parallel decompositions."
+
+Given the kiosk pipeline's per-stage compute costs and item sizes, this
+example searches every assignment of stages to address spaces with the
+analytic model of ``repro.runtime.placement``, prints the latency- and
+throughput-optimal schedules, and then *validates* the winner by running
+the pipeline in the discrete-event cluster simulator.
+
+Run:  python examples/placement_advisor.py [--spaces K]
+"""
+
+import argparse
+import itertools
+
+from repro.bench.pipeline_sim import simulate_pipeline_latency_us
+from repro.runtime.placement import KIOSK_PIPELINE, optimal_placement, predict
+from repro.transport.clf import ClusterTopology
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--spaces", type=int, default=3)
+    args = parser.parse_args()
+    n = args.spaces
+    model = KIOSK_PIPELINE
+    topology = ClusterTopology(n)
+
+    print(f"=== placement advisor: {len(model.stages)} stages on {n} "
+          f"address spaces ({n ** len(model.stages)} candidates) ===\n")
+    print("stages:")
+    for stage in model.stages:
+        print(f"  {stage.name:14s} compute={stage.compute_us:>8.0f}us  "
+              f"emits {stage.output_bytes} B/item")
+
+    best_latency = optimal_placement(model, n, "latency",
+                                     pinned={"digitizer": 0})
+    best_throughput = optimal_placement(model, n, "throughput",
+                                        pinned={"digitizer": 0},
+                                        cpus_per_space=1)
+    print("\nbest for latency     :", best_latency.describe(model))
+    print("best for throughput  :", best_throughput.describe(model),
+          "(assuming 1 cpu per space)")
+
+    # worst placement, for contrast
+    worst = max(
+        (
+            predict(model, p, topology)
+            for p in itertools.product(range(n), repeat=len(model.stages))
+            if p[0] == 0
+        ),
+        key=lambda pred: pred.latency_us,
+    )
+    print("worst placement      :", worst.describe(model))
+
+    print("\nvalidating against the discrete-event simulator:")
+    for label, placement in [
+        ("best", best_latency.placement),
+        ("worst", worst.placement),
+    ]:
+        predicted = predict(model, placement, topology).latency_us
+        simulated = simulate_pipeline_latency_us(placement, frames=15)
+        print(f"  {label:5s} {placement}: predicted {predicted:8.0f}us, "
+              f"simulated {simulated:8.0f}us "
+              f"({100 * predicted / simulated - 100:+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Benchmark drivers regenerating every table of the paper's §8 + ablations."""
+
+from repro.bench.ablations import (
+    channel_depth_ablation,
+    gc_cadence_ablation,
+    gc_strategy_ablation,
+    placement_ablation,
+    push_ablation,
+    skipping_ablation,
+)
+from repro.bench.fig08 import PACKET_SIZES, clf_latency_table
+from repro.bench.pipeline_sim import (
+    pipeline_placement_table,
+    simulate_pipeline_latency_us,
+)
+from repro.bench.fig09 import clf_bandwidth_table
+from repro.bench.fig10 import STM_PAYLOAD_SIZES, stm_latency_table
+from repro.bench.fig11 import stm_bandwidth_table
+from repro.bench.tables import TableResult
+
+__all__ = [
+    "PACKET_SIZES",
+    "STM_PAYLOAD_SIZES",
+    "TableResult",
+    "channel_depth_ablation",
+    "clf_bandwidth_table",
+    "clf_latency_table",
+    "gc_cadence_ablation",
+    "gc_strategy_ablation",
+    "pipeline_placement_table",
+    "placement_ablation",
+    "push_ablation",
+    "simulate_pipeline_latency_us",
+    "skipping_ablation",
+    "stm_bandwidth_table",
+    "stm_latency_table",
+]

@@ -1,0 +1,396 @@
+"""Ablation studies for the design choices of paper §6 (and §9 future work).
+
+Each driver isolates one design axis on the simulated cluster (fast and
+deterministic) and returns a :class:`TableResult`:
+
+* :func:`gc_strategy_ablation` — §6 "Garbage Collection": eager reference
+  counting vs. reachability (global-minimum) vs. the paper's hybrid.
+* :func:`placement_ablation` — §6 "Connections to Channels" / §9: channel
+  co-location as the mechanism behind connection hints ("use information
+  about the current connections to a channel to preemptively send data
+  towards consumers").
+* :func:`channel_depth_ablation` — §4.1 bounded channels: how capacity
+  trades producer stalls against item staleness.
+* :func:`skipping_ablation` — §3: STM_LATEST_UNSEEN's transparent skipping
+  vs. strict in-order consumption when the consumer can't keep up.
+* :func:`gc_cadence_ablation` — §4.2: GC recomputation period vs. peak
+  buffered data and GC traffic.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import TableResult
+from repro.core import INFINITY, STM_LATEST_UNSEEN, STM_OLDEST
+from repro.sim import SimStampede
+from repro.transport.media import IMAGE_BYTES, MEMORY_CHANNEL, Medium
+
+__all__ = [
+    "gc_strategy_ablation",
+    "placement_ablation",
+    "channel_depth_ablation",
+    "skipping_ablation",
+    "gc_cadence_ablation",
+    "push_ablation",
+]
+
+_FRAME_US = 33_333.0  # 30 fps
+
+
+# ---------------------------------------------------------------------------
+def gc_strategy_ablation(
+    items: int = 120, consumers: int = 3, gc_period_us: float = 100_000.0
+) -> TableResult:
+    """Eager refcount vs. reachability GC vs. hybrid (§6).
+
+    A producer puts ``items`` frames; ``consumers`` threads each get+consume
+    every frame.  With declared reference counts an item dies at its last
+    consume; with unknown counts it waits for the periodic reachability
+    daemon.  The table reports peak channel occupancy and which algorithm
+    reclaimed how much.
+    """
+    table = TableResult(
+        title="Ablation: GC strategy (paper §6)",
+        row_label="strategy",
+        col_label="",
+        columns=["peak_items", "collected_refcount", "collected_reachability"],
+        unit="items",
+    )
+    for strategy in ("refcount", "reachability", "hybrid"):
+        sim = SimStampede(n_spaces=2)
+        chan = sim.create_channel(home=1)
+        peak = {"items": 0}
+
+        def refcount_for(i: int) -> int:
+            if strategy == "refcount":
+                return consumers
+            if strategy == "hybrid":
+                return consumers if i % 2 == 0 else -1
+            return -1
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for i in range(items):
+                t.set_virtual_time(i)
+                yield from t.put(
+                    out, i, nbytes=1024, refcount=refcount_for(i)
+                )
+                peak["items"] = max(peak["items"], len(chan.kernel))
+                yield from t.delay(1_000.0)
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            t.set_virtual_time(INFINITY)
+            for _ in range(items):
+                _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+                yield from t.consume(inp, ts)
+
+        sim.spawn(producer, space=0)
+        for c in range(consumers):
+            sim.spawn(consumer, space=1, name=f"cons{c}")
+        if strategy != "refcount":
+            sim.start_gc_daemon(gc_period_us)
+        sim.run(until_us=items * 1_000.0 * 4 + 1_000_000.0)
+        reach = chan.kernel.total_collected - chan.kernel.total_refcount_collected
+        table.rows[strategy] = {
+            "peak_items": float(peak["items"]),
+            "collected_refcount": float(chan.kernel.total_refcount_collected),
+            "collected_reachability": float(reach),
+        }
+    table.notes = (
+        "refcount: eager reclamation at last consume; reachability: periodic "
+        "global-minimum daemon; hybrid (the paper's design): refcounted "
+        "items die eagerly, unknown-count items fall back to the daemon"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+def placement_ablation(size: int = IMAGE_BYTES, items: int = 30) -> TableResult:
+    """Channel placement: home at producer, consumer, or a third space (§6/§9).
+
+    Homing the channel at the consumer is the static equivalent of the
+    paper's planned "preemptively send data towards consumers" optimization:
+    the put pushes the payload all the way, and the get is a local copy.
+    """
+    table = TableResult(
+        title="Ablation: channel placement (connection hints, §6/§9)",
+        row_label="channel home",
+        col_label="",
+        columns=["latency_us", "bandwidth_mbps"],
+    )
+    placements = {
+        "consumer space (data pushed early)": 1,
+        "producer space (data pulled on get)": 0,
+        "third space (two hops)": 2,
+    }
+    for label, home in placements.items():
+        sim = SimStampede(n_spaces=3, inter_node=MEMORY_CHANNEL)
+        chan = sim.create_channel(home=home)
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for i in range(items):
+                t.set_virtual_time(i)
+                yield from t.put(out, i, nbytes=size)
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            for _ in range(items):
+                _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+                yield from t.consume(inp, ts)
+
+        sim.spawn(producer, space=0)
+        sim.spawn(consumer, space=1)
+        sim.run()
+        table.rows[label] = {
+            "latency_us": sim.now / items,
+            "bandwidth_mbps": items * size / sim.now,
+        }
+    return table
+
+
+# ---------------------------------------------------------------------------
+def channel_depth_ablation(
+    depths: list[int | None] | None = None, items: int = 60
+) -> TableResult:
+    """Bounded channel capacity sweep (§4.1).
+
+    The producer is paced at 30 fps; the consumer takes 1.6 frame times per
+    item, so it falls behind.  Small capacities throttle the producer
+    (blocking puts); large ones buffer more but deliver staler data.
+    """
+    depths = depths if depths is not None else [1, 2, 4, 8, 16, None]
+    table = TableResult(
+        title="Ablation: bounded channel depth (§4.1)",
+        row_label="capacity",
+        col_label="",
+        columns=["throughput_fps", "producer_block_us", "mean_staleness_frames"],
+    )
+    for depth in depths:
+        sim = SimStampede(n_spaces=2)
+        chan = sim.create_channel(home=1, capacity=depth)
+        blocked = {"us": 0.0}
+        staleness: list[float] = []
+        produced = {"ts": -1}
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for i in range(items):
+                yield from t.delay(_FRAME_US)
+                t.set_virtual_time(i)
+                t0 = t.now
+                yield from t.put(out, i, nbytes=IMAGE_BYTES)
+                blocked["us"] += max(
+                    t.now - t0 - 5_000.0, 0.0
+                )  # anything beyond transfer+sync is capacity stall
+                produced["ts"] = i
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            t.set_virtual_time(INFINITY)
+            for _ in range(items):
+                _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+                staleness.append(max(produced["ts"] - ts, 0))
+                yield from t.delay(1.6 * _FRAME_US)  # slow analysis stage
+                yield from t.consume(inp, ts)
+
+        sim.spawn(producer, space=0)
+        sim.spawn(consumer, space=1)
+        sim.start_gc_daemon(2 * _FRAME_US)
+        sim.run(until_us=items * _FRAME_US * 4)
+        label = "unbounded" if depth is None else str(depth)
+        table.rows[label] = {
+            "throughput_fps": len(staleness) / (sim.now / 1e6),
+            "producer_block_us": blocked["us"] / items,
+            "mean_staleness_frames": (
+                sum(staleness) / len(staleness) if staleness else 0.0
+            ),
+        }
+    return table
+
+
+# ---------------------------------------------------------------------------
+def skipping_ablation(items: int = 90) -> TableResult:
+    """STM_LATEST_UNSEEN vs. strict STM_OLDEST for a slow consumer (§3).
+
+    Producer at 30 fps; consumer needs 2.5 frame times per item.  The
+    skipping consumer stays fresh by dropping stale frames (and uses
+    ``consume_until`` so GC reclaims what it skips); the strict consumer
+    processes everything but falls unboundedly behind — exactly the paper's
+    motivation for wildcard gets.
+    """
+    table = TableResult(
+        title="Ablation: LATEST_UNSEEN skipping vs strict consumption (§3)",
+        row_label="consumer policy",
+        col_label="",
+        columns=["processed", "skipped", "mean_staleness_frames",
+                 "final_lag_frames"],
+    )
+    for policy in ("latest_unseen", "strict_oldest"):
+        sim = SimStampede(n_spaces=2)
+        chan = sim.create_channel(home=1)
+        produced = {"ts": -1, "done": False}
+        staleness: list[float] = []
+        processed = {"n": 0, "last": -1}
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for i in range(items):
+                yield from t.delay(_FRAME_US)
+                t.set_virtual_time(i)
+                yield from t.put(out, i, nbytes=IMAGE_BYTES)
+                produced["ts"] = i
+            produced["done"] = True
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            t.set_virtual_time(INFINITY)
+            while not (produced["done"] and processed["last"] >= items - 1):
+                wildcard = (
+                    STM_LATEST_UNSEEN if policy == "latest_unseen" else STM_OLDEST
+                )
+                try:
+                    _p, ts, _s = yield from t.get(inp, wildcard)
+                except Exception:
+                    break
+                staleness.append(max(produced["ts"] - ts, 0))
+                yield from t.delay(2.5 * _FRAME_US)
+                yield from t.consume_until(inp, ts)
+                processed["n"] += 1
+                processed["last"] = ts
+                if ts >= items - 1:
+                    break
+
+        sim.spawn(producer, space=0)
+        sim.spawn(consumer, space=1)
+        sim.start_gc_daemon(2 * _FRAME_US)
+        sim.run(until_us=items * _FRAME_US * 6)
+        table.rows[policy] = {
+            "processed": float(processed["n"]),
+            "skipped": float(items - processed["n"]),
+            "mean_staleness_frames": (
+                sum(staleness) / len(staleness) if staleness else 0.0
+            ),
+            "final_lag_frames": float(items - 1 - processed["last"]),
+        }
+    return table
+
+
+# ---------------------------------------------------------------------------
+def gc_cadence_ablation(
+    periods_us: list[float] | None = None, items: int = 60
+) -> TableResult:
+    """GC recomputation period vs. buffered data and GC traffic (§4.2)."""
+    periods_us = periods_us or [
+        _FRAME_US / 2, _FRAME_US, 4 * _FRAME_US, 16 * _FRAME_US
+    ]
+    table = TableResult(
+        title="Ablation: GC cadence (§4.2)",
+        row_label="GC period",
+        col_label="",
+        columns=["peak_buffered_mb", "gc_rounds", "mean_horizon_lag_frames"],
+    )
+    for period in periods_us:
+        sim = SimStampede(n_spaces=2)
+        chan = sim.create_channel(home=1)
+        peak = {"bytes": 0}
+        lags: list[float] = []
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for i in range(items):
+                yield from t.delay(_FRAME_US)
+                t.set_virtual_time(i)
+                yield from t.put(out, i, nbytes=IMAGE_BYTES)
+                peak["bytes"] = max(peak["bytes"], chan.kernel.stored_bytes())
+                lags.append(i - chan.kernel.gc_horizon)
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            t.set_virtual_time(INFINITY)
+            for _ in range(items):
+                _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+                yield from t.consume(inp, ts)
+
+        sim.spawn(producer, space=0)
+        sim.spawn(consumer, space=1)
+        sim.start_gc_daemon(period)
+        sim.run(until_us=items * _FRAME_US * 3)
+        table.rows[f"{period / 1000:.1f} ms"] = {
+            "peak_buffered_mb": peak["bytes"] / 1e6,
+            "gc_rounds": float(len(sim.gc_reports)),
+            "mean_horizon_lag_frames": sum(lags) / len(lags) if lags else 0.0,
+        }
+    return table
+
+
+# ---------------------------------------------------------------------------
+def push_ablation(items: int = 15, size: int = IMAGE_BYTES) -> TableResult:
+    """Eager push vs pull on the real thread runtime (§9 future work).
+
+    The consumer attaches before production, so with ``push=True`` every
+    payload is already resident in the consumer's space when the get is
+    issued — the get reply is payload-free and the copy cost was paid
+    (overlapped) at put time.  Reported: per-get latency on this host.
+    """
+    import time as _time
+
+    from repro.core import INFINITY as _INF
+    from repro.runtime import Cluster as _Cluster
+    from repro.stm import STM as _STM
+    from repro.util.stats import OnlineStats as _Stats
+
+    table = TableResult(
+        title="Ablation: eager push vs pull (§9, measured on this host)",
+        row_label="mode",
+        col_label="",
+        columns=["mean_get_us", "min_get_us"],
+        unit="microseconds per get",
+        notes=(
+            f"{items} items of {size} B; consumer attached before "
+            f"production, gets issued after"
+        ),
+    )
+    for push in (False, True):
+        with _Cluster(n_spaces=2, gc_period=None) as cluster:
+            boot = cluster.space(0).adopt_current_thread(virtual_time=0)
+            chan = _STM(cluster.space(0)).create_channel(
+                f"push-{push}", home=0, push=push
+            )
+            import threading as _threading
+
+            attached = _threading.Event()
+            release = _threading.Event()
+            stats = _Stats()
+
+            def consumer():
+                from repro.runtime import current_thread as _ct
+
+                conn = _STM(cluster.space(1)).lookup(f"push-{push}").attach_input()
+                _ct().set_virtual_time(_INF)
+                attached.set()
+                release.wait(30)
+                for ts in range(items):
+                    t0 = _time.perf_counter_ns()
+                    conn.get(ts)
+                    stats.add((_time.perf_counter_ns() - t0) / 1000.0)
+                    conn.consume_until(ts)
+                conn.detach()
+
+            handle = cluster.space(1).spawn(consumer, virtual_time=0)
+            attached.wait(10)
+            out = chan.attach_output()
+            payload = bytes(size)
+            for ts in range(items):
+                boot.set_virtual_time(ts)
+                out.put(ts, payload)
+            _time.sleep(0.1)  # let the pushes land before timing the gets
+            release.set()
+            handle.join(60)
+            boot.exit()
+        table.rows["push (data sent at put time)" if push
+                   else "pull (data sent at get time)"] = {
+            "mean_get_us": stats.mean,
+            "min_get_us": stats.min,
+        }
+    return table

@@ -1,0 +1,93 @@
+"""Fig. 8 — minimum one-way CLF latencies per medium and packet size.
+
+    "Minimum one-way end to end latencies achievable under CLF are shown
+    in Table 8, for various packet sizes up to 8152 Bytes, the MTU."
+
+Two modes:
+
+* ``simulated`` (default): evaluates the calibrated medium models — this is
+  the 1998-hardware reproduction.  The paper's surviving cells (the 8-byte
+  column: 17/19/227 µs) are carried for comparison.
+* ``measured``: pings real bytes through the in-process
+  :class:`~repro.transport.clf.ClfNetwork` between two dispatcher threads
+  and reports minimum one-way (half round-trip) times on *this* host —
+  software overhead without the 1998 wire.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.tables import TableResult
+from repro.transport.clf import ClfNetwork
+from repro.transport.media import MEDIA, Medium
+
+__all__ = ["PACKET_SIZES", "clf_latency_table", "measure_clf_roundtrip_us"]
+
+#: the packet-size columns of Figs. 8-10.
+PACKET_SIZES = [8, 128, 1024, 4096, 8152]
+
+#: published cells preserved by the scan (8-byte column of Fig. 8).
+_PAPER = {
+    "shm": {8: 17.0},
+    "memory_channel": {8: 19.0},
+    "udp": {8: 227.0},
+}
+
+
+def clf_latency_table(
+    mode: str = "simulated", sizes: list[int] | None = None
+) -> TableResult:
+    """Regenerate Fig. 8; ``mode`` is ``simulated`` or ``measured``."""
+    sizes = sizes or PACKET_SIZES
+    table = TableResult(
+        title="Fig. 8: minimum one-way CLF latencies",
+        row_label="communication medium",
+        col_label="packet size (bytes)",
+        columns=sizes,
+        unit="microseconds",
+    )
+    if mode == "simulated":
+        for key, medium in MEDIA.items():
+            table.rows[medium.name] = {
+                s: medium.one_way_latency_us(s) for s in sizes
+            }
+            table.paper[medium.name] = dict(_PAPER[key])
+        table.notes = (
+            "simulated: calibrated medium models (see repro.transport.media)"
+        )
+    elif mode == "measured":
+        row = {s: measure_clf_roundtrip_us(s) / 2.0 for s in sizes}
+        table.rows["in-process queues (this host)"] = row
+        table.notes = "measured on this host's in-process CLF; no 1998 wire"
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return table
+
+
+def measure_clf_roundtrip_us(size: int, reps: int = 200) -> float:
+    """Minimum round-trip time of a ``size``-byte CLF ping on this host."""
+    import threading
+
+    network = ClfNetwork.create(2)
+    a, b = network.endpoint(0), network.endpoint(1)
+    payload = bytes(size)
+
+    def echo() -> None:
+        for _ in range(reps):
+            src, data = b.recv()
+            b.send(src, data)
+
+    thread = threading.Thread(target=echo, daemon=True)
+    thread.start()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter_ns()
+        a.send(1, payload)
+        a.recv()
+        dt = (time.perf_counter_ns() - t0) / 1000.0
+        if dt < best:
+            best = dt
+    thread.join(timeout=5.0)
+    network.close()
+    return best

@@ -1,0 +1,108 @@
+"""Fig. 9 — maximum CLF bandwidths per medium and packet size.
+
+    "Maximum bandwidths achievable under CLF are shown in Table 9 ... The
+    rightmost column assumes that a sender waits for an acknowledgement
+    from a receiver after sending an image-worth of data (230400 Bytes)."
+
+``simulated`` evaluates the medium models' pipelined-throughput formula
+(plus the acked-stream variant); ``measured`` streams real bytes through
+the in-process CLF on this host.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.bench.fig08 import PACKET_SIZES
+from repro.bench.tables import TableResult
+from repro.transport.clf import ClfNetwork
+from repro.transport.media import IMAGE_BYTES, MEDIA
+
+__all__ = ["clf_bandwidth_table", "measure_clf_stream_mbps"]
+
+ACK_COLUMN = "8152*"
+
+#: published cells preserved by the scan (8-byte column of Fig. 9).
+_PAPER = {
+    "shm": {8: 2.3},
+    "memory_channel": {8: 2.3},
+    "udp": {8: 0.13},
+}
+
+
+def clf_bandwidth_table(
+    mode: str = "simulated", sizes: list[int] | None = None
+) -> TableResult:
+    """Regenerate Fig. 9; the ``8152*`` column is the per-image-ack variant."""
+    sizes = sizes or PACKET_SIZES
+    columns = list(sizes) + [ACK_COLUMN]
+    table = TableResult(
+        title="Fig. 9: maximum CLF bandwidths",
+        row_label="communication medium",
+        col_label="packet size (bytes)",
+        columns=columns,
+        unit="MB/s",
+        notes="rightmost column (*): ack awaited after every 230400 B image",
+    )
+    if mode == "simulated":
+        for key, medium in MEDIA.items():
+            row = {s: medium.max_bandwidth_mbps(s) for s in sizes}
+            row[ACK_COLUMN] = medium.acked_stream_bandwidth_mbps(
+                IMAGE_BYTES, IMAGE_BYTES
+            )
+            table.rows[medium.name] = row
+            table.paper[medium.name] = dict(_PAPER[key])
+    elif mode == "measured":
+        row = {s: measure_clf_stream_mbps(s) for s in sizes}
+        row[ACK_COLUMN] = measure_clf_stream_mbps(8152, ack_every=IMAGE_BYTES)
+        table.rows["in-process queues (this host)"] = row
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return table
+
+
+def measure_clf_stream_mbps(
+    packet_size: int,
+    total_bytes: int = 2 * IMAGE_BYTES,
+    ack_every: int | None = None,
+) -> float:
+    """Throughput of a one-way CLF stream on this host (MB/s).
+
+    With ``ack_every``, the sender blocks for an 8-byte ack after each
+    window of that many bytes, mirroring Fig. 9's starred column.
+    """
+    network = ClfNetwork.create(2)
+    src, dst = network.endpoint(0), network.endpoint(1)
+    n_messages = max(total_bytes // packet_size, 1)
+    payload = bytes(packet_size)
+    done = threading.Event()
+
+    def sink() -> None:
+        received = 0
+        window = 0
+        while received < n_messages:
+            peer, data = dst.recv()
+            received += 1
+            if ack_every is not None:
+                window += len(data)
+                if window >= ack_every or received == n_messages:
+                    window = 0
+                    dst.send(peer, b"ack-8b..")
+        done.set()
+
+    thread = threading.Thread(target=sink, daemon=True)
+    thread.start()
+    sent_window = 0
+    t0 = time.perf_counter()
+    for i in range(n_messages):
+        src.send(1, payload)
+        if ack_every is not None:
+            sent_window += packet_size
+            if sent_window >= ack_every or i == n_messages - 1:
+                sent_window = 0
+                src.recv()  # the ack
+    done.wait(timeout=30.0)
+    dt = time.perf_counter() - t0
+    network.close()
+    return (n_messages * packet_size) / dt / 1e6

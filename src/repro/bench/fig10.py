@@ -1,0 +1,129 @@
+"""Fig. 10 — minimum STM one-way latencies (put → get + consume).
+
+    "The experiment sets up a producer thread in one address space that
+    puts items into a channel and a thread in another address space that
+    gets and consumes these items from the channel.  We measure the total
+    latency from before the put until after the consume. ... this could
+    take two, four or more round-trip communications."
+
+The channel is co-located with the consumer, as in the paper's table.
+``simulated`` runs the discrete-event cluster; ``measured`` runs the real
+thread runtime on this host.  Latency is reported as the steady-state cycle
+time per item of the synchronous put/get/consume chain.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.tables import TableResult
+from repro.core import STM_OLDEST
+from repro.runtime import Cluster
+from repro.sim import SimStampede
+from repro.stm import STM
+from repro.transport.media import MEMORY_CHANNEL, Medium, UDP_LAN
+
+__all__ = ["STM_PAYLOAD_SIZES", "stm_latency_table", "simulate_stm_latency_us",
+           "measure_stm_latency_us"]
+
+#: the payload columns of Fig. 10 (8112 = max STM payload in one CLF packet).
+STM_PAYLOAD_SIZES = [8, 128, 1024, 4096, 8112]
+
+#: the paper's UDP/LAN row (the Memory Channel row did not survive the scan;
+#: 2075 reconstructs the garbled "20/5" cell).
+_PAPER = {
+    "udp": {8: 449.0, 128: 487.0, 1024: 691.0, 4096: 1357.0, 8112: 2075.0},
+    "memory_channel": {},
+}
+
+_MEDIA_ROWS: list[tuple[str, Medium]] = [
+    ("memory_channel", MEMORY_CHANNEL),
+    ("udp", UDP_LAN),
+]
+
+
+def stm_latency_table(
+    mode: str = "simulated", sizes: list[int] | None = None, items: int = 50
+) -> TableResult:
+    """Regenerate Fig. 10 for Memory Channel and UDP/LAN."""
+    sizes = sizes or STM_PAYLOAD_SIZES
+    table = TableResult(
+        title="Fig. 10: minimum STM one-way latencies "
+        "(put on one space; get+consume on another; channel at consumer)",
+        row_label="communication medium",
+        col_label="payload size (bytes)",
+        columns=sizes,
+        unit="microseconds",
+    )
+    if mode == "simulated":
+        for key, medium in _MEDIA_ROWS:
+            table.rows[medium.name] = {
+                s: simulate_stm_latency_us(medium, s, items) for s in sizes
+            }
+            table.paper[medium.name] = dict(_PAPER[key])
+    elif mode == "measured":
+        table.rows["thread runtime (this host)"] = {
+            s: measure_stm_latency_us(s, items) for s in sizes
+        }
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    return table
+
+
+def simulate_stm_latency_us(medium: Medium, size: int, items: int = 50) -> float:
+    """Steady-state per-item latency in the simulated cluster."""
+    sim = SimStampede(n_spaces=2, inter_node=medium)
+    chan = sim.create_channel(home=1)  # co-located with the consumer
+
+    def producer(t):
+        out = yield from t.attach_output(chan)
+        for i in range(items):
+            t.set_virtual_time(i)
+            yield from t.put(out, i, nbytes=size)
+
+    def consumer(t):
+        inp = yield from t.attach_input(chan)
+        for _ in range(items):
+            _payload, ts, _size = yield from t.get(inp, STM_OLDEST)
+            yield from t.consume(inp, ts)
+
+    sim.spawn(producer, space=0)
+    sim.spawn(consumer, space=1)
+    sim.run()
+    return sim.now / items
+
+
+def measure_stm_latency_us(size: int, items: int = 50) -> float:
+    """Per-item put→get→consume cycle on the real thread runtime."""
+    with Cluster(n_spaces=2, gc_period=None) as cluster:
+        payload = bytes(size)
+        creator = cluster.space(0).adopt_current_thread(virtual_time=0)
+        chan = STM(cluster.space(0)).create_channel("fig10", home=1)
+
+        def producer() -> None:
+            from repro.runtime import current_thread
+
+            out = STM(cluster.space(0)).lookup("fig10").attach_output()
+            me = current_thread()
+            for i in range(items):
+                me.set_virtual_time(i)
+                out.put(i, payload)
+            out.detach()
+
+        def consumer() -> None:
+            inp = STM(cluster.space(1)).lookup("fig10").attach_input()
+            for _ in range(items):
+                item = inp.get(STM_OLDEST)
+                inp.consume(item.timestamp)
+            inp.detach()
+
+        t0 = time.perf_counter()
+        threads = [
+            cluster.space(1).spawn(consumer, virtual_time=0),
+            cluster.space(0).spawn(producer, virtual_time=0),
+        ]
+        for thread in threads:
+            thread.join(60.0)
+        elapsed = time.perf_counter() - t0
+        creator.exit()
+    return elapsed / items * 1e6

@@ -1,0 +1,156 @@
+"""Fig. 11 — STM bandwidths for image-size payloads (230 400 bytes).
+
+    "In column A, a producer on one address space does repeated puts, and a
+    consumer on another address space does repeated gets and consumes.
+    Because of the synchronization between puts and gets and consumes, the
+    data is moved in bursts, one item at a time.  The bandwidths are thus
+    much less than the raw CLF bandwidths ... although they are still
+    comfortably above the basic camera image rate of 6.912 MB/s.  In column
+    B, there are two producers on two different address spaces and two
+    consumers on another address space.  In this case, one consumer can be
+    involved in data movement while the other consumer is involved in
+    synchronization with its producer ... these total bandwidths approach
+    the raw CLF bandwidths."
+
+Both columns run on the simulated cluster (Memory Channel) by default; the
+``measured`` mode reruns them on the real thread runtime of this host.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.tables import TableResult
+from repro.core import STM_OLDEST
+from repro.runtime import Cluster
+from repro.sim import SimStampede
+from repro.stm import STM
+from repro.transport.media import (
+    CAMERA_BANDWIDTH_MBPS,
+    IMAGE_BYTES,
+    MEMORY_CHANNEL,
+    Medium,
+)
+
+__all__ = [
+    "stm_bandwidth_table",
+    "simulate_stm_bandwidth_mbps",
+    "measure_stm_bandwidth_mbps",
+]
+
+
+def stm_bandwidth_table(
+    mode: str = "simulated", items: int = 30, medium: Medium = MEMORY_CHANNEL
+) -> TableResult:
+    """Regenerate Fig. 11 (columns A and B) plus reference rows."""
+    table = TableResult(
+        title="Fig. 11: STM bandwidths for image payloads (230400 B)",
+        row_label="configuration",
+        col_label="",
+        columns=["MB/s"],
+        unit="MB/s",
+        notes=(
+            f"camera rate reference: {CAMERA_BANDWIDTH_MBPS:.3f} MB/s; "
+            f"raw CLF (acked per image): "
+            f"{medium.acked_stream_bandwidth_mbps(IMAGE_BYTES, IMAGE_BYTES):.1f} MB/s"
+        ),
+    )
+    if mode == "simulated":
+        a = simulate_stm_bandwidth_mbps(1, medium, items)
+        b = simulate_stm_bandwidth_mbps(2, medium, items)
+    elif mode == "measured":
+        a = measure_stm_bandwidth_mbps(1, items)
+        b = measure_stm_bandwidth_mbps(2, items)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    table.rows["A: 1 producer / 1 consumer"] = {"MB/s": a}
+    table.rows["B: 2 producers / 2 consumers"] = {"MB/s": b}
+    return table
+
+
+def simulate_stm_bandwidth_mbps(
+    n_pairs: int, medium: Medium = MEMORY_CHANNEL, items: int = 30
+) -> float:
+    """Aggregate bandwidth of ``n_pairs`` producer/consumer pairs.
+
+    Producers live on distinct spaces; all consumers (and the channels)
+    share one space, exactly as in the paper's column B.
+    """
+    n_spaces = n_pairs + 1
+    consumer_space = n_pairs
+    sim = SimStampede(n_spaces=n_spaces, inter_node=medium)
+    channels = [sim.create_channel(home=consumer_space) for _ in range(n_pairs)]
+
+    def make_producer(chan):
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for i in range(items):
+                t.set_virtual_time(i)
+                yield from t.put(out, i, nbytes=IMAGE_BYTES)
+        return producer
+
+    def make_consumer(chan):
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            for _ in range(items):
+                _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+                yield from t.consume(inp, ts)
+        return consumer
+
+    for pair, chan in enumerate(channels):
+        sim.spawn(make_producer(chan), space=pair, name=f"prod{pair}")
+        sim.spawn(make_consumer(chan), space=consumer_space, name=f"cons{pair}")
+    sim.run()
+    return n_pairs * items * IMAGE_BYTES / sim.now
+
+
+def measure_stm_bandwidth_mbps(n_pairs: int, items: int = 20) -> float:
+    """The same experiment on the real thread runtime of this host."""
+    n_spaces = n_pairs + 1
+    consumer_space = n_pairs
+    with Cluster(n_spaces=n_spaces, gc_period=None) as cluster:
+        creator = cluster.space(0).adopt_current_thread(virtual_time=0)
+        stm0 = STM(cluster.space(0))
+        for pair in range(n_pairs):
+            stm0.create_channel(f"fig11.{pair}", home=consumer_space)
+        frame = bytes(IMAGE_BYTES)
+
+        def producer(pair: int) -> None:
+            from repro.runtime import current_thread
+
+            out = (
+                STM(cluster.space(pair)).lookup(f"fig11.{pair}").attach_output()
+            )
+            me = current_thread()
+            for i in range(items):
+                me.set_virtual_time(i)
+                out.put(i, frame)
+            out.detach()
+
+        def consumer(pair: int) -> None:
+            inp = (
+                STM(cluster.space(consumer_space))
+                .lookup(f"fig11.{pair}")
+                .attach_input()
+            )
+            for _ in range(items):
+                item = inp.get(STM_OLDEST)
+                inp.consume(item.timestamp)
+            inp.detach()
+
+        t0 = time.perf_counter()
+        threads = []
+        for pair in range(n_pairs):
+            threads.append(
+                cluster.space(consumer_space).spawn(
+                    consumer, (pair,), virtual_time=0
+                )
+            )
+            threads.append(
+                cluster.space(pair).spawn(producer, (pair,), virtual_time=0)
+            )
+        for thread in threads:
+            thread.join(120.0)
+        elapsed = time.perf_counter() - t0
+        creator.exit()
+    return n_pairs * items * IMAGE_BYTES / elapsed / 1e6

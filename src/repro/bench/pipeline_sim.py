@@ -1,0 +1,110 @@
+"""Simulated kiosk pipeline: end-to-end frame latency per placement.
+
+An experiment the paper motivates but does not tabulate: what does stage
+placement cost the pipeline of Fig. 2, end to end, on the 1998 cluster?
+The driver runs the kiosk's stage graph (digitizer → low-fi tracker →
+decision → GUI) as simulated tasks with the compute costs of
+:data:`~repro.runtime.placement.KIOSK_PIPELINE`, sweeping placements, and
+reports the mean per-frame latency (digitize start → GUI consume) alongside
+the analytic prediction from :mod:`repro.runtime.placement` — validating
+the scheduler's model against the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import TableResult
+from repro.core import STM_OLDEST
+from repro.runtime.placement import KIOSK_PIPELINE, predict
+from repro.sim import SimStampede
+from repro.transport.clf import ClusterTopology
+
+__all__ = ["simulate_pipeline_latency_us", "pipeline_placement_table"]
+
+
+def simulate_pipeline_latency_us(
+    placement: tuple[int, ...],
+    frames: int = 20,
+    frame_interval_us: float = 33_333.0,
+) -> float:
+    """Mean per-frame end-to-end latency of the kiosk pipeline in the sim."""
+    stages = KIOSK_PIPELINE.stages
+    if len(placement) != len(stages):
+        raise ValueError(
+            f"placement needs {len(stages)} entries, got {len(placement)}"
+        )
+    n_spaces = max(max(placement) + 1, 2)
+    sim = SimStampede(n_spaces=n_spaces)
+    # channel between stage i and i+1, homed at the consumer (§6 hint):
+    channels = [
+        sim.create_channel(home=placement[i + 1])
+        for i in range(len(stages) - 1)
+    ]
+    start_times: dict[int, float] = {}
+    end_times: dict[int, float] = {}
+
+    def source(t):
+        out = yield from t.attach_output(channels[0])
+        for i in range(frames):
+            yield from t.delay(frame_interval_us)
+            t.set_virtual_time(i)
+            start_times[i] = t.now
+            yield from t.delay(stages[0].compute_us)
+            yield from t.put(out, i, nbytes=stages[0].output_bytes)
+
+    def make_interior(index: int):
+        def interior(t):
+            inp = yield from t.attach_input(channels[index - 1])
+            out = yield from t.attach_output(channels[index])
+            for _ in range(frames):
+                _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+                yield from t.delay(stages[index].compute_us)
+                yield from t.put(out, ts, nbytes=stages[index].output_bytes)
+                yield from t.consume(inp, ts)
+        return interior
+
+    def sink(t):
+        inp = yield from t.attach_input(channels[-1])
+        for _ in range(frames):
+            _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+            yield from t.delay(stages[-1].compute_us)
+            yield from t.consume(inp, ts)
+            end_times[ts] = t.now
+
+    sim.spawn(source, space=placement[0], name="digitizer")
+    for index in range(1, len(stages) - 1):
+        sim.spawn(make_interior(index), space=placement[index],
+                  name=stages[index].name)
+    sim.spawn(sink, space=placement[-1], name="gui")
+    sim.run()
+    latencies = [end_times[i] - start_times[i] for i in range(frames)]
+    return sum(latencies) / len(latencies)
+
+
+def pipeline_placement_table(frames: int = 20) -> TableResult:
+    """Sweep representative placements; report simulated vs predicted."""
+    table = TableResult(
+        title="Kiosk pipeline latency per placement (simulated vs model)",
+        row_label="placement (dig, lofi, decision, gui)",
+        col_label="",
+        columns=["simulated_us", "predicted_us"],
+        unit="microseconds per frame",
+        notes=(
+            "simulated: discrete-event kiosk pipeline; predicted: the "
+            "placement scheduler's analytic model (repro.runtime.placement)"
+        ),
+    )
+    placements = [
+        (0, 0, 0, 0),
+        (0, 1, 1, 1),
+        (0, 1, 2, 2),
+        (0, 1, 0, 1),
+    ]
+    for placement in placements:
+        topology = ClusterTopology(max(max(placement) + 1, 2))
+        predicted = predict(KIOSK_PIPELINE, placement, topology)
+        simulated = simulate_pipeline_latency_us(placement, frames)
+        table.rows[str(placement)] = {
+            "simulated_us": simulated,
+            "predicted_us": predicted.latency_us,
+        }
+    return table

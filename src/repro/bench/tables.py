@@ -1,0 +1,65 @@
+"""Table rendering and experiment bookkeeping for the benchmark harness.
+
+Every driver returns a :class:`TableResult`: the regenerated rows, the
+paper's published cells where the scan preserves them (``paper`` maps the
+same row/column keys), and a ``render()`` that prints both side by side so
+EXPERIMENTS.md can be written straight from bench output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TableResult"]
+
+
+@dataclass
+class TableResult:
+    """One regenerated paper table."""
+
+    title: str
+    row_label: str
+    col_label: str
+    columns: list[Any]
+    #: measured/modeled values: row key -> {column key -> value}.
+    rows: dict[Any, dict[Any, float]] = field(default_factory=dict)
+    #: the paper's published cells (sparse — the scan lost some).
+    paper: dict[Any, dict[Any, float]] = field(default_factory=dict)
+    unit: str = ""
+    notes: str = ""
+
+    def cell(self, row: Any, col: Any) -> float:
+        return self.rows[row][col]
+
+    def render(self, width: int = 10) -> str:
+        """Human-readable table with paper reference cells in parentheses."""
+        header = [str(self.row_label).ljust(34)] + [
+            str(c).rjust(width) for c in self.columns
+        ]
+        lines = [self.title, "=" * len(self.title), "  ".join(header)]
+        for row_key, cells in self.rows.items():
+            out = [str(row_key).ljust(34)]
+            for col in self.columns:
+                value = cells.get(col)
+                text = f"{value:.2f}" if value is not None else "-"
+                ref = self.paper.get(row_key, {}).get(col)
+                if ref is not None:
+                    text += f" ({ref:g})"
+                out.append(text.rjust(width))
+            lines.append("  ".join(out))
+        if self.unit:
+            lines.append(f"[{self.unit}; values in parentheses are the "
+                         f"paper's published cells]")
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": {str(k): dict(v) for k, v in self.rows.items()},
+            "paper": {str(k): dict(v) for k, v in self.paper.items()},
+            "unit": self.unit,
+        }

@@ -1,0 +1,71 @@
+"""STM semantic kernel: pure, runtime-agnostic channel and time semantics.
+
+Everything in this package is synchronous, lock-free, and I/O-free; the
+runtimes in :mod:`repro.runtime` and :mod:`repro.sim` supply threads,
+blocking, distribution, and clocks around it.
+"""
+
+from repro.core.channel_state import (
+    BlockReason,
+    ChannelKernel,
+    GetResult,
+    PutResult,
+    Status,
+)
+from repro.core.flags import (
+    BlockMode,
+    GetWildcard,
+    STM_LATEST,
+    STM_LATEST_UNSEEN,
+    STM_OLDEST,
+    STM_OLDEST_UNSEEN,
+    UNKNOWN_REFCOUNT,
+)
+from repro.core.gc_state import LocalGCSummary, compute_global_min, merge_summaries
+from repro.core.item import InputConnState, ItemRecord, ItemState
+from repro.core.payload import CopyPolicy, decode, encode, estimate_size
+from repro.core.time import (
+    INFINITY,
+    Infinity,
+    Timestamp,
+    VirtualTime,
+    is_timestamp,
+    validate_timestamp,
+    vt_le,
+    vt_lt,
+    vt_min,
+)
+
+__all__ = [
+    "BlockMode",
+    "BlockReason",
+    "ChannelKernel",
+    "CopyPolicy",
+    "GetResult",
+    "GetWildcard",
+    "INFINITY",
+    "Infinity",
+    "InputConnState",
+    "ItemRecord",
+    "ItemState",
+    "LocalGCSummary",
+    "PutResult",
+    "STM_LATEST",
+    "STM_LATEST_UNSEEN",
+    "STM_OLDEST",
+    "STM_OLDEST_UNSEEN",
+    "Status",
+    "Timestamp",
+    "UNKNOWN_REFCOUNT",
+    "VirtualTime",
+    "compute_global_min",
+    "decode",
+    "encode",
+    "estimate_size",
+    "is_timestamp",
+    "merge_summaries",
+    "validate_timestamp",
+    "vt_le",
+    "vt_lt",
+    "vt_min",
+]

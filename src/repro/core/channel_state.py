@@ -1,0 +1,464 @@
+"""The STM channel kernel: a pure, runtime-agnostic state machine.
+
+This module implements the *semantics* of an STM channel (paper §4.1-4.2)
+with no threads, locks, clocks, or I/O.  Every operation is synchronous and
+total: it either succeeds, raises a semantic error, or reports
+``Status.BLOCKED`` with a machine-readable reason.  The two runtimes
+(:mod:`repro.runtime.thread_runtime` for real threads,
+:mod:`repro.sim` for the discrete-event simulator) wrap the kernel with
+their own waiting/wakeup machinery, so blocking behaviour is implemented
+once per runtime while the semantics are implemented — and property-tested —
+exactly once, here.
+
+Concurrency contract: callers must serialize calls per kernel instance (the
+thread runtime holds a per-channel lock; simulator tasks are non-preemptive).
+In exchange, the paper's atomicity guarantee — puts and gets "appear to all
+threads as if they occur in a particular serial order" (§4.1) — holds by
+construction: the serial order is the order of kernel calls.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.flags import GetWildcard, UNKNOWN_REFCOUNT
+from repro.core.item import InputConnState, ItemRecord, ItemState
+from repro.core.time import INFINITY, VirtualTime, validate_timestamp, vt_min
+from repro.errors import (
+    AlreadyConsumedError,
+    ChannelDestroyedError,
+    ConnectionClosedError,
+    DuplicateTimestampError,
+    ItemGarbageCollectedError,
+    NoSuchItemError,
+    NotOpenError,
+)
+from repro.util.sortedmap import SortedIntMap
+
+__all__ = ["Status", "BlockReason", "GetResult", "PutResult", "ChannelKernel"]
+
+
+class Status(enum.Enum):
+    """Outcome of a kernel put/get."""
+
+    OK = "ok"
+    BLOCKED = "blocked"
+
+
+class BlockReason(enum.Enum):
+    """Why a kernel operation could not complete right now.
+
+    The runtimes use this to decide which event should retry the operation:
+    a CHANNEL_FULL put retries after any item leaves the channel; a
+    NO_MATCHING_ITEM get retries after any put.
+    """
+
+    CHANNEL_FULL = "channel_full"
+    NO_MATCHING_ITEM = "no_matching_item"
+
+
+@dataclass
+class GetResult:
+    status: Status
+    payload: Any = None
+    timestamp: int | None = None
+    size: int = 0
+    #: when the get misses a *specific* timestamp: the neighbouring available
+    #: timestamps ``(prev, next)`` — the paper's ``timestamp_range``.
+    timestamp_range: tuple[int | None, int | None] | None = None
+    reason: BlockReason | None = None
+
+
+@dataclass
+class PutResult:
+    status: Status
+    reason: BlockReason | None = None
+
+
+class ChannelKernel:
+    """State of one STM channel: items plus per-input-connection views.
+
+    Parameters
+    ----------
+    channel_id:
+        System-wide unique id (allocated by the runtime's registry).
+    capacity:
+        Maximum number of items the channel holds simultaneously, or None
+        for an unbounded channel (paper §4.1: "channels can be created to
+        hold a bounded or unbounded number of items").
+    """
+
+    def __init__(self, channel_id: int, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"channel capacity must be >= 1, got {capacity}")
+        self.channel_id = channel_id
+        self.capacity = capacity
+        self.items: SortedIntMap = SortedIntMap()
+        self.inputs: dict[int, InputConnState] = {}
+        self.outputs: set[int] = set()
+        #: every timestamp < gc_horizon has been garbage collected.
+        self.gc_horizon: int = 0
+        self.destroyed = False
+        #: monotone counter bumped on every state change that could unblock a
+        #: waiter; runtimes compare it across waits to detect progress.
+        self.version: int = 0
+        # -- statistics (exposed through ChannelStats in the facade) --------
+        self.total_puts = 0
+        self.total_gets = 0
+        self.total_consumes = 0
+        self.total_collected = 0
+        self.total_refcount_collected = 0
+        self.bytes_put = 0
+        self.bytes_got = 0
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+    def attach_input(self, conn_id: int, visibility: VirtualTime) -> None:
+        """Attach an input connection for a thread with the given visibility.
+
+        Per §4.2: "When a thread creates a new input connection to a channel,
+        it implicitly marks as consumed on that connection all items < its
+        current visibility."  Items at or above the visibility remain UNSEEN
+        and therefore pin the GC minimum until this connection consumes them.
+        """
+        self._check_alive()
+        if conn_id in self.inputs or conn_id in self.outputs:
+            raise ValueError(f"connection id {conn_id} already attached")
+        state = InputConnState(conn_id=conn_id)
+        if isinstance(visibility, int):
+            state.consumed_below = max(visibility, self.gc_horizon)
+        else:  # INFINITY visibility: everything currently conceivable is consumed
+            latest = self.items.max_key()
+            state.consumed_below = (latest + 1) if latest is not None else self.gc_horizon
+        # Refcount accounting: the implicit consumption does NOT decrement
+        # refcounts — declared counts refer to the consumers the producer
+        # planned for, and an attach that skips items is not one of them.
+        self.inputs[conn_id] = state
+        self.version += 1
+
+    def attach_output(self, conn_id: int) -> None:
+        self._check_alive()
+        if conn_id in self.inputs or conn_id in self.outputs:
+            raise ValueError(f"connection id {conn_id} already attached")
+        self.outputs.add(conn_id)
+        self.version += 1
+
+    def detach(self, conn_id: int) -> None:
+        """Detach a connection.
+
+        Detaching an input connection releases its claim on every unconsumed
+        item (equivalent to consuming everything), which may advance the GC
+        minimum — the runtime triggers a GC pass after detaches.
+        """
+        if conn_id in self.inputs:
+            del self.inputs[conn_id]
+        elif conn_id in self.outputs:
+            self.outputs.discard(conn_id)
+        else:
+            raise ConnectionClosedError(
+                f"connection {conn_id} is not attached to channel {self.channel_id}"
+            )
+        self.version += 1
+
+    def has_connection(self, conn_id: int) -> bool:
+        return conn_id in self.inputs or conn_id in self.outputs
+
+    def _input(self, conn_id: int) -> InputConnState:
+        try:
+            return self.inputs[conn_id]
+        except KeyError:
+            raise ConnectionClosedError(
+                f"connection {conn_id} is not an attached input connection "
+                f"of channel {self.channel_id}"
+            ) from None
+
+    def _check_alive(self) -> None:
+        if self.destroyed:
+            raise ChannelDestroyedError(f"channel {self.channel_id} is destroyed")
+
+    # ------------------------------------------------------------------
+    # put
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        conn_id: int,
+        timestamp: int,
+        payload: Any,
+        size: int,
+        refcount: int = UNKNOWN_REFCOUNT,
+    ) -> PutResult:
+        """Insert an item; Status.BLOCKED when a bounded channel is full.
+
+        Out-of-order timestamps are allowed (§4.1: replicated worker threads
+        may complete out of order); duplicate timestamps are not.
+        """
+        self._check_alive()
+        if conn_id not in self.outputs:
+            raise ConnectionClosedError(
+                f"connection {conn_id} is not an attached output connection "
+                f"of channel {self.channel_id}"
+            )
+        validate_timestamp(timestamp)
+        if refcount != UNKNOWN_REFCOUNT and refcount < 0:
+            raise ValueError(f"refcount must be >= 0 or UNKNOWN_REFCOUNT, got {refcount}")
+        if timestamp < self.gc_horizon:
+            raise ItemGarbageCollectedError(
+                f"put of timestamp {timestamp} below GC horizon {self.gc_horizon} "
+                f"on channel {self.channel_id} (visibility rules should make "
+                f"this impossible; check virtual-time management)"
+            )
+        if timestamp in self.items:
+            raise DuplicateTimestampError(
+                f"channel {self.channel_id} already holds timestamp {timestamp}"
+            )
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            return PutResult(Status.BLOCKED, BlockReason.CHANNEL_FULL)
+        record = ItemRecord(
+            timestamp=timestamp,
+            payload=payload,
+            size=size,
+            refcount=refcount,
+            producer_conn=conn_id,
+        )
+        # A refcounted item with zero declared consumers is dead on arrival —
+        # but putting it must still be legal (a producer may publish an item
+        # purely for *future* connections when refcount is unknown; with a
+        # declared count of 0 it is immediately collectable).
+        if refcount == 0:
+            self.total_puts += 1
+            self.bytes_put += size
+            self.total_refcount_collected += 1
+            self.total_collected += 1
+            self.version += 1
+            return PutResult(Status.OK)
+        self.items[timestamp] = record
+        self.total_puts += 1
+        self.bytes_put += size
+        self.version += 1
+        return PutResult(Status.OK)
+
+    # ------------------------------------------------------------------
+    # get
+    # ------------------------------------------------------------------
+    def get(self, conn_id: int, request: int | GetWildcard) -> GetResult:
+        """Resolve a get request against this connection's view.
+
+        Specific timestamps below the GC horizon or already consumed raise
+        immediately (blocking would never succeed).  A missing specific
+        timestamp *blocks* — it may still be put (§4.1 allows out-of-order
+        production) — and the result carries the neighbouring available
+        timestamps so a non-blocking caller can adapt.
+        """
+        self._check_alive()
+        view = self._input(conn_id)
+        if isinstance(request, GetWildcard):
+            ts = self._resolve_wildcard(view, request)
+            if ts is None:
+                return GetResult(Status.BLOCKED, reason=BlockReason.NO_MATCHING_ITEM)
+        else:
+            ts = validate_timestamp(request)
+            if ts < self.gc_horizon:
+                raise ItemGarbageCollectedError(
+                    f"timestamp {ts} on channel {self.channel_id} has been "
+                    f"garbage collected (horizon {self.gc_horizon})",
+                    timestamp_range=self._visible_neighbours(view, ts),
+                )
+            if view.is_consumed(ts):
+                raise AlreadyConsumedError(
+                    f"timestamp {ts} was already consumed on connection {conn_id}",
+                    timestamp_range=self._visible_neighbours(view, ts),
+                )
+            if ts not in self.items:
+                return GetResult(
+                    Status.BLOCKED,
+                    timestamp_range=self._visible_neighbours(view, ts),
+                    reason=BlockReason.NO_MATCHING_ITEM,
+                )
+        record: ItemRecord = self.items[ts]
+        view.note_get(ts)
+        record.get_count += 1
+        self.total_gets += 1
+        self.bytes_got += record.size
+        self.version += 1
+        return GetResult(
+            Status.OK, payload=record.payload, timestamp=ts, size=record.size
+        )
+
+    def _resolve_wildcard(self, view: InputConnState, wc: GetWildcard) -> int | None:
+        """Greatest/least unconsumed timestamp matching the wildcard, or None."""
+        if wc is GetWildcard.LATEST or wc is GetWildcard.LATEST_UNSEEN:
+            floor = None
+            if wc is GetWildcard.LATEST_UNSEEN and view.last_gotten is not None:
+                floor = view.last_gotten
+            # Scan downward from the newest item; consumed prefixes are dense
+            # so the first unconsumed hit is nearly always the newest item.
+            key = self.items.max_key()
+            while key is not None:
+                if floor is not None and key <= floor:
+                    return None
+                if view.is_unconsumed(key):
+                    return key
+                key = self.items.lower_key(key)
+            return None
+        if wc is GetWildcard.OLDEST or wc is GetWildcard.OLDEST_UNSEEN:
+            # Everything below the consumption watermark is consumed; start there.
+            key = self.items.ceil_key(view.consumed_below)
+            while key is not None:
+                if wc is GetWildcard.OLDEST_UNSEEN:
+                    if view.state_of(key) is ItemState.UNSEEN:
+                        return key
+                elif view.is_unconsumed(key):
+                    return key
+                key = self.items.higher_key(key)
+            return None
+        raise TypeError(f"unknown wildcard {wc!r}")  # pragma: no cover
+
+    def _visible_neighbours(
+        self, view: InputConnState, ts: int
+    ) -> tuple[int | None, int | None]:
+        """Nearest unconsumed timestamps on either side of ``ts`` for ``view``."""
+        lo = self.items.lower_key(ts)
+        while lo is not None and view.is_consumed(lo):
+            lo = self.items.lower_key(lo)
+        hi = self.items.higher_key(ts)
+        while hi is not None and view.is_consumed(hi):
+            hi = self.items.higher_key(hi)
+        return (lo, hi)
+
+    # ------------------------------------------------------------------
+    # consume
+    # ------------------------------------------------------------------
+    def consume(self, conn_id: int, timestamp: int, *, strict: bool = False) -> None:
+        """Mark one timestamp consumed on this connection.
+
+        ``strict=True`` additionally requires the item to be OPEN (the
+        canonical get/use/consume discipline of Fig. 7); the default follows
+        the paper in also allowing UNSEEN items to be consumed directly.
+        Consuming an absent timestamp is permitted — the item may have been
+        reclaimed already, or may never be put; the marking is what matters
+        for GC progress.
+        """
+        self._check_alive()
+        view = self._input(conn_id)
+        validate_timestamp(timestamp)
+        state = view.state_of(timestamp)
+        if state is ItemState.CONSUMED:
+            return  # idempotent
+        if strict and state is not ItemState.OPEN:
+            raise NotOpenError(
+                f"timestamp {timestamp} is {state.value}, not open, on "
+                f"connection {conn_id} (strict consume)"
+            )
+        view.consume_one(timestamp)
+        self.total_consumes += 1
+        self._after_consume([timestamp])
+
+    def consume_until(self, conn_id: int, timestamp: int) -> None:
+        """Mark every timestamp <= ``timestamp`` consumed on this connection.
+
+        Per §4.2 this may move items straight from UNSEEN to CONSUMED.
+        """
+        self._check_alive()
+        view = self._input(conn_id)
+        validate_timestamp(timestamp)
+        bound = timestamp + 1
+        affected = [
+            ts
+            for ts in self.items.keys_below(bound)
+            if view.is_unconsumed(ts) or ts in view.open_ts
+        ]
+        view.consume_upto(timestamp)
+        self.total_consumes += 1
+        self._after_consume(affected)
+
+    def _after_consume(self, timestamps: list[int]) -> None:
+        """Eagerly reclaim refcounted items whose count reached zero (§6)."""
+        for ts in timestamps:
+            record = self.items.get(ts)
+            if record is None:
+                continue
+            if record.dec_refcount():
+                # Only reclaim when no connection still has it open or unseen
+                # *and* wants it — the declared count reaching zero is the
+                # producer's signal that all planned consumers are done.
+                del self.items[ts]
+                self.total_collected += 1
+                self.total_refcount_collected += 1
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # garbage collection (reachability algorithm)
+    # ------------------------------------------------------------------
+    def unconsumed_min(self) -> VirtualTime:
+        """Smallest timestamp unconsumed on any input connection, or INFINITY.
+
+        This is the channel's contribution to the global GC minimum (§4.2):
+        "timestamps of all unconsumed items on all input connections of all
+        channels".  A channel with no input connections contributes INFINITY
+        — its items are protected only by thread visibilities, exactly as the
+        paper's rule prescribes (a future connection can only reach items >=
+        its creating thread's visibility).
+        """
+        mins: list[VirtualTime] = []
+        for view in self.inputs.values():
+            key = self.items.ceil_key(view.consumed_below)
+            while key is not None and view.is_consumed(key):
+                key = self.items.higher_key(key)
+            if key is not None:
+                mins.append(key)
+        return vt_min(mins)
+
+    def collect_below(self, horizon: VirtualTime) -> list[int]:
+        """Reclaim every item with timestamp < ``horizon``; return their ts.
+
+        Called by the GC daemon with the global minimum.  Also raises the
+        channel's local horizon so stale gets fail fast with
+        :class:`ItemGarbageCollectedError` instead of blocking forever.
+        """
+        if horizon is INFINITY:
+            bound = (self.items.max_key() or 0) + 1 if len(self.items) else self.gc_horizon
+        else:
+            bound = int(horizon)
+        if bound <= self.gc_horizon and not self.items.keys_below(bound):
+            self.gc_horizon = max(self.gc_horizon, bound)
+            return []
+        dead = self.items.pop_below(bound)
+        self.gc_horizon = max(self.gc_horizon, bound)
+        if dead:
+            self.total_collected += len(dead)
+            self.version += 1
+        return [ts for ts, _ in dead]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def timestamps(self) -> list[int]:
+        """Sorted timestamps currently stored (diagnostics and tests)."""
+        return self.items.keys()
+
+    def oldest(self) -> int | None:
+        return self.items.min_key()
+
+    def latest(self) -> int | None:
+        return self.items.max_key()
+
+    def item_state(self, conn_id: int, ts: int) -> ItemState:
+        """State of ``ts`` relative to input connection ``conn_id``."""
+        return self._input(conn_id).state_of(ts)
+
+    def stored_bytes(self) -> int:
+        return sum(rec.size for rec in self.items.values())
+
+    def destroy(self) -> None:
+        """Tear the channel down; subsequent operations raise."""
+        self.destroyed = True
+        self.items = SortedIntMap()
+        self.inputs.clear()
+        self.outputs.clear()
+        self.version += 1

@@ -1,0 +1,83 @@
+"""Operation flags and wildcard timestamps for STM puts and gets (paper §4.1).
+
+The paper's ``spd_channel_get_item`` accepts either a concrete timestamp or a
+wildcard: "the newest/oldest value currently in the channel, or the newest
+value not previously gotten over any connection".  Both put and get take a
+flag selecting blocking vs. non-blocking behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "GetWildcard",
+    "STM_LATEST",
+    "STM_OLDEST",
+    "STM_LATEST_UNSEEN",
+    "STM_OLDEST_UNSEEN",
+    "BlockMode",
+    "UNKNOWN_REFCOUNT",
+]
+
+
+class GetWildcard(enum.Enum):
+    """Wildcard timestamp selectors for get operations.
+
+    LATEST
+        The item with the greatest timestamp currently in the channel.
+    OLDEST
+        The item with the smallest timestamp currently in the channel
+        (that is still visible to the requesting connection).
+    LATEST_UNSEEN
+        The item with the greatest timestamp that has not previously been
+        gotten over *this* connection.  This is the workhorse of interactive
+        pipelines: a tracker asks for the most recent frame and transparently
+        skips stale ones (paper §3 bullet 1 and Fig. 7).  (The paper's §4.1
+        phrasing — "not previously gotten over any connection" — is read
+        per-connection here: Fig. 7's replicated trackers each need their
+        own skipping cursor, and a global cursor would make independent
+        consumers steal items from each other.)
+    OLDEST_UNSEEN
+        The item with the smallest timestamp still in the UNSEEN state on
+        this connection (never gotten, never consumed).  The in-order dual
+        of LATEST_UNSEEN: repeated gets walk the stream front-to-back while
+        earlier items may stay open/unconsumed — the access pattern of a
+        sliding-window analyzer (§1) that must *retain* its window.
+    """
+
+    LATEST = "latest"
+    OLDEST = "oldest"
+    LATEST_UNSEEN = "latest_unseen"
+    OLDEST_UNSEEN = "oldest_unseen"
+
+    def __repr__(self) -> str:
+        return f"STM_{self.name}"
+
+
+#: Module-level aliases matching the paper's constant names.
+STM_LATEST = GetWildcard.LATEST
+STM_OLDEST = GetWildcard.OLDEST
+STM_LATEST_UNSEEN = GetWildcard.LATEST_UNSEEN
+STM_OLDEST_UNSEEN = GetWildcard.OLDEST_UNSEEN
+
+
+class BlockMode(enum.Enum):
+    """Blocking behaviour of a put or get (the paper's flag parameter).
+
+    BLOCK
+        Wait until the operation can complete (bounded channel has room /
+        a suitable item arrives).
+    NONBLOCK
+        Return immediately with an error code if the operation cannot
+        complete right now.
+    """
+
+    BLOCK = "block"
+    NONBLOCK = "nonblock"
+
+
+#: Sentinel reference count for a put whose producer does not know how many
+#: consumers the item will have (paper §6): such items are garbage collected
+#: by the reachability algorithm rather than by eager reference counting.
+UNKNOWN_REFCOUNT: int = -1

@@ -1,0 +1,91 @@
+"""Copy-in / copy-out payload handling (paper §4.1).
+
+STM semantics: "after a put, a thread may immediately safely re-use its
+buffer.  Similarly, after a successful get, a client can safely modify the
+copy of the object that it received."  The kernel stores opaque payloads and
+never copies; this module decides *what* gets stored, under three policies:
+
+``SERIALIZE``
+    The payload is pickled at put and unpickled at get.  This is the only
+    policy usable across address spaces (the representation is exactly what
+    CLF ships over the wire), and it is the default because it makes local
+    and remote channels behave identically.  Numpy arrays take the
+    buffer-protocol fast path (``pickle`` protocol 5 keeps frame-sized copies
+    to a single memcpy each way).
+
+``DEEPCOPY``
+    The payload is deep-copied at put *and* at get.  Local-only; useful when
+    payloads are unpicklable or when pickling is slower than copying.
+
+``REFERENCE``
+    The payload object itself is stored and returned; no copies.  This is
+    the paper's explicit escape hatch ("an application can still pass a
+    datum by reference — it merely passes a reference to the object through
+    STM").  Local-only; the application takes over aliasing discipline.
+
+The reported ``size`` feeds bandwidth accounting and the simulator's
+transport cost model, so it must be faithful: serialized length for
+SERIALIZE, a recursive estimate otherwise.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+import pickle
+import sys
+from typing import Any
+
+__all__ = ["CopyPolicy", "encode", "decode", "estimate_size"]
+
+
+class CopyPolicy(enum.Enum):
+    SERIALIZE = "serialize"
+    DEEPCOPY = "deepcopy"
+    REFERENCE = "reference"
+
+
+def estimate_size(obj: Any) -> int:
+    """Approximate in-memory size in bytes of ``obj``.
+
+    Exact for bytes-like and numpy payloads (the cases that matter for the
+    paper's tables, whose payloads are byte buffers and video frames); a
+    shallow ``sys.getsizeof`` plus one level of container recursion elsewhere
+    — cost accounting needs the right magnitude, not byte-exactness.
+    """
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    nbytes = getattr(obj, "nbytes", None)  # numpy arrays and friends
+    if isinstance(nbytes, int):
+        return nbytes
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sys.getsizeof(obj) + sum(estimate_size(x) for x in obj)
+    if isinstance(obj, dict):
+        return sys.getsizeof(obj) + sum(
+            estimate_size(k) + estimate_size(v) for k, v in obj.items()
+        )
+    return sys.getsizeof(obj)
+
+
+def encode(payload: Any, policy: CopyPolicy) -> tuple[Any, int]:
+    """Copy-in: produce the stored representation and its size in bytes."""
+    if policy is CopyPolicy.SERIALIZE:
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        return data, len(data)
+    if policy is CopyPolicy.DEEPCOPY:
+        stored = copy.deepcopy(payload)
+        return stored, estimate_size(stored)
+    if policy is CopyPolicy.REFERENCE:
+        return payload, estimate_size(payload)
+    raise TypeError(f"unknown copy policy {policy!r}")  # pragma: no cover
+
+
+def decode(stored: Any, policy: CopyPolicy) -> Any:
+    """Copy-out: produce the caller's private copy from the stored form."""
+    if policy is CopyPolicy.SERIALIZE:
+        return pickle.loads(stored)
+    if policy is CopyPolicy.DEEPCOPY:
+        return copy.deepcopy(stored)
+    if policy is CopyPolicy.REFERENCE:
+        return stored
+    raise TypeError(f"unknown copy policy {policy!r}")  # pragma: no cover

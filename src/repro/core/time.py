@@ -1,0 +1,147 @@
+"""Virtual time: the timestamp discipline at the heart of STM (paper §4.2).
+
+Timestamps in STM are *application-derived* integers — e.g. camera frame
+numbers — deliberately decoupled from real time (§6, "Virtual versus Real
+timestamps").  Real time enters only through the pacing API
+(:mod:`repro.runtime.realtime`).
+
+Two kinds of values live on the virtual-time axis:
+
+* **Timestamps** attached to items: plain non-negative integers.  Application
+  code may do arithmetic on them (§4.2), so we keep them as ``int``.
+* **Virtual times** of threads: an integer *or* the special value
+  :data:`INFINITY`.  Most interior threads set their virtual time to
+  INFINITY because the timestamps of items they put are inherited from the
+  items they get (§4.2, Fig. 7).
+
+:data:`INFINITY` is a singleton that compares greater than every integer, so
+``min()`` over mixed collections of timestamps and virtual times does the
+right thing when computing visibilities and the global GC minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+__all__ = [
+    "INFINITY",
+    "Infinity",
+    "VirtualTime",
+    "Timestamp",
+    "is_timestamp",
+    "validate_timestamp",
+    "vt_min",
+    "vt_le",
+    "vt_lt",
+]
+
+Timestamp = int
+
+
+class Infinity:
+    """The unique greatest element of the virtual-time order.
+
+    A thread whose puts always inherit timestamps from its gets sets its
+    virtual time to INFINITY so it never constrains garbage collection
+    (paper §4.2).  ``Infinity()`` always returns the same singleton; it is
+    pickle-stable so it can cross (simulated) address spaces.
+    """
+
+    _instance: "Infinity | None" = None
+
+    def __new__(cls) -> "Infinity":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (Infinity, ())
+
+    # Rich comparisons: INFINITY is strictly greater than every int and
+    # equal only to itself.
+    def __lt__(self, other) -> bool:
+        if isinstance(other, (int, Infinity)):
+            return False
+        return NotImplemented
+
+    def __le__(self, other) -> bool:
+        if isinstance(other, Infinity):
+            return True
+        if isinstance(other, int):
+            return False
+        return NotImplemented
+
+    def __gt__(self, other) -> bool:
+        if isinstance(other, Infinity):
+            return False
+        if isinstance(other, int):
+            return True
+        return NotImplemented
+
+    def __ge__(self, other) -> bool:
+        if isinstance(other, (int, Infinity)):
+            return True
+        return NotImplemented
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Infinity)
+
+    def __hash__(self) -> int:
+        return hash("repro.core.time.INFINITY")
+
+    def __repr__(self) -> str:
+        return "INFINITY"
+
+    def __add__(self, other):
+        if isinstance(other, (int, Infinity)):
+            return self
+        return NotImplemented
+
+    __radd__ = __add__
+
+
+INFINITY = Infinity()
+
+VirtualTime = Union[int, Infinity]
+
+
+def is_timestamp(value) -> bool:
+    """True when ``value`` is a legal item timestamp (non-negative int)."""
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def validate_timestamp(value) -> int:
+    """Return ``value`` if it is a legal timestamp, else raise TypeError/ValueError."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"timestamp must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"timestamp must be >= 0, got {value}")
+    return value
+
+
+def vt_lt(a: VirtualTime, b: VirtualTime) -> bool:
+    """a < b in the virtual-time order."""
+    if isinstance(a, Infinity):
+        return False
+    if isinstance(b, Infinity):
+        return True
+    return a < b
+
+
+def vt_le(a: VirtualTime, b: VirtualTime) -> bool:
+    """a <= b in the virtual-time order."""
+    return not vt_lt(b, a)
+
+
+def vt_min(values: Iterable[VirtualTime]) -> VirtualTime:
+    """Minimum of virtual-time values; INFINITY for an empty iterable.
+
+    The empty case matters: the global GC minimum over a system with no
+    threads and no unconsumed items is INFINITY, meaning *everything* may be
+    collected (paper §4.2).
+    """
+    best: VirtualTime = INFINITY
+    for v in values:
+        if vt_lt(v, best):
+            best = v
+    return best

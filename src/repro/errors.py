@@ -1,0 +1,178 @@
+"""Exception hierarchy for the STM reproduction.
+
+The paper's C API reports failures through error codes returned from the
+``spd_*`` calls.  The Pythonic API raises exceptions instead; the ``spd``
+compatibility layer (:mod:`repro.stm.spd`) converts these back into numeric
+codes so the code fragments from Figs. 6-7 of the paper translate directly.
+
+Every exception derives from :class:`StampedeError` so applications can catch
+the whole family with one handler.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "StampedeError",
+    "STMError",
+    "ChannelError",
+    "ChannelFullError",
+    "ChannelEmptyError",
+    "DuplicateTimestampError",
+    "NoSuchItemError",
+    "ItemGarbageCollectedError",
+    "AlreadyConsumedError",
+    "ConnectionClosedError",
+    "ChannelDestroyedError",
+    "VisibilityError",
+    "VirtualTimeError",
+    "NotOpenError",
+    "WouldBlockError",
+    "TransportError",
+    "TransportClosedError",
+    "PacketTooLargeError",
+    "AddressSpaceError",
+    "NoSuchChannelError",
+    "NameInUseError",
+    "RealTimeSlippageError",
+    "DeadlineMissedError",
+    "SimulationError",
+    "SimDeadlockError",
+]
+
+
+class StampedeError(Exception):
+    """Base class for all errors raised by the Stampede/STM runtime."""
+
+
+class STMError(StampedeError):
+    """Base class for errors raised by Space-Time Memory operations."""
+
+
+class ChannelError(STMError):
+    """Base class for channel-level failures."""
+
+
+class ChannelFullError(ChannelError):
+    """A non-blocking put found a bounded channel at capacity (paper §4.1)."""
+
+
+class ChannelEmptyError(ChannelError):
+    """A non-blocking get found no item satisfying the request."""
+
+
+class DuplicateTimestampError(ChannelError):
+    """A put used a timestamp already present in the channel.
+
+    The paper requires that "a channel cannot have more than one item with
+    the same timestamp" (§4.1).
+    """
+
+
+class NoSuchItemError(ChannelError):
+    """A get requested a specific timestamp that is not in the channel.
+
+    Carries ``timestamp_range``: the timestamps of the neighbouring available
+    items, mirroring the ``timestamp_range`` out-parameter of
+    ``spd_channel_get_item``.
+    """
+
+    def __init__(self, message: str, timestamp_range: tuple | None = None):
+        super().__init__(message)
+        #: ``(previous, next)`` neighbouring timestamps (either may be None).
+        self.timestamp_range = timestamp_range
+
+
+class ItemGarbageCollectedError(NoSuchItemError):
+    """The requested timestamp is below the channel's GC horizon."""
+
+
+class AlreadyConsumedError(NoSuchItemError):
+    """A get named a timestamp this connection has already consumed.
+
+    Per-connection item state only moves forward (UNSEEN -> OPEN ->
+    CONSUMED, paper §4.2), so a consumed item is permanently inaccessible
+    through that connection even if it still exists for other connections.
+    """
+
+
+class ConnectionClosedError(STMError):
+    """Operation attempted on a detached connection."""
+
+
+class ChannelDestroyedError(ChannelError):
+    """Operation attempted on a destroyed channel."""
+
+
+class VisibilityError(STMError):
+    """A put/consume violated the thread's visibility rules (paper §4.2).
+
+    A thread may only put items with timestamps >= its current visibility,
+    which is the minimum of its virtual time and the timestamps of items it
+    currently has open on input connections.
+    """
+
+
+class VirtualTimeError(STMError):
+    """Illegal virtual-time manipulation (e.g. moving virtual time backwards
+    below the thread's current visibility)."""
+
+
+class NotOpenError(STMError):
+    """Consume of an item that is not accessible on this connection."""
+
+
+class WouldBlockError(STMError):
+    """Internal marker: a kernel operation would block.
+
+    The runtimes catch this and park the calling thread/task; it escapes to
+    user code only through the non-blocking API variants.
+    """
+
+
+class TransportError(StampedeError):
+    """Base class for CLF transport failures."""
+
+
+class TransportClosedError(TransportError):
+    """Send/receive on a closed CLF endpoint."""
+
+
+class PacketTooLargeError(TransportError):
+    """A single CLF packet exceeded the MTU (8152 bytes, paper §8.1)."""
+
+
+class AddressSpaceError(StampedeError):
+    """Errors in address-space management or cross-space dispatch."""
+
+
+class NoSuchChannelError(STMError):
+    """Attach attempted on an unknown channel id or name."""
+
+
+class NameInUseError(STMError):
+    """Channel created with a name that is already registered."""
+
+
+class RealTimeSlippageError(StampedeError):
+    """A paced thread missed its tick by more than the declared tolerance and
+    no exception handler was registered (paper §4.3)."""
+
+    def __init__(self, message: str, lateness: float = 0.0):
+        super().__init__(message)
+        #: seconds by which the tick was missed.
+        self.lateness = lateness
+
+
+class DeadlineMissedError(RealTimeSlippageError):
+    """Alias used by the pacing API when a hard deadline is configured."""
+
+
+class SimulationError(StampedeError):
+    """Base class for discrete-event simulator errors."""
+
+
+class SimDeadlockError(SimulationError):
+    """The simulator ran out of runnable tasks while tasks are still blocked.
+
+    Raised with a diagnostic listing each blocked task and what it waits on.
+    """

@@ -1,0 +1,6 @@
+"""Image-based rendering: the second Stampede application (paper §5)."""
+
+from repro.ibr.pipeline import IbrConfig, IbrResult, run_ibr
+from repro.ibr.renderer import ViewSynthesizer, psnr, render_view
+
+__all__ = ["IbrConfig", "IbrResult", "ViewSynthesizer", "psnr", "render_view", "run_ibr"]

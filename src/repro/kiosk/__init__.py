@@ -1,0 +1,70 @@
+"""The Smart Kiosk application (paper §2): synthetic multi-modal pipeline on STM."""
+
+from repro.kiosk.audio import (
+    AUDIO_RATE,
+    AudioChunk,
+    AudioRecord,
+    SAMPLES_PER_FRAME,
+    SpeechDetector,
+    SyntheticMicrophone,
+)
+from repro.kiosk.blob_tracker import BlobTracker, connected_components
+from repro.kiosk.color_tracker import ColorTracker, back_project, color_histogram
+from repro.kiosk.decision import DecisionModule, GuiModule
+from repro.kiosk.gesture import (
+    GestureEvent,
+    GestureRecognizer,
+    classify_trajectory,
+    run_gesture_stage,
+)
+from repro.kiosk.frames import (
+    FRAME_HEIGHT,
+    FRAME_WIDTH,
+    Actor,
+    SyntheticScene,
+    frame_bytes,
+)
+from repro.kiosk.hifi_tracker import HifiTracker, normalized_cross_correlation
+from repro.kiosk.pipeline import PipelineConfig, PipelineResult, run_pipeline
+from repro.kiosk.records import (
+    DecisionRecord,
+    GuiEvent,
+    Region,
+    TrackRecord,
+    VideoFrame,
+)
+
+__all__ = [
+    "AUDIO_RATE",
+    "Actor",
+    "AudioChunk",
+    "AudioRecord",
+    "BlobTracker",
+    "ColorTracker",
+    "DecisionModule",
+    "DecisionRecord",
+    "FRAME_HEIGHT",
+    "FRAME_WIDTH",
+    "GestureEvent",
+    "GestureRecognizer",
+    "GuiEvent",
+    "GuiModule",
+    "HifiTracker",
+    "PipelineConfig",
+    "PipelineResult",
+    "Region",
+    "SAMPLES_PER_FRAME",
+    "SpeechDetector",
+    "SyntheticMicrophone",
+    "SyntheticScene",
+    "TrackRecord",
+    "VideoFrame",
+    "back_project",
+    "classify_trajectory",
+    "color_histogram",
+    "connected_components",
+    "frame_bytes",
+    "normalized_cross_correlation",
+    "run_gesture_stage",
+    "run_pipeline",
+]

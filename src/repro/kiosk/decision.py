@@ -1,0 +1,134 @@
+"""Decision module and GUI of the Smart Kiosk (paper Fig. 1-2).
+
+The decision module "combines the analysis of such lower level processing
+to produce a decision output which drives the GUI that converses with the
+user".  It fuses the low-fi and hi-fi tracking records that share a
+timestamp column — the temporal correlation STM exists to provide — into a
+:class:`~repro.kiosk.records.DecisionRecord`, and a tiny conversation state
+machine turns decisions into GUI utterances (greet / engage / farewell),
+mirroring the kiosk behaviours of §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kiosk.records import DecisionRecord, GuiEvent, TrackRecord
+
+__all__ = ["DecisionModule", "GuiModule"]
+
+
+class DecisionModule:
+    """Fuse per-timestamp tracking records into decisions.
+
+    Hi-fi evidence dominates when present (it is more precise); low-fi
+    evidence alone yields a lower-confidence decision.  Hysteresis
+    (``present_after`` / ``absent_after`` consecutive frames) keeps the
+    kiosk from flapping between greeting and farewell on noisy detections.
+    """
+
+    def __init__(self, present_after: int = 2, absent_after: int = 5):
+        self.present_after = present_after
+        self.absent_after = absent_after
+        self._present_streak = 0
+        self._absent_streak = 0
+        self._engaged = False
+        self.decisions_made = 0
+
+    def decide(
+        self,
+        timestamp: int,
+        lofi: TrackRecord | None,
+        hifi: TrackRecord | None = None,
+        audio=None,
+    ) -> DecisionRecord:
+        """Produce the decision for the column ``timestamp``.
+
+        ``audio`` optionally carries the same column's
+        :class:`~repro.kiosk.audio.AudioRecord` — the multi-modal merge of
+        §2-3: a speaking customer raises confidence (capped at 1.0), and
+        speech alone (voice without a visual track yet) counts as presence,
+        so the kiosk reacts to being addressed from off-camera.
+        """
+        best = None
+        confidence = 0.0
+        count = 0
+        if hifi is not None and hifi.detected:
+            best = hifi.best()
+            count = len(hifi.regions)
+            confidence = 0.5 + 0.5 * (best[1] if best else 0.0)
+        elif lofi is not None and lofi.detected:
+            best = lofi.best()
+            count = len(lofi.regions)
+            confidence = 0.5 * (best[1] if best else 0.0)
+        if audio is not None and getattr(audio, "speech", False):
+            if count == 0:
+                count = 1  # someone is talking to the kiosk
+                confidence = max(confidence, 0.3)
+            else:
+                confidence = min(confidence + 0.25, 1.0)
+
+        if count > 0:
+            self._present_streak += 1
+            self._absent_streak = 0
+        else:
+            self._absent_streak += 1
+            self._present_streak = 0
+
+        if not self._engaged and self._present_streak >= self.present_after:
+            self._engaged = True
+            action = "greet"
+        elif self._engaged and self._absent_streak >= self.absent_after:
+            self._engaged = False
+            action = "farewell"
+        elif self._engaged:
+            action = "engage"
+        else:
+            action = "idle"
+
+        self.decisions_made += 1
+        return DecisionRecord(
+            timestamp=timestamp,
+            customers_present=count,
+            focus=(best[0].cx, best[0].cy) if best else None,
+            confidence=confidence,
+            action=action,
+        )
+
+
+@dataclass
+class GuiModule:
+    """The kiosk's face: turns decisions into utterances (paper §2).
+
+    Stateless apart from a transcript; a real kiosk would drive the
+    synthetic talking face here.
+    """
+
+    transcript: list[GuiEvent] = field(default_factory=list)
+
+    _LINES = {
+        "greet": "Hello there! Welcome to the Smart Kiosk.",
+        "engage": "…",
+        "farewell": "Goodbye! Come back soon.",
+        "idle": "",
+    }
+
+    def react(self, decision: DecisionRecord) -> GuiEvent | None:
+        """Render a decision; returns the event for greet/farewell moments."""
+        if decision.action in ("greet", "farewell"):
+            event = GuiEvent(
+                timestamp=decision.timestamp,
+                utterance=self._LINES[decision.action],
+                action=decision.action,
+            )
+            self.transcript.append(event)
+            return event
+        return None
+
+    @property
+    def greetings(self) -> int:
+        return sum(1 for e in self.transcript if e.action == "greet")
+
+    @property
+    def farewells(self) -> int:
+        return sum(1 for e in self.transcript if e.action == "farewell")

@@ -1,0 +1,158 @@
+"""Gesture recognition over a sliding window of tracking records (paper §1).
+
+    "...a gesture recognition module may need to analyze a sliding window
+    over a video stream."
+
+This is the third distinctive STM access pattern (after LATEST_UNSEEN
+skipping and specific-timestamp re-analysis): the recognizer keeps the last
+``window`` columns of the track channel *alive* by consuming only the
+trailing edge — ``consume_until(t - window)`` — while repeatedly getting the
+leading edge.  The window's items stay retrievable purely through STM's
+timestamp addressing and GC contract; no application-side ring buffer
+exists.
+
+The classifier itself is deliberately simple (this is a systems paper): a
+trajectory is a **wave** when the horizontal velocity alternates sign with
+sufficient amplitude, a **walk** when displacement is consistently
+directional, and **still** otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import INFINITY, STM_OLDEST_UNSEEN
+from repro.kiosk.records import TrackRecord
+from repro.runtime import current_thread
+from repro.stm.api import InputConnection
+
+__all__ = ["GestureEvent", "classify_trajectory", "GestureRecognizer",
+           "run_gesture_stage"]
+
+
+@dataclass(frozen=True)
+class GestureEvent:
+    """A recognized gesture ending at frame ``timestamp``."""
+
+    timestamp: int
+    gesture: str  # "wave" | "walk" | "still"
+    #: frames of evidence behind the classification.
+    span: int
+    confidence: float
+
+
+def classify_trajectory(
+    xs: list[float],
+    ys: list[float],
+    *,
+    wave_min_swings: int = 2,
+    wave_min_amplitude: float = 3.0,
+    walk_min_displacement: float = 2.0,
+) -> tuple[str, float]:
+    """Classify a trajectory of per-frame positions; returns (label, conf).
+
+    * **wave**: the x-velocity changes sign at least ``wave_min_swings``
+      times with mean |vx| above ``wave_min_amplitude``.
+    * **walk**: mean per-frame displacement exceeds
+      ``walk_min_displacement`` in a consistent direction.
+    * **still**: anything else.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 3:
+        return ("still", 0.0)
+    vx = np.diff(np.asarray(xs, dtype=np.float64))
+    vy = np.diff(np.asarray(ys, dtype=np.float64))
+    speed = np.hypot(vx, vy)
+    moving = speed.mean()
+
+    signs = np.sign(vx[np.abs(vx) > 0.5])
+    swings = int(np.count_nonzero(np.diff(signs) != 0)) if signs.size else 0
+    if swings >= wave_min_swings and np.abs(vx).mean() >= wave_min_amplitude:
+        confidence = min(1.0, swings / (2.0 * wave_min_swings) + 0.25)
+        return ("wave", confidence)
+
+    net = np.hypot(xs[-1] - xs[0], ys[-1] - ys[0])
+    path = float(speed.sum())
+    if moving >= walk_min_displacement and path > 0 and net / path > 0.7:
+        return ("walk", min(1.0, net / path))
+
+    return ("still", 1.0 - min(moving / walk_min_displacement, 1.0))
+
+
+class GestureRecognizer:
+    """Streaming classifier over the last ``window`` tracking records."""
+
+    def __init__(self, window: int = 10, min_records: int = 5):
+        if window < 3:
+            raise ValueError(f"window must be >= 3, got {window}")
+        self.window = window
+        self.min_records = min_records
+        self._history: dict[int, tuple[float, float]] = {}
+        self.events: list[GestureEvent] = []
+
+    def feed(self, record: TrackRecord) -> GestureEvent | None:
+        """Add one tracking record; returns a gesture event when one fires."""
+        best = record.best()
+        if best is not None:
+            self._history[record.timestamp] = (best[0].cx, best[0].cy)
+        # drop everything outside the window
+        floor = record.timestamp - self.window + 1
+        self._history = {t: p for t, p in self._history.items() if t >= floor}
+        points = sorted(self._history.items())
+        if len(points) < self.min_records:
+            return None
+        xs = [p[1][0] for p in points]
+        ys = [p[1][1] for p in points]
+        label, confidence = classify_trajectory(xs, ys)
+        event = GestureEvent(
+            timestamp=record.timestamp,
+            gesture=label,
+            span=len(points),
+            confidence=confidence,
+        )
+        self.events.append(event)
+        return event
+
+    @property
+    def trailing_edge(self) -> int | None:
+        """Oldest timestamp still needed; everything below is consumable."""
+        if not self._history:
+            return None
+        return min(self._history)
+
+
+def run_gesture_stage(
+    inp: InputConnection,
+    recognizer: GestureRecognizer,
+    *,
+    stop_on_none: bool = True,
+) -> list[GestureEvent]:
+    """Run the recognizer as an STM pipeline stage until end-of-stream.
+
+    The sliding window is maintained with STM semantics: each record is
+    fetched in order with OLDEST_UNSEEN (a gesture needs the full
+    trajectory, not just the freshest sample); records that fell out of the
+    window are
+    released with ``consume_until`` so the GC horizon trails the window by
+    exactly ``recognizer.window`` frames.  The thread parks its virtual time
+    at INFINITY (it only inherits timestamps).
+    """
+    me = current_thread()
+    me.set_virtual_time(INFINITY)
+    events: list[GestureEvent] = []
+    while True:
+        item = inp.get(STM_OLDEST_UNSEEN)
+        if stop_on_none and item.value is None:
+            inp.consume_until(item.timestamp)
+            break
+        event = recognizer.feed(item.value)
+        if event is not None:
+            events.append(event)
+        # release only what slid out of the window (§1's pattern):
+        edge = recognizer.trailing_edge
+        if edge is not None and edge > 0:
+            inp.consume_until(edge - 1)
+    return events

@@ -1,0 +1,452 @@
+"""The Smart Kiosk vision pipeline on Space-Time Memory (paper Figs. 2-7).
+
+Wires the full pipeline of the paper onto a running
+:class:`~repro.runtime.Cluster`:
+
+* **digitizer** — paced at the (scaled) camera rate (§4.3), uses the frame
+  number as its virtual time (Fig. 6), puts :class:`VideoFrame` items;
+* **low-fi tracker** — gets LATEST_UNSEEN frames (transparently skipping
+  stale ones, §3), runs image differencing, puts a TrackRecord *inheriting
+  the frame's timestamp* (Fig. 7), and consumes-through its input so GC can
+  reclaim skipped frames;
+* **hi-fi tracker** — *dynamically spawned* when the low-fi tracker first
+  hypothesizes a customer; its initial virtual time is the hypothesis
+  timestamp, so it can re-analyze the original frame that triggered the
+  hypothesis (§3 bullet 3) — the signature STM maneuver;
+* **decision module** — joins the lofi/hifi records of each timestamp
+  column (non-blocking specific-timestamp gets, using ``timestamp_range``
+  on misses) and emits decisions;
+* **GUI** — consumes decisions and speaks.
+
+End-of-stream: the digitizer puts a ``None`` item one past the last frame;
+every stage forwards it downstream and exits.
+
+The builder returns a :class:`PipelineResult` with per-stage statistics and
+ground-truth tracking error, so tests can assert end-to-end behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import INFINITY, STM_LATEST_UNSEEN, STM_OLDEST
+from repro.errors import (
+    ChannelEmptyError,
+    DuplicateTimestampError,
+    NoSuchItemError,
+)
+from repro.kiosk.audio import SpeechDetector, SyntheticMicrophone
+from repro.kiosk.blob_tracker import BlobTracker
+from repro.kiosk.color_tracker import ColorTracker, color_histogram
+from repro.kiosk.decision import DecisionModule, GuiModule
+from repro.kiosk.frames import SyntheticScene, frame_bytes
+from repro.kiosk.gesture import GestureRecognizer, run_gesture_stage
+from repro.kiosk.hifi_tracker import HifiTracker
+from repro.kiosk.records import DecisionRecord, TrackRecord, VideoFrame
+from repro.runtime import Cluster, Pacer, current_thread
+from repro.stm import STM
+
+__all__ = ["PipelineConfig", "PipelineResult", "run_pipeline"]
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs of the kiosk pipeline run."""
+
+    n_frames: int = 60
+    #: frames per second of the (scaled) camera; 30.0 is the paper's rate,
+    #: tests typically run much faster.
+    fps: float = 240.0
+    #: pacing tolerance as a fraction of the period.
+    tolerance_frames: float = 4.0
+    #: channel capacity (None = unbounded; GC bounds memory instead).
+    frame_channel_capacity: int | None = None
+    #: enable the dynamically spawned hi-fi tracker.
+    enable_hifi: bool = True
+    #: enable the color tracker stage refining low-fi hypotheses.
+    enable_color: bool = True
+    #: enable the microphone + speech-detector modality (§2-3): an audio
+    #: channel temporally correlated with the video stream, fused by the
+    #: decision module per timestamp column.
+    enable_audio: bool = False
+    #: enable the gesture-recognition stage (§1 sliding window) consuming
+    #: the low-fi track channel alongside the decision module.
+    enable_gesture: bool = False
+    #: frames during which the synthetic customer speaks (audio mode).
+    speech_frames: tuple[int, ...] = tuple(range(10, 30))
+    #: address-space placement of each stage (all 0 by default = the
+    #: paper's "useful even on an SMP" configuration).
+    digitizer_space: int = 0
+    lofi_space: int = 0
+    hifi_space: int = 0
+    decision_space: int = 0
+    gui_space: int = 0
+    #: blob-tracker threshold/min-area.
+    threshold: float = 25.0
+    min_area: int = 60
+    scene_seed: int = 1999
+
+
+@dataclass
+class PipelineResult:
+    """Everything observable about one pipeline run."""
+
+    frames_digitized: int = 0
+    frames_analyzed_lofi: int = 0
+    frames_analyzed_hifi: int = 0
+    frames_skipped_lofi: int = 0
+    lofi_records: list[TrackRecord] = field(default_factory=list)
+    hifi_records: list[TrackRecord] = field(default_factory=list)
+    decisions: list[DecisionRecord] = field(default_factory=list)
+    gui: GuiModule = field(default_factory=GuiModule)
+    #: per-analyzed-frame distance between reported and true position.
+    tracking_errors: list[float] = field(default_factory=list)
+    hifi_spawned: int = 0
+    digitizer_slips: int = 0
+    wall_seconds: float = 0.0
+    audio_records: list = field(default_factory=list)
+    speech_frames_detected: int = 0
+    gestures: list = field(default_factory=list)
+
+    @property
+    def mean_tracking_error(self) -> float:
+        return float(np.mean(self.tracking_errors)) if self.tracking_errors else math.inf
+
+
+def run_pipeline(cluster: Cluster, config: PipelineConfig | None = None) -> PipelineResult:
+    """Run the kiosk pipeline to completion on ``cluster``; returns stats."""
+    config = config or PipelineConfig()
+    scene = SyntheticScene(seed=config.scene_seed)
+    result = PipelineResult()
+    result_lock = threading.Lock()
+    hifi_active = threading.Event()
+
+    creator_space = cluster.space(config.digitizer_space)
+    creator = creator_space.adopt_current_thread(virtual_time=0)
+    stm0 = STM(creator_space)
+    video_chan = stm0.create_channel(
+        "kiosk.video", capacity=config.frame_channel_capacity,
+        home=config.digitizer_space,
+    )
+    lofi_chan = stm0.create_channel("kiosk.lofi", home=config.lofi_space)
+    hifi_chan = stm0.create_channel("kiosk.hifi", home=config.hifi_space)
+    decision_chan = stm0.create_channel("kiosk.decision", home=config.decision_space)
+    if config.enable_audio:
+        stm0.create_channel("kiosk.audio", home=config.digitizer_space)
+    sentinel_ts = config.n_frames
+
+    # ------------------------------------------------------------------
+    def digitizer() -> None:
+        me = current_thread()
+        stm = STM(cluster.space(config.digitizer_space))
+        chan = stm.lookup("kiosk.video")
+        out = chan.attach_output()
+        pacer = Pacer(
+            period=1.0 / config.fps,
+            tolerance=config.tolerance_frames / config.fps,
+            handler=lambda report: None,  # re-anchor on slippage
+        )
+        t0 = time.monotonic()
+        for t in range(config.n_frames):
+            pacer.wait_for_tick()
+            me.set_virtual_time(t)  # frame count is the virtual time (Fig. 6)
+            frame = VideoFrame(
+                timestamp=t,
+                pixels=scene.render(t),
+                captured_at=time.monotonic() - t0,
+            )
+            out.put(t, frame)
+            with result_lock:
+                result.frames_digitized += 1
+        me.set_virtual_time(sentinel_ts)
+        out.put(sentinel_ts, None)
+        out.detach()
+        me.set_virtual_time(INFINITY)
+        with result_lock:
+            result.digitizer_slips = pacer.n_slipped
+
+    # ------------------------------------------------------------------
+    def hifi(hypothesis_ts: int, acquired_from: "TrackRecord") -> None:
+        me = current_thread()  # initial VT == hypothesis_ts (set by spawner)
+        stm = STM(cluster.space(config.hifi_space))
+        chan_in = stm.lookup("kiosk.video")
+        chan_out = stm.lookup("kiosk.hifi")
+        inp = chan_in.attach_input()
+        out = chan_out.attach_output()
+        tracker = HifiTracker()
+
+        def put_record(ts: int, record: TrackRecord) -> None:
+            # A successor/predecessor hi-fi instance may already have filled
+            # this column (e.g. across a tracker hand-off at stream end);
+            # first record wins, per the channel's unique-timestamp rule.
+            try:
+                out.put(ts, record)
+            except DuplicateTimestampError:
+                pass
+
+        try:
+            # Re-analyze the ORIGINAL frame that triggered the hypothesis.
+            try:
+                original = inp.get(hypothesis_ts)
+            except NoSuchItemError:
+                return  # frame already collected: the hypothesis went stale
+            region = acquired_from.best()[0]
+            tracker.acquire(original.value.pixels, region)
+            record = tracker.analyze(hypothesis_ts, original.value.pixels)
+            put_record(hypothesis_ts, record)
+            inp.consume_until(hypothesis_ts)
+            me.set_virtual_time(INFINITY)
+            with result_lock:
+                result.frames_analyzed_hifi += 1
+                if record.detected:
+                    result.hifi_records.append(record)
+            while True:
+                item = inp.get(STM_LATEST_UNSEEN)
+                if item.value is None:
+                    inp.consume_until(item.timestamp)
+                    break
+                record = tracker.analyze(item.timestamp, item.value.pixels)
+                put_record(item.timestamp, record)
+                inp.consume_until(item.timestamp)
+                with result_lock:
+                    result.frames_analyzed_hifi += 1
+                    if record.detected:
+                        result.hifi_records.append(record)
+        finally:
+            inp.detach()
+            out.detach()
+            hifi_active.clear()
+
+    # ------------------------------------------------------------------
+    def lofi() -> None:
+        me = current_thread()
+        space = cluster.space(config.lofi_space)
+        stm = STM(space)
+        chan_in = stm.lookup("kiosk.video")
+        chan_out = stm.lookup("kiosk.lofi")
+        inp = chan_in.attach_input()
+        out = chan_out.attach_output()
+        # Interior pipeline thread: output timestamps are inherited from
+        # open input items, so virtual time can sit at INFINITY (Fig. 7).
+        me.set_virtual_time(INFINITY)
+        tracker = BlobTracker(
+            scene.background, threshold=config.threshold, min_area=config.min_area
+        )
+        color = (
+            ColorTracker(color_histogram(_actor_patch(scene, 0)))
+            if config.enable_color
+            else None
+        )
+        last_ts = -1
+        while True:
+            item = inp.get(STM_LATEST_UNSEEN)
+            ts = item.timestamp
+            if item.value is None:
+                out.put(ts, None)
+                inp.consume_until(ts)
+                break
+            record = tracker.analyze(ts, item.value.pixels)
+            if color is not None and record.detected:
+                refined = color.analyze(ts, item.value.pixels, record.regions)
+                if refined.detected:
+                    record = TrackRecord(
+                        timestamp=ts,
+                        tracker="lofi",
+                        regions=refined.regions,
+                        scores=refined.scores,
+                    )
+            # Dynamic hi-fi creation: spawn while the frame is still OPEN so
+            # the child's initial virtual time (== ts) is legal and the
+            # original frame stays reachable (§3, §4.2).
+            if (
+                config.enable_hifi
+                and record.detected
+                and not hifi_active.is_set()
+            ):
+                hifi_active.set()
+                # Spawn directly on the hi-fi space (in-process clusters
+                # need no SpawnReq RPC; closures stay unpickled).  The
+                # child's initial VT is the hypothesis timestamp — legal
+                # because the frame is still OPEN here, holding this
+                # thread's visibility at ts (§4.2).
+                cluster.space(config.hifi_space).spawn(
+                    hifi, (ts, record), virtual_time=ts,
+                )
+                with result_lock:
+                    result.hifi_spawned += 1
+            out.put(ts, record)
+            inp.consume_until(ts)
+            with result_lock:
+                result.frames_analyzed_lofi += 1
+                result.frames_skipped_lofi += max(ts - last_ts - 1, 0)
+                result.lofi_records.append(record)
+                best = record.best()
+                if best is not None:
+                    truths = scene.ground_truth(ts)
+                    if truths:
+                        err = min(
+                            math.hypot(best[0].cx - gx, best[0].cy - gy)
+                            for gx, gy in truths
+                        )
+                        result.tracking_errors.append(err)
+            last_ts = ts
+        inp.detach()
+        out.detach()
+
+    # ------------------------------------------------------------------
+    def microphone() -> None:
+        """Audio modality (§2-3): chunks aligned to the video timeline."""
+        me = current_thread()
+        stm = STM(cluster.space(config.digitizer_space))
+        out = stm.lookup("kiosk.audio").attach_output()
+        mic = SyntheticMicrophone(
+            speech_frames=frozenset(config.speech_frames)
+        )
+        detector = SpeechDetector()
+        for t in range(config.n_frames):
+            me.set_virtual_time(t)
+            record = detector.analyze(mic.chunk(t))
+            out.put(t, record)
+            with result_lock:
+                result.audio_records.append(record)
+                if record.speech:
+                    result.speech_frames_detected += 1
+        me.set_virtual_time(sentinel_ts)
+        out.put(sentinel_ts, None)
+        out.detach()
+        me.set_virtual_time(INFINITY)
+
+    # ------------------------------------------------------------------
+    def gesture() -> None:
+        """Sliding-window gesture stage (§1) on the low-fi track channel."""
+        stm = STM(cluster.space(config.decision_space))
+        inp = stm.lookup("kiosk.lofi").attach_input()
+        recognizer = GestureRecognizer(window=8, min_records=4)
+        events = run_gesture_stage(inp, recognizer)
+        inp.detach()
+        with result_lock:
+            result.gestures.extend(events)
+
+    # ------------------------------------------------------------------
+    def decision() -> None:
+        stm = STM(cluster.space(config.decision_space))
+        chan_lofi = stm.lookup("kiosk.lofi")
+        chan_hifi = stm.lookup("kiosk.hifi")
+        chan_out = stm.lookup("kiosk.decision")
+        in_lofi = chan_lofi.attach_input()
+        in_hifi = chan_hifi.attach_input()
+        in_audio = (
+            stm.lookup("kiosk.audio").attach_input()
+            if config.enable_audio
+            else None
+        )
+        out = chan_out.attach_output()
+        current_thread().set_virtual_time(INFINITY)
+        module = DecisionModule()
+        while True:
+            item = in_lofi.get(STM_OLDEST)
+            ts = item.timestamp
+            if item.value is None:
+                out.put(ts, None)
+                in_lofi.consume_until(ts)
+                in_hifi.consume_until(ts)
+                if in_audio is not None:
+                    in_audio.consume_until(ts)
+                break
+            # Temporal join: the hi-fi record of the same column, if the
+            # hi-fi tracker produced one (it is temporally sparser, §3).
+            hifi_rec = None
+            try:
+                hifi_item = in_hifi.get(ts, block=False)
+                hifi_rec = hifi_item.value
+            except NoSuchItemError:
+                pass
+            except ChannelEmptyError:
+                pass
+            # Multi-modal merge (§2-3): the same column's audio record.
+            audio_rec = None
+            if in_audio is not None:
+                try:
+                    audio_rec = in_audio.get(ts, block=False).value
+                except (NoSuchItemError, ChannelEmptyError):
+                    pass
+            dec = module.decide(ts, lofi=item.value, hifi=hifi_rec,
+                                audio=audio_rec)
+            out.put(ts, dec)
+            in_lofi.consume_until(ts)
+            in_hifi.consume_until(ts)
+            if in_audio is not None:
+                in_audio.consume_until(ts)
+            with result_lock:
+                result.decisions.append(dec)
+        in_lofi.detach()
+        in_hifi.detach()
+        if in_audio is not None:
+            in_audio.detach()
+        out.detach()
+
+    # ------------------------------------------------------------------
+    def gui() -> None:
+        stm = STM(cluster.space(config.gui_space))
+        chan_in = stm.lookup("kiosk.decision")
+        inp = chan_in.attach_input()
+        current_thread().set_virtual_time(INFINITY)
+        while True:
+            item = inp.get(STM_OLDEST)
+            if item.value is None:
+                inp.consume_until(item.timestamp)
+                break
+            result.gui.react(item.value)
+            inp.consume(item.timestamp)
+        inp.detach()
+
+    # ------------------------------------------------------------------
+    start = time.monotonic()
+    threads = [
+        cluster.space(config.gui_space).spawn(
+            gui, name="kiosk-gui", virtual_time=0),
+        cluster.space(config.decision_space).spawn(
+            decision, name="kiosk-decision", virtual_time=0),
+        cluster.space(config.lofi_space).spawn(
+            lofi, name="kiosk-lofi", virtual_time=0),
+        cluster.space(config.digitizer_space).spawn(
+            digitizer, name="kiosk-digitizer", virtual_time=0),
+    ]
+    if config.enable_gesture:
+        threads.append(
+            cluster.space(config.decision_space).spawn(
+                gesture, name="kiosk-gesture", virtual_time=0)
+        )
+    if config.enable_audio:
+        threads.append(
+            cluster.space(config.digitizer_space).spawn(
+                microphone, name="kiosk-microphone", virtual_time=0)
+        )
+    # Children are spawned (each with initial VT >= our visibility of 0);
+    # now park the builder's virtual time at INFINITY so it stops pinning
+    # the GC horizon while the pipeline runs (§4.2 discipline).
+    creator.set_virtual_time(INFINITY)
+    deadline = max(60.0, config.n_frames / config.fps * 20.0)
+    for thread in threads:
+        thread.join(deadline)
+    # Wait for a possibly still-running hi-fi tracker to notice the sentinel.
+    waited = 0.0
+    while hifi_active.is_set() and waited < deadline:
+        time.sleep(0.01)
+        waited += 0.01
+    result.wall_seconds = time.monotonic() - start
+    creator.exit()
+    return result
+
+
+def _actor_patch(scene: SyntheticScene, actor_index: int) -> np.ndarray:
+    """A clean patch of the actor's color to train the color model."""
+    actor = scene.actors[actor_index]
+    return np.tile(
+        np.asarray(actor.color, dtype=np.uint8).reshape(1, 1, 3), (8, 8, 1)
+    )

@@ -1,0 +1,121 @@
+"""Data records flowing through the Smart Kiosk pipeline (paper Fig. 2-3).
+
+Each record type corresponds to one STM channel's item type:
+
+========================  =====================================
+channel                   item
+========================  =====================================
+``video_frame``           :class:`VideoFrame`
+``lofi_track``            :class:`TrackRecord` (blob tracker)
+``hifi_track``            :class:`TrackRecord` (hi-fi tracker)
+``decision``              :class:`DecisionRecord`
+``gui``                   :class:`GuiEvent`
+========================  =====================================
+
+All records carry the frame timestamp they are temporally correlated with —
+the paper's central point being that ``F_t``, ``L_t``, ``H_t`` and ``D_t``
+occupy the same *column* of the space-time table even though they are
+produced at different real times (§4, Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "VideoFrame",
+    "Region",
+    "TrackRecord",
+    "DecisionRecord",
+    "GuiEvent",
+]
+
+
+@dataclass
+class VideoFrame:
+    """One digitized camera frame."""
+
+    timestamp: int
+    pixels: np.ndarray  # (H, W, 3) uint8
+    #: wall-clock (or virtual) capture time in seconds, for staleness checks.
+    captured_at: float = 0.0
+
+    def __post_init__(self):
+        if self.pixels.dtype != np.uint8 or self.pixels.ndim != 3:
+            raise ValueError(
+                f"frame must be a (H, W, 3) uint8 array, got "
+                f"{self.pixels.dtype} {self.pixels.shape}"
+            )
+
+
+@dataclass(frozen=True)
+class Region:
+    """A detected region of interest (bounding box + centroid + mass)."""
+
+    x0: int
+    y0: int
+    x1: int  # exclusive
+    y1: int  # exclusive
+    cx: float
+    cy: float
+    area: int
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+
+@dataclass
+class TrackRecord:
+    """Output of a tracker analyzing frame ``timestamp``."""
+
+    timestamp: int
+    tracker: str  # "lofi" | "color" | "hifi"
+    regions: list[Region] = field(default_factory=list)
+    #: per-region confidence in [0, 1] (parallel to ``regions``).
+    scores: list[float] = field(default_factory=list)
+    #: milliseconds of compute the tracker spent on this frame.
+    compute_ms: float = 0.0
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.regions)
+
+    def best(self) -> tuple[Region, float] | None:
+        """Highest-scoring region, or None."""
+        if not self.regions:
+            return None
+        idx = int(np.argmax(self.scores)) if self.scores else 0
+        score = self.scores[idx] if self.scores else 1.0
+        return self.regions[idx], score
+
+
+@dataclass
+class DecisionRecord:
+    """The decision module's fused view of frame ``timestamp`` (Fig. 2)."""
+
+    timestamp: int
+    customers_present: int
+    #: (cx, cy) of the customer the kiosk is engaging, if any.
+    focus: tuple[float, float] | None
+    confidence: float
+    #: directive for the GUI: "idle" | "greet" | "engage" | "farewell"
+    action: str
+
+
+@dataclass
+class GuiEvent:
+    """What the kiosk says/shows in response to a decision."""
+
+    timestamp: int
+    utterance: str
+    action: str

@@ -1,0 +1,36 @@
+"""Stampede runtime: address spaces, cluster-wide threads, GC daemon, pacing."""
+
+from repro.runtime.address_space import AddressSpace, ChannelHandle, LocalChannel
+from repro.runtime.cluster import Cluster
+from repro.runtime.gc_daemon import GcDaemon, GcStats
+from repro.runtime.placement import (
+    KIOSK_PIPELINE,
+    PipelineModel,
+    PlacementPrediction,
+    Stage,
+    optimal_placement,
+    predict,
+)
+from repro.runtime.realtime import Pacer, TickReport, TickStatus
+from repro.runtime.threads import StampedeThread, current_thread, require_current_thread
+
+__all__ = [
+    "AddressSpace",
+    "ChannelHandle",
+    "Cluster",
+    "GcDaemon",
+    "GcStats",
+    "KIOSK_PIPELINE",
+    "PipelineModel",
+    "PlacementPrediction",
+    "Stage",
+    "LocalChannel",
+    "Pacer",
+    "StampedeThread",
+    "TickReport",
+    "TickStatus",
+    "current_thread",
+    "optimal_placement",
+    "predict",
+    "require_current_thread",
+]

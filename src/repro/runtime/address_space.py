@@ -1,0 +1,998 @@
+"""Stampede address spaces: channel homes, RPC dispatch, cluster-wide threads.
+
+An :class:`AddressSpace` is one of the cluster's protection domains (the
+paper runs one per SMP).  It owns:
+
+* the **channels homed here** — each a :class:`LocalChannel` pairing a
+  :class:`~repro.core.channel_state.ChannelKernel` with a condition variable
+  (for local blockers) and a park list (for remote blockers);
+* the **Stampede threads** running here, whose visibilities feed GC;
+* a **dispatcher thread** that serves incoming CLF messages: channel RPCs
+  from other spaces, GC protocol traffic, spawn/join requests, and name
+  registry operations (on the registry space).
+
+Location transparency (§4): a thread operating on a channel homed in its own
+space takes a direct, lock-protected fast path ("CLF exploits shared memory
+within an SMP"); operations on remote channels become synchronous RPCs over
+CLF.  Both paths run the *same* kernel code, so semantics cannot diverge.
+
+Blocking: a local blocked operation waits on the channel's condition
+variable; a remote blocked operation is parked at the home space and retried
+whenever the channel's state changes, with the reply sent as soon as the
+operation completes (or a cancel arrives).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.channel_state import BlockReason, ChannelKernel, Status
+from repro.core.flags import GetWildcard, UNKNOWN_REFCOUNT
+from repro.core.gc_state import LocalGCSummary
+from repro.core.payload import CopyPolicy
+from repro.core.time import INFINITY, VirtualTime, vt_min
+from repro.errors import (
+    AddressSpaceError,
+    ChannelEmptyError,
+    ChannelFullError,
+    NameInUseError,
+    NoSuchChannelError,
+    StampedeError,
+)
+from repro.runtime.messages import (
+    AttachReq,
+    CachePushMsg,
+    ConsumeReq,
+    CreateChannelReq,
+    DestroyChannelReq,
+    DetachReq,
+    GcApplyReq,
+    GcCollectMsg,
+    GcSummaryReq,
+    GetReq,
+    LookupNameReq,
+    PutReq,
+    RegisterNameReq,
+    RpcCancel,
+    RpcReply,
+    RpcRequest,
+    ShutdownMsg,
+    SpawnReq,
+)
+from repro.runtime.threads import StampedeThread, current_thread
+from repro.transport.clf import ClfEndpoint
+from repro.transport.serialization import decode_message, encode_message
+from repro.util.ids import IdAllocator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.cluster import Cluster
+
+__all__ = ["ChannelHandle", "LocalChannel", "AddressSpace"]
+
+
+@dataclass(frozen=True)
+class ChannelHandle:
+    """Portable reference to a channel anywhere in the cluster."""
+
+    channel_id: int
+    home_space: int
+    name: str | None = None
+    capacity: int | None = None
+    copy_policy: CopyPolicy = CopyPolicy.SERIALIZE
+    #: eager data push toward consumer spaces (the §9 optimization).
+    push: bool = False
+
+
+@dataclass
+class _Parked:
+    """A remote blocking request waiting at the channel home."""
+
+    call_id: int
+    src_space: int
+    body: Any  # PutReq | GetReq
+
+
+class LocalChannel:
+    """A channel homed in this address space."""
+
+    def __init__(self, kernel: ChannelKernel, handle: ChannelHandle):
+        self.kernel = kernel
+        self.handle = handle
+        self.cond = threading.Condition()
+        self.parked: list[_Parked] = []
+        #: conn_id -> attaching space, for the eager-push optimization.
+        self.input_spaces: dict[int, int] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LocalChannel {self.handle.channel_id} items={len(self.kernel)}>"
+
+
+@dataclass
+class _Call:
+    """Client-side state of an outstanding RPC."""
+
+    event: threading.Event = field(default_factory=threading.Event)
+    value: Any = None
+    error: BaseException | None = None
+    done: bool = False
+
+
+@dataclass
+class JoinReq:
+    """Park until the named thread on the receiving space exits."""
+
+    thread_name: str
+
+
+class AddressSpace:
+    """One Stampede address space: channels, threads, dispatcher, RPC client."""
+
+    def __init__(self, cluster: "Cluster", space_id: int, endpoint: ClfEndpoint):
+        self.cluster = cluster
+        self.space_id = space_id
+        self.endpoint = endpoint
+        n = cluster.n_spaces
+        self._channel_ids = IdAllocator(space_id, n)
+        self._conn_ids = IdAllocator(space_id, n)
+        self._call_ids = IdAllocator(space_id, n)
+        self._channels: dict[int, LocalChannel] = {}
+        self._channels_lock = threading.Lock()
+        self._threads: dict[str, StampedeThread] = {}
+        self._threads_lock = threading.Lock()
+        self._thread_seq = IdAllocator(0, 1)
+        self._calls: dict[int, _Call] = {}
+        self._calls_lock = threading.Lock()
+        self._parked_index: dict[int, LocalChannel] = {}  # call_id -> channel
+        self._pending_joins: dict[str, list[tuple[int, int]]] = {}
+        # registry space only:
+        self._names: dict[str, ChannelHandle] = {}
+        self._name_waiters: dict[str, list[tuple[int, int]]] = {}
+        self._registry_lock = threading.Lock()
+        self._gc_horizon_applied: VirtualTime = 0
+        #: (channel_id, timestamp) -> (payload, size): items eagerly pushed
+        #: here by push-enabled channel homes (§9).
+        self._push_cache: dict[tuple[int, int], tuple[Any, int]] = {}
+        self._push_cache_lock = threading.Lock()
+        self._dispatcher: threading.Thread | None = None
+        self._running = False
+        #: connections attached by threads of this space: conn_id ->
+        #: (handle, thread) — used to auto-detach on thread exit.
+        self._conn_owner: dict[int, tuple[ChannelHandle, StampedeThread]] = {}
+        self._conn_owner_lock = threading.Lock()
+
+    # ==================================================================
+    # lifecycle
+    # ==================================================================
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name=f"stampede-dispatch-{self.space_id}",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    def stop(self) -> None:
+        """Local half of cluster shutdown: wake the dispatcher and join it."""
+        if not self._running:
+            return
+        self._running = False
+        self.endpoint.close()
+        if self._dispatcher and self._dispatcher is not threading.current_thread():
+            self._dispatcher.join(timeout=5.0)
+
+    @property
+    def is_registry(self) -> bool:
+        return self.space_id == self.cluster.registry_space
+
+    # ==================================================================
+    # dispatcher
+    # ==================================================================
+    def _dispatch_loop(self) -> None:
+        from repro.errors import TransportClosedError
+
+        while self._running:
+            try:
+                src, data = self.endpoint.recv()
+            except TransportClosedError:
+                break
+            try:
+                msg = decode_message(data)
+            except Exception:  # corrupt message: drop, keep serving
+                continue
+            if isinstance(msg, RpcReply):
+                self._complete_call(msg)
+            elif isinstance(msg, RpcRequest):
+                self._serve_request(msg)
+            elif isinstance(msg, RpcCancel):
+                self._serve_cancel(msg)
+            elif isinstance(msg, CachePushMsg):
+                with self._push_cache_lock:
+                    self._push_cache[(msg.channel_id, msg.timestamp)] = (
+                        msg.payload, msg.size,
+                    )
+            elif isinstance(msg, GcCollectMsg):
+                self.apply_gc_horizon(msg.horizon)
+            elif isinstance(msg, ShutdownMsg):
+                self._running = False
+                break
+        # Fail any calls still outstanding so client threads don't hang.
+        with self._calls_lock:
+            for call in self._calls.values():
+                if not call.done:
+                    call.error = AddressSpaceError(
+                        f"address space {self.space_id} shut down with the "
+                        f"call outstanding"
+                    )
+                    call.done = True
+                    call.event.set()
+
+    def _serve_request(self, req: RpcRequest) -> None:
+        try:
+            result = self._handle(req.body, req.src_space, req.call_id)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+            self._reply_error(req.src_space, req.call_id, exc)
+            return
+        if result is _PARKED:
+            return  # reply comes later, from a drain
+        self._reply_value(req.src_space, req.call_id, result)
+
+    def _serve_cancel(self, msg: RpcCancel) -> None:
+        channel = self._parked_index.pop(msg.call_id, None)
+        if channel is None:
+            return  # already completed; the reply won the race
+        with channel.cond:
+            for i, parked in enumerate(channel.parked):
+                if parked.call_id == msg.call_id:
+                    del channel.parked[i]
+                    self._reply_error(
+                        parked.src_space,
+                        parked.call_id,
+                        TimeoutError("operation cancelled by caller timeout"),
+                    )
+                    return
+
+    def _reply_value(self, dst: int, call_id: int, value: Any) -> None:
+        self.endpoint.send(dst, encode_message(RpcReply(call_id, value=value)))
+
+    def _reply_error(self, dst: int, call_id: int, error: BaseException) -> None:
+        self.endpoint.send(dst, encode_message(RpcReply(call_id, error=error)))
+
+    # ==================================================================
+    # RPC client
+    # ==================================================================
+    def call(self, dst_space: int, body: Any, timeout: float | None = None) -> Any:
+        """Synchronous RPC to another address space."""
+        if dst_space == self.space_id:
+            # Self-calls bypass the wire entirely (shared-memory fast path),
+            # but still run the exact handler code.
+            result = self._handle_blocking_locally(body, timeout)
+            return result
+        call_id = self._call_ids.next()
+        call = _Call()
+        with self._calls_lock:
+            self._calls[call_id] = call
+        self.endpoint.send(
+            dst_space, encode_message(RpcRequest(call_id, self.space_id, body))
+        )
+        if not call.event.wait(timeout):
+            # Ask the server to abandon the parked request, then give the
+            # reply (cancelled or real) a grace period to land.
+            self.endpoint.send(dst_space, encode_message(RpcCancel(call_id)))
+            call.event.wait(5.0)
+            if not call.done:
+                with self._calls_lock:
+                    self._calls.pop(call_id, None)
+                raise TimeoutError(
+                    f"RPC to space {dst_space} timed out after {timeout}s "
+                    f"and the cancel was not acknowledged"
+                )
+        with self._calls_lock:
+            self._calls.pop(call_id, None)
+        if call.error is not None:
+            raise call.error
+        return call.value
+
+    def _complete_call(self, reply: RpcReply) -> None:
+        with self._calls_lock:
+            call = self._calls.get(reply.call_id)
+        if call is None or call.done:
+            return  # late reply after cancel: drop
+        call.value = reply.value
+        call.error = reply.error
+        call.done = True
+        call.event.set()
+
+    # ==================================================================
+    # request handlers (run on the dispatcher thread, or inline for
+    # same-space calls)
+    # ==================================================================
+    def _handle(self, body: Any, src_space: int, call_id: int | None) -> Any:
+        handler = self._HANDLERS.get(type(body))
+        if handler is None:
+            raise AddressSpaceError(f"no handler for {type(body).__name__}")
+        return handler(self, body, src_space, call_id)
+
+    def _handle_blocking_locally(self, body: Any, timeout: float | None) -> Any:
+        """Execute a request for a thread of this very space.
+
+        Blocking puts/gets wait on the channel condition variable instead of
+        being parked (there is no reply to defer).
+        """
+        if isinstance(body, PutReq):
+            return self._local_put(body, timeout)
+        if isinstance(body, GetReq):
+            return self._local_get(body, timeout)
+        if isinstance(body, (LookupNameReq,)) and body.wait:
+            return self._local_lookup_wait(body, timeout)
+        if isinstance(body, JoinReq):
+            return self._local_join(body, timeout)
+        result = self._handle(body, self.space_id, None)
+        if result is _PARKED:  # pragma: no cover - defensive
+            raise AddressSpaceError("local request parked unexpectedly")
+        return result
+
+    # -- channel management ------------------------------------------------
+    def _h_create_channel(self, body: CreateChannelReq, src: int, cid) -> ChannelHandle:
+        channel_id = self._channel_ids.next()
+        handle = ChannelHandle(
+            channel_id=channel_id,
+            home_space=self.space_id,
+            name=body.name,
+            capacity=body.capacity,
+            push=body.push,
+        )
+        kernel = ChannelKernel(channel_id, capacity=body.capacity)
+        with self._channels_lock:
+            self._channels[channel_id] = LocalChannel(kernel, handle)
+        return handle
+
+    def _h_destroy_channel(self, body: DestroyChannelReq, src: int, cid) -> None:
+        channel = self._channel(body.channel_id)
+        with channel.cond:
+            for parked in channel.parked:
+                self._parked_index.pop(parked.call_id, None)
+                self._reply_error(
+                    parked.src_space,
+                    parked.call_id,
+                    StampedeError("channel destroyed while operation blocked"),
+                )
+            channel.parked.clear()
+            channel.kernel.destroy()
+            channel.cond.notify_all()
+        with self._channels_lock:
+            self._channels.pop(body.channel_id, None)
+
+    def _h_attach(self, body: AttachReq, src: int, cid) -> None:
+        channel = self._channel(body.channel_id)
+        with channel.cond:
+            if body.is_input:
+                channel.kernel.attach_input(body.conn_id, body.visibility)
+                channel.input_spaces[body.conn_id] = src
+            else:
+                channel.kernel.attach_output(body.conn_id)
+            self._drain_locked(channel)
+            channel.cond.notify_all()
+
+    def _h_detach(self, body: DetachReq, src: int, cid) -> None:
+        channel = self._channel(body.channel_id)
+        with channel.cond:
+            channel.kernel.detach(body.conn_id)
+            channel.input_spaces.pop(body.conn_id, None)
+            self._drain_locked(channel)
+            channel.cond.notify_all()
+
+    # -- puts/gets/consumes --------------------------------------------------
+    def _h_put(self, body: PutReq, src: int, call_id) -> Any:
+        channel = self._channel(body.channel_id)
+        with channel.cond:
+            result = channel.kernel.put(
+                body.conn_id, body.timestamp, body.payload, body.size, body.refcount
+            )
+            if result.status is Status.OK:
+                self._maybe_push(channel, body.timestamp)
+                self._drain_locked(channel)
+                channel.cond.notify_all()
+                return None
+            if not body.block:
+                raise ChannelFullError(
+                    f"channel {body.channel_id} is full "
+                    f"(capacity {channel.kernel.capacity})"
+                )
+            parked = _Parked(call_id, src, body)
+            channel.parked.append(parked)
+            self._parked_index[call_id] = channel
+            return _PARKED
+
+    def _h_get(self, body: GetReq, src: int, call_id) -> Any:
+        channel = self._channel(body.channel_id)
+        with channel.cond:
+            result = channel.kernel.get(body.conn_id, body.request)
+            if result.status is Status.OK:
+                channel.cond.notify_all()
+                return self._get_reply(channel, body, result, src)
+            if not body.block:
+                raise ChannelEmptyError(
+                    f"no item matching {body.request!r} in channel "
+                    f"{body.channel_id}; neighbours {result.timestamp_range}"
+                )
+            parked = _Parked(call_id, src, body)
+            channel.parked.append(parked)
+            self._parked_index[call_id] = channel
+            return _PARKED
+
+    def _h_consume(self, body: ConsumeReq, src: int, cid) -> None:
+        channel = self._channel(body.channel_id)
+        with channel.cond:
+            if body.until:
+                channel.kernel.consume_until(body.conn_id, body.timestamp)
+            else:
+                channel.kernel.consume(body.conn_id, body.timestamp)
+            self._drain_locked(channel)
+            channel.cond.notify_all()
+
+    def _drain_locked(self, channel: LocalChannel) -> None:
+        """Retry parked remote requests after a state change (lock held)."""
+        if not channel.parked:
+            return
+        still_parked: list[_Parked] = []
+        for parked in channel.parked:
+            body = parked.body
+            try:
+                if isinstance(body, PutReq):
+                    result = channel.kernel.put(
+                        body.conn_id,
+                        body.timestamp,
+                        body.payload,
+                        body.size,
+                        body.refcount,
+                    )
+                    if result.status is Status.OK:
+                        self._maybe_push(channel, body.timestamp)
+                        self._parked_index.pop(parked.call_id, None)
+                        self._reply_value(parked.src_space, parked.call_id, None)
+                    else:
+                        still_parked.append(parked)
+                elif isinstance(body, GetReq):
+                    result = channel.kernel.get(body.conn_id, body.request)
+                    if result.status is Status.OK:
+                        self._parked_index.pop(parked.call_id, None)
+                        self._reply_value(
+                            parked.src_space,
+                            parked.call_id,
+                            self._get_reply(channel, body, result,
+                                            parked.src_space),
+                        )
+                    else:
+                        still_parked.append(parked)
+                else:  # pragma: no cover - only puts/gets park
+                    still_parked.append(parked)
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                self._parked_index.pop(parked.call_id, None)
+                self._reply_error(parked.src_space, parked.call_id, exc)
+        channel.parked[:] = still_parked
+
+    def _maybe_push(self, channel: LocalChannel, timestamp: int) -> None:
+        """Eagerly forward a fresh item to consumer spaces (§9; lock held).
+
+        CLF's per-link FIFO guarantees the push lands at each space before
+        any later get reply that omits the payload.
+        """
+        if not channel.handle.push:
+            return
+        record = channel.kernel.items.get(timestamp)
+        if record is None:
+            return  # reclaimed already (e.g. refcount 0)
+        targets = {
+            space for space in channel.input_spaces.values()
+            if space != self.space_id
+        }
+        if not targets:
+            return
+        if record.pushed_to is None:
+            record.pushed_to = set()
+        msg = encode_message(CachePushMsg(
+            channel.kernel.channel_id, timestamp, record.payload, record.size,
+        ))
+        for space in targets:
+            self.endpoint.send(space, msg)
+            record.pushed_to.add(space)
+
+    def _get_reply(self, channel: LocalChannel, body: GetReq, result,
+                   requester: int) -> tuple:
+        """Build a get reply: ``(payload, ts, size, from_cache)``.
+
+        The payload is omitted when the requester declared cache capability
+        and this item was pushed to its space.
+        """
+        record = channel.kernel.items.get(result.timestamp)
+        if (
+            body.cache_ok
+            and record is not None
+            and record.pushed_to is not None
+            and requester in record.pushed_to
+        ):
+            return (None, result.timestamp, result.size, True)
+        return (result.payload, result.timestamp, result.size, False)
+
+    # -- local blocking fast paths ------------------------------------------
+    def _local_put(self, body: PutReq, timeout: float | None) -> None:
+        channel = self._channel(body.channel_id)
+        deadline = (time.monotonic() + timeout) if timeout is not None else None
+        with channel.cond:
+            while True:
+                result = channel.kernel.put(
+                    body.conn_id, body.timestamp, body.payload, body.size, body.refcount
+                )
+                if result.status is Status.OK:
+                    self._maybe_push(channel, body.timestamp)
+                    self._drain_locked(channel)
+                    channel.cond.notify_all()
+                    return
+                if not body.block:
+                    raise ChannelFullError(
+                        f"channel {body.channel_id} is full "
+                        f"(capacity {channel.kernel.capacity})"
+                    )
+                self._cond_wait(channel, deadline, "put")
+
+    def _local_get(self, body: GetReq, timeout: float | None):
+        channel = self._channel(body.channel_id)
+        deadline = (time.monotonic() + timeout) if timeout is not None else None
+        with channel.cond:
+            while True:
+                result = channel.kernel.get(body.conn_id, body.request)
+                if result.status is Status.OK:
+                    channel.cond.notify_all()
+                    return (result.payload, result.timestamp, result.size, False)
+                if not body.block:
+                    raise ChannelEmptyError(
+                        f"no item matching {body.request!r} in channel "
+                        f"{body.channel_id}; neighbours {result.timestamp_range}"
+                    )
+                self._cond_wait(channel, deadline, "get")
+
+    @staticmethod
+    def _cond_wait(channel: LocalChannel, deadline: float | None, op: str) -> None:
+        if deadline is None:
+            channel.cond.wait()
+            return
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or not channel.cond.wait(remaining):
+            raise TimeoutError(f"blocking {op} timed out")
+
+    # -- name registry (registry space only) -----------------------------
+    def _h_register_name(self, body: RegisterNameReq, src: int, cid) -> None:
+        self._require_registry()
+        handle: ChannelHandle = body.handle
+        with self._registry_lock:
+            if body.name in self._names:
+                raise NameInUseError(
+                    f"channel name {body.name!r} already registered"
+                )
+            self._names[body.name] = handle
+            waiters = self._name_waiters.pop(body.name, [])
+        for waiter_call, waiter_src in waiters:
+            self._reply_value(waiter_src, waiter_call, handle)
+
+    def _h_lookup_name(self, body: LookupNameReq, src: int, call_id) -> Any:
+        self._require_registry()
+        with self._registry_lock:
+            handle = self._names.get(body.name)
+            if handle is not None:
+                return handle
+            if not body.wait:
+                raise NoSuchChannelError(f"no channel named {body.name!r}")
+            self._name_waiters.setdefault(body.name, []).append((call_id, src))
+        return _PARKED
+
+    def _local_lookup_wait(self, body: LookupNameReq, timeout: float | None):
+        """Blocking lookup when the registry is this very space."""
+        deadline = (time.monotonic() + timeout) if timeout is not None else None
+        while True:
+            handle = self._names.get(body.name)
+            if handle is not None:
+                return handle
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"channel name {body.name!r} never registered")
+            time.sleep(0.001)
+
+    def _require_registry(self) -> None:
+        if not self.is_registry:
+            raise AddressSpaceError(
+                f"space {self.space_id} is not the registry space "
+                f"({self.cluster.registry_space})"
+            )
+
+    # -- spawn / join ---------------------------------------------------------
+    def _h_spawn(self, body: SpawnReq, src: int, cid) -> str:
+        thread = self._spawn_local(
+            body.fn,
+            body.args,
+            body.kwargs,
+            name=body.name,
+            virtual_time=body.virtual_time if body.virtual_time is not None else 0,
+            parent=None,  # cross-space parent rule enforced at the caller
+        )
+        return thread.name
+
+    def _h_join(self, body: JoinReq, src: int, call_id) -> Any:
+        with self._threads_lock:
+            thread = self._threads.get(body.thread_name)
+            if thread is None:
+                return None  # already exited (or never existed)
+            self._pending_joins.setdefault(body.thread_name, []).append(
+                (call_id, src)
+            )
+        return _PARKED
+
+    def _local_join(self, body: JoinReq, timeout: float | None) -> None:
+        with self._threads_lock:
+            thread = self._threads.get(body.thread_name)
+        if thread is not None:
+            thread.join(timeout)
+
+    def _h_gc_summary(self, body: GcSummaryReq, src: int, cid) -> LocalGCSummary:
+        return self.gc_summary(body.epoch)
+
+    def _h_gc_apply(self, body, src: int, cid) -> int:
+        return self.apply_gc_horizon(body.horizon)
+
+    _HANDLERS: dict[type, Callable] = {}
+
+    # ==================================================================
+    # public API used by the STM facade and the cluster
+    # ==================================================================
+    def spawn(
+        self,
+        fn: Callable,
+        args: tuple = (),
+        kwargs: dict | None = None,
+        *,
+        name: str | None = None,
+        virtual_time: VirtualTime | None = None,
+        on_space: int | None = None,
+    ) -> "StampedeThread | RemoteThreadHandle":
+        """Create a Stampede thread, here or on another space.
+
+        The child's initial virtual time defaults to the parent's current
+        visibility (the smallest legal value per §4.2); passing INFINITY is
+        the common choice for interior pipeline threads.
+        """
+        parent = current_thread()
+        if virtual_time is None:
+            # Default to the smallest legal initial VT: the parent's current
+            # visibility (§4.2), or 0 for a root thread.  INFINITY must be
+            # opted into explicitly — it is irreversible (a thread can never
+            # lower its VT below its visibility), which makes it wrong as a
+            # default for threads that produce timestamps of their own.
+            virtual_time = parent.visibility() if parent is not None else 0
+        if on_space is None or on_space == self.space_id:
+            return self._spawn_local(
+                fn, args, kwargs or {}, name=name, virtual_time=virtual_time,
+                parent=parent,
+            )
+        remote_name = self.call(
+            on_space,
+            SpawnReq(fn=fn, args=args, kwargs=kwargs or {}, name=name,
+                     virtual_time=virtual_time),
+        )
+        return RemoteThreadHandle(self, on_space, remote_name)
+
+    def _spawn_local(
+        self,
+        fn: Callable,
+        args: tuple,
+        kwargs: dict,
+        *,
+        name: str | None,
+        virtual_time: VirtualTime,
+        parent: StampedeThread | None,
+    ) -> StampedeThread:
+        if name is None:
+            name = f"spd-{self.space_id}-{self._thread_seq.next()}"
+        with self._threads_lock:
+            if name in self._threads:
+                raise StampedeError(
+                    f"thread name {name!r} already in use on space {self.space_id}"
+                )
+            thread = StampedeThread(self, name, virtual_time, parent=parent)
+            self._threads[name] = thread
+        os_thread = threading.Thread(
+            target=thread._run, args=(fn, args, kwargs), name=name, daemon=True
+        )
+        thread.os_thread = os_thread
+        os_thread.start()
+        return thread
+
+    def adopt_current_thread(
+        self, virtual_time: VirtualTime = 0, name: str | None = None
+    ) -> StampedeThread:
+        """Bind STM thread state to the calling OS thread (e.g. __main__).
+
+        The default virtual time of 0 lets the adopted thread put at any
+        timestamp; remember to advance it (or jump to INFINITY once the
+        thread only inherits timestamps) so GC can progress (§4.2).
+        """
+        existing = current_thread()
+        if existing is not None and existing.alive:
+            if existing.space is self:
+                return existing
+            if existing.space.cluster is self.cluster:
+                raise StampedeError(
+                    f"this OS thread is already adopted by space "
+                    f"{existing.space.space_id}; call exit() on that "
+                    f"StampedeThread before adopting into space {self.space_id}"
+                )
+            # The binding points into a different (likely shut down) cluster:
+            # a stale leftover.  Unbind it and adopt fresh.
+            existing.exit()
+        if name is None:
+            name = f"adopted-{self.space_id}-{self._thread_seq.next()}"
+        with self._threads_lock:
+            thread = StampedeThread(self, name, virtual_time)
+            self._threads[name] = thread
+        thread.os_thread = threading.current_thread()
+        thread._bind()
+        return thread
+
+    def _thread_exited(self, thread: StampedeThread) -> None:
+        # Auto-detach any connections the thread left attached so they stop
+        # pinning the GC minimum.
+        leaked: list[int] = []
+        with self._conn_owner_lock:
+            for conn_id, (handle, owner) in list(self._conn_owner.items()):
+                if owner is thread:
+                    leaked.append(conn_id)
+        for conn_id in leaked:
+            handle, _ = self._conn_owner.get(conn_id, (None, None))
+            if handle is not None:
+                try:
+                    self.detach(handle, conn_id)
+                except StampedeError:
+                    pass
+        with self._threads_lock:
+            self._threads.pop(thread.name, None)
+            joins = self._pending_joins.pop(thread.name, [])
+        for call_id, src in joins:
+            self._reply_value(src, call_id, None)
+
+    def join_thread(
+        self, space: int, name: str, timeout: float | None = None
+    ) -> None:
+        self.call(space, JoinReq(name), timeout=timeout)
+
+    def threads(self) -> list[StampedeThread]:
+        with self._threads_lock:
+            return list(self._threads.values())
+
+    # -- channel operations (facade entry points) --------------------------
+    def create_channel(
+        self,
+        name: str | None = None,
+        capacity: int | None = None,
+        home: int | None = None,
+        copy_policy: CopyPolicy = CopyPolicy.SERIALIZE,
+        push: bool = False,
+    ) -> ChannelHandle:
+        home = self.space_id if home is None else home
+        if copy_policy is not CopyPolicy.SERIALIZE and home != self.space_id:
+            raise StampedeError(
+                f"copy policy {copy_policy.value} is local-only; channel must "
+                f"be homed in the creating space"
+            )
+        if push and copy_policy is not CopyPolicy.SERIALIZE:
+            raise StampedeError("eager push requires the SERIALIZE copy policy")
+        handle: ChannelHandle = self.call(
+            home, CreateChannelReq(name, capacity, push)
+        )
+        handle = ChannelHandle(
+            channel_id=handle.channel_id,
+            home_space=handle.home_space,
+            name=name,
+            capacity=capacity,
+            copy_policy=copy_policy,
+            push=push,
+        )
+        if home == self.space_id:
+            # record the policy on the local channel object
+            self._channel(handle.channel_id).handle = handle
+        if name is not None:
+            self.call(self.cluster.registry_space, RegisterNameReq(name, handle))
+            self.cluster._note_named_handle(handle)
+        return handle
+
+    def lookup_channel(
+        self, name: str, wait: bool = False, timeout: float | None = None
+    ) -> ChannelHandle:
+        handle = self.cluster._named_handle(name)
+        if handle is not None:
+            return handle
+        handle = self.call(
+            self.cluster.registry_space, LookupNameReq(name, wait), timeout=timeout
+        )
+        self.cluster._note_named_handle(handle)
+        return handle
+
+    def destroy_channel(self, handle: ChannelHandle) -> None:
+        self.call(handle.home_space, DestroyChannelReq(handle.channel_id))
+
+    def attach(
+        self,
+        handle: ChannelHandle,
+        *,
+        is_input: bool,
+        thread: StampedeThread,
+    ) -> int:
+        if (
+            handle.copy_policy is not CopyPolicy.SERIALIZE
+            and handle.home_space != self.space_id
+        ):
+            raise StampedeError(
+                f"channel {handle.channel_id} uses local-only copy policy "
+                f"{handle.copy_policy.value}; cannot attach from space "
+                f"{self.space_id}"
+            )
+        conn_id = self._conn_ids.next()
+        visibility = thread.visibility() if is_input else None
+        self.call(
+            handle.home_space,
+            AttachReq(handle.channel_id, conn_id, is_input, visibility),
+        )
+        with self._conn_owner_lock:
+            self._conn_owner[conn_id] = (handle, thread)
+        return conn_id
+
+    def detach(self, handle: ChannelHandle, conn_id: int) -> None:
+        with self._conn_owner_lock:
+            self._conn_owner.pop(conn_id, None)
+        self.call(handle.home_space, DetachReq(handle.channel_id, conn_id))
+
+    def put(
+        self,
+        handle: ChannelHandle,
+        conn_id: int,
+        timestamp: int,
+        payload: Any,
+        size: int,
+        refcount: int = UNKNOWN_REFCOUNT,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> None:
+        self.call(
+            handle.home_space,
+            PutReq(handle.channel_id, conn_id, timestamp, payload, size,
+                   refcount, block),
+            timeout=timeout,
+        )
+
+    def get(
+        self,
+        handle: ChannelHandle,
+        conn_id: int,
+        request: int | GetWildcard,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> tuple[Any, int, int]:
+        cache_ok = handle.push and handle.home_space != self.space_id
+        payload, ts, size, cached = self.call(
+            handle.home_space,
+            GetReq(handle.channel_id, conn_id, request, block, cache_ok),
+            timeout=timeout,
+        )
+        if cached:
+            with self._push_cache_lock:
+                entry = self._push_cache.get((handle.channel_id, ts))
+            if entry is not None:
+                return (entry[0], ts, size)
+            # The push should have arrived first (per-link FIFO); if the
+            # cache was purged in between, re-fetch the payload explicitly.
+            payload, ts, size, _ = self.call(
+                handle.home_space,
+                GetReq(handle.channel_id, conn_id, ts, block, False),
+                timeout=timeout,
+            )
+        return (payload, ts, size)
+
+    def consume(
+        self, handle: ChannelHandle, conn_id: int, timestamp: int, until: bool = False
+    ) -> None:
+        self.call(
+            handle.home_space,
+            ConsumeReq(handle.channel_id, conn_id, timestamp, until),
+        )
+
+    def _channel(self, channel_id: int) -> LocalChannel:
+        with self._channels_lock:
+            channel = self._channels.get(channel_id)
+        if channel is None:
+            raise NoSuchChannelError(
+                f"channel {channel_id} is not homed in space {self.space_id}"
+            )
+        return channel
+
+    def local_channels(self) -> list[LocalChannel]:
+        with self._channels_lock:
+            return list(self._channels.values())
+
+    # -- garbage collection -------------------------------------------------
+    def gc_summary(self, epoch: int = 0) -> LocalGCSummary:
+        """This space's contribution to the global GC minimum."""
+        visibilities = [t.visibility() for t in self.threads()]
+        channel_mins: dict[int, VirtualTime] = {}
+        for channel in self.local_channels():
+            with channel.cond:
+                channel_mins[channel.kernel.channel_id] = channel.kernel.unconsumed_min()
+        return LocalGCSummary(
+            space_id=self.space_id,
+            thread_visibilities=visibilities,
+            channel_mins=channel_mins,
+            epoch=epoch,
+        )
+
+    def apply_gc_horizon(self, horizon: VirtualTime) -> int:
+        """Collect items below ``horizon`` in every local channel."""
+        if horizon is not INFINITY and horizon <= self._gc_horizon_applied:
+            return 0
+        with self._push_cache_lock:
+            if horizon is INFINITY:
+                self._push_cache.clear()
+            else:
+                bound = int(horizon)
+                self._push_cache = {
+                    key: value
+                    for key, value in self._push_cache.items()
+                    if key[1] >= bound
+                }
+        collected = 0
+        for channel in self.local_channels():
+            with channel.cond:
+                dead = channel.kernel.collect_below(horizon)
+                if dead:
+                    collected += len(dead)
+                    # space freed: bounded-channel puts may proceed
+                    self._drain_locked(channel)
+                    channel.cond.notify_all()
+        if horizon is not INFINITY:
+            self._gc_horizon_applied = max(self._gc_horizon_applied, int(horizon))
+        return collected
+
+
+class RemoteThreadHandle:
+    """Join handle for a thread spawned on another address space."""
+
+    def __init__(self, client: AddressSpace, space: int, name: str):
+        self._client = client
+        self.space = space
+        self.name = name
+
+    def join(self, timeout: float | None = None) -> None:
+        self._client.join_thread(self.space, self.name, timeout=timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<RemoteThreadHandle {self.name!r} on space {self.space}>"
+
+
+#: Sentinel: handler parked the request; the reply will be sent later.
+_PARKED = object()
+
+AddressSpace._HANDLERS = {
+    CreateChannelReq: AddressSpace._h_create_channel,
+    DestroyChannelReq: AddressSpace._h_destroy_channel,
+    AttachReq: AddressSpace._h_attach,
+    DetachReq: AddressSpace._h_detach,
+    PutReq: AddressSpace._h_put,
+    GetReq: AddressSpace._h_get,
+    ConsumeReq: AddressSpace._h_consume,
+    RegisterNameReq: AddressSpace._h_register_name,
+    LookupNameReq: AddressSpace._h_lookup_name,
+    SpawnReq: AddressSpace._h_spawn,
+    JoinReq: AddressSpace._h_join,
+    GcSummaryReq: AddressSpace._h_gc_summary,
+    GcApplyReq: AddressSpace._h_gc_apply,
+}

@@ -1,0 +1,254 @@
+"""RPC message vocabulary for cross-address-space Stampede operations.
+
+Every STM operation on a channel homed in another address space becomes a
+**synchronous** RPC: the calling thread sends a request to the channel's
+home space and blocks until the reply.  Synchrony is not an implementation
+convenience — it is what makes the distributed GC minimum safe: while a put
+is in flight its producer is blocked, so the producer's visibility (which is
+<= the put's timestamp by the §4.2 rules) keeps the global minimum below the
+new item's timestamp until the item is registered at its home.  The paper's
+Fig. 10 measurements likewise describe put/get as "two, four or more
+round-trip communications".
+
+Requests travel wrapped in :class:`RpcRequest`; replies in :class:`RpcReply`
+carrying either a value or a pickled exception that is re-raised at the
+caller.  One-way messages (GC horizon broadcast, shutdown) skip the reply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.flags import GetWildcard, UNKNOWN_REFCOUNT
+from repro.core.gc_state import LocalGCSummary
+from repro.core.time import VirtualTime
+from repro.transport.serialization import register_message
+
+__all__ = [
+    "RpcRequest",
+    "RpcReply",
+    "RpcCancel",
+    "CreateChannelReq",
+    "DestroyChannelReq",
+    "AttachReq",
+    "DetachReq",
+    "PutReq",
+    "GetReq",
+    "ConsumeReq",
+    "RegisterNameReq",
+    "LookupNameReq",
+    "SpawnReq",
+    "GcSummaryReq",
+    "GcApplyReq",
+    "GcCollectMsg",
+    "ShutdownMsg",
+    "CachePushMsg",
+]
+
+
+@register_message(1)
+@dataclass
+class RpcRequest:
+    """Envelope for a request expecting a reply."""
+
+    call_id: int
+    src_space: int
+    body: Any
+
+
+@register_message(2)
+@dataclass
+class RpcReply:
+    """Envelope for a reply: exactly one of ``value`` / ``error`` is set."""
+
+    call_id: int
+    value: Any = None
+    error: BaseException | None = None
+
+
+@register_message(3)
+@dataclass
+class RpcCancel:
+    """Client-side timeout: asks the server to abandon a parked request.
+
+    Races benignly with a completed reply — the client treats whichever
+    arrives first as the outcome and drops the loser.
+    """
+
+    call_id: int
+
+
+@dataclass
+class CreateChannelReq:
+    """Create a channel homed at the receiving space.
+
+    ``push`` enables the §9 optimization ("use information about the
+    current connections to a channel to preemptively send data towards
+    consumers"): every put is eagerly forwarded to the spaces holding input
+    connections, and later gets from those spaces receive a payload-free
+    reply resolved against the local push cache.
+    """
+
+    name: str | None
+    capacity: int | None
+    push: bool = False
+
+
+@dataclass
+class DestroyChannelReq:
+    channel_id: int
+
+
+@dataclass
+class AttachReq:
+    """Attach a connection for a thread with the given current visibility.
+
+    ``visibility`` drives the implicit consumption of items below it when
+    attaching an input connection (paper §4.2).
+    """
+
+    channel_id: int
+    conn_id: int
+    is_input: bool
+    visibility: VirtualTime = None
+
+
+@dataclass
+class DetachReq:
+    channel_id: int
+    conn_id: int
+
+
+@dataclass
+class PutReq:
+    """Insert ``payload`` (already copy-in encoded) at ``timestamp``."""
+
+    channel_id: int
+    conn_id: int
+    timestamp: int
+    payload: Any
+    size: int
+    refcount: int = UNKNOWN_REFCOUNT
+    block: bool = True
+
+
+@dataclass
+class GetReq:
+    """Get by timestamp or wildcard; server parks the request when blocking.
+
+    ``cache_ok``: the requesting space holds a push cache for this channel;
+    the server may omit the payload from the reply when it knows the item
+    was pushed there (CLF's per-link FIFO guarantees the push landed before
+    the reply can).
+    """
+
+    channel_id: int
+    conn_id: int
+    request: int | GetWildcard
+    block: bool = True
+    cache_ok: bool = False
+
+
+@dataclass
+class ConsumeReq:
+    """Consume one timestamp, or everything up to it when ``until`` is set."""
+
+    channel_id: int
+    conn_id: int
+    timestamp: int
+    until: bool = False
+
+
+@dataclass
+class RegisterNameReq:
+    """Bind ``name`` to a full channel handle in the cluster registry.
+
+    The registry stores the complete handle (including capacity and copy
+    policy) so a looked-up handle behaves identically to the creator's.
+    """
+
+    name: str
+    handle: Any  # ChannelHandle (kept Any to avoid a circular import)
+
+
+@dataclass
+class LookupNameReq:
+    name: str
+    #: when True, park until the name appears instead of failing — lets a
+    #: consumer start before the producer has created the channel.
+    wait: bool = False
+
+
+@dataclass
+class SpawnReq:
+    """Create a Stampede thread on the receiving space.
+
+    ``fn`` must be picklable (module-level callable) for remote spawns; the
+    child's initial virtual time obeys §4.2 (>= parent's visibility at the
+    time of the spawn — guaranteed by spawn being a synchronous RPC).
+    """
+
+    fn: Any
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    name: str | None = None
+    virtual_time: VirtualTime = None
+
+
+@dataclass
+class GcSummaryReq:
+    """Coordinator asks a space for its LocalGCSummary for ``epoch``."""
+
+    epoch: int
+
+
+@dataclass
+class GcApplyReq:
+    """Synchronous horizon application (the daemon's RPC broadcast).
+
+    Returns the number of items the receiving space collected.  Used by
+    ``GcDaemon.run_once`` so callers observe a fully applied round; the
+    one-way :class:`GcCollectMsg` remains for fire-and-forget broadcasts.
+    """
+
+    epoch: int
+    horizon: VirtualTime
+
+
+@register_message(4)
+@dataclass
+class GcCollectMsg:
+    """One-way broadcast of the new global GC horizon."""
+
+    epoch: int
+    horizon: VirtualTime
+
+
+@register_message(5)
+@dataclass
+class ShutdownMsg:
+    """One-way: the cluster is tearing down; dispatcher should exit."""
+
+    reason: str = "shutdown"
+
+
+@register_message(6)
+@dataclass
+class CachePushMsg:
+    """One-way eager data push (§9) from a channel home to a consumer space.
+
+    Sent at put time to every space holding an input connection on a
+    push-enabled channel.  The receiving space stores the payload in its
+    push cache; a later payload-free get reply resolves against it.
+    """
+
+    channel_id: int
+    timestamp: int
+    payload: Any
+    size: int
+
+
+#: LocalGCSummary crosses the wire inside RpcReply values; nothing to do —
+#: dataclasses pickle by value.  This assertion documents the dependency.
+assert LocalGCSummary is not None

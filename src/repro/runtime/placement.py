@@ -1,0 +1,249 @@
+"""Latency-aware pipeline placement (the paper's §9 scheduling direction).
+
+    "A companion paper [12] discusses support for integrating task and data
+    parallelism in such dynamic applications.  It explores optimal
+    latency-reducing schedules for task- and data-parallel decompositions."
+
+This module implements the static core of that idea for linear pipelines
+(the kiosk's shape): given per-stage compute costs and inter-stage item
+sizes, predict the per-item latency and the pipeline throughput of every
+assignment of stages to address spaces — using the same calibrated medium
+models as the simulator — and search for the best placement.
+
+Model
+-----
+* Stage *i* runs on ``placement[i]``; the channel between stages *i* and
+  *i+1* is homed at the consumer's space (the winning policy from the
+  placement ablation, and what the §9 push optimization approximates).
+* **Latency** of one item = Σ stage compute + Σ edge costs, where an edge
+  between co-located stages costs one local copy-in + copy-out and a
+  cross-space edge costs one CLF message (payload) + ack + the same copies.
+* **Throughput** is set by the slowest *resource*: each space is an SMP
+  with ``cpus_per_space`` processors (4 on the paper's AlphaServers), so a
+  space's service time is the sum of its stages' compute divided by the
+  usable parallelism; each inter-space link's service time is its transfer
+  occupancy.  Throughput = 1 / max service time.
+
+The search is exhaustive over ``n_spaces ** n_stages`` placements with
+optional pinning (e.g. the digitizer is pinned to the space owning the
+frame grabber) — pipelines have few stages, so brute force is exact and
+instant.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.sim.costs import DEFAULT_COSTS, SimCosts
+from repro.transport.clf import ClusterTopology
+from repro.transport.media import CLF_MTU, MEMORY_CHANNEL, Medium
+
+__all__ = [
+    "Stage",
+    "PipelineModel",
+    "PlacementPrediction",
+    "predict",
+    "optimal_placement",
+    "KIOSK_PIPELINE",
+]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage: per-item compute and the size of what it emits."""
+
+    name: str
+    compute_us: float
+    output_bytes: int
+
+    def __post_init__(self):
+        if self.compute_us < 0:
+            raise ValueError(f"compute_us must be >= 0, got {self.compute_us}")
+        if self.output_bytes < 0:
+            raise ValueError(
+                f"output_bytes must be >= 0, got {self.output_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """A linear pipeline: stage i's output feeds stage i+1."""
+
+    stages: tuple[Stage, ...]
+
+    def __post_init__(self):
+        if len(self.stages) < 1:
+            raise ValueError("a pipeline needs at least one stage")
+
+    @property
+    def names(self) -> list[str]:
+        return [s.name for s in self.stages]
+
+
+@dataclass(frozen=True)
+class PlacementPrediction:
+    """Predicted behaviour of one placement."""
+
+    placement: tuple[int, ...]
+    latency_us: float
+    throughput_fps: float
+    #: per-edge cost breakdown (stage i -> i+1), µs.
+    edge_costs_us: tuple[float, ...] = field(default=())
+
+    def describe(self, model: PipelineModel) -> str:
+        pairs = ", ".join(
+            f"{stage.name}@{space}"
+            for stage, space in zip(model.stages, self.placement)
+        )
+        return (
+            f"[{pairs}] latency={self.latency_us:.0f}us "
+            f"throughput={self.throughput_fps:.1f}/s"
+        )
+
+
+def _edge_cost_us(
+    nbytes: int,
+    src: int,
+    dst: int,
+    topology: ClusterTopology,
+    costs: SimCosts,
+) -> float:
+    """Per-item cost of moving one output across an edge.
+
+    Mirrors the simulator's put/get sequence with the channel homed at the
+    consumer: copy-in, (cross-space) message + ack, copy-out, plus the
+    fixed op/synchronization overheads.
+    """
+    fixed = (
+        costs.op_cpu_us * 2  # put + get bookkeeping
+        + costs.consume_cpu_us
+        + costs.wakeup_us
+    )
+    copies = 2 * costs.copy_us(nbytes)  # copy-in + copy-out
+    if src == dst:
+        return fixed + copies
+    medium = topology.medium(src, dst)
+    transfer = medium.message_latency_us(nbytes + costs.request_header_bytes,
+                                         CLF_MTU)
+    ack = medium.one_way_latency_us(costs.ack_bytes)
+    return fixed + copies + transfer + ack + costs.server_proc_us
+
+
+def predict(
+    model: PipelineModel,
+    placement: tuple[int, ...] | list[int],
+    topology: ClusterTopology | None = None,
+    costs: SimCosts = DEFAULT_COSTS,
+    cpus_per_space: int = 4,
+) -> PlacementPrediction:
+    """Predict latency and throughput of one placement."""
+    placement = tuple(placement)
+    if len(placement) != len(model.stages):
+        raise ValueError(
+            f"placement has {len(placement)} entries for "
+            f"{len(model.stages)} stages"
+        )
+    topology = topology or ClusterTopology(max(placement) + 1)
+    for space in placement:
+        if not 0 <= space < topology.n_spaces:
+            raise ValueError(f"space {space} out of range")
+
+    edge_costs = []
+    latency = sum(stage.compute_us for stage in model.stages)
+    for i in range(len(model.stages) - 1):
+        cost = _edge_cost_us(
+            model.stages[i].output_bytes,
+            placement[i],
+            placement[i + 1],
+            topology,
+            costs,
+        )
+        edge_costs.append(cost)
+        latency += cost
+
+    # Throughput: the busiest resource bounds the item rate.
+    service_times = []
+    for space in set(placement):
+        compute = sum(
+            stage.compute_us
+            for stage, sp in zip(model.stages, placement)
+            if sp == space
+        )
+        parallelism = min(cpus_per_space, max(
+            1, sum(1 for sp in placement if sp == space)
+        ))
+        service_times.append(compute / parallelism)
+    for i in range(len(model.stages) - 1):
+        src, dst = placement[i], placement[i + 1]
+        if src != dst:
+            medium = topology.medium(src, dst)
+            nbytes = model.stages[i].output_bytes
+            n_full, rest = divmod(nbytes, CLF_MTU)
+            occupancy = n_full * medium.packet_service_us(CLF_MTU)
+            occupancy += medium.packet_service_us(rest) if rest else 0
+            service_times.append(occupancy)
+    bottleneck = max(service_times) if service_times else 1.0
+    throughput = 1e6 / bottleneck if bottleneck > 0 else float("inf")
+
+    return PlacementPrediction(
+        placement=placement,
+        latency_us=latency,
+        throughput_fps=throughput,
+        edge_costs_us=tuple(edge_costs),
+    )
+
+
+def optimal_placement(
+    model: PipelineModel,
+    n_spaces: int,
+    objective: str = "latency",
+    pinned: dict[str, int] | None = None,
+    topology: ClusterTopology | None = None,
+    costs: SimCosts = DEFAULT_COSTS,
+    cpus_per_space: int = 4,
+) -> PlacementPrediction:
+    """Exhaustively search for the best placement.
+
+    ``pinned`` maps stage names to fixed spaces (hardware-bound stages).
+    ``objective`` is ``latency`` (minimize) or ``throughput`` (maximize).
+    """
+    if objective not in ("latency", "throughput"):
+        raise ValueError(f"unknown objective {objective!r}")
+    pinned = pinned or {}
+    unknown = set(pinned) - set(model.names)
+    if unknown:
+        raise ValueError(f"pinned stages not in the pipeline: {sorted(unknown)}")
+    topology = topology or ClusterTopology(n_spaces)
+
+    choices = [
+        [pinned[stage.name]] if stage.name in pinned else list(range(n_spaces))
+        for stage in model.stages
+    ]
+    best: PlacementPrediction | None = None
+    for placement in itertools.product(*choices):
+        prediction = predict(model, placement, topology, costs, cpus_per_space)
+        if best is None:
+            best = prediction
+        elif objective == "latency" and prediction.latency_us < best.latency_us:
+            best = prediction
+        elif (
+            objective == "throughput"
+            and prediction.throughput_fps > best.throughput_fps
+        ):
+            best = prediction
+    assert best is not None
+    return best
+
+
+#: The kiosk pipeline of Fig. 2 as a placement model: compute costs are
+#: representative of the reproduction's trackers; item sizes are the real
+#: record sizes (frames dominate).
+KIOSK_PIPELINE = PipelineModel(
+    stages=(
+        Stage("digitizer", compute_us=500.0, output_bytes=230_400),
+        Stage("lofi_tracker", compute_us=8_000.0, output_bytes=512),
+        Stage("decision", compute_us=300.0, output_bytes=256),
+        Stage("gui", compute_us=200.0, output_bytes=0),
+    )
+)

@@ -1,0 +1,146 @@
+"""Loose temporal synchrony: pacing threads against real time (paper §4.3).
+
+    "a thread can declare real time 'ticks' at which it will re-synchronize
+    with real time, along with a tolerance and an exception handler.  As the
+    thread executes, after each 'tick', it performs a Stampede call
+    attempting to synchronize with real time.  If it is early, the thread
+    waits until that synchrony is achieved.  If it is late by more than the
+    specified tolerance, Stampede calls the thread's registered exception
+    handler which can attempt to recover from this slippage."
+
+The digitizer of the vision pipeline paces itself with this API to grab
+frames at 30 fps, using absolute frame numbers as timestamps.
+
+The clock and sleep functions are injectable so the discrete-event simulator
+and the tests can drive a pacer on virtual time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import RealTimeSlippageError
+
+__all__ = ["TickStatus", "TickReport", "Pacer"]
+
+
+from enum import Enum
+
+
+class TickStatus(Enum):
+    ON_TIME = "on_time"  # waited (or arrived exactly) — synchrony achieved
+    LATE_OK = "late_ok"  # late, but within tolerance
+    SLIPPED = "slipped"  # late beyond tolerance; handler invoked
+
+
+@dataclass
+class TickReport:
+    """Outcome of one synchronization attempt."""
+
+    tick: int
+    status: TickStatus
+    #: positive when the thread arrived late, negative when it waited.
+    lateness: float
+    #: scheduled absolute time of this tick.
+    scheduled: float
+
+
+class Pacer:
+    """Re-synchronize a thread with real time at a fixed tick period.
+
+    Parameters
+    ----------
+    period:
+        Seconds of real time per virtual-time tick (the paper's
+        ``spd_init`` mapping, e.g. 1/30 s per frame).
+    tolerance:
+        Allowed lateness in seconds before the slippage handler fires.
+        Defaults to one period.
+    handler:
+        Called with a :class:`TickReport` on slippage.  The handler may
+        return the number of ticks to skip (int >= 0) to drop frames and
+        catch up; returning None re-anchors the schedule at the current
+        time without skipping tick numbers.  Without a handler, slippage
+        raises :class:`RealTimeSlippageError`.
+    clock / sleep_fn:
+        Time sources, injectable for simulation and tests.
+    """
+
+    def __init__(
+        self,
+        period: float,
+        tolerance: float | None = None,
+        handler: Callable[[TickReport], int | None] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep_fn: Callable[[float], None] = time.sleep,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        if tolerance is not None and tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        self.period = period
+        self.tolerance = period if tolerance is None else tolerance
+        self.handler = handler
+        self._clock = clock
+        self._sleep = sleep_fn
+        self._origin: float | None = None
+        self._tick = 0
+        self.reports: list[TickReport] = []
+        #: cumulative counters for monitoring.
+        self.n_waits = 0
+        self.n_late = 0
+        self.n_slipped = 0
+        self.n_skipped_ticks = 0
+
+    @property
+    def tick(self) -> int:
+        """Index of the next tick to synchronize to."""
+        return self._tick
+
+    def start(self) -> None:
+        """Anchor tick 0 at the current time (implicit on first wait)."""
+        if self._origin is None:
+            self._origin = self._clock()
+
+    def wait_for_tick(self) -> TickReport:
+        """Synchronize with the next tick; return what happened.
+
+        Early -> sleep until the tick.  Late within tolerance -> proceed
+        immediately.  Late beyond tolerance -> slippage: handler or raise.
+        """
+        self.start()
+        self._tick += 1
+        scheduled = self._origin + self._tick * self.period
+        now = self._clock()
+        lateness = now - scheduled
+
+        if lateness <= 0:
+            self._sleep(-lateness)
+            self.n_waits += 1
+            report = TickReport(self._tick, TickStatus.ON_TIME, lateness, scheduled)
+        elif lateness <= self.tolerance:
+            self.n_late += 1
+            report = TickReport(self._tick, TickStatus.LATE_OK, lateness, scheduled)
+        else:
+            self.n_slipped += 1
+            report = TickReport(self._tick, TickStatus.SLIPPED, lateness, scheduled)
+            if self.handler is None:
+                self.reports.append(report)
+                raise RealTimeSlippageError(
+                    f"tick {self._tick} missed by {lateness:.6f}s "
+                    f"(tolerance {self.tolerance:.6f}s)",
+                    lateness=lateness,
+                )
+            skip = self.handler(report)
+            if skip is None:
+                # Re-anchor: future ticks are scheduled relative to now.
+                self._origin = now - self._tick * self.period
+            else:
+                if skip < 0:
+                    raise ValueError(f"slippage handler returned {skip} (< 0)")
+                self._tick += skip
+                self.n_skipped_ticks += skip
+        self.reports.append(report)
+        return report

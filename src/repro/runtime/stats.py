@@ -1,0 +1,117 @@
+"""Cluster-wide statistics: the operator's view of a running Stampede.
+
+Aggregates, per address space, the CLF traffic counters and the channel
+kernels' operation/GC counters into one :class:`ClusterReport` — the kind
+of observability the paper's "more detailed performance analysis and
+tuning" (§9) needs.  Gathering is read-only and does not perturb GC (it
+takes channel locks briefly but attaches no connections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.cluster import Cluster
+from repro.stm.monitor import ChannelProbe, ChannelSnapshot
+
+__all__ = ["SpaceReport", "ClusterReport", "cluster_report"]
+
+
+@dataclass
+class SpaceReport:
+    """One address space's counters."""
+
+    space_id: int
+    messages_sent: int
+    messages_received: int
+    packets_sent: int
+    bytes_sent: int
+    bytes_received: int
+    n_threads: int
+    n_channels: int
+    channels: list[ChannelSnapshot] = field(default_factory=list)
+
+
+@dataclass
+class ClusterReport:
+    """The whole cluster at a point in time."""
+
+    spaces: list[SpaceReport] = field(default_factory=list)
+    gc_epochs: int = 0
+    gc_last_horizon: object = None
+    gc_total_collected: int = 0
+
+    @property
+    def total_bytes_on_wire(self) -> int:
+        return sum(s.bytes_sent for s in self.spaces)
+
+    @property
+    def total_puts(self) -> int:
+        return sum(c.total_puts for s in self.spaces for c in s.channels)
+
+    @property
+    def total_gets(self) -> int:
+        return sum(c.total_gets for s in self.spaces for c in s.channels)
+
+    @property
+    def total_collected(self) -> int:
+        return sum(c.total_collected for s in self.spaces for c in s.channels)
+
+    @property
+    def stored_items(self) -> int:
+        return sum(c.occupancy for s in self.spaces for c in s.channels)
+
+    def render(self) -> str:
+        lines = ["cluster report", "=============="]
+        for space in self.spaces:
+            lines.append(
+                f"space {space.space_id}: {space.n_threads} threads, "
+                f"{space.n_channels} channels, "
+                f"{space.messages_sent} msgs out "
+                f"({space.bytes_sent} B), "
+                f"{space.messages_received} msgs in"
+            )
+            for snap in space.channels:
+                lines.append(f"  {snap.summary()}")
+        lines.append(
+            f"totals: puts={self.total_puts} gets={self.total_gets} "
+            f"collected={self.total_collected} stored={self.stored_items} "
+            f"wire={self.total_bytes_on_wire} B"
+        )
+        if self.gc_epochs:
+            lines.append(
+                f"gc: {self.gc_epochs} rounds, last horizon "
+                f"{self.gc_last_horizon!r}, {self.gc_total_collected} items "
+                f"reclaimed by the daemon"
+            )
+        return "\n".join(lines)
+
+
+def cluster_report(cluster: Cluster) -> ClusterReport:
+    """Snapshot every space's counters and channels."""
+    report = ClusterReport()
+    for space in cluster.spaces:
+        snap = space.endpoint.stats.snapshot()
+        channels = [
+            ChannelProbe(cluster, local.kernel.channel_id).snapshot()
+            for local in space.local_channels()
+        ]
+        report.spaces.append(
+            SpaceReport(
+                space_id=space.space_id,
+                messages_sent=snap["messages_sent"],
+                messages_received=snap["messages_received"],
+                packets_sent=snap["packets_sent"],
+                bytes_sent=snap["bytes_sent"],
+                bytes_received=snap["bytes_received"],
+                n_threads=len(space.threads()),
+                n_channels=len(space.local_channels()),
+                channels=channels,
+            )
+        )
+    if cluster.gc_daemon is not None:
+        stats = cluster.gc_daemon.stats
+        report.gc_epochs = stats.epochs
+        report.gc_last_horizon = stats.last_horizon
+        report.gc_total_collected = stats.total_collected
+    return report

@@ -1,0 +1,191 @@
+"""Stampede threads and their virtual-time state (paper §4.2).
+
+Each application thread carries STM bookkeeping:
+
+* its **virtual time** — an int or INFINITY, explicitly managed by source
+  threads and usually INFINITY for interior pipeline threads;
+* the set of items it currently holds **open** on its input connections;
+* its **visibility** — ``min(virtual time, open item timestamps)`` — the
+  smallest timestamp it could still attach to a produced item, and therefore
+  its contribution to the global GC minimum.
+
+The rules enforced here:
+
+* ``put`` timestamps must be >= the putting thread's visibility;
+* a child thread's initial virtual time must be >= the parent's visibility
+  at spawn;
+* a thread may change its own virtual time to any value >= its current
+  visibility (including INFINITY);
+* a new input connection implicitly consumes items below the visibility.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.time import INFINITY, VirtualTime, vt_lt, vt_min
+from repro.errors import StampedeError, VirtualTimeError, VisibilityError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.address_space import AddressSpace
+
+__all__ = ["StampedeThread", "current_thread", "require_current_thread"]
+
+_tls = threading.local()
+
+
+def current_thread() -> "StampedeThread | None":
+    """The StampedeThread bound to the calling OS thread, if any."""
+    return getattr(_tls, "stampede_thread", None)
+
+
+def require_current_thread() -> "StampedeThread":
+    thread = current_thread()
+    if thread is None:
+        raise StampedeError(
+            "no Stampede thread is bound to this OS thread; run inside "
+            "AddressSpace.spawn(...) or call AddressSpace.adopt_current_thread()"
+        )
+    return thread
+
+
+class StampedeThread:
+    """A dynamically created application thread with virtual-time state.
+
+    Instances are created by :meth:`AddressSpace.spawn` (which runs ``fn`` on
+    a new OS thread) or :meth:`AddressSpace.adopt_current_thread` (which
+    binds STM state to an existing OS thread, e.g. the interpreter's main
+    thread in the examples).
+    """
+
+    def __init__(
+        self,
+        space: "AddressSpace",
+        name: str,
+        virtual_time: VirtualTime = INFINITY,
+        parent: "StampedeThread | None" = None,
+    ):
+        if parent is not None and vt_lt(virtual_time, parent.visibility()):
+            raise VirtualTimeError(
+                f"child thread {name!r} initial virtual time {virtual_time!r} "
+                f"is below parent visibility {parent.visibility()!r} (§4.2)"
+            )
+        self.space = space
+        self.name = name
+        self._lock = threading.Lock()
+        self._virtual_time: VirtualTime = virtual_time
+        #: (channel_id, conn_id, timestamp) triples currently open.
+        self._open: set[tuple[int, int, int]] = set()
+        self._alive = True
+        self.os_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # virtual time and visibility
+    # ------------------------------------------------------------------
+    @property
+    def virtual_time(self) -> VirtualTime:
+        with self._lock:
+            return self._virtual_time
+
+    def visibility(self) -> VirtualTime:
+        """min(virtual time, timestamps of currently open items)."""
+        with self._lock:
+            return vt_min(
+                [self._virtual_time] + [ts for (_, _, ts) in self._open]
+            )
+
+    def set_virtual_time(self, value: VirtualTime) -> None:
+        """Set the thread's virtual time (the paper's explicit VT call).
+
+        Any value >= the current *visibility* is legal — including values
+        below the current virtual time, as long as an open item already
+        holds the visibility down that far.
+        """
+        with self._lock:
+            vis = vt_min([self._virtual_time] + [ts for (_, _, ts) in self._open])
+            if vt_lt(value, vis):
+                raise VirtualTimeError(
+                    f"cannot set virtual time to {value!r}: below current "
+                    f"visibility {vis!r}"
+                )
+            self._virtual_time = value
+
+    def advance_virtual_time(self, value: VirtualTime) -> None:
+        """Alias of :meth:`set_virtual_time`; the paper phrases the GC-progress
+        obligation as "advancing" virtual time."""
+        self.set_virtual_time(value)
+
+    # ------------------------------------------------------------------
+    # open-item tracking (called by the connection layer)
+    # ------------------------------------------------------------------
+    def note_open(self, channel_id: int, conn_id: int, timestamp: int) -> None:
+        with self._lock:
+            self._open.add((channel_id, conn_id, timestamp))
+
+    def note_closed(self, channel_id: int, conn_id: int, timestamp: int) -> None:
+        with self._lock:
+            self._open.discard((channel_id, conn_id, timestamp))
+
+    def note_conn_closed(self, channel_id: int, conn_id: int) -> None:
+        """Drop all open entries of a detached connection."""
+        with self._lock:
+            self._open = {
+                entry for entry in self._open if entry[1] != conn_id
+            }
+
+    def open_items(self) -> set[tuple[int, int, int]]:
+        with self._lock:
+            return set(self._open)
+
+    def check_put_timestamp(self, timestamp: int) -> None:
+        """Enforce the §4.2 production rule: put timestamp >= visibility."""
+        vis = self.visibility()
+        if vt_lt(timestamp, vis):
+            raise VisibilityError(
+                f"thread {self.name!r} cannot put timestamp {timestamp}: "
+                f"below its visibility {vis!r} (virtual time "
+                f"{self.virtual_time!r}, open items pin the rest)"
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def _bind(self) -> None:
+        _tls.stampede_thread = self
+
+    def _unbind(self) -> None:
+        if getattr(_tls, "stampede_thread", None) is self:
+            _tls.stampede_thread = None
+
+    def _run(self, fn: Callable, args: tuple, kwargs: dict) -> None:
+        """Target wrapper for spawned OS threads."""
+        self._bind()
+        try:
+            fn(*args, **kwargs)
+        finally:
+            self._unbind()
+            self.space._thread_exited(self)
+            self._alive = False
+
+    def exit(self) -> None:
+        """Deregister an adopted thread (spawned threads exit automatically)."""
+        self._unbind()
+        self.space._thread_exited(self)
+        self._alive = False
+
+    def join(self, timeout: float | None = None) -> None:
+        if self.os_thread is not None:
+            self.os_thread.join(timeout)
+            if self.os_thread.is_alive():
+                raise TimeoutError(f"thread {self.name!r} did not exit in {timeout}s")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<StampedeThread {self.name!r} space={self.space.space_id} "
+            f"vt={self.virtual_time!r} open={len(self._open)}>"
+        )

@@ -1,0 +1,26 @@
+"""Discrete-event simulation of the Stampede cluster (hardware substitute).
+
+The simulator regenerates the paper's performance tables with the cost
+structure of the 1998 AlphaServer/Memory Channel platform; see
+:mod:`repro.sim.engine` for the task model and :mod:`repro.sim.sim_stampede`
+for the simulated runtime.
+"""
+
+from repro.sim.costs import DEFAULT_COSTS, SimCosts
+from repro.sim.engine import SimEngine, SimEvent, SimTaskHandle
+from repro.sim.sim_stampede import SimChannel, SimGcReport, SimStampede, SimThread
+from repro.sim.trace import SimTrace, SpanRecord
+
+__all__ = [
+    "DEFAULT_COSTS",
+    "SimChannel",
+    "SimCosts",
+    "SimEngine",
+    "SimEvent",
+    "SimGcReport",
+    "SimStampede",
+    "SimTaskHandle",
+    "SimThread",
+    "SimTrace",
+    "SpanRecord",
+]

@@ -1,0 +1,46 @@
+"""CPU-side cost constants for the simulated Stampede runtime.
+
+These model the software overheads the paper attributes to STM on top of
+raw CLF (§8.2): "these operations will involve a number of thread
+synchronizations and context switches (because manipulating a channel is
+done with a lock, and remote channel requests are handled by a server
+thread)."
+
+Times in microseconds, calibrated so the simulated Fig. 10/11 rows sit in
+the relationship to the Fig. 8/9 rows that the paper reports: STM one-way
+latency ≈ raw CLF latency of the payload plus the ack packet plus a few
+tens of microseconds of synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SimCosts", "DEFAULT_COSTS"]
+
+
+@dataclass(frozen=True)
+class SimCosts:
+    #: client-side bookkeeping of a put/get (argument marshalling, channel
+    #: lock, connection lookup).
+    op_cpu_us: float = 3.0
+    #: consume is lighter: no payload handling.
+    consume_cpu_us: float = 2.0
+    #: server-side handling of one remote channel request.
+    server_proc_us: float = 5.0
+    #: waking a blocked thread (context switch).
+    wakeup_us: float = 7.0
+    #: memcpy bandwidth for local copy-in/copy-out, MB/s (= B/µs); matches
+    #: the shared-memory medium's wire bandwidth.
+    copy_bw_mbps: float = 180.0
+    #: bytes of STM header accompanying a request on the wire.
+    request_header_bytes: int = 64
+    #: bytes of an ack / simple reply.
+    ack_bytes: int = 32
+
+    def copy_us(self, nbytes: int) -> float:
+        """Cost of one local memcpy of ``nbytes``."""
+        return nbytes / self.copy_bw_mbps
+
+
+DEFAULT_COSTS = SimCosts()

@@ -1,0 +1,226 @@
+"""A deterministic discrete-event engine with generator-based tasks.
+
+The simulator exists because the paper's numbers (Figs. 8-11) were measured
+on a cluster of 1998 AlphaServer SMPs on Memory Channel — hardware we have
+to substitute.  Tasks here are Python generators driven by a virtual clock
+in microseconds; communication costs come from the calibrated medium models
+(:mod:`repro.transport.media`).  Everything is deterministic: same program,
+same event order, same timings, every run.
+
+A task is a generator that yields *commands*:
+
+``("delay", us)``
+    Suspend for ``us`` microseconds of virtual time.
+``("delay_until", t_us)``
+    Suspend until absolute virtual time ``t_us`` (no-op if in the past).
+``("wait", SimEvent)``
+    Park until the event is pulsed or set.
+
+Composition uses plain ``yield from``.  A generator's return value (via
+``StopIteration``) propagates through ``yield from``, so helper operations
+can return results to their caller.
+
+The engine breaks time ties by sequence number (FIFO), which makes runs
+reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimDeadlockError, SimulationError
+
+__all__ = ["SimEvent", "SimTaskHandle", "SimEngine"]
+
+
+class SimEvent:
+    """A broadcast wakeup point for tasks.
+
+    ``pulse`` wakes every currently waiting task (they re-check their
+    condition and may wait again) — the virtual-time analogue of
+    ``Condition.notify_all``.  ``set`` additionally makes all *future* waits
+    complete immediately, like ``threading.Event``.
+    """
+
+    def __init__(self, engine: "SimEngine", name: str = ""):
+        self._engine = engine
+        self.name = name
+        self._waiters: list[SimTaskHandle] = []
+        self._set = False
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def pulse(self, delay_us: float = 0.0) -> None:
+        """Wake all current waiters after ``delay_us`` (scheduling cost)."""
+        waiters, self._waiters = self._waiters, []
+        for task in waiters:
+            self._engine._schedule(self._engine.now + delay_us, task)
+
+    def set(self, delay_us: float = 0.0) -> None:
+        self._set = True
+        self.pulse(delay_us)
+
+    def _add_waiter(self, task: "SimTaskHandle") -> bool:
+        """Register a waiter; returns False if the event is already set
+        (the task should not suspend)."""
+        if self._set:
+            return False
+        self._waiters.append(task)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SimEvent {self.name!r} waiters={len(self._waiters)} set={self._set}>"
+
+
+class SimTaskHandle:
+    """Scheduler bookkeeping for one running task."""
+
+    def __init__(self, engine: "SimEngine", gen: Generator, name: str):
+        self.engine = engine
+        self.gen = gen
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.waiting_on: str | None = None
+        self._done_event = SimEvent(engine, f"done:{name}")
+
+    def join(self):
+        """Generator command sequence waiting for this task to finish."""
+        while not self.done:
+            yield ("wait", self._done_event)
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else (self.waiting_on or "runnable")
+        return f"<SimTask {self.name!r} {state}>"
+
+
+class SimEngine:
+    """The event loop: a heap of ``(time, seq, task)`` resumptions."""
+
+    def __init__(self):
+        self.now: float = 0.0  # microseconds
+        self._heap: list[tuple[float, int, SimTaskHandle]] = []
+        self._seq = 0
+        self._tasks: list[SimTaskHandle] = []
+        self._n_blocked = 0  # tasks parked on events
+
+    # ------------------------------------------------------------------
+    def spawn(
+        self, gen_fn: Callable[..., Generator] | Generator, *args, name: str | None = None
+    ) -> SimTaskHandle:
+        """Add a task; ``gen_fn`` is a generator function (or generator)."""
+        gen = gen_fn(*args) if callable(gen_fn) else gen_fn
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"spawn needs a generator (a function using yield), got "
+                f"{type(gen).__name__} — did the task function forget to yield?"
+            )
+        task = SimTaskHandle(self, gen, name or getattr(gen_fn, "__name__", "task"))
+        self._tasks.append(task)
+        self._schedule(self.now, task)
+        return task
+
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(self, name)
+
+    def _schedule(self, when: float, task: SimTaskHandle) -> None:
+        if task.waiting_on is not None:
+            self._n_blocked -= 1
+            task.waiting_on = None
+        self._seq += 1
+        heapq.heappush(self._heap, (max(when, self.now), self._seq, task))
+
+    # ------------------------------------------------------------------
+    def run(self, until_us: float | None = None) -> float:
+        """Run until no events remain (or the time limit); returns now.
+
+        Raises :class:`SimDeadlockError` when every remaining task is
+        parked on an event nobody can pulse.
+        """
+        while self._heap:
+            when, _seq, task = heapq.heappop(self._heap)
+            if until_us is not None and when > until_us:
+                # Push back and stop at the horizon.
+                self._seq += 1
+                heapq.heappush(self._heap, (when, self._seq, task))
+                self.now = until_us
+                return self.now
+            self.now = when
+            self._step(task)
+        if self._n_blocked:
+            blocked = [t for t in self._tasks if t.waiting_on and not t.done]
+            detail = ", ".join(f"{t.name} on {t.waiting_on}" for t in blocked)
+            raise SimDeadlockError(
+                f"simulation deadlock at t={self.now:.1f}us: "
+                f"{self._n_blocked} task(s) blocked forever ({detail})"
+            )
+        return self.now
+
+    def _step(self, task: SimTaskHandle) -> None:
+        """Advance one task until it suspends or finishes."""
+        while True:
+            try:
+                command = task.gen.send(None)
+            except StopIteration as stop:
+                task.done = True
+                task.result = stop.value
+                task._done_event.set()
+                return
+            except BaseException as exc:  # noqa: BLE001 - recorded on the task
+                task.done = True
+                task.error = exc
+                task._done_event.set()
+                raise
+            if not isinstance(command, tuple) or not command:
+                raise SimulationError(
+                    f"task {task.name!r} yielded {command!r}; expected a "
+                    f"('delay'|'delay_until'|'wait', ...) tuple"
+                )
+            kind = command[0]
+            if kind == "delay":
+                us = float(command[1])
+                if us < 0:
+                    raise SimulationError(f"negative delay {us} in {task.name!r}")
+                if us == 0.0:
+                    continue  # zero-cost steps run inline
+                self._schedule(self.now + us, task)
+                return
+            if kind == "delay_until":
+                when = float(command[1])
+                if when <= self.now:
+                    continue
+                self._schedule(when, task)
+                return
+            if kind == "wait":
+                event: SimEvent = command[1]
+                if event._add_waiter(task):
+                    task.waiting_on = event.name or "event"
+                    self._n_blocked += 1
+                    return
+                continue  # already set: proceed immediately
+            raise SimulationError(
+                f"task {task.name!r} yielded unknown command {kind!r}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_tasks(self) -> list[SimTaskHandle]:
+        return [t for t in self._tasks if not t.done]
+
+    def run_all(self, tasks: Iterable[SimTaskHandle], until_us: float | None = None):
+        """Run until the given tasks complete (convenience for benches)."""
+        tasks = list(tasks)
+        self.run(until_us)
+        for t in tasks:
+            if not t.done:
+                raise SimulationError(f"task {t.name!r} did not finish")
+            if t.error is not None:
+                raise t.error
+        return [t.result for t in tasks]

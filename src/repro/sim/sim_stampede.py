@@ -1,0 +1,469 @@
+"""The simulated Stampede cluster: STM semantics on virtual time.
+
+This runtime drives the *same* :class:`~repro.core.channel_state.ChannelKernel`
+as the thread runtime, but tasks are discrete-event generators and every
+communication/synchronization step is charged to the virtual clock using the
+calibrated medium models — so the semantics of the two runtimes coincide by
+construction while the simulated timings have 1998-cluster shape.
+
+What is modeled (matching §8's description of where time goes):
+
+* per-operation CPU costs (channel lock, marshalling) — :class:`SimCosts`;
+* copy-in/copy-out memcpys at local-memory bandwidth;
+* request/reply messages for operations on remotely homed channels,
+  fragmented at the CLF MTU and pipelined over per-directed-link and
+  per-receiver resources (a busy link queues the message);
+* context-switch cost when a blocked operation is woken;
+* the synchronous-RPC structure of puts/gets ("two, four or more round-trip
+  communications", §8.2).
+
+Example
+-------
+>>> sim = SimStampede(n_spaces=2)
+>>> chan = sim.create_channel(home=1)
+>>> def producer(t):
+...     out = yield from t.attach_output(chan)
+...     t.set_virtual_time(0)
+...     yield from t.put(out, 0, nbytes=8)
+>>> def consumer(t):
+...     inp = yield from t.attach_input(chan)
+...     payload, ts, size = yield from t.get(inp, STM_OLDEST)
+...     yield from t.consume(inp, ts)
+...     return ts
+>>> sim.spawn(producer, space=0)
+>>> h = sim.spawn(consumer, space=1, virtual_time=0)
+>>> sim.run()  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.core.channel_state import ChannelKernel, Status
+from repro.core.flags import GetWildcard, UNKNOWN_REFCOUNT
+from repro.core.gc_state import compute_global_min
+from repro.core.time import INFINITY, VirtualTime, vt_lt, vt_min
+from repro.errors import (
+    ChannelEmptyError,
+    ChannelFullError,
+    SimulationError,
+    VisibilityError,
+    VirtualTimeError,
+)
+from repro.sim.costs import DEFAULT_COSTS, SimCosts
+from repro.sim.engine import SimEngine, SimEvent, SimTaskHandle
+from repro.transport.clf import ClusterTopology
+from repro.transport.media import CLF_MTU, MEMORY_CHANNEL, Medium
+
+__all__ = ["SimChannel", "SimThread", "SimStampede", "SimGcReport"]
+
+
+class _Link:
+    """Occupancy state of one directed link (and receiver NIC)."""
+
+    __slots__ = ("busy_until",)
+
+    def __init__(self):
+        self.busy_until = 0.0
+
+
+@dataclass
+class SimChannel:
+    """A channel in the simulated cluster.
+
+    ``busy_until`` models the channel lock: the paper notes that
+    "manipulating a channel is done with a lock", so the data-touching
+    phases of concurrent operations (copy-in on put, copy-out on get)
+    serialize per channel.  This serialization is what makes the 1P/1C
+    bandwidth of Fig. 11 column A "move data in bursts, one item at a
+    time" — much below raw CLF — while two overlapped streams (column B)
+    approach the wire limit.
+    """
+
+    kernel: ChannelKernel
+    home: int
+    event: SimEvent
+    name: str | None = None
+    busy_until: float = 0.0
+
+    @property
+    def channel_id(self) -> int:
+        return self.kernel.channel_id
+
+
+class SimThread:
+    """Per-task STM context: virtual-time state plus the operation verbs.
+
+    All operation methods are generators — call them with ``yield from``.
+    """
+
+    def __init__(self, sim: "SimStampede", space: int, name: str,
+                 virtual_time: VirtualTime):
+        self.sim = sim
+        self.space = space
+        self.name = name
+        self._virtual_time: VirtualTime = virtual_time
+        self._open: set[tuple[int, int, int]] = set()  # (chan, conn, ts)
+        self.handle: SimTaskHandle | None = None
+
+    # -- time ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.engine.now
+
+    @property
+    def virtual_time(self) -> VirtualTime:
+        return self._virtual_time
+
+    def visibility(self) -> VirtualTime:
+        return vt_min([self._virtual_time] + [ts for (_, _, ts) in self._open])
+
+    def set_virtual_time(self, value: VirtualTime) -> None:
+        vis = self.visibility()
+        if vt_lt(value, vis):
+            raise VirtualTimeError(
+                f"cannot set virtual time to {value!r}: below visibility {vis!r}"
+            )
+        self._virtual_time = value
+
+    def delay(self, us: float):
+        yield ("delay", us)
+
+    # -- channel lifecycle -----------------------------------------------------
+    def attach_output(self, channel: SimChannel):
+        conn_id = self.sim._conn_ids()
+        yield from self.sim._rpc_fixed(self.space, channel.home)
+        channel.kernel.attach_output(conn_id)
+        self.sim._conn_channel[conn_id] = channel
+        return conn_id
+
+    def attach_input(self, channel: SimChannel):
+        conn_id = self.sim._conn_ids()
+        yield from self.sim._rpc_fixed(self.space, channel.home)
+        channel.kernel.attach_input(conn_id, self.visibility())
+        self.sim._conn_channel[conn_id] = channel
+        return conn_id
+
+    def detach(self, channel: SimChannel, conn_id: int):
+        yield from self.sim._rpc_fixed(self.space, channel.home)
+        channel.kernel.detach(conn_id)
+        self._open = {e for e in self._open if e[1] != conn_id}
+        channel.event.pulse(self.sim.costs.wakeup_us)
+
+    # -- put -------------------------------------------------------------------
+    def put(
+        self,
+        conn_id_or_channel,
+        timestamp: int,
+        nbytes: int,
+        payload: Any = None,
+        *,
+        refcount: int = UNKNOWN_REFCOUNT,
+        block: bool = True,
+    ):
+        """Put ``nbytes`` of (virtual) data at ``timestamp``.
+
+        ``payload`` is carried through uncopied — the simulator charges the
+        copy/transfer *time* for ``nbytes`` instead of moving real bytes.
+        """
+        channel, conn_id = self._resolve(conn_id_or_channel)
+        vis = self.visibility()
+        if vt_lt(timestamp, vis):
+            raise VisibilityError(
+                f"sim thread {self.name!r} cannot put timestamp {timestamp}: "
+                f"below visibility {vis!r}"
+            )
+        costs = self.sim.costs
+        yield ("delay", costs.op_cpu_us)
+        remote = channel.home != self.space
+        if remote:
+            yield from self.sim._transfer(
+                self.space, channel.home, nbytes + costs.request_header_bytes
+            )
+        while True:
+            result = channel.kernel.put(conn_id, timestamp, payload, nbytes, refcount)
+            if result.status is Status.OK:
+                break
+            if not block:
+                raise ChannelFullError(
+                    f"sim channel {channel.channel_id} full "
+                    f"(capacity {channel.kernel.capacity})"
+                )
+            yield ("wait", channel.event)
+        # Copy-in under the channel lock (server-side for remote puts).
+        apply_cost = costs.copy_us(nbytes) + (
+            costs.server_proc_us if remote else 0.0
+        )
+        yield from self.sim._occupy_channel(channel, apply_cost)
+        channel.event.pulse(costs.wakeup_us)
+        if remote:
+            yield from self.sim._transfer(channel.home, self.space, costs.ack_bytes)
+
+    # -- get -------------------------------------------------------------------
+    def get(
+        self,
+        conn_id_or_channel,
+        request: int | GetWildcard,
+        *,
+        block: bool = True,
+    ):
+        """Get an item; returns ``(payload, timestamp, size)``."""
+        channel, conn_id = self._resolve(conn_id_or_channel)
+        costs = self.sim.costs
+        yield ("delay", costs.op_cpu_us)
+        remote = channel.home != self.space
+        if remote:
+            yield from self.sim._transfer(
+                self.space, channel.home, costs.request_header_bytes
+            )
+            yield ("delay", costs.server_proc_us)
+        while True:
+            result = channel.kernel.get(conn_id, request)
+            if result.status is Status.OK:
+                break
+            if not block:
+                raise ChannelEmptyError(
+                    f"no item matching {request!r} in sim channel "
+                    f"{channel.channel_id}; neighbours {result.timestamp_range}"
+                )
+            yield ("wait", channel.event)
+        ts = result.timestamp
+        assert ts is not None
+        self._open.add((channel.channel_id, conn_id, ts))
+        # Copy-out happens under the channel lock; for remote gets the server
+        # then ships the copy back as the reply payload.
+        yield from self.sim._occupy_channel(channel, costs.copy_us(result.size))
+        if remote:
+            yield from self.sim._transfer(
+                channel.home, self.space, result.size + costs.request_header_bytes
+            )
+        return result.payload, ts, result.size
+
+    # -- consume -----------------------------------------------------------------
+    def consume(self, conn_id_or_channel, timestamp: int, *, until: bool = False):
+        channel, conn_id = self._resolve(conn_id_or_channel)
+        costs = self.sim.costs
+        yield ("delay", costs.consume_cpu_us)
+        remote = channel.home != self.space
+        if remote:
+            yield from self.sim._transfer(
+                self.space, channel.home, costs.request_header_bytes
+            )
+            yield ("delay", costs.server_proc_us)
+        if until:
+            channel.kernel.consume_until(conn_id, timestamp)
+            self._open = {
+                e for e in self._open
+                if not (e[0] == channel.channel_id and e[1] == conn_id
+                        and e[2] <= timestamp)
+            }
+        else:
+            channel.kernel.consume(conn_id, timestamp)
+            self._open.discard((channel.channel_id, conn_id, timestamp))
+        channel.event.pulse(costs.wakeup_us)
+        if remote:
+            yield from self.sim._transfer(channel.home, self.space, costs.ack_bytes)
+
+    def consume_until(self, conn_id_or_channel, timestamp: int):
+        yield from self.consume(conn_id_or_channel, timestamp, until=True)
+
+    # -- plumbing ------------------------------------------------------------
+    def _resolve(self, conn_id_or_channel) -> tuple[SimChannel, int]:
+        """Ops accept ``(channel, conn_id)`` tuples or bare conn ids."""
+        if isinstance(conn_id_or_channel, tuple):
+            return conn_id_or_channel
+        conn_id = conn_id_or_channel
+        channel = self.sim._conn_channel.get(conn_id)
+        if channel is None:
+            raise SimulationError(f"unknown sim connection id {conn_id}")
+        return channel, conn_id
+
+
+@dataclass
+class SimGcReport:
+    """Result of one simulated GC round."""
+
+    epoch: int
+    horizon: VirtualTime
+    collected: int
+    at_us: float
+
+
+class SimStampede:
+    """The simulated cluster: spaces, links, channels, tasks, GC."""
+
+    def __init__(
+        self,
+        n_spaces: int = 2,
+        spaces_per_node: int = 1,
+        inter_node: Medium = MEMORY_CHANNEL,
+        costs: SimCosts = DEFAULT_COSTS,
+        mtu: int = CLF_MTU,
+    ):
+        self.engine = SimEngine()
+        self.topology = ClusterTopology(n_spaces, spaces_per_node, inter_node)
+        self.costs = costs
+        self.mtu = mtu
+        self._links: dict[tuple[int, int], _Link] = {}
+        self._rx: dict[int, _Link] = {i: _Link() for i in range(n_spaces)}
+        self._channel_counter = itertools.count(0)
+        self._conn_counter = itertools.count(0)
+        self.channels: list[SimChannel] = []
+        self.threads: list[SimThread] = []
+        self._conn_channel: dict[int, SimChannel] = {}
+        self.gc_reports: list[SimGcReport] = []
+        self._gc_epoch = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def create_channel(
+        self, home: int = 0, capacity: int | None = None, name: str | None = None
+    ) -> SimChannel:
+        """Zero-cost setup: create a channel homed at ``home``."""
+        if not 0 <= home < self.topology.n_spaces:
+            raise ValueError(f"home {home} out of range")
+        channel_id = next(self._channel_counter)
+        channel = SimChannel(
+            kernel=ChannelKernel(channel_id, capacity=capacity),
+            home=home,
+            event=self.engine.event(f"chan{channel_id}"),
+            name=name,
+        )
+        self.channels.append(channel)
+        return channel
+
+    def spawn(
+        self,
+        task_fn: Callable[[SimThread], Generator],
+        space: int = 0,
+        virtual_time: VirtualTime = 0,
+        name: str | None = None,
+    ) -> SimTaskHandle:
+        """Create a simulated Stampede thread running ``task_fn(thread)``."""
+        if not 0 <= space < self.topology.n_spaces:
+            raise ValueError(f"space {space} out of range")
+        tname = name or f"{task_fn.__name__}@{space}"
+        thread = SimThread(self, space, tname, virtual_time)
+        self.threads.append(thread)
+        handle = self.engine.spawn(task_fn, thread, name=tname)
+        thread.handle = handle
+        return handle
+
+    def run(self, until_us: float | None = None) -> float:
+        return self.engine.run(until_us)
+
+    def _conn_ids(self) -> int:
+        return next(self._conn_counter)
+
+    # ------------------------------------------------------------------
+    # transport model
+    # ------------------------------------------------------------------
+    def _link(self, src: int, dst: int) -> _Link:
+        link = self._links.get((src, dst))
+        if link is None:
+            link = self._links[(src, dst)] = _Link()
+        return link
+
+    def _service_us(self, medium: Medium, nbytes: int) -> float:
+        """Total sender-pipeline occupancy of one message (all fragments)."""
+        n_full, rest = divmod(nbytes, self.mtu)
+        total = n_full * medium.packet_service_us(self.mtu)
+        if rest or nbytes == 0:
+            total += medium.packet_service_us(rest)
+        return total
+
+    def _transfer(self, src: int, dst: int, nbytes: int):
+        """Move a message; the calling task is blocked until it lands.
+
+        Queues on the directed link and the receiver's NIC: a transfer may
+        not start until both are free (this is what lets two producers into
+        one consumer space overlap sync with data movement, Fig. 11 B).
+        """
+        if src == dst:
+            yield ("delay", self.costs.copy_us(nbytes))
+            return
+        medium = self.topology.medium(src, dst)
+        link = self._link(src, dst)
+        rx = self._rx[dst]
+        start = max(self.now, link.busy_until, rx.busy_until)
+        occupancy = self._service_us(medium, nbytes)
+        link.busy_until = start + occupancy
+        rx.busy_until = start + occupancy
+        arrival = start + medium.message_latency_us(nbytes, self.mtu)
+        yield ("delay_until", max(arrival, start + occupancy))
+
+    def _occupy_channel(self, channel: SimChannel, duration_us: float):
+        """Hold the channel lock for ``duration_us`` (queueing if busy)."""
+        start = max(self.now, channel.busy_until)
+        channel.busy_until = start + duration_us
+        yield ("delay_until", channel.busy_until)
+
+    def _rpc_fixed(self, src: int, dst: int):
+        """A control-only round trip (attach/detach and friends)."""
+        yield ("delay", self.costs.op_cpu_us)
+        if src == dst:
+            return
+        yield from self._transfer(src, dst, self.costs.request_header_bytes)
+        yield ("delay", self.costs.server_proc_us)
+        yield from self._transfer(dst, src, self.costs.ack_bytes)
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def gc_once_instant(self) -> SimGcReport:
+        """Recompute the global minimum and collect, charging no time.
+
+        Useful in tests; :meth:`start_gc_daemon` provides the time-charged
+        periodic variant.
+        """
+        self._gc_epoch += 1
+        horizon = compute_global_min(
+            [t.visibility() for t in self.threads if not (t.handle and t.handle.done)],
+            [c.kernel.unconsumed_min() for c in self.channels],
+        )
+        collected = 0
+        for channel in self.channels:
+            dead = channel.kernel.collect_below(horizon)
+            if dead:
+                collected += len(dead)
+                channel.event.pulse(self.costs.wakeup_us)
+        report = SimGcReport(self._gc_epoch, horizon, collected, self.now)
+        self.gc_reports.append(report)
+        return report
+
+    def start_gc_daemon(self, period_us: float, coordinator: int = 0) -> SimTaskHandle:
+        """Spawn the distributed GC daemon as a simulated task.
+
+        Each round charges the summary-gathering round trips to every space
+        and the horizon broadcast, mirroring
+        :class:`repro.runtime.gc_daemon.GcDaemon`.
+        """
+
+        def gc_daemon(thread: SimThread):
+            while True:
+                yield ("delay", period_us)
+                for space in range(self.topology.n_spaces):
+                    if space != coordinator:
+                        # summary request/reply (reply carries ~a cache line
+                        # per channel term)
+                        yield from self._transfer(
+                            coordinator, space, self.costs.request_header_bytes
+                        )
+                        yield ("delay", self.costs.server_proc_us)
+                        reply = self.costs.ack_bytes + 16 * max(len(self.channels), 1)
+                        yield from self._transfer(space, coordinator, reply)
+                report = self.gc_once_instant()
+                for space in range(self.topology.n_spaces):
+                    if space != coordinator:
+                        yield from self._transfer(
+                            coordinator, space, self.costs.ack_bytes
+                        )
+                del report
+
+        return self.spawn(gc_daemon, space=coordinator, virtual_time=INFINITY,
+                          name="sim-gc-daemon")

@@ -1,0 +1,20 @@
+"""Space-Time Memory: the user-facing API (Pythonic and spd_* C-style)."""
+
+from repro.stm.api import Channel, InputConnection, Item, OutputConnection, STM
+from repro.stm.dataparallel import DataParallelResult, run_data_parallel
+from repro.stm.monitor import ChannelProbe, ChannelSnapshot, SpaceTimeView
+from repro.stm.ticker import Ticker
+
+__all__ = [
+    "Channel",
+    "ChannelProbe",
+    "ChannelSnapshot",
+    "DataParallelResult",
+    "InputConnection",
+    "Item",
+    "OutputConnection",
+    "STM",
+    "SpaceTimeView",
+    "Ticker",
+    "run_data_parallel",
+]

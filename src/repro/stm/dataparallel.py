@@ -1,0 +1,157 @@
+"""Data-parallel stage replication over STM channels (paper §4.1 / [12]).
+
+    "to increase throughput, a module may contain replicated threads that
+    pull items from a common input channel, process them, and put items
+    into a common output channel."
+
+This module packages the replication idiom used by the image-based-rendering
+application into a reusable helper: :func:`run_data_parallel` spawns ``n``
+worker threads that partition a channel's timestamp axis by residue class
+(worker *i* handles ``ts ≡ i (mod n)``), process items with a user function,
+and put results — possibly out of order — into a shared output channel where
+STM's timestamp indexing reassembles the stream for downstream consumers.
+
+The STM discipline encapsulated here:
+
+* each worker walks *its* columns with blocking specific-timestamp gets;
+* after finishing column ``ts`` it calls ``consume_until(ts)``, releasing
+  its siblings' columns (which it will never read) so the GC horizon
+  advances at the pace of the slowest worker, not at all;
+* output timestamps are inherited from the open input item (§4.2), so
+  workers never manage virtual time.
+
+End-of-stream: a ``None`` item at any timestamp stops every worker (each
+worker sees it via its final bounded scan); the helper then forwards a
+single ``None`` to the output channel at the sentinel timestamp.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core import INFINITY
+from repro.stm.api import Channel
+
+__all__ = ["DataParallelResult", "run_data_parallel"]
+
+
+@dataclass
+class DataParallelResult:
+    """Outcome of a replicated stage run."""
+
+    items_processed: int = 0
+    per_worker: dict[int, int] = field(default_factory=dict)
+    completion_order: list[int] = field(default_factory=list)
+    errors: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def out_of_order(self) -> int:
+        return sum(
+            1
+            for a, b in zip(self.completion_order, self.completion_order[1:])
+            if b < a
+        )
+
+
+def run_data_parallel(
+    cluster,
+    in_channel: Channel,
+    out_channel: Channel,
+    worker_fn: Callable[[int, Any], Any],
+    n_items: int,
+    n_workers: int = 2,
+    worker_space: int | None = None,
+    sentinel_ts: int | None = None,
+    join_timeout: float = 120.0,
+) -> DataParallelResult:
+    """Process items 0..n_items-1 of ``in_channel`` with replicated workers.
+
+    ``worker_fn(timestamp, value) -> result`` runs in each worker thread;
+    its result is put into ``out_channel`` at the same timestamp.  When
+    ``sentinel_ts`` is given, a ``None`` end-of-stream item is put there
+    after all workers finish (producers typically pass ``n_items``).
+
+    Returns per-worker counts and the global completion order.  The caller
+    is responsible for producing the inputs (before or concurrently) and
+    for consuming the outputs.
+
+    Visibility contract (§4.2): the calling thread's visibility must be at
+    or below the first unprocessed timestamp when this is called — both so
+    the workers' initial virtual time of 0 is legal and so GC cannot
+    reclaim pre-produced items before the workers attach.  In practice:
+    keep the producer's virtual time at 0 while pre-producing, and advance
+    it only after this call returns.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    result = DataParallelResult()
+    lock = threading.Lock()
+
+    def worker(index: int) -> None:
+        from repro.runtime import current_thread
+
+        me = current_thread()
+        inp = in_channel.attach_input()
+        out = out_channel.attach_output()
+        me.set_virtual_time(INFINITY)
+        handled = 0
+        try:
+            for ts in range(index, n_items, n_workers):
+                item = inp.get(ts)
+                if item.value is None:
+                    inp.consume_until(ts)
+                    break
+                try:
+                    output = worker_fn(ts, item.value)
+                    out.put(ts, output)
+                except Exception as exc:  # noqa: BLE001 - recorded per item
+                    with lock:
+                        result.errors.append((ts, repr(exc)))
+                inp.consume_until(ts)  # releases siblings' columns too
+                handled += 1
+                with lock:
+                    result.completion_order.append(ts)
+                    result.items_processed += 1
+            if sentinel_ts is not None:
+                inp.consume_until(sentinel_ts)
+        finally:
+            inp.detach()
+            out.detach()
+            with lock:
+                result.per_worker[index] = handled
+
+    space_id = (
+        worker_space
+        if worker_space is not None
+        else in_channel.handle.home_space
+    )
+    threads = [
+        cluster.space(space_id).spawn(
+            worker, (i,), name=f"dp-worker-{i}-{id(result):x}", virtual_time=0
+        )
+        for i in range(n_workers)
+    ]
+    for thread in threads:
+        thread.join(join_timeout)
+
+    if sentinel_ts is not None:
+        def forward_sentinel() -> None:
+            from repro.runtime import current_thread
+
+            me = current_thread()
+            out = out_channel.attach_output()
+            me.set_virtual_time(sentinel_ts)
+            out.put(sentinel_ts, None)
+            out.detach()
+            me.set_virtual_time(INFINITY)
+
+        handle = cluster.space(space_id).spawn(
+            forward_sentinel, name=f"dp-sentinel-{id(result):x}",
+            virtual_time=0,
+        )
+        handle.join(join_timeout)
+    return result

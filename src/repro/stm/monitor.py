@@ -1,0 +1,188 @@
+"""Monitoring and debugging support (paper §6, "Connections to Channels").
+
+    "Such a flexibility would be valuable for instance if a thread wants to
+    create a debugging or a monitoring connection to the same channel in
+    addition to the one that it may need for data communication."
+
+Two tools:
+
+* :class:`ChannelProbe` — a read-only observer of one channel's state:
+  occupancy, per-connection item states, GC horizon, traffic counters.  It
+  inspects the home space's kernel under the channel lock (it does *not*
+  attach an input connection, so it never pins the GC minimum — exactly
+  what a monitor must not do).
+* :class:`SpaceTimeView` — renders a cluster's channels × timestamps table
+  as ASCII, the paper's Fig. 3 mental picture made printable.  Each cell
+  shows the item's state with respect to a chosen connection (or just
+  presence).  Invaluable when debugging visibility/GC interactions.
+
+Both work on live clusters; snapshots are consistent per channel (taken
+under the channel lock) but not across channels, which is the right
+trade-off for a monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.channel_state import ChannelKernel
+from repro.core.item import ItemState
+from repro.core.time import VirtualTime
+from repro.runtime.address_space import LocalChannel
+from repro.runtime.cluster import Cluster
+
+__all__ = ["ChannelSnapshot", "ChannelProbe", "SpaceTimeView"]
+
+_STATE_GLYPH = {
+    ItemState.UNSEEN: "u",
+    ItemState.OPEN: "O",
+    ItemState.CONSUMED: "c",
+}
+
+
+@dataclass
+class ChannelSnapshot:
+    """Point-in-time state of one channel."""
+
+    channel_id: int
+    name: str | None
+    home_space: int
+    timestamps: list[int]
+    stored_bytes: int
+    gc_horizon: int
+    unconsumed_min: VirtualTime
+    n_inputs: int
+    n_outputs: int
+    total_puts: int
+    total_gets: int
+    total_consumes: int
+    total_collected: int
+    total_refcount_collected: int
+    #: conn_id -> {timestamp -> state glyph}
+    states: dict[int, dict[int, str]] = field(default_factory=dict)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.timestamps)
+
+    def summary(self) -> str:
+        label = self.name or f"#{self.channel_id}"
+        return (
+            f"channel {label}@space{self.home_space}: "
+            f"{self.occupancy} items ({self.stored_bytes} B), "
+            f"horizon={self.gc_horizon}, min={self.unconsumed_min!r}, "
+            f"puts={self.total_puts} gets={self.total_gets} "
+            f"consumed={self.total_consumes} collected={self.total_collected}"
+        )
+
+
+class ChannelProbe:
+    """Read-only observer of a channel (never pins GC)."""
+
+    def __init__(self, cluster: Cluster, channel_id: int):
+        self.cluster = cluster
+        self.channel_id = channel_id
+        self._local = self._find()
+
+    def _find(self) -> LocalChannel:
+        for space in self.cluster.spaces:
+            try:
+                return space._channel(self.channel_id)
+            except Exception:  # noqa: BLE001 - not homed here
+                continue
+        from repro.errors import NoSuchChannelError
+
+        raise NoSuchChannelError(
+            f"channel {self.channel_id} is not homed anywhere in this cluster"
+        )
+
+    def snapshot(self) -> ChannelSnapshot:
+        """Consistent snapshot of the channel (taken under its lock)."""
+        local = self._local
+        with local.cond:
+            kernel: ChannelKernel = local.kernel
+            timestamps = kernel.timestamps()
+            states = {
+                conn_id: {
+                    ts: _STATE_GLYPH[view.state_of(ts)] for ts in timestamps
+                }
+                for conn_id, view in kernel.inputs.items()
+            }
+            return ChannelSnapshot(
+                channel_id=kernel.channel_id,
+                name=local.handle.name,
+                home_space=local.handle.home_space,
+                timestamps=timestamps,
+                stored_bytes=kernel.stored_bytes(),
+                gc_horizon=kernel.gc_horizon,
+                unconsumed_min=kernel.unconsumed_min(),
+                n_inputs=len(kernel.inputs),
+                n_outputs=len(kernel.outputs),
+                total_puts=kernel.total_puts,
+                total_gets=kernel.total_gets,
+                total_consumes=kernel.total_consumes,
+                total_collected=kernel.total_collected,
+                total_refcount_collected=kernel.total_refcount_collected,
+                states=states,
+            )
+
+    def watch(self, samples: int, interval_s: float) -> list[ChannelSnapshot]:
+        """Take periodic snapshots (a polling monitor thread's inner loop)."""
+        import time
+
+        out = []
+        for i in range(samples):
+            out.append(self.snapshot())
+            if i != samples - 1:
+                time.sleep(interval_s)
+        return out
+
+
+class SpaceTimeView:
+    """ASCII rendering of the cluster's space-time table (Fig. 3).
+
+    Rows are channels, columns are timestamps; a cell shows the glyph of
+    the item's state for each input connection of that channel::
+
+        timestamps        12   13   14   15
+        kiosk.video       cc   cO   uu   uu      <- 2 input connections
+        kiosk.lofi        c    c    u    -       <- '-' = no item
+
+    Glyphs: ``u`` unseen, ``O`` open, ``c`` consumed, ``-`` absent/collected.
+    """
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+
+    def snapshots(self) -> list[ChannelSnapshot]:
+        snaps = []
+        for space in self.cluster.spaces:
+            for local in space.local_channels():
+                snaps.append(
+                    ChannelProbe(self.cluster, local.kernel.channel_id).snapshot()
+                )
+        return sorted(snaps, key=lambda s: s.channel_id)
+
+    def render(self, max_columns: int = 24) -> str:
+        snaps = self.snapshots()
+        all_ts = sorted({ts for snap in snaps for ts in snap.timestamps})
+        if len(all_ts) > max_columns:
+            all_ts = all_ts[-max_columns:]
+        header = ["channel".ljust(24)] + [f"{ts:>5}" for ts in all_ts]
+        lines = ["space-time table", "  ".join(header)]
+        for snap in snaps:
+            label = (snap.name or f"#{snap.channel_id}")[:24].ljust(24)
+            cells = []
+            for ts in all_ts:
+                if ts not in snap.timestamps:
+                    cells.append("-".rjust(5))
+                    continue
+                glyphs = "".join(
+                    snap.states[conn].get(ts, "?")
+                    for conn in sorted(snap.states)
+                ) or "."
+                cells.append(glyphs.rjust(5))
+            lines.append("  ".join([label] + cells))
+        lines.append("glyphs: u=unseen O=open c=consumed -=absent "
+                     "(one per input connection)")
+        return "\n".join(lines)

@@ -1,0 +1,244 @@
+"""``spd_*``: the paper's C-style API, for line-by-line fidelity to Figs. 6-7.
+
+The Pythonic API (:mod:`repro.stm.api`) raises exceptions; this layer
+converts them into numeric status codes and out-parameter-style tuples so
+the digitizer/tracker fragments of the paper transliterate directly::
+
+    ocon = spd_attach_output_channel(video_frame_chan)
+    pacer = spd_init(SPD_TO_DIGITIZE, 33)
+    frame_count = 0
+    while True:
+        spd_await_tick(pacer)
+        frame = digitize_frame()
+        spd_channel_put_item(ocon, frame_count, frame)
+        frame_count += 1
+
+and::
+
+    spd_set_virtual_time(SPD_INFINITY)
+    icon = spd_attach_input_channel(video_frame_chan)
+    ocon = spd_attach_output_channel(model_location_chan)
+    while True:
+        code, frame, ts, _rng = spd_channel_get_item(icon, SPD_LATEST_UNSEEN)
+        location = detect_target(frame)
+        spd_channel_put_item(ocon, ts, location)
+        spd_channel_consume_item(icon, ts)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.flags import (
+    BlockMode,
+    GetWildcard,
+    STM_LATEST,
+    STM_LATEST_UNSEEN,
+    STM_OLDEST,
+    STM_OLDEST_UNSEEN,
+    UNKNOWN_REFCOUNT,
+)
+from repro.core.time import INFINITY
+from repro.errors import (
+    AlreadyConsumedError,
+    ChannelEmptyError,
+    ChannelFullError,
+    ConnectionClosedError,
+    DuplicateTimestampError,
+    ItemGarbageCollectedError,
+    NoSuchItemError,
+    StampedeError,
+    VisibilityError,
+)
+from repro.runtime.realtime import Pacer, TickReport
+from repro.runtime.threads import require_current_thread
+from repro.stm.api import Channel, InputConnection, Item, OutputConnection
+
+__all__ = [
+    "SPD_OK",
+    "SPD_FULL",
+    "SPD_EMPTY",
+    "SPD_GARBAGE_COLLECTED",
+    "SPD_CONSUMED",
+    "SPD_DUPLICATE",
+    "SPD_VISIBILITY",
+    "SPD_CLOSED",
+    "SPD_ERROR",
+    "SPD_TIMEOUT",
+    "SPD_INFINITY",
+    "SPD_LATEST",
+    "SPD_OLDEST",
+    "SPD_LATEST_UNSEEN",
+    "SPD_OLDEST_UNSEEN",
+    "SPD_BLOCK",
+    "SPD_NONBLOCK",
+    "SPD_UNKNOWN_REFCOUNT",
+    "spd_attach_input_channel",
+    "spd_attach_output_channel",
+    "spd_detach_channel",
+    "spd_channel_put_item",
+    "spd_channel_get_item",
+    "spd_channel_consume_item",
+    "spd_channel_consume_until_item",
+    "spd_set_virtual_time",
+    "spd_get_virtual_time",
+    "spd_init",
+    "spd_await_tick",
+]
+
+# -- status codes -----------------------------------------------------------
+SPD_OK = 0
+SPD_FULL = 1
+SPD_EMPTY = 2
+SPD_GARBAGE_COLLECTED = 3
+SPD_CONSUMED = 4
+SPD_DUPLICATE = 5
+SPD_VISIBILITY = 6
+SPD_CLOSED = 7
+SPD_TIMEOUT = 8
+SPD_ERROR = 99
+
+# -- constants mirroring the paper's spellings -------------------------------
+SPD_INFINITY = INFINITY
+SPD_LATEST = STM_LATEST
+SPD_OLDEST = STM_OLDEST
+SPD_LATEST_UNSEEN = STM_LATEST_UNSEEN
+SPD_OLDEST_UNSEEN = STM_OLDEST_UNSEEN
+SPD_BLOCK = BlockMode.BLOCK
+SPD_NONBLOCK = BlockMode.NONBLOCK
+SPD_UNKNOWN_REFCOUNT = UNKNOWN_REFCOUNT
+
+
+def _code_for(exc: BaseException) -> int:
+    if isinstance(exc, ChannelFullError):
+        return SPD_FULL
+    if isinstance(exc, ChannelEmptyError):
+        return SPD_EMPTY
+    if isinstance(exc, ItemGarbageCollectedError):
+        return SPD_GARBAGE_COLLECTED
+    if isinstance(exc, AlreadyConsumedError):
+        return SPD_CONSUMED
+    if isinstance(exc, DuplicateTimestampError):
+        return SPD_DUPLICATE
+    if isinstance(exc, VisibilityError):
+        return SPD_VISIBILITY
+    if isinstance(exc, ConnectionClosedError):
+        return SPD_CLOSED
+    if isinstance(exc, TimeoutError):
+        return SPD_TIMEOUT
+    return SPD_ERROR
+
+
+# -- attach / detach ----------------------------------------------------------
+def spd_attach_input_channel(channel: Channel) -> InputConnection:
+    """Create an input connection for the calling thread (Fig. 7)."""
+    return channel.attach_input()
+
+
+def spd_attach_output_channel(channel: Channel) -> OutputConnection:
+    """Create an output connection for the calling thread (Fig. 6)."""
+    return channel.attach_output()
+
+
+def spd_detach_channel(connection) -> int:
+    try:
+        connection.detach()
+        return SPD_OK
+    except StampedeError as exc:
+        return _code_for(exc)
+
+
+# -- put / get / consume ------------------------------------------------------
+def spd_channel_put_item(
+    o_connection: OutputConnection,
+    timestamp: int,
+    buf: Any,
+    flags: BlockMode = BlockMode.BLOCK,
+    refcount: int = UNKNOWN_REFCOUNT,
+) -> int:
+    """Put ``buf`` at ``timestamp``; returns a status code (paper §4.1)."""
+    try:
+        o_connection.put(
+            timestamp, buf, refcount=refcount, block=flags is BlockMode.BLOCK
+        )
+        return SPD_OK
+    except StampedeError as exc:
+        return _code_for(exc)
+
+
+def spd_channel_get_item(
+    i_connection: InputConnection,
+    timestamp: int | GetWildcard,
+    flags: BlockMode = BlockMode.BLOCK,
+) -> tuple[int, Any, int | None, tuple[int | None, int | None] | None]:
+    """Get an item; returns ``(code, buf, timestamp, timestamp_range)``.
+
+    On success ``timestamp_range`` is None; on a miss it carries the
+    neighbouring available timestamps, exactly like the paper's
+    out-parameter.
+    """
+    try:
+        item: Item = i_connection.get(timestamp, block=flags is BlockMode.BLOCK)
+        return (SPD_OK, item.value, item.timestamp, None)
+    except NoSuchItemError as exc:
+        return (_code_for(exc), None, None, exc.timestamp_range)
+    except StampedeError as exc:
+        return (_code_for(exc), None, None, None)
+
+
+def spd_channel_consume_item(i_connection: InputConnection, timestamp: int) -> int:
+    try:
+        i_connection.consume(timestamp)
+        return SPD_OK
+    except StampedeError as exc:
+        return _code_for(exc)
+
+
+def spd_channel_consume_until_item(
+    i_connection: InputConnection, timestamp: int
+) -> int:
+    try:
+        i_connection.consume_until(timestamp)
+        return SPD_OK
+    except StampedeError as exc:
+        return _code_for(exc)
+
+
+# -- virtual time --------------------------------------------------------------
+def spd_set_virtual_time(value) -> int:
+    """Set the calling thread's virtual time (SPD_INFINITY allowed)."""
+    try:
+        require_current_thread().set_virtual_time(value)
+        return SPD_OK
+    except StampedeError as exc:
+        return _code_for(exc)
+
+
+def spd_get_virtual_time():
+    return require_current_thread().virtual_time
+
+
+# -- real-time pacing (§4.3) -----------------------------------------------
+def spd_init(
+    purpose: str,
+    period_ms: float,
+    tolerance_ms: float | None = None,
+    handler: Callable[[TickReport], int | None] | None = None,
+) -> Pacer:
+    """Declare the mapping between virtual-time ticks and real time.
+
+    ``purpose`` is a free-form label (the paper writes
+    ``spd_init(TO_DIGITIZE, 33)``); ``period_ms`` is milliseconds of real
+    time per tick.  Returns the pacer to pass to :func:`spd_await_tick`.
+    """
+    del purpose  # label only; kept for call-site fidelity with Fig. 6
+    return Pacer(
+        period=period_ms / 1000.0,
+        tolerance=None if tolerance_ms is None else tolerance_ms / 1000.0,
+        handler=handler,
+    )
+
+
+def spd_await_tick(pacer: Pacer) -> int:
+    """Synchronize with the next real-time tick; returns its index."""
+    return pacer.wait_for_tick().tick

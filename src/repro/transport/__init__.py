@@ -1,0 +1,47 @@
+"""CLF transport substrate: packets, media models, reliable ordered delivery."""
+
+from repro.transport.clf import ClfEndpoint, ClfNetwork, ClfStats, ClusterTopology
+from repro.transport.media import (
+    CAMERA_BANDWIDTH_MBPS,
+    CAMERA_FPS,
+    CLF_MTU,
+    FRAME_INTERVAL_US,
+    IMAGE_BYTES,
+    MEDIA,
+    MEMORY_CHANNEL,
+    Medium,
+    SHARED_MEMORY,
+    UDP_LAN,
+)
+from repro.transport.packets import HEADER_BYTES, Reassembler, fragment, max_payload
+from repro.transport.serialization import (
+    decode_message,
+    encode_message,
+    message_types,
+    register_message,
+)
+
+__all__ = [
+    "CAMERA_BANDWIDTH_MBPS",
+    "CAMERA_FPS",
+    "CLF_MTU",
+    "ClfEndpoint",
+    "ClfNetwork",
+    "ClfStats",
+    "ClusterTopology",
+    "FRAME_INTERVAL_US",
+    "HEADER_BYTES",
+    "IMAGE_BYTES",
+    "MEDIA",
+    "MEMORY_CHANNEL",
+    "Medium",
+    "Reassembler",
+    "SHARED_MEMORY",
+    "UDP_LAN",
+    "decode_message",
+    "encode_message",
+    "fragment",
+    "max_payload",
+    "message_types",
+    "register_message",
+]

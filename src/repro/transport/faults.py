@@ -1,0 +1,133 @@
+"""Fault injection for the CLF transport (test instrumentation).
+
+CLF promises *reliable, ordered* delivery (§8.1); the layers above it are
+entitled to assume that and must fail **loudly**, not silently, if the
+promise is broken.  :class:`FaultyNetwork` wraps a :class:`ClfNetwork` and
+corrupts traffic on selected (src, dst) links — dropping, duplicating,
+reordering, or bit-flipping packets — so tests can verify that:
+
+* the reassembler detects every violation (CRC mismatch, fragment-stream
+  violations) and raises :class:`~repro.errors.TransportError`;
+* the runtime's dispatcher survives corrupt *messages* (it drops them and
+  keeps serving) rather than dying.
+
+This is deliberately not reachable from production paths: nothing in
+``repro.runtime`` imports it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.transport.clf import ClfEndpoint, ClfNetwork
+
+__all__ = ["FaultPlan", "FaultyNetwork"]
+
+
+@dataclass
+class FaultPlan:
+    """Per-link fault probabilities (independent per packet)."""
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    #: hold a packet back and release it after the next one (pairwise swap).
+    reorder: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("drop", "duplicate", "corrupt", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+
+class FaultyNetwork:
+    """A ClfNetwork whose selected links misbehave deterministically.
+
+    Wraps every endpoint so that sends over a faulted link pass through the
+    fault plan before enqueueing at the destination.  All other behaviour
+    (fragmentation, stats, close) is the wrapped network's.
+    """
+
+    def __init__(self, network: ClfNetwork):
+        self.network = network
+        self._plans: dict[tuple[int, int], FaultPlan] = {}
+        self._rngs: dict[tuple[int, int], random.Random] = {}
+        self._held: dict[tuple[int, int], bytes | None] = {}
+        self.injected = {"dropped": 0, "duplicated": 0, "corrupted": 0,
+                         "reordered": 0}
+        self._install()
+
+    def fault_link(self, src: int, dst: int, plan: FaultPlan) -> None:
+        self._plans[(src, dst)] = plan
+        self._rngs[(src, dst)] = random.Random(plan.seed)
+        self._held[(src, dst)] = None
+
+    def _install(self) -> None:
+        """Monkey-wrap each endpoint's low-level packet enqueue path."""
+        outer = self
+
+        original_send = ClfEndpoint.send
+
+        def faulty_send(endpoint, dst: int, data: bytes) -> None:
+            key = (endpoint.space, dst)
+            plan = outer._plans.get(key)
+            if plan is None or endpoint._network is not outer.network:
+                return original_send(endpoint, dst, data)
+            # Re-implement the send loop with per-packet faults.
+            from repro.transport.packets import fragment
+
+            target = outer.network._endpoint(dst)
+            msgid = next(endpoint._msgid)
+            rng = outer._rngs[key]
+            with outer.network._order_locks[key]:
+                for packet in fragment(msgid, data, outer.network.mtu):
+                    outer._deliver(key, target, endpoint.space, packet, rng,
+                                   plan)
+                held = outer._held.get(key)
+                if held is not None:
+                    # flush any packet still held for reordering
+                    target._inbox.put((endpoint.space, held))
+                    outer._held[key] = None
+            endpoint.stats.messages_sent += 1
+            endpoint.stats.bytes_sent += len(data)
+
+        self._faulty_send = faulty_send
+        ClfEndpoint.send = faulty_send  # type: ignore[method-assign]
+        self._original_send = original_send
+
+    def _deliver(self, key, target, src, packet: bytes, rng, plan) -> None:
+        if rng.random() < plan.drop:
+            self.injected["dropped"] += 1
+            return
+        if rng.random() < plan.corrupt:
+            self.injected["corrupted"] += 1
+            mutated = bytearray(packet)
+            mutated[rng.randrange(len(mutated))] ^= 0xFF
+            packet = bytes(mutated)
+        if rng.random() < plan.reorder and self._held.get(key) is None:
+            self.injected["reordered"] += 1
+            self._held[key] = packet
+            return
+        target._inbox.put((src, packet))
+        held = self._held.get(key)
+        if held is not None:
+            target._inbox.put((src, held))
+            self._held[key] = None
+        if rng.random() < plan.duplicate:
+            self.injected["duplicated"] += 1
+            target._inbox.put((src, packet))
+
+    def uninstall(self) -> None:
+        """Restore the pristine ClfEndpoint.send (idempotent)."""
+        if getattr(self, "_original_send", None) is not None:
+            ClfEndpoint.send = self._original_send  # type: ignore[method-assign]
+            self._original_send = None
+
+    def __enter__(self) -> "FaultyNetwork":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.uninstall()

@@ -1,0 +1,185 @@
+"""Cost models for the three communication media of the paper (§8.1).
+
+The paper's CLF runs over shared memory within an SMP, Digital Memory
+Channel between SMPs, and UDP over a 100 Mbit/s FDDI LAN as the fallback.
+We cannot run on that hardware, so each medium is a small analytic model
+calibrated against the published cells of Figs. 8-9:
+
+* one-way latency of a packet of ``n`` bytes::
+
+      latency(n) = base_latency + per_byte_latency * n
+
+* maximum pipelined throughput is limited by both the per-packet send
+  overhead (CPU/synchronization cost, which dominates for small packets) and
+  the wire bandwidth (which dominates for large packets)::
+
+      throughput(n) = n / max(send_overhead, n / wire_bandwidth)
+
+Published calibration anchors (paper Figs. 8-9):
+
+=================  ============  ==================  ===========
+medium             latency @8 B  throughput @8 B     wire limit
+=================  ============  ==================  ===========
+shared memory      17 µs         2.3 MB/s            SMP bus
+Memory Channel     19 µs         2.3 MB/s            ~66 MB/s hw
+UDP / FDDI LAN     227 µs        0.13 MB/s           12.5 MB/s
+=================  ============  ==================  ===========
+
+(2.3 MB/s at 8 bytes/packet ⇒ ≈3.5 µs per-packet overhead; 0.13 MB/s at
+8 bytes ⇒ ≈62 µs per packet for the UDP stack.)  Cells the scan of the paper
+does not preserve are interpolated by the model; EXPERIMENTS.md flags them.
+
+The models are used by the simulated transport (:mod:`repro.sim`) to charge
+virtual time, and by the benchmark harness to regenerate Figs. 8-11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Medium",
+    "SHARED_MEMORY",
+    "MEMORY_CHANNEL",
+    "UDP_LAN",
+    "MEDIA",
+    "CLF_MTU",
+    "IMAGE_BYTES",
+    "CAMERA_FPS",
+    "CAMERA_BANDWIDTH_MBPS",
+    "FRAME_INTERVAL_US",
+]
+
+#: CLF maximum packet size in bytes (paper §8.1).
+CLF_MTU: int = 8152
+
+#: One 320x240 pixel, 24-bit video frame (paper §8.1): 230 400 bytes.
+IMAGE_BYTES: int = 320 * 240 * 3
+
+#: Camera frame rate and the bandwidth it implies (6.912 MB/s).
+CAMERA_FPS: int = 30
+CAMERA_BANDWIDTH_MBPS: float = IMAGE_BYTES * CAMERA_FPS / 1e6
+FRAME_INTERVAL_US: float = 1e6 / CAMERA_FPS  # 33 333 µs
+
+
+@dataclass(frozen=True)
+class Medium:
+    """Analytic cost model of one communication medium.
+
+    All times in microseconds, bandwidths in MB/s (decimal, as the paper's
+    tables use).
+    """
+
+    name: str
+    #: fixed one-way latency of a minimal packet (includes CLF's internal
+    #: synchronizations and context switches — the paper notes truly raw
+    #: latencies would be under 5 µs).
+    base_latency_us: float
+    #: incremental one-way latency per byte (µs/B) — the store-and-forward
+    #: cost of pushing the payload through the wire once.
+    per_byte_latency_us: float
+    #: per-packet CPU/sync cost at the sender that bounds the packet rate of
+    #: a pipelined stream.
+    send_overhead_us: float
+    #: sustained wire bandwidth in MB/s for back-to-back packets.
+    wire_bandwidth_mbps: float
+    #: True when src and dst share physical memory (paper: CLF "exploits
+    #: shared memory within an SMP").
+    intra_node: bool = False
+
+    def one_way_latency_us(self, nbytes: int) -> float:
+        """Minimum one-way end-to-end latency of one packet of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self.base_latency_us + self.per_byte_latency_us * nbytes
+
+    def packet_service_us(self, nbytes: int) -> float:
+        """Time the sender's pipeline is occupied by one packet.
+
+        The reciprocal of the achievable packet rate: per-packet overhead or
+        wire occupancy, whichever binds.
+        """
+        wire_us = nbytes / self.wire_bandwidth_mbps  # MB/s == B/µs
+        return max(self.send_overhead_us, wire_us)
+
+    def max_bandwidth_mbps(self, packet_bytes: int) -> float:
+        """Maximum pipelined throughput with packets of the given size (MB/s)."""
+        if packet_bytes <= 0:
+            raise ValueError(f"packet_bytes must be > 0, got {packet_bytes}")
+        return packet_bytes / self.packet_service_us(packet_bytes)
+
+    def message_latency_us(self, nbytes: int, mtu: int = CLF_MTU) -> float:
+        """One-way latency of a message fragmented into MTU-sized packets.
+
+        Packets of one message are pipelined: the message completes when the
+        last packet lands, i.e. first-packet latency plus the service time of
+        the remaining packets.
+        """
+        if nbytes <= mtu:
+            return self.one_way_latency_us(nbytes)
+        n_full, rest = divmod(nbytes, mtu)
+        tail = self.one_way_latency_us(rest if rest else mtu)
+        lead_packets = n_full - (0 if rest else 1)
+        return lead_packets * self.packet_service_us(mtu) + tail
+
+    def acked_stream_bandwidth_mbps(
+        self,
+        message_bytes: int,
+        ack_every_bytes: int,
+        mtu: int = CLF_MTU,
+    ) -> float:
+        """Bandwidth when the sender awaits an ack after ``ack_every_bytes``.
+
+        Models the rightmost column of Fig. 9 (ack after every image-worth,
+        230 400 B): each window costs its pipelined transmission plus one
+        round trip of stall.
+        """
+        if ack_every_bytes <= 0:
+            raise ValueError("ack_every_bytes must be > 0")
+        window_us = self.message_latency_us(ack_every_bytes, mtu)
+        ack_us = self.one_way_latency_us(8)
+        per_window = window_us + ack_us
+        windows = max(message_bytes / ack_every_bytes, 1.0)
+        return (windows * ack_every_bytes) / (windows * per_window)
+
+
+#: Shared memory within one SMP.  2.3 MB/s @ 8 B ⇒ 3.5 µs/packet overhead;
+#: bus bandwidth chosen so an 8152 B packet moves at SMP copy speed.
+SHARED_MEMORY = Medium(
+    name="Shared Memory (within an SMP)",
+    base_latency_us=16.5,
+    per_byte_latency_us=1.0 / 180.0,  # ~180 MB/s memcpy on a 1998 Alpha SMP
+    send_overhead_us=3.5,
+    wire_bandwidth_mbps=180.0,
+    intra_node=True,
+)
+
+#: Digital Memory Channel between SMPs.  19 µs @ 8 B; ~66 MB/s hardware limit.
+MEMORY_CHANNEL = Medium(
+    name="Memory Channel (between SMPs)",
+    base_latency_us=18.5,
+    per_byte_latency_us=1.0 / 66.0,
+    send_overhead_us=3.5,
+    wire_bandwidth_mbps=66.0,
+)
+
+#: UDP over a 100 Mbit/s FDDI LAN (max 12.5 MB/s).  227 µs @ 8 B;
+#: 0.13 MB/s @ 8 B ⇒ ~62 µs per packet through the UDP stack.  The
+#: effective per-byte cost (~0.22 µs/B, i.e. ~4.5 MB/s through the kernel
+#: UDP path) is fitted to the paper's Fig. 10 UDP row: 449/487/691/1357/2075
+#: µs at 8/128/1024/4096/8112 B ≈ one CLF one-way of the payload plus one
+#: 8-byte ack, which this model reproduces within a few percent.
+UDP_LAN = Medium(
+    name="UDP/LAN (between SMPs)",
+    base_latency_us=226.0,
+    per_byte_latency_us=1.0 / 4.5,
+    send_overhead_us=61.5,
+    wire_bandwidth_mbps=4.5,
+)
+
+#: The three media of Figs. 8-9, in the paper's row order.
+MEDIA: dict[str, Medium] = {
+    "shm": SHARED_MEMORY,
+    "memory_channel": MEMORY_CHANNEL,
+    "udp": UDP_LAN,
+}

@@ -1,0 +1,125 @@
+"""CLF packetization: fragmentation and reassembly at the 8152-byte MTU.
+
+CLF is a *packet* transport (paper §8.1): messages larger than the MTU are
+split into packets and reassembled at the receiver.  Because CLF guarantees
+reliable ordered point-to-point delivery, reassembly needs no sequence
+numbers for correctness — but we carry them anyway and verify them, turning
+any ordering bug in a transport implementation into a loud error instead of
+silent data corruption.
+
+Packet layout (little-endian)::
+
+    0       8       16      24      28      32
+    +-------+-------+-------+-------+-------+----------------+
+    | msgid | index | count | paylen| crc32 | payload ...    |
+    +-------+-------+-------+-------+-------+----------------+
+
+``msgid`` is unique per (sender, message); ``index``/``count`` place the
+fragment; ``paylen`` is the fragment payload length; ``crc32`` covers the
+payload.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator
+
+from repro.errors import PacketTooLargeError, TransportError
+from repro.transport.media import CLF_MTU
+
+__all__ = ["HEADER_BYTES", "max_payload", "fragment", "Reassembler"]
+
+_HEADER = struct.Struct("<QQQII")
+#: bytes of header per packet.
+HEADER_BYTES: int = _HEADER.size  # 8+8+8+4+4 = 32
+
+
+def max_payload(mtu: int = CLF_MTU) -> int:
+    """Largest payload that fits one packet under the given MTU."""
+    if mtu <= HEADER_BYTES:
+        raise ValueError(f"mtu {mtu} leaves no room for the {HEADER_BYTES}-byte header")
+    return mtu - HEADER_BYTES
+
+
+def fragment(msgid: int, data: bytes, mtu: int = CLF_MTU) -> Iterator[bytes]:
+    """Split ``data`` into wire packets of at most ``mtu`` bytes.
+
+    A zero-length message still produces one (header-only) packet so the
+    receiver observes it.
+    """
+    chunk = max_payload(mtu)
+    count = max(1, -(-len(data) // chunk))  # ceil division
+    for index in range(count):
+        payload = data[index * chunk : (index + 1) * chunk]
+        header = _HEADER.pack(msgid, index, count, len(payload), zlib.crc32(payload))
+        yield header + payload
+
+
+def parse(packet: bytes, mtu: int = CLF_MTU) -> tuple[int, int, int, bytes]:
+    """Parse one wire packet -> (msgid, index, count, payload)."""
+    if len(packet) > mtu:
+        raise PacketTooLargeError(
+            f"packet of {len(packet)} bytes exceeds MTU {mtu}"
+        )
+    if len(packet) < HEADER_BYTES:
+        raise TransportError(f"runt packet of {len(packet)} bytes")
+    msgid, index, count, paylen, crc = _HEADER.unpack_from(packet)
+    payload = packet[HEADER_BYTES : HEADER_BYTES + paylen]
+    if len(payload) != paylen:
+        raise TransportError(
+            f"truncated packet: header claims {paylen} payload bytes, "
+            f"got {len(payload)}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise TransportError(f"payload CRC mismatch in message {msgid} packet {index}")
+    return msgid, index, count, payload
+
+
+class Reassembler:
+    """Rebuild messages from a reliable ordered packet stream.
+
+    One instance per (remote sender) direction.  Because the stream is
+    ordered, fragments of a message arrive contiguously and in order; the
+    reassembler enforces this and raises :class:`TransportError` on any
+    violation.
+    """
+
+    def __init__(self, mtu: int = CLF_MTU):
+        self.mtu = mtu
+        self._msgid: int | None = None
+        self._expect_index = 0
+        self._count = 0
+        self._parts: list[bytes] = []
+
+    def feed(self, packet: bytes) -> bytes | None:
+        """Consume one packet; return the completed message or None."""
+        msgid, index, count, payload = parse(packet, self.mtu)
+        if self._msgid is None:
+            if index != 0:
+                raise TransportError(
+                    f"message {msgid} began at fragment {index}, expected 0 "
+                    f"(ordering violation)"
+                )
+            self._msgid, self._count = msgid, count
+            self._parts = []
+            self._expect_index = 0
+        if msgid != self._msgid or index != self._expect_index or count != self._count:
+            raise TransportError(
+                f"fragment stream violation: got (msg={msgid}, idx={index}, "
+                f"cnt={count}), expected (msg={self._msgid}, "
+                f"idx={self._expect_index}, cnt={self._count})"
+            )
+        self._parts.append(payload)
+        self._expect_index += 1
+        if self._expect_index == self._count:
+            data = b"".join(self._parts)
+            self._msgid = None
+            self._parts = []
+            return data
+        return None
+
+    @property
+    def mid_message(self) -> bool:
+        """True while a partially received message is pending."""
+        return self._msgid is not None

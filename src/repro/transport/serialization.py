@@ -1,0 +1,74 @@
+"""Message serialization for cross-address-space traffic.
+
+All runtime control messages (channel RPCs, GC protocol, thread spawning)
+are dataclasses serialized with pickle protocol 5.  Item payloads are
+*already* bytes by the time they reach a message (the channel facade encodes
+them under the SERIALIZE copy policy), so a payload crosses the wire inside
+the message without a second encode.
+
+A small header byte-tags each message with its registered type so a
+receiving dispatcher can route without unpickling twice, and so corrupted or
+foreign traffic fails loudly.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Type
+
+from repro.errors import TransportError
+
+__all__ = ["register_message", "encode_message", "decode_message", "message_types"]
+
+_BY_TAG: dict[int, Type] = {}
+_BY_TYPE: dict[Type, int] = {}
+
+
+def register_message(tag: int):
+    """Class decorator registering a message type under a unique tag."""
+
+    def apply(cls: Type) -> Type:
+        if tag in _BY_TAG and _BY_TAG[tag] is not cls:
+            raise ValueError(
+                f"message tag {tag} already registered for {_BY_TAG[tag].__name__}"
+            )
+        if not 0 <= tag <= 0xFFFF:
+            raise ValueError(f"tag must fit 16 bits, got {tag}")
+        _BY_TAG[tag] = cls
+        _BY_TYPE[cls] = tag
+        return cls
+
+    return apply
+
+
+def message_types() -> dict[int, Type]:
+    """Snapshot of the registry (diagnostics and tests)."""
+    return dict(_BY_TAG)
+
+
+def encode_message(msg: Any) -> bytes:
+    """Serialize a registered message to wire bytes."""
+    tag = _BY_TYPE.get(type(msg))
+    if tag is None:
+        raise TransportError(
+            f"cannot encode unregistered message type {type(msg).__name__}"
+        )
+    return tag.to_bytes(2, "little") + pickle.dumps(
+        msg, protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def decode_message(data: bytes) -> Any:
+    """Deserialize wire bytes produced by :func:`encode_message`."""
+    if len(data) < 2:
+        raise TransportError(f"message too short: {len(data)} bytes")
+    tag = int.from_bytes(data[:2], "little")
+    cls = _BY_TAG.get(tag)
+    if cls is None:
+        raise TransportError(f"unknown message tag {tag}")
+    msg = pickle.loads(data[2:])
+    if not isinstance(msg, cls):
+        raise TransportError(
+            f"message tag {tag} ({cls.__name__}) wraps a {type(msg).__name__}"
+        )
+    return msg

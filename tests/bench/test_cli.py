@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro.bench`` command-line harness."""
+
+import pytest
+
+from repro.bench.cli import EXPERIMENTS, main, run
+
+
+class TestRun:
+    def test_single_experiment(self):
+        tables = run(["fig08"], mode="simulated")
+        assert len(tables) == 1
+        assert tables[0].title.startswith("Fig. 8")
+
+    def test_both_modes_doubles_tables(self):
+        tables = run(["fig08"], mode="both")
+        assert len(tables) == 2
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(SystemExit):
+            run(["not-an-experiment"])
+
+    def test_registry_covers_every_paper_table(self):
+        for fig in ("fig08", "fig09", "fig10", "fig11"):
+            assert fig in EXPERIMENTS
+
+    def test_registry_covers_ablations(self):
+        ablations = [k for k in EXPERIMENTS if k.startswith("ablation-")]
+        assert len(ablations) >= 6
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "ablation-gc" in out
+
+    def test_prints_table(self, capsys):
+        assert main(["--only", "fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 8" in out
+        assert "(17)" in out  # paper reference cell
+
+    def test_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "tables.txt"
+        assert main(["--only", "fig09", "--out", str(target)]) == 0
+        assert "Fig. 9" in target.read_text()

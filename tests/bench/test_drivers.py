@@ -1,0 +1,167 @@
+"""Tests for the table drivers: structure and paper-shape assertions.
+
+These are the *correctness* tests of the reproduction harness — the actual
+regeneration runs live in ``benchmarks/``.  Each test asserts the shape
+properties §8 claims, on reduced workloads so the suite stays fast.
+"""
+
+import pytest
+
+from repro.bench import (
+    clf_bandwidth_table,
+    clf_latency_table,
+    channel_depth_ablation,
+    gc_cadence_ablation,
+    gc_strategy_ablation,
+    placement_ablation,
+    skipping_ablation,
+    stm_bandwidth_table,
+    stm_latency_table,
+)
+from repro.transport.media import CAMERA_BANDWIDTH_MBPS, MEMORY_CHANNEL, UDP_LAN
+
+
+class TestFig08:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return clf_latency_table("simulated")
+
+    def test_rows_and_columns(self, table):
+        assert len(table.rows) == 3
+        assert table.columns == [8, 128, 1024, 4096, 8152]
+
+    def test_matches_published_8byte_cells(self, table):
+        for row, cells in table.paper.items():
+            for col, published in cells.items():
+                assert table.cell(row, col) == pytest.approx(published, rel=0.05)
+
+    def test_rows_monotone(self, table):
+        for cells in table.rows.values():
+            values = [cells[c] for c in table.columns]
+            assert values == sorted(values)
+
+    def test_udp_dominates(self, table):
+        udp = table.rows[UDP_LAN.name]
+        mc = table.rows[MEMORY_CHANNEL.name]
+        for col in table.columns:
+            assert udp[col] > mc[col]
+
+    def test_render_includes_paper_refs(self, table):
+        text = table.render()
+        assert "(17)" in text and "(227)" in text
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            clf_latency_table("nope")
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return clf_bandwidth_table("simulated")
+
+    def test_ack_column_present_and_lower(self, table):
+        for cells in table.rows.values():
+            assert cells["8152*"] < cells[8152]
+
+    def test_published_cells(self, table):
+        for row, cells in table.paper.items():
+            for col, published in cells.items():
+                assert table.cell(row, col) == pytest.approx(published, rel=0.05)
+
+    def test_memory_channel_beats_camera_rate(self, table):
+        assert table.rows[MEMORY_CHANNEL.name][8152] > CAMERA_BANDWIDTH_MBPS
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return stm_latency_table("simulated", items=30)
+
+    def test_udp_row_within_15pct_of_paper(self, table):
+        """The paper's surviving UDP row: 449/487/691/1357/2075 µs."""
+        udp = table.rows[UDP_LAN.name]
+        for col, published in table.paper[UDP_LAN.name].items():
+            assert udp[col] == pytest.approx(published, rel=0.15)
+
+    def test_stm_latency_exceeds_raw_clf(self, table):
+        """STM adds round trips on top of raw CLF (§8.2)."""
+        for medium in (MEMORY_CHANNEL, UDP_LAN):
+            for col in table.columns:
+                assert table.rows[medium.name][col] > medium.one_way_latency_us(col)
+
+    def test_well_below_frame_interval(self, table):
+        """'these latencies are still well below the 33 msec frame rate'."""
+        for cells in table.rows.values():
+            for value in cells.values():
+                assert value < 33_333 / 2
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return stm_bandwidth_table("simulated", items=20)
+
+    def test_column_a_below_raw_but_above_camera(self, table):
+        a = table.rows["A: 1 producer / 1 consumer"]["MB/s"]
+        raw = MEMORY_CHANNEL.wire_bandwidth_mbps
+        assert CAMERA_BANDWIDTH_MBPS < a < 0.85 * raw
+
+    def test_column_b_approaches_raw(self, table):
+        b = table.rows["B: 2 producers / 2 consumers"]["MB/s"]
+        a = table.rows["A: 1 producer / 1 consumer"]["MB/s"]
+        raw = MEMORY_CHANNEL.wire_bandwidth_mbps
+        assert b > a
+        assert b > 0.9 * raw
+
+
+class TestAblations:
+    def test_gc_strategy_tradeoff(self):
+        table = gc_strategy_ablation(items=40, consumers=2,
+                                     gc_period_us=50_000.0)
+        ref = table.rows["refcount"]
+        reach = table.rows["reachability"]
+        hybrid = table.rows["hybrid"]
+        # eager refcounting keeps occupancy minimal; reachability buffers
+        assert ref["peak_items"] < reach["peak_items"]
+        assert ref["collected_refcount"] == 40
+        assert reach["collected_reachability"] == 40
+        assert hybrid["collected_refcount"] == 20
+        assert hybrid["collected_reachability"] == 20
+
+    def test_placement_consumer_home_is_fastest(self):
+        table = placement_ablation(items=10)
+        rows = table.rows
+        consumer = rows["consumer space (data pushed early)"]["latency_us"]
+        third = rows["third space (two hops)"]["latency_us"]
+        assert consumer < third  # two hops always lose
+
+    def test_channel_depth_tradeoff(self):
+        table = channel_depth_ablation(depths=[1, 8, None], items=30)
+        d1 = table.rows["1"]
+        unbounded = table.rows["unbounded"]
+        assert d1["producer_block_us"] > unbounded["producer_block_us"]
+        assert d1["mean_staleness_frames"] <= unbounded["mean_staleness_frames"]
+
+    def test_skipping_keeps_data_fresh(self):
+        table = skipping_ablation(items=45)
+        skip = table.rows["latest_unseen"]
+        strict = table.rows["strict_oldest"]
+        assert skip["skipped"] > 0
+        assert strict["skipped"] == 0
+        assert skip["mean_staleness_frames"] < strict["mean_staleness_frames"]
+
+    def test_gc_cadence_tradeoff(self):
+        table = gc_cadence_ablation(periods_us=[16_000.0, 256_000.0], items=30)
+        fast = table.rows["16.0 ms"]
+        slow = table.rows["256.0 ms"]
+        assert fast["gc_rounds"] > slow["gc_rounds"]
+        assert fast["peak_buffered_mb"] <= slow["peak_buffered_mb"]
+
+
+class TestTableResult:
+    def test_as_dict(self):
+        table = clf_latency_table("simulated")
+        d = table.as_dict()
+        assert d["title"].startswith("Fig. 8")
+        assert d["columns"] == [8, 128, 1024, 4096, 8152]

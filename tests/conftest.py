@@ -1,0 +1,27 @@
+"""Suite-wide hygiene: no test may leak an adopted Stampede thread.
+
+An adopted thread left bound to the pytest main OS thread bleeds into the
+next test's `adopt_current_thread` (it would silently reuse a thread from a
+dead cluster).  This autouse fixture unbinds leftovers and fails the suite
+loudly in a way that names the offending test.
+"""
+
+import pytest
+
+from repro.runtime.threads import current_thread
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_adopted_threads(request):
+    before = current_thread()
+    if before is not None and before.alive:
+        # Defensive: a previous test leaked; clean up so THIS test is sound.
+        before.exit()
+    yield
+    after = current_thread()
+    if after is not None and after.alive:
+        after.exit()
+        pytest.fail(
+            f"{request.node.nodeid} leaked an adopted StampedeThread "
+            f"({after.name!r}); call .exit() before the test returns"
+        )

@@ -1,0 +1,308 @@
+"""Unit tests for the channel kernel: puts, gets, wildcards (paper §4.1)."""
+
+import pytest
+
+from repro.core.channel_state import BlockReason, ChannelKernel, Status
+from repro.core.flags import (
+    STM_LATEST,
+    STM_LATEST_UNSEEN,
+    STM_OLDEST,
+    UNKNOWN_REFCOUNT,
+)
+from repro.core.item import ItemState
+from repro.core.time import INFINITY
+from repro.errors import (
+    AlreadyConsumedError,
+    ChannelDestroyedError,
+    ConnectionClosedError,
+    DuplicateTimestampError,
+    ItemGarbageCollectedError,
+)
+
+OUT, IN = 100, 200  # connection ids used throughout
+
+
+@pytest.fixture
+def chan():
+    k = ChannelKernel(channel_id=1)
+    k.attach_output(OUT)
+    k.attach_input(IN, visibility=0)
+    return k
+
+
+def put(k, ts, payload=b"x", **kw):
+    return k.put(OUT, ts, payload, len(payload), **kw)
+
+
+class TestPut:
+    def test_put_and_len(self, chan):
+        assert put(chan, 0).status is Status.OK
+        assert len(chan) == 1
+        assert chan.timestamps() == [0]
+
+    def test_out_of_order_puts_allowed(self, chan):
+        """§4.1: replicated threads may put out of timestamp order."""
+        for ts in [5, 2, 9, 0]:
+            assert put(chan, ts).status is Status.OK
+        assert chan.timestamps() == [0, 2, 5, 9]
+
+    def test_duplicate_timestamp_rejected(self, chan):
+        put(chan, 3)
+        with pytest.raises(DuplicateTimestampError):
+            put(chan, 3)
+
+    def test_put_requires_output_connection(self, chan):
+        with pytest.raises(ConnectionClosedError):
+            chan.put(IN, 0, b"", 0)  # input conn cannot put
+        with pytest.raises(ConnectionClosedError):
+            chan.put(999, 0, b"", 0)
+
+    def test_put_below_gc_horizon_rejected(self, chan):
+        put(chan, 0)
+        chan.consume(IN, 0)
+        chan.collect_below(5)
+        with pytest.raises(ItemGarbageCollectedError):
+            put(chan, 2)
+
+    def test_negative_timestamp_rejected(self, chan):
+        with pytest.raises(ValueError):
+            put(chan, -1)
+
+    def test_bad_refcount_rejected(self, chan):
+        with pytest.raises(ValueError):
+            put(chan, 0, refcount=-7)
+
+    def test_zero_refcount_item_is_dead_on_arrival(self, chan):
+        result = put(chan, 0, refcount=0)
+        assert result.status is Status.OK
+        assert len(chan) == 0
+        assert chan.total_refcount_collected == 1
+
+
+class TestBoundedChannel:
+    def test_blocks_when_full(self):
+        k = ChannelKernel(1, capacity=2)
+        k.attach_output(OUT)
+        k.put(OUT, 0, b"a", 1)
+        k.put(OUT, 1, b"b", 1)
+        result = k.put(OUT, 2, b"c", 1)
+        assert result.status is Status.BLOCKED
+        assert result.reason is BlockReason.CHANNEL_FULL
+
+    def test_capacity_freed_by_gc(self):
+        k = ChannelKernel(1, capacity=1)
+        k.attach_output(OUT)
+        k.put(OUT, 0, b"a", 1)
+        assert k.put(OUT, 1, b"b", 1).status is Status.BLOCKED
+        k.collect_below(1)
+        assert k.put(OUT, 1, b"b", 1).status is Status.OK
+
+    def test_capacity_freed_by_refcount_collection(self):
+        k = ChannelKernel(1, capacity=1)
+        k.attach_output(OUT)
+        k.attach_input(IN, visibility=0)
+        k.put(OUT, 0, b"a", 1, refcount=1)
+        k.get(IN, 0)
+        k.consume(IN, 0)  # eager reclamation frees the slot
+        assert k.put(OUT, 1, b"b", 1).status is Status.OK
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ChannelKernel(1, capacity=0)
+
+
+class TestGetSpecific:
+    def test_get_returns_payload_and_opens(self, chan):
+        put(chan, 4, b"data")
+        result = chan.get(IN, 4)
+        assert result.status is Status.OK
+        assert result.payload == b"data"
+        assert result.timestamp == 4
+        assert result.size == 4
+        assert chan.item_state(IN, 4) is ItemState.OPEN
+
+    def test_get_missing_blocks_with_neighbours(self, chan):
+        put(chan, 1)
+        put(chan, 7)
+        result = chan.get(IN, 4)
+        assert result.status is Status.BLOCKED
+        assert result.reason is BlockReason.NO_MATCHING_ITEM
+        assert result.timestamp_range == (1, 7)
+
+    def test_neighbours_skip_consumed(self, chan):
+        for ts in [1, 3, 7]:
+            put(chan, ts)
+        chan.consume(IN, 1)
+        result = chan.get(IN, 4)
+        assert result.timestamp_range == (3, 7)
+
+    def test_get_consumed_raises(self, chan):
+        put(chan, 2)
+        chan.consume(IN, 2)
+        with pytest.raises(AlreadyConsumedError):
+            chan.get(IN, 2)
+
+    def test_get_below_horizon_raises_with_neighbours(self, chan):
+        put(chan, 0)
+        put(chan, 9)
+        chan.consume(IN, 0)
+        chan.collect_below(5)
+        with pytest.raises(ItemGarbageCollectedError) as exc_info:
+            chan.get(IN, 0)
+        assert exc_info.value.timestamp_range == (None, 9)
+
+    def test_reget_of_open_item_is_idempotent(self, chan):
+        put(chan, 2, b"v")
+        first = chan.get(IN, 2)
+        second = chan.get(IN, 2)
+        assert first.payload == second.payload
+        assert chan.item_state(IN, 2) is ItemState.OPEN
+
+
+class TestWildcards:
+    def test_latest_and_oldest(self, chan):
+        for ts in [3, 1, 8]:
+            put(chan, ts)
+        assert chan.get(IN, STM_LATEST).timestamp == 8
+        assert chan.get(IN, STM_OLDEST).timestamp == 1
+
+    def test_latest_skips_consumed(self, chan):
+        for ts in [1, 2, 3]:
+            put(chan, ts)
+        chan.consume(IN, 3)
+        assert chan.get(IN, STM_LATEST).timestamp == 2
+
+    def test_oldest_skips_consumed(self, chan):
+        for ts in [1, 2, 3]:
+            put(chan, ts)
+        chan.consume(IN, 1)
+        assert chan.get(IN, STM_OLDEST).timestamp == 2
+
+    def test_latest_unseen_advances(self, chan):
+        """The Fig. 7 tracker pattern: each get sees something newer."""
+        for ts in range(3):
+            put(chan, ts)
+        assert chan.get(IN, STM_LATEST_UNSEEN).timestamp == 2
+        result = chan.get(IN, STM_LATEST_UNSEEN)
+        assert result.status is Status.BLOCKED  # nothing newer than 2 yet
+        put(chan, 5)
+        assert chan.get(IN, STM_LATEST_UNSEEN).timestamp == 5
+
+    def test_latest_unseen_skips_stale_items(self, chan):
+        put(chan, 0)
+        chan.get(IN, STM_LATEST_UNSEEN)
+        for ts in [1, 2, 3]:
+            put(chan, ts)
+        # 1 and 2 are skipped entirely:
+        assert chan.get(IN, STM_LATEST_UNSEEN).timestamp == 3
+
+    def test_latest_unseen_is_per_connection(self, chan):
+        chan.attach_input(300, visibility=0)
+        put(chan, 0)
+        assert chan.get(IN, STM_LATEST_UNSEEN).timestamp == 0
+        # the other connection has not seen anything yet:
+        assert chan.get(300, STM_LATEST_UNSEEN).timestamp == 0
+
+    def test_empty_channel_blocks(self, chan):
+        for wc in (STM_LATEST, STM_OLDEST, STM_LATEST_UNSEEN):
+            assert chan.get(IN, wc).status is Status.BLOCKED
+
+
+class TestLifecycle:
+    def test_attach_duplicate_conn_id_rejected(self, chan):
+        with pytest.raises(ValueError):
+            chan.attach_input(IN, visibility=0)
+        with pytest.raises(ValueError):
+            chan.attach_output(OUT)
+
+    def test_detach_unknown_rejected(self, chan):
+        with pytest.raises(ConnectionClosedError):
+            chan.detach(12345)
+
+    def test_detach_then_use_rejected(self, chan):
+        chan.detach(IN)
+        with pytest.raises(ConnectionClosedError):
+            chan.get(IN, STM_LATEST)
+
+    def test_destroyed_channel_rejects_everything(self, chan):
+        chan.destroy()
+        with pytest.raises(ChannelDestroyedError):
+            put(chan, 0)
+        with pytest.raises(ChannelDestroyedError):
+            chan.get(IN, STM_LATEST)
+        with pytest.raises(ChannelDestroyedError):
+            chan.consume(IN, 0)
+
+    def test_stats_counters(self, chan):
+        put(chan, 0, b"abcd")
+        chan.get(IN, 0)
+        chan.consume(IN, 0)
+        assert chan.total_puts == 1
+        assert chan.total_gets == 1
+        assert chan.total_consumes == 1
+        assert chan.bytes_put == 4
+        assert chan.bytes_got == 4
+
+    def test_stored_bytes(self, chan):
+        put(chan, 0, b"abcd")
+        put(chan, 1, b"zz")
+        assert chan.stored_bytes() == 6
+
+    def test_oldest_latest_introspection(self, chan):
+        assert chan.oldest() is None and chan.latest() is None
+        put(chan, 3)
+        put(chan, 8)
+        assert chan.oldest() == 3
+        assert chan.latest() == 8
+
+
+class TestOldestUnseen:
+    """The OLDEST_UNSEEN wildcard: in-order traversal with retention."""
+
+    def test_walks_stream_front_to_back(self, chan):
+        from repro.core.flags import STM_OLDEST_UNSEEN
+
+        for ts in [2, 0, 1]:
+            put(chan, ts)
+        seen = [chan.get(IN, STM_OLDEST_UNSEEN).timestamp for _ in range(3)]
+        assert seen == [0, 1, 2]
+
+    def test_skips_open_items_but_not_unseen(self, chan):
+        from repro.core.flags import STM_OLDEST_UNSEEN
+
+        for ts in range(3):
+            put(chan, ts)
+        chan.get(IN, 1)  # 1 becomes OPEN
+        assert chan.get(IN, STM_OLDEST_UNSEEN).timestamp == 0
+        # 1 stays open (already gotten); the walk proceeds to 2:
+        assert chan.get(IN, STM_OLDEST_UNSEEN).timestamp == 2
+
+    def test_skips_consumed(self, chan):
+        from repro.core.flags import STM_OLDEST_UNSEEN
+
+        for ts in range(4):
+            put(chan, ts)
+        chan.consume_until(IN, 1)
+        assert chan.get(IN, STM_OLDEST_UNSEEN).timestamp == 2
+
+    def test_blocks_when_everything_seen(self, chan):
+        from repro.core.flags import STM_OLDEST_UNSEEN
+        from repro.core.channel_state import Status
+
+        put(chan, 0)
+        chan.get(IN, STM_OLDEST_UNSEEN)
+        assert chan.get(IN, STM_OLDEST_UNSEEN).status is Status.BLOCKED
+        put(chan, 1)
+        assert chan.get(IN, STM_OLDEST_UNSEEN).timestamp == 1
+
+    def test_retention_differs_from_latest_unseen(self, chan):
+        """LATEST_UNSEEN jumps to the newest and never returns; the oldest
+        variant visits every unseen item exactly once, in order."""
+        from repro.core.flags import STM_OLDEST_UNSEEN
+
+        for ts in range(5):
+            put(chan, ts)
+        assert chan.get(IN, STM_LATEST_UNSEEN).timestamp == 4
+        # items 0-3 were skipped by LATEST_UNSEEN but remain UNSEEN:
+        walked = [chan.get(IN, STM_OLDEST_UNSEEN).timestamp for _ in range(4)]
+        assert walked == [0, 1, 2, 3]

@@ -1,0 +1,212 @@
+"""Property-based tests: channel kernel invariants under random op sequences.
+
+These are the heart of the semantic test suite: hypothesis drives arbitrary
+interleavings of puts, gets, consumes, attaches, and GC sweeps against one
+kernel and checks the §4.1-4.2 invariants after every step.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core.channel_state import ChannelKernel, Status
+from repro.core.flags import (
+    STM_LATEST,
+    STM_LATEST_UNSEEN,
+    STM_OLDEST,
+    STM_OLDEST_UNSEEN,
+)
+from repro.core.item import ItemState
+from repro.core.time import INFINITY, vt_le
+from repro.errors import StampedeError
+
+OUT = 0
+INPUTS = [1, 2, 3]
+
+
+@st.composite
+def op(draw):
+    kind = draw(
+        st.sampled_from(
+            ["put", "get_specific", "get_wild", "consume", "consume_until", "gc"]
+        )
+    )
+    ts = draw(st.integers(0, 30))
+    conn = draw(st.sampled_from(INPUTS))
+    wild = draw(st.sampled_from([STM_LATEST, STM_OLDEST, STM_LATEST_UNSEEN]))
+    return (kind, ts, conn, wild)
+
+
+@given(st.lists(op(), max_size=120), st.one_of(st.none(), st.integers(1, 8)))
+@settings(max_examples=150, deadline=None)
+def test_kernel_invariants_under_random_ops(ops, capacity):
+    kernel = ChannelKernel(1, capacity=capacity)
+    kernel.attach_output(OUT)
+    for conn in INPUTS:
+        kernel.attach_input(conn, visibility=0)
+    put_timestamps: set[int] = set()
+    collected: set[int] = set()
+    last_unseen_seen: dict[int, int] = {}
+
+    for kind, ts, conn, wild in ops:
+        try:
+            if kind == "put":
+                result = kernel.put(OUT, ts, bytes([ts % 251]), 1)
+                if result.status is Status.OK:
+                    put_timestamps.add(ts)
+            elif kind == "get_specific":
+                result = kernel.get(conn, ts)
+                if result.status is Status.OK:
+                    assert result.timestamp == ts
+                    assert result.payload == bytes([ts % 251])
+            elif kind == "get_wild":
+                result = kernel.get(conn, wild)
+                if result.status is Status.OK:
+                    got = result.timestamp
+                    assert got in put_timestamps
+                    assert got not in collected
+                    if wild is STM_LATEST_UNSEEN:
+                        # LATEST_UNSEEN is strictly increasing per connection.
+                        prev = last_unseen_seen.get(conn)
+                        if prev is not None:
+                            assert got > prev
+                    if conn in last_unseen_seen or wild is STM_LATEST_UNSEEN:
+                        last_unseen_seen[conn] = max(
+                            last_unseen_seen.get(conn, -1),
+                            got if wild is STM_LATEST_UNSEEN else -1,
+                        )
+            elif kind == "consume":
+                kernel.consume(conn, ts)
+            elif kind == "consume_until":
+                kernel.consume_until(conn, ts)
+            elif kind == "gc":
+                horizon = kernel.unconsumed_min()
+                dead = kernel.collect_below(horizon)
+                collected.update(dead)
+        except StampedeError:
+            pass  # semantic errors are legal outcomes; invariants still hold
+
+        # -- invariants -------------------------------------------------
+        stored = set(kernel.timestamps())
+        # 1. storage only ever holds put-but-not-collected timestamps
+        assert stored <= put_timestamps
+        assert not (stored & collected)
+        # 2. everything below the horizon is gone
+        assert all(t >= kernel.gc_horizon for t in stored)
+        # 2b. a bounded channel never exceeds its capacity
+        if capacity is not None:
+            assert len(stored) <= capacity
+        # 3. unconsumed_min is a true lower bound over per-connection views
+        umin = kernel.unconsumed_min()
+        for c in INPUTS:
+            for t in stored:
+                if kernel.item_state(c, t) is not ItemState.CONSUMED:
+                    assert vt_le(umin, t)
+        # 4. GC safety: collecting at the current minimum never removes an
+        #    item some connection still considers unconsumed
+        if umin is not INFINITY:
+            for t in stored:
+                if t < umin:
+                    for c in INPUTS:
+                        assert kernel.item_state(c, t) is ItemState.CONSUMED
+
+
+class ChannelComparison(RuleBasedStateMachine):
+    """Model-based test: kernel vs. a brute-force reference implementation."""
+
+    def __init__(self):
+        super().__init__()
+        self.kernel = ChannelKernel(1)
+        self.kernel.attach_output(OUT)
+        self.kernel.attach_input(1, visibility=0)
+        # reference state
+        self.items: dict[int, bytes] = {}
+        self.consumed: set[int] = set()
+        self.opened: set[int] = set()
+        self.last_gotten = -1
+
+    @rule(ts=st.integers(0, 20))
+    def put(self, ts):
+        if ts in self.items or ts < self.kernel.gc_horizon:
+            return
+        assert self.kernel.put(OUT, ts, b"p", 1).status is Status.OK
+        self.items[ts] = b"p"
+
+    @rule()
+    def get_latest(self):
+        result = self.kernel.get(1, STM_LATEST)
+        candidates = [t for t in self.items if t not in self.consumed]
+        if result.status is Status.OK:
+            assert candidates and result.timestamp == max(candidates)
+            self.opened.add(result.timestamp)
+            self.last_gotten = max(self.last_gotten, result.timestamp)
+        else:
+            assert not candidates
+
+    @rule()
+    def get_oldest(self):
+        result = self.kernel.get(1, STM_OLDEST)
+        candidates = [t for t in self.items if t not in self.consumed]
+        if result.status is Status.OK:
+            assert candidates and result.timestamp == min(candidates)
+            self.opened.add(result.timestamp)
+            self.last_gotten = max(self.last_gotten, result.timestamp)
+        else:
+            assert not candidates
+
+    @rule()
+    def get_latest_unseen(self):
+        result = self.kernel.get(1, STM_LATEST_UNSEEN)
+        candidates = [
+            t
+            for t in self.items
+            if t not in self.consumed and t > self.last_gotten
+        ]
+        if result.status is Status.OK:
+            assert candidates and result.timestamp == max(candidates)
+            self.opened.add(result.timestamp)
+            self.last_gotten = result.timestamp
+        else:
+            assert not candidates
+
+    @rule()
+    def get_oldest_unseen(self):
+        result = self.kernel.get(1, STM_OLDEST_UNSEEN)
+        candidates = [
+            t
+            for t in self.items
+            if t not in self.consumed and t not in self.opened
+        ]
+        if result.status is Status.OK:
+            assert candidates and result.timestamp == min(candidates)
+            self.opened.add(result.timestamp)
+            self.last_gotten = max(self.last_gotten, result.timestamp)
+        else:
+            assert not candidates
+
+    @rule(ts=st.integers(0, 20))
+    def consume_until(self, ts):
+        self.kernel.consume_until(1, ts)
+        self.consumed.update(range(ts + 1))
+        self.opened -= set(range(ts + 1))
+
+    @rule()
+    def gc(self):
+        horizon = self.kernel.unconsumed_min()
+        dead = self.kernel.collect_below(horizon)
+        for t in dead:
+            # reference agrees the item was consumed
+            assert t in self.consumed or t not in self.items
+            self.items.pop(t, None)
+
+    @invariant()
+    def stored_matches_reference(self):
+        assert set(self.kernel.timestamps()) == {
+            t for t in self.items if t >= self.kernel.gc_horizon
+        }
+
+
+TestChannelComparison = ChannelComparison.TestCase
+TestChannelComparison.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

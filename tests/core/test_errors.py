@@ -1,0 +1,67 @@
+"""Tests for the exception hierarchy's contracts."""
+
+import pickle
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_stampede_error(self):
+        for name in errors.__all__:
+            exc_type = getattr(errors, name)
+            assert issubclass(exc_type, errors.StampedeError), name
+
+    def test_stm_family(self):
+        for exc_type in (
+            errors.ChannelFullError,
+            errors.ChannelEmptyError,
+            errors.DuplicateTimestampError,
+            errors.NoSuchItemError,
+            errors.VisibilityError,
+            errors.VirtualTimeError,
+        ):
+            assert issubclass(exc_type, errors.STMError)
+
+    def test_gc_and_consumed_are_no_such_item(self):
+        """Callers catching NoSuchItemError handle both terminal miss kinds."""
+        assert issubclass(errors.ItemGarbageCollectedError, errors.NoSuchItemError)
+        assert issubclass(errors.AlreadyConsumedError, errors.NoSuchItemError)
+
+    def test_transport_family(self):
+        assert issubclass(errors.TransportClosedError, errors.TransportError)
+        assert issubclass(errors.PacketTooLargeError, errors.TransportError)
+
+    def test_simulation_family(self):
+        assert issubclass(errors.SimDeadlockError, errors.SimulationError)
+
+
+class TestPayloads:
+    def test_no_such_item_carries_timestamp_range(self):
+        exc = errors.NoSuchItemError("missing", timestamp_range=(3, 9))
+        assert exc.timestamp_range == (3, 9)
+        assert errors.NoSuchItemError("missing").timestamp_range is None
+
+    def test_slippage_carries_lateness(self):
+        exc = errors.RealTimeSlippageError("late", lateness=0.25)
+        assert exc.lateness == 0.25
+
+    def test_errors_survive_pickling(self):
+        """Exceptions cross address spaces inside RpcReply: they must pickle."""
+        for exc in (
+            errors.ChannelFullError("full"),
+            errors.NoSuchItemError("gone", timestamp_range=(1, 2)),
+            errors.VisibilityError("below"),
+            errors.RealTimeSlippageError("late", lateness=1.5),
+        ):
+            out = pickle.loads(pickle.dumps(exc))
+            assert type(out) is type(exc)
+            assert str(out) == str(exc)
+            assert out.__dict__ == exc.__dict__  # payload attributes survive
+
+    def test_catching_the_family(self):
+        with pytest.raises(errors.StampedeError):
+            raise errors.ChannelDestroyedError("gone")
+        with pytest.raises(errors.STMError):
+            raise errors.AlreadyConsumedError("used")

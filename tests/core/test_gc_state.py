@@ -1,0 +1,69 @@
+"""Unit tests for global-minimum arithmetic (paper §4.2)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.gc_state import LocalGCSummary, compute_global_min, merge_summaries
+from repro.core.time import INFINITY, vt_le
+
+
+class TestComputeGlobalMin:
+    def test_empty_system_is_infinity(self):
+        assert compute_global_min([], []) is INFINITY
+
+    def test_thread_term_dominates(self):
+        assert compute_global_min([5, INFINITY], [9]) == 5
+
+    def test_channel_term_dominates(self):
+        assert compute_global_min([INFINITY], [3, 7]) == 3
+
+    def test_all_infinite(self):
+        assert compute_global_min([INFINITY], [INFINITY]) is INFINITY
+
+
+class TestLocalSummary:
+    def test_local_min(self):
+        s = LocalGCSummary(
+            space_id=0,
+            thread_visibilities=[10, INFINITY],
+            channel_mins={1: 4, 2: INFINITY},
+        )
+        assert s.local_min() == 4
+
+    def test_empty_summary(self):
+        assert LocalGCSummary(space_id=0).local_min() is INFINITY
+
+
+class TestMergeSummaries:
+    def test_merge_takes_global_min(self):
+        a = LocalGCSummary(0, [7], {1: 9})
+        b = LocalGCSummary(1, [INFINITY], {2: 3})
+        assert merge_summaries([a, b]) == 3
+
+    def test_merge_empty(self):
+        assert merge_summaries([]) is INFINITY
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.one_of(st.integers(0, 100), st.just(INFINITY)),
+                         max_size=5),
+                st.lists(st.one_of(st.integers(0, 100), st.just(INFINITY)),
+                         max_size=5),
+            ),
+            max_size=6,
+        )
+    )
+    def test_merge_equals_flat_min(self, space_terms):
+        summaries = [
+            LocalGCSummary(i, vis, dict(enumerate(chans)))
+            for i, (vis, chans) in enumerate(space_terms)
+        ]
+        merged = merge_summaries(summaries)
+        all_vis = [v for vis, _ in space_terms for v in vis]
+        all_chan = [c for _, chans in space_terms for c in chans]
+        flat = compute_global_min(all_vis, all_chan)
+        assert merged == flat
+        # and it is a lower bound of every term
+        for v in all_vis + all_chan:
+            assert vt_le(merged, v)

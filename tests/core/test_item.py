@@ -1,0 +1,104 @@
+"""Unit tests for the per-connection item state machine (paper §4.2)."""
+
+import pytest
+
+from repro.core.flags import UNKNOWN_REFCOUNT
+from repro.core.item import InputConnState, ItemRecord, ItemState
+
+
+class TestItemRecord:
+    def test_unknown_refcount_never_reaches_zero(self):
+        rec = ItemRecord(timestamp=0, payload=b"", size=0)
+        assert not rec.refcounted
+        assert rec.dec_refcount() is False
+        assert rec.refcount == UNKNOWN_REFCOUNT
+
+    def test_declared_refcount_counts_down(self):
+        rec = ItemRecord(timestamp=0, payload=b"", size=0, refcount=2)
+        assert rec.refcounted
+        assert rec.dec_refcount() is False
+        assert rec.dec_refcount() is True
+
+    def test_refcount_clamped_at_zero(self):
+        rec = ItemRecord(timestamp=0, payload=b"", size=0, refcount=1)
+        assert rec.dec_refcount() is True
+        assert rec.dec_refcount() is True  # over-consumption doesn't wrap
+        assert rec.refcount == 0
+
+
+class TestStateMachine:
+    def test_initially_unseen(self):
+        view = InputConnState(conn_id=1)
+        assert view.state_of(5) is ItemState.UNSEEN
+        assert view.is_unconsumed(5)
+
+    def test_get_opens(self):
+        view = InputConnState(conn_id=1)
+        view.note_get(5)
+        assert view.state_of(5) is ItemState.OPEN
+        assert view.is_unconsumed(5)  # open items are still unconsumed
+
+    def test_consume_from_open(self):
+        view = InputConnState(conn_id=1)
+        view.note_get(5)
+        view.consume_one(5)
+        assert view.state_of(5) is ItemState.CONSUMED
+        assert view.is_consumed(5)
+
+    def test_consume_direct_from_unseen(self):
+        """The UNSEEN -> CONSUMED edge taken by consume_until (§4.2)."""
+        view = InputConnState(conn_id=1)
+        view.consume_one(5)
+        assert view.state_of(5) is ItemState.CONSUMED
+
+    def test_consume_upto_moves_everything_below(self):
+        view = InputConnState(conn_id=1)
+        view.note_get(3)
+        view.consume_upto(7)
+        for ts in range(8):
+            assert view.state_of(ts) is ItemState.CONSUMED
+        assert view.state_of(8) is ItemState.UNSEEN
+        assert not view.open_ts
+
+    def test_consume_upto_is_monotone(self):
+        view = InputConnState(conn_id=1)
+        view.consume_upto(10)
+        view.consume_upto(5)  # lower bound: no-op
+        assert view.consumed_below == 11
+
+    def test_open_above_watermark_survives_consume_upto(self):
+        view = InputConnState(conn_id=1)
+        view.note_get(20)
+        view.consume_upto(10)
+        assert view.state_of(20) is ItemState.OPEN
+
+
+class TestWatermarkCompaction:
+    def test_in_order_consumes_fold_into_watermark(self):
+        view = InputConnState(conn_id=1)
+        for ts in range(100):
+            view.note_get(ts)
+            view.consume_one(ts)
+        assert view.consumed_below == 100
+        assert view.consumed_explicit == set()
+
+    def test_out_of_order_explicit_until_gap_fills(self):
+        view = InputConnState(conn_id=1)
+        view.consume_one(2)
+        view.consume_one(1)
+        assert view.consumed_below == 0
+        assert view.consumed_explicit == {1, 2}
+        view.consume_one(0)  # fills the gap: everything folds
+        assert view.consumed_below == 3
+        assert view.consumed_explicit == set()
+
+
+class TestLatestUnseenTracking:
+    def test_last_gotten_tracks_max(self):
+        view = InputConnState(conn_id=1)
+        assert view.last_gotten is None
+        view.note_get(5)
+        view.note_get(3)  # re-get of an older item doesn't move the mark
+        assert view.last_gotten == 5
+        view.note_get(9)
+        assert view.last_gotten == 9

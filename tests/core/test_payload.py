@@ -1,0 +1,99 @@
+"""Unit tests for copy-in/copy-out payload policies (paper §4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.payload import CopyPolicy, decode, encode, estimate_size
+
+
+class TestSerializePolicy:
+    def test_roundtrip(self):
+        stored, size = encode({"a": [1, 2, 3]}, CopyPolicy.SERIALIZE)
+        assert isinstance(stored, bytes)
+        assert size == len(stored)
+        assert decode(stored, CopyPolicy.SERIALIZE) == {"a": [1, 2, 3]}
+
+    def test_copy_in_isolates_putter_buffer(self):
+        """§4.1: after a put, the thread may safely reuse its buffer."""
+        buf = bytearray(b"hello")
+        stored, _ = encode(buf, CopyPolicy.SERIALIZE)
+        buf[0] = ord("X")
+        assert decode(stored, CopyPolicy.SERIALIZE) == bytearray(b"hello")
+
+    def test_copy_out_isolates_getter_copies(self):
+        """§4.1: a client can modify its copy without interfering."""
+        stored, _ = encode([1, 2], CopyPolicy.SERIALIZE)
+        a = decode(stored, CopyPolicy.SERIALIZE)
+        b = decode(stored, CopyPolicy.SERIALIZE)
+        a.append(99)
+        assert b == [1, 2]
+
+    def test_numpy_roundtrip(self):
+        arr = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        stored, size = encode(arr, CopyPolicy.SERIALIZE)
+        out = decode(stored, CopyPolicy.SERIALIZE)
+        np.testing.assert_array_equal(out, arr)
+        out[0, 0] = 99
+        assert arr[0, 0] == 0  # original untouched
+
+    @given(st.binary(max_size=2048))
+    def test_bytes_roundtrip_any_content(self, data):
+        stored, _ = encode(data, CopyPolicy.SERIALIZE)
+        assert decode(stored, CopyPolicy.SERIALIZE) == data
+
+
+class TestDeepcopyPolicy:
+    def test_roundtrip_and_isolation(self):
+        obj = {"nested": [1, [2]]}
+        stored, _ = encode(obj, CopyPolicy.DEEPCOPY)
+        obj["nested"][1].append(3)
+        assert stored["nested"] == [1, [2]]
+        out = decode(stored, CopyPolicy.DEEPCOPY)
+        out["nested"].append("x")
+        assert stored["nested"] == [1, [2]]
+
+    def test_handles_unpicklable(self):
+        obj = {"fn": None, "data": [1]}  # deepcopy-able but imagine locks
+        stored, _ = encode(obj, CopyPolicy.DEEPCOPY)
+        assert stored == obj and stored is not obj
+
+
+class TestReferencePolicy:
+    def test_no_copies_at_all(self):
+        obj = {"big": list(range(10))}
+        stored, _ = encode(obj, CopyPolicy.REFERENCE)
+        assert stored is obj
+        assert decode(stored, CopyPolicy.REFERENCE) is obj
+
+
+class TestEstimateSize:
+    def test_bytes_exact(self):
+        assert estimate_size(b"12345") == 5
+        assert estimate_size(bytearray(7)) == 7
+        assert estimate_size(memoryview(b"123")) == 3
+
+    def test_numpy_exact(self):
+        arr = np.zeros((10, 10), dtype=np.float64)
+        assert estimate_size(arr) == 800
+
+    def test_containers_include_contents(self):
+        small = estimate_size([b""])
+        big = estimate_size([b"x" * 1000])
+        assert big - small >= 1000
+
+    def test_dict_includes_keys_and_values(self):
+        assert estimate_size({"k": b"x" * 100}) > 100
+
+    def test_serialized_size_reported(self):
+        payload = b"z" * 500
+        _, size = encode(payload, CopyPolicy.SERIALIZE)
+        assert size >= 500  # pickle adds a small header
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(TypeError):
+        encode(b"", "not-a-policy")  # type: ignore[arg-type]
+    with pytest.raises(TypeError):
+        decode(b"", "not-a-policy")  # type: ignore[arg-type]

@@ -1,0 +1,101 @@
+"""Unit tests for virtual time: INFINITY, ordering, minima (paper §4.2)."""
+
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.time import (
+    INFINITY,
+    Infinity,
+    is_timestamp,
+    validate_timestamp,
+    vt_le,
+    vt_lt,
+    vt_min,
+)
+
+
+class TestInfinity:
+    def test_singleton(self):
+        assert Infinity() is INFINITY
+
+    def test_pickle_roundtrip_preserves_singleton(self):
+        assert pickle.loads(pickle.dumps(INFINITY)) is INFINITY
+
+    def test_greater_than_every_int(self):
+        for value in [0, 1, 10**18, -5]:
+            assert INFINITY > value
+            assert INFINITY >= value
+            assert not INFINITY < value
+            assert not INFINITY <= value
+            assert value < INFINITY
+            assert value <= INFINITY
+
+    def test_equality_only_with_itself(self):
+        assert INFINITY == Infinity()
+        assert INFINITY != 10**18
+        assert INFINITY != "INFINITY"
+
+    def test_hashable_and_stable(self):
+        assert hash(INFINITY) == hash(Infinity())
+        assert len({INFINITY, Infinity()}) == 1
+
+    def test_reflexive_order(self):
+        assert INFINITY <= INFINITY
+        assert INFINITY >= INFINITY
+        assert not INFINITY < INFINITY
+
+    def test_timestamp_arithmetic_saturates(self):
+        # The paper allows arithmetic on timestamps; INFINITY absorbs it.
+        assert INFINITY + 1 is INFINITY
+        assert 1 + INFINITY is INFINITY
+
+    def test_repr(self):
+        assert repr(INFINITY) == "INFINITY"
+
+
+class TestValidation:
+    @pytest.mark.parametrize("value", [0, 1, 2**40])
+    def test_valid_timestamps(self, value):
+        assert is_timestamp(value)
+        assert validate_timestamp(value) == value
+
+    @pytest.mark.parametrize("value", [-1, -100])
+    def test_negative_rejected(self, value):
+        assert not is_timestamp(value)
+        with pytest.raises(ValueError):
+            validate_timestamp(value)
+
+    @pytest.mark.parametrize("value", [1.0, "3", None, True, INFINITY])
+    def test_non_int_rejected(self, value):
+        assert not is_timestamp(value)
+        with pytest.raises(TypeError):
+            validate_timestamp(value)
+
+
+class TestVtOrder:
+    def test_lt_le(self):
+        assert vt_lt(1, 2)
+        assert not vt_lt(2, 1)
+        assert not vt_lt(2, 2)
+        assert vt_le(2, 2)
+        assert vt_lt(5, INFINITY)
+        assert not vt_lt(INFINITY, 5)
+        assert vt_le(INFINITY, INFINITY)
+
+    def test_vt_min_empty_is_infinity(self):
+        assert vt_min([]) is INFINITY
+
+    def test_vt_min_mixed(self):
+        assert vt_min([INFINITY, 7, 3, INFINITY]) == 3
+        assert vt_min([INFINITY, INFINITY]) is INFINITY
+
+    @given(st.lists(st.one_of(st.integers(0, 1000), st.just(INFINITY)),
+                    min_size=1))
+    def test_vt_min_is_lower_bound_and_member(self, values):
+        low = vt_min(values)
+        assert any(v == low for v in values)
+        for v in values:
+            assert vt_le(low, v)

@@ -1,0 +1,85 @@
+"""Unit tests for the image-based rendering view synthesizer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ibr.renderer import ViewSynthesizer, psnr, render_view
+
+
+class TestRenderView:
+    def test_deterministic(self):
+        np.testing.assert_array_equal(render_view(3.5), render_view(3.5))
+
+    def test_angles_differ(self):
+        assert not np.array_equal(render_view(0.0), render_view(5.0))
+
+    def test_shape_and_dtype(self):
+        view = render_view(1.0, size=64)
+        assert view.shape == (64, 64)
+        assert view.dtype == np.uint8
+
+    def test_nearby_angles_are_similar(self):
+        close = psnr(render_view(0.0), render_view(0.5))
+        far = psnr(render_view(0.0), render_view(8.0))
+        assert close > far
+
+
+class TestPsnr:
+    def test_identical_is_infinite(self):
+        img = render_view(0.0)
+        assert math.isinf(psnr(img, img))
+
+    def test_known_value(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        b = np.full((4, 4), 255, dtype=np.uint8)
+        assert psnr(a, b) == pytest.approx(0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((4, 4), np.uint8), np.zeros((5, 5), np.uint8))
+
+
+class TestViewSynthesizer:
+    @pytest.fixture(scope="class")
+    def synth(self):
+        return ViewSynthesizer([-10.0, -5.0, 0.0, 5.0, 10.0], size=96)
+
+    def test_needs_two_references(self):
+        with pytest.raises(ValueError):
+            ViewSynthesizer([0.0])
+
+    def test_nearest_references_bracket(self, synth):
+        assert synth.nearest_references(2.0) == (0.0, 5.0)
+        assert synth.nearest_references(-7.0) == (-10.0, -5.0)
+
+    def test_clamped_outside_range(self, synth):
+        assert synth.nearest_references(-99.0) == (-10.0, -5.0)
+        assert synth.nearest_references(99.0) == (5.0, 10.0)
+
+    def test_reference_angle_reproduces_reference(self, synth):
+        out = synth.synthesize(5.0)
+        assert psnr(out, render_view(5.0, 96)) > 40.0
+
+    def test_interpolation_quality_reasonable(self, synth):
+        for angle in [-7.3, -2.0, 2.5, 8.9]:
+            assert synth.quality(angle) > 25.0, f"poor synthesis at {angle}"
+
+    def test_interpolation_beats_nearest_snap(self, synth):
+        angle = 2.5  # midway between references 0 and 5
+        synthesized = synth.synthesize(angle)
+        truth = render_view(angle, 96)
+        snap = synth.references[0.0]
+        assert psnr(synthesized, truth) > psnr(snap, truth)
+
+    def test_denser_references_improve_quality(self):
+        sparse = ViewSynthesizer([-10.0, 10.0], size=96)
+        dense = ViewSynthesizer([-10.0, -5.0, 0.0, 5.0, 10.0], size=96)
+        angle = 2.5
+        assert dense.quality(angle) > sparse.quality(angle)
+
+    def test_views_synthesized_counter(self, synth):
+        before = synth.views_synthesized
+        synth.synthesize(1.0)
+        assert synth.views_synthesized == before + 1

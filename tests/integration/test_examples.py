@@ -1,0 +1,65 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example is executed in a subprocess (fresh interpreter, like a user
+would) with reduced workloads where the CLI allows.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 180.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "consumer: got" in out
+        assert "GC horizon after the run: INFINITY" in out
+
+    def test_vision_pipeline(self):
+        out = run_example("vision_pipeline.py", "--frames", "30", "--fps", "200")
+        assert "frames digitized        : 30" in out
+        assert "Welcome to the Smart Kiosk" in out
+
+    def test_vision_pipeline_clustered(self):
+        out = run_example(
+            "vision_pipeline.py", "--frames", "25", "--fps", "200",
+            "--spaces", "3",
+        )
+        assert "3 address space(s)" in out
+
+    def test_stereo_kiosk(self):
+        out = run_example("stereo_kiosk.py")
+        assert "depth estimates" in out
+        assert "mean relative error" in out
+
+    def test_ibr_demo(self):
+        out = run_example("ibr_demo.py")
+        assert "views synthesized      : 30" in out
+        assert "out-of-order completions" in out
+
+    def test_cluster_gc_demo(self):
+        out = run_example("cluster_gc_demo.py")
+        assert "space-time table" in out
+        assert "items reclaimed" in out
+
+    def test_placement_advisor(self):
+        out = run_example("placement_advisor.py", "--spaces", "2")
+        assert "best for latency" in out
+        assert "validating against the discrete-event simulator" in out

@@ -1,0 +1,87 @@
+"""Property test: the facade's thread-side bookkeeping matches the kernel.
+
+The STM facade tracks open items on the :class:`StampedeThread` (for
+visibility), while the kernel tracks them per connection (for GC minima).
+These two views are maintained at different layers and must never diverge —
+a divergence is exactly the kind of bug that would silently corrupt garbage
+collection.  Hypothesis drives random facade operations and checks the
+views against each other after every step.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import STM_LATEST, STM_LATEST_UNSEEN, STM_OLDEST, STM_OLDEST_UNSEEN
+from repro.core.item import ItemState
+from repro.errors import StampedeError
+from repro.runtime import Cluster
+from repro.stm import STM
+
+
+@st.composite
+def facade_op(draw):
+    kind = draw(st.sampled_from(
+        ["put", "get_ts", "get_wild", "consume", "consume_until"]
+    ))
+    ts = draw(st.integers(0, 15))
+    wild = draw(st.sampled_from(
+        [STM_LATEST, STM_OLDEST, STM_LATEST_UNSEEN, STM_OLDEST_UNSEEN]
+    ))
+    return (kind, ts, wild)
+
+
+@given(st.lists(facade_op(), max_size=50))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_thread_open_set_matches_kernel_states(ops):
+    with Cluster(n_spaces=1, gc_period=None) as cluster:
+        me = cluster.space(0).adopt_current_thread(virtual_time=0)
+        try:
+            stm = STM(cluster.space(0))
+            chan = stm.create_channel()
+            out, inp = chan.attach_output(), chan.attach_input()
+            kernel = cluster.space(0)._channel(chan.channel_id).kernel
+
+            for kind, ts, wild in ops:
+                try:
+                    if kind == "put":
+                        out.put(ts, ts * 3)
+                    elif kind == "get_ts":
+                        inp.get(ts, block=False)
+                    elif kind == "get_wild":
+                        inp.get(wild, block=False)
+                    elif kind == "consume":
+                        inp.consume(ts)
+                    elif kind == "consume_until":
+                        inp.consume_until(ts)
+                except StampedeError:
+                    pass
+
+                # facade view: open triples on the thread
+                facade_open = {
+                    t for (cid, conn, t) in me.open_items()
+                    if cid == chan.channel_id and conn == inp.conn_id
+                }
+                # kernel view: OPEN states on the connection
+                kernel_open = {
+                    t for t in kernel.timestamps()
+                    if kernel.item_state(inp.conn_id, t) is ItemState.OPEN
+                }
+                assert facade_open == kernel_open, (
+                    f"facade {sorted(facade_open)} != "
+                    f"kernel {sorted(kernel_open)} after {kind}({ts})"
+                )
+                # visibility consistency: min(vt, open) per definition
+                vis = me.visibility()
+                if facade_open:
+                    assert vis == min(
+                        min(facade_open),
+                        me.virtual_time
+                        if isinstance(me.virtual_time, int)
+                        else min(facade_open),
+                    )
+        finally:
+            me.exit()

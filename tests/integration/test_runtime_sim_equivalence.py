@@ -1,0 +1,117 @@
+"""Differential test: the thread runtime and the simulator agree exactly.
+
+Both runtimes wrap the same channel kernel, but each wraps it with its own
+operation layer (RPC + locks vs. generator costs).  This test runs the same
+single-threaded operation schedule through both and demands identical
+observable outcomes — result timestamps, payload identities, and error
+classes — so the two layers cannot drift apart semantically.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    STM_LATEST,
+    STM_LATEST_UNSEEN,
+    STM_OLDEST,
+    STM_OLDEST_UNSEEN,
+)
+from repro.errors import StampedeError
+from repro.runtime import Cluster
+from repro.stm import STM
+from repro.sim import SimStampede
+
+WILDCARDS = [STM_LATEST, STM_OLDEST, STM_LATEST_UNSEEN, STM_OLDEST_UNSEEN]
+
+
+@st.composite
+def schedule(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 40))):
+        kind = draw(st.sampled_from(
+            ["put", "get_ts", "get_wild", "consume", "consume_until", "vt"]
+        ))
+        ops.append((
+            kind,
+            draw(st.integers(0, 12)),
+            draw(st.sampled_from(WILDCARDS)),
+        ))
+    return ops
+
+
+def run_on_threads(ops) -> list:
+    trace = []
+    with Cluster(n_spaces=1, gc_period=None) as cluster:
+        me = cluster.space(0).adopt_current_thread(virtual_time=0)
+        try:
+            stm = STM(cluster.space(0))
+            chan = stm.create_channel()
+            out, inp = chan.attach_output(), chan.attach_input()
+            for kind, ts, wild in ops:
+                try:
+                    if kind == "put":
+                        out.put(ts, ts * 11)
+                        trace.append(("put-ok", ts))
+                    elif kind == "get_ts":
+                        item = inp.get(ts, block=False)
+                        trace.append(("got", item.timestamp, item.value))
+                    elif kind == "get_wild":
+                        item = inp.get(wild, block=False)
+                        trace.append(("got", item.timestamp, item.value))
+                    elif kind == "consume":
+                        inp.consume(ts)
+                        trace.append(("consumed", ts))
+                    elif kind == "consume_until":
+                        inp.consume_until(ts)
+                        trace.append(("consumed-until", ts))
+                    elif kind == "vt":
+                        me.set_virtual_time(ts)
+                        trace.append(("vt", ts))
+                except StampedeError as exc:
+                    trace.append(("error", kind, type(exc).__name__))
+        finally:
+            me.exit()
+    return trace
+
+
+def run_on_sim(ops) -> list:
+    trace = []
+    sim = SimStampede(n_spaces=1)
+    chan = sim.create_channel(home=0)
+
+    def task(t):
+        out = yield from t.attach_output(chan)
+        inp = yield from t.attach_input(chan)
+        for kind, ts, wild in ops:
+            try:
+                if kind == "put":
+                    yield from t.put(out, ts, nbytes=8, payload=ts * 11)
+                    trace.append(("put-ok", ts))
+                elif kind == "get_ts":
+                    payload, got_ts, _ = yield from t.get(inp, ts, block=False)
+                    trace.append(("got", got_ts, payload))
+                elif kind == "get_wild":
+                    payload, got_ts, _ = yield from t.get(inp, wild, block=False)
+                    trace.append(("got", got_ts, payload))
+                elif kind == "consume":
+                    yield from t.consume(inp, ts)
+                    trace.append(("consumed", ts))
+                elif kind == "consume_until":
+                    yield from t.consume_until(inp, ts)
+                    trace.append(("consumed-until", ts))
+                elif kind == "vt":
+                    t.set_virtual_time(ts)
+                    trace.append(("vt", ts))
+            except StampedeError as exc:
+                trace.append(("error", kind, type(exc).__name__))
+
+    sim.spawn(task, space=0, virtual_time=0)
+    sim.run()
+    return trace
+
+
+@given(schedule())
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_thread_and_sim_runtimes_trace_identically(ops):
+    assert run_on_threads(ops) == run_on_sim(ops)

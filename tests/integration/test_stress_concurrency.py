@@ -1,0 +1,277 @@
+"""Concurrency stress tests: many threads hammering channels with GC live.
+
+These tests exist to catch races between puts/gets/consumes, the parked
+remote-request machinery, and the distributed GC daemon — the places where
+the paper's "atomic operations on a distributed data structure" claim has to
+actually hold.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core import INFINITY, STM_LATEST_UNSEEN, STM_OLDEST
+from repro.errors import (
+    AlreadyConsumedError,
+    ChannelEmptyError,
+    DuplicateTimestampError,
+    ItemGarbageCollectedError,
+)
+from repro.runtime import Cluster, current_thread
+from repro.stm import STM
+
+
+class TestManyProducersManyConsumers:
+    @pytest.mark.parametrize("n_spaces,home", [(1, 0), (3, 1)])
+    def test_disjoint_timestamp_producers(self, n_spaces, home):
+        """P producers write disjoint timestamp sets; C consumers drain
+        disjoint partitions; every item arrives exactly once."""
+        n_producers, n_consumers, per_producer = 3, 3, 30
+        total = n_producers * per_producer
+        received: list[tuple[int, int]] = []
+        lock = threading.Lock()
+
+        with Cluster(n_spaces=n_spaces, gc_period=0.01) as cluster:
+            boot = cluster.space(0).adopt_current_thread(virtual_time=0)
+            stm = STM(cluster.space(0))
+            stm.create_channel("stress", home=home)
+
+            def producer(index: int) -> None:
+                me = current_thread()
+                out = STM(cluster.space(me.space.space_id)).lookup(
+                    "stress").attach_output()
+                for i in range(per_producer):
+                    ts = i * n_producers + index
+                    me.set_virtual_time(ts)
+                    out.put(ts, ts * 7)
+                out.detach()
+
+            def consumer(index: int) -> None:
+                me = current_thread()
+                inp = STM(cluster.space(me.space.space_id)).lookup(
+                    "stress").attach_input()
+                me.set_virtual_time(INFINITY)
+                for ts in range(index, total, n_consumers):
+                    item = inp.get(ts, timeout=30.0)
+                    with lock:
+                        received.append((ts, item.value))
+                    inp.consume_until(ts)
+                inp.detach()
+
+            threads = []
+            for c in range(n_consumers):
+                threads.append(
+                    cluster.space(c % n_spaces).spawn(
+                        consumer, (c,), virtual_time=0)
+                )
+            for p in range(n_producers):
+                threads.append(
+                    cluster.space(p % n_spaces).spawn(
+                        producer, (p,), virtual_time=0)
+                )
+            boot.set_virtual_time(INFINITY)
+            for t in threads:
+                t.join(60.0)
+            boot.exit()
+
+        assert sorted(ts for ts, _ in received) == list(range(total))
+        assert all(value == ts * 7 for ts, value in received)
+
+    def test_duplicate_racers_exactly_one_wins(self):
+        """Two producers race to put the same timestamps: exactly one put
+        per timestamp succeeds (atomicity, §4.1)."""
+        n_ts = 40
+        outcomes: dict[int, int] = {ts: 0 for ts in range(n_ts)}
+        lock = threading.Lock()
+
+        with Cluster(n_spaces=2, gc_period=None) as cluster:
+            boot = cluster.space(0).adopt_current_thread(virtual_time=0)
+            stm = STM(cluster.space(0))
+            stm.create_channel("race", home=1)
+
+            def racer(space_id: int) -> None:
+                out = STM(cluster.space(space_id)).lookup("race").attach_output()
+                for ts in range(n_ts):
+                    current_thread().set_virtual_time(ts)
+                    try:
+                        out.put(ts, space_id)
+                        with lock:
+                            outcomes[ts] += 1
+                    except DuplicateTimestampError:
+                        pass
+                out.detach()
+
+            threads = [
+                cluster.space(s).spawn(racer, (s,), virtual_time=0)
+                for s in range(2)
+            ]
+            boot.set_virtual_time(INFINITY)
+            for t in threads:
+                t.join(60.0)
+            kernel = cluster.space(1)._channel(
+                stm.lookup("race").channel_id).kernel
+            assert kernel.timestamps() == list(range(n_ts))
+            boot.exit()
+        assert all(count == 1 for count in outcomes.values())
+
+
+class TestGcSafetyUnderLoad:
+    def test_no_legal_get_ever_hits_collected_item(self):
+        """A consumer that follows the discipline (LATEST_UNSEEN +
+        consume_until) must never observe ItemGarbageCollectedError even
+        with an aggressive GC daemon."""
+        violations: list[str] = []
+
+        with Cluster(n_spaces=2, gc_period=0.002) as cluster:
+            boot = cluster.space(0).adopt_current_thread(virtual_time=0)
+            stm = STM(cluster.space(0))
+            stm.create_channel("frames", home=1)
+
+            def producer() -> None:
+                me = current_thread()
+                out = STM(cluster.space(0)).lookup("frames").attach_output()
+                for ts in range(150):
+                    me.set_virtual_time(ts)
+                    out.put(ts, bytes(256))
+                me.set_virtual_time(10**9)
+                out.put(10**9, None)
+                out.detach()
+
+            def disciplined_consumer() -> None:
+                me = current_thread()
+                inp = STM(cluster.space(1)).lookup("frames").attach_input()
+                me.set_virtual_time(INFINITY)
+                while True:
+                    try:
+                        item = inp.get(STM_LATEST_UNSEEN, timeout=30.0)
+                    except ItemGarbageCollectedError as exc:
+                        violations.append(str(exc))
+                        break
+                    inp.consume_until(item.timestamp)
+                    if item.value is None:
+                        break
+                inp.detach()
+
+            threads = [
+                cluster.space(1).spawn(disciplined_consumer, virtual_time=0),
+                cluster.space(0).spawn(producer, virtual_time=0),
+            ]
+            boot.set_virtual_time(INFINITY)
+            for t in threads:
+                t.join(60.0)
+            boot.exit()
+        assert violations == []
+
+    def test_open_item_survives_aggressive_gc(self):
+        """While a consumer holds an item OPEN, even a 1 ms GC daemon must
+        not reclaim it (§4.2 contract)."""
+        import time
+
+        with Cluster(n_spaces=2, gc_period=0.001) as cluster:
+            boot = cluster.space(0).adopt_current_thread(virtual_time=0)
+            stm = STM(cluster.space(0))
+            chan = stm.create_channel("precious", home=1)
+            out = chan.attach_output()
+            out.put(0, b"keep-me")
+            inp = chan.attach_input()
+            item = inp.get(0)  # OPEN
+            boot.set_virtual_time(INFINITY)
+            time.sleep(0.1)  # ~100 GC rounds
+            kernel = cluster.space(1)._channel(chan.channel_id).kernel
+            assert kernel.timestamps() == [0]
+            again = inp.get(0)  # still retrievable
+            assert again.value == b"keep-me"
+            inp.consume(0)
+            time.sleep(0.1)
+            assert kernel.timestamps() == []  # now it is gone
+            boot.exit()
+
+    def test_randomized_mixed_workload_terminates_consistently(self):
+        """Randomized ops from several threads; at the end, after full
+        consumption and one GC round, every channel is empty."""
+        rng = random.Random(42)
+        n_threads, n_channels, ops_per_thread = 4, 3, 60
+
+        with Cluster(n_spaces=2, gc_period=0.005) as cluster:
+            boot = cluster.space(0).adopt_current_thread(virtual_time=0)
+            stm = STM(cluster.space(0))
+            for c in range(n_channels):
+                stm.create_channel(f"mix{c}", home=c % 2)
+
+            def chaos(seed: int) -> None:
+                local = random.Random(seed)
+                me = current_thread()
+                space = cluster.space(me.space.space_id)
+                stm_local = STM(space)
+                outs = [
+                    stm_local.lookup(f"mix{c}").attach_output()
+                    for c in range(n_channels)
+                ]
+                inps = [
+                    stm_local.lookup(f"mix{c}").attach_input()
+                    for c in range(n_channels)
+                ]
+                me.set_virtual_time(INFINITY)
+                base = seed * 10_000
+                next_ts = base
+                for _ in range(ops_per_thread):
+                    c = local.randrange(n_channels)
+                    action = local.random()
+                    try:
+                        if action < 0.5:
+                            # producers own disjoint ts ranges per thread
+                            # (put requires visibility <= ts; INFINITY VT
+                            # forbids puts, so temporarily hold an open item)
+                            item = inps[c].get(STM_LATEST_UNSEEN, block=False)
+                            outs[c].put(item.timestamp + base + 1, item.value)
+                            inps[c].consume_until(item.timestamp)
+                        elif action < 0.8:
+                            item = inps[c].get(STM_OLDEST, block=False)
+                            inps[c].consume(item.timestamp)
+                        else:
+                            item = inps[c].get(STM_LATEST_UNSEEN, block=False)
+                            inps[c].consume_until(item.timestamp)
+                    except (ChannelEmptyError, AlreadyConsumedError,
+                            DuplicateTimestampError):
+                        pass
+                del next_ts
+                for conn in outs + inps:
+                    conn.detach()
+
+            # seed each channel with some items
+            seed_outs = [
+                stm.lookup(f"mix{c}").attach_output() for c in range(n_channels)
+            ]
+            for c, out in enumerate(seed_outs):
+                for ts in range(10):
+                    out.put(ts, f"seed-{c}-{ts}")
+                out.detach()
+            threads = [
+                cluster.space(i % 2).spawn(chaos, (i + 1,), virtual_time=0)
+                for i in range(n_threads)
+            ]
+            boot.set_virtual_time(INFINITY)
+            for t in threads:
+                t.join(60.0)
+            # All threads done; remaining items are unconsumed leftovers.
+            # Drain: attach a fresh consumer per channel and consume all.
+            boot2 = current_thread()
+            for c in range(n_channels):
+                chan = stm.lookup(f"mix{c}")
+                inp = chan.attach_input()
+                while True:
+                    try:
+                        item = inp.get(STM_OLDEST, block=False)
+                    except ChannelEmptyError:
+                        break
+                    inp.consume_until(item.timestamp)
+                inp.detach()
+            cluster.gc_once()
+            for c in range(n_channels):
+                chan = stm.lookup(f"mix{c}")
+                kernel = cluster.space(chan.handle.home_space)._channel(
+                    chan.channel_id).kernel
+                assert len(kernel) == 0, f"channel mix{c} not empty"
+            del boot2
+            boot.exit()

@@ -1,0 +1,148 @@
+"""Tests for the audio modality and multi-modal fusion (paper §2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import INFINITY
+from repro.kiosk.audio import (
+    AUDIO_RATE,
+    SAMPLES_PER_FRAME,
+    AudioChunk,
+    SpeechDetector,
+    SyntheticMicrophone,
+)
+from repro.kiosk.decision import DecisionModule
+from repro.kiosk.records import Region, TrackRecord
+from repro.runtime import Cluster
+from repro.stm import STM
+
+
+class TestSyntheticMicrophone:
+    def test_chunk_shape(self):
+        mic = SyntheticMicrophone()
+        chunk = mic.chunk(0)
+        assert chunk.samples.shape == (SAMPLES_PER_FRAME,)
+        assert chunk.samples.dtype == np.float32
+        assert SAMPLES_PER_FRAME == AUDIO_RATE // 30
+
+    def test_deterministic(self):
+        a = SyntheticMicrophone().chunk(7).samples
+        b = SyntheticMicrophone().chunk(7).samples
+        np.testing.assert_array_equal(a, b)
+
+    def test_speech_louder_than_silence(self):
+        mic = SyntheticMicrophone(speech_frames=frozenset([5]))
+        quiet = np.sqrt(np.mean(mic.chunk(0).samples ** 2))
+        loud = np.sqrt(np.mean(mic.chunk(5).samples ** 2))
+        assert loud > 5 * quiet
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            AudioChunk(0, np.zeros((2, 3), dtype=np.float32))
+
+
+class TestSpeechDetector:
+    def test_detects_scheduled_speech(self):
+        mic = SyntheticMicrophone(speech_frames=frozenset(range(10, 20)))
+        detector = SpeechDetector()
+        records = [detector.analyze(mic.chunk(t)) for t in range(30)]
+        for t in range(12, 20):  # allow a couple frames of calibration slack
+            assert records[t].speech, f"missed speech at frame {t}"
+        for t in range(0, 10):
+            assert not records[t].speech, f"false positive at frame {t}"
+        for t in range(21, 30):
+            assert not records[t].speech, f"false positive at frame {t}"
+
+    def test_white_noise_burst_rejected_by_zcr(self):
+        """A loud *unvoiced* burst (white noise) is not speech."""
+        detector = SpeechDetector()
+        rng = np.random.default_rng(0)
+        for t in range(5):  # calibration
+            quiet = rng.standard_normal(SAMPLES_PER_FRAME).astype(np.float32) * 0.01
+            detector.analyze(AudioChunk(t, quiet))
+        loud_noise = rng.standard_normal(SAMPLES_PER_FRAME).astype(np.float32) * 0.5
+        record = detector.analyze(AudioChunk(5, loud_noise))
+        assert not record.speech  # high ZCR vetoes it
+        assert record.zero_crossing_rate > 0.25
+
+    def test_features(self):
+        silent = np.zeros(100, dtype=np.float32)
+        energy, zcr = SpeechDetector.features(silent)
+        assert energy == 0.0
+        assert zcr == 0.0
+        alternating = np.array([1.0, -1.0] * 50, dtype=np.float32)
+        _, zcr = SpeechDetector.features(alternating)
+        assert zcr == pytest.approx(1.0)
+
+
+class TestMultiModalFusion:
+    def _track(self, ts, detected=True):
+        regions = [Region(10, 10, 30, 30, 20.0, 20.0, 400)] if detected else []
+        return TrackRecord(timestamp=ts, tracker="lofi", regions=regions,
+                           scores=[0.6] if detected else [])
+
+    def _audio(self, ts, speech):
+        from repro.kiosk.audio import AudioRecord
+
+        return AudioRecord(timestamp=ts, speech=speech, energy=0.1,
+                           zero_crossing_rate=0.1)
+
+    def test_speech_boosts_confidence(self):
+        module = DecisionModule(present_after=1)
+        silent = module.decide(0, lofi=self._track(0), audio=self._audio(0, False))
+        module2 = DecisionModule(present_after=1)
+        speaking = module2.decide(0, lofi=self._track(0),
+                                  audio=self._audio(0, True))
+        assert speaking.confidence > silent.confidence
+
+    def test_voice_alone_counts_as_presence(self):
+        """§2: the kiosk reacts to being addressed from off-camera."""
+        module = DecisionModule(present_after=1)
+        dec = module.decide(0, lofi=self._track(0, detected=False),
+                            audio=self._audio(0, True))
+        assert dec.customers_present == 1
+        assert dec.action == "greet"
+
+    def test_fusion_over_stm_columns(self):
+        """Video and audio channels joined per timestamp column (§3)."""
+        mic = SyntheticMicrophone(speech_frames=frozenset(range(8, 16)))
+        n = 20
+        decisions = {}
+        with Cluster(n_spaces=1, gc_period=None) as cluster:
+            boot = cluster.space(0).adopt_current_thread(virtual_time=0)
+            stm = STM(cluster.space(0))
+            tracks = stm.create_channel("fusion.tracks")
+            audio = stm.create_channel("fusion.audio")
+            t_out, a_out = tracks.attach_output(), audio.attach_output()
+
+            def fuser():
+                from repro.runtime import current_thread
+
+                t_in = tracks.attach_input()
+                a_in = audio.attach_input()
+                current_thread().set_virtual_time(INFINITY)
+                module = DecisionModule(present_after=1)
+                detector = SpeechDetector()
+                for ts in range(n):
+                    track_item = t_in.get(ts)  # temporal join: same column,
+                    chunk_item = a_in.get(ts)  # two modalities (§3)
+                    record = detector.analyze(chunk_item.value)
+                    decisions[ts] = module.decide(
+                        ts, lofi=track_item.value, audio=record
+                    )
+                    t_in.consume_until(ts)
+                    a_in.consume_until(ts)
+                t_in.detach()
+                a_in.detach()
+
+            handle = cluster.space(0).spawn(fuser, virtual_time=0)
+            for ts in range(n):
+                boot.set_virtual_time(ts)
+                t_out.put(ts, self._track(ts, detected=ts >= 4))
+                a_out.put(ts, mic.chunk(ts))
+            handle.join(30)
+            boot.exit()
+        # during overlapping speech+vision, confidence beats vision alone
+        vision_only = decisions[5].confidence
+        fused = decisions[12].confidence
+        assert fused > vision_only

@@ -1,0 +1,134 @@
+"""Unit + differential tests for the image-differencing blob tracker."""
+
+import numpy as np
+import pytest
+import scipy.ndimage as ndi
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.kiosk.blob_tracker import BlobTracker, connected_components
+from repro.kiosk.frames import SyntheticScene
+
+
+class TestConnectedComponents:
+    def test_empty_mask(self):
+        labels, n = connected_components(np.zeros((5, 5), dtype=bool))
+        assert n == 0
+        assert not labels.any()
+
+    def test_single_blob(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[2:4, 2:5] = True
+        labels, n = connected_components(mask)
+        assert n == 1
+        assert (labels > 0).sum() == 6
+
+    def test_two_separate_blobs(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[0, 0] = True
+        mask[5, 5] = True
+        labels, n = connected_components(mask)
+        assert n == 2
+        assert labels[0, 0] != labels[5, 5]
+
+    def test_diagonal_is_not_connected(self):
+        """4-connectivity: diagonal touch is two components."""
+        mask = np.zeros((3, 3), dtype=bool)
+        mask[0, 0] = mask[1, 1] = True
+        _, n = connected_components(mask)
+        assert n == 2
+
+    def test_u_shape_merges_via_union_find(self):
+        mask = np.array(
+            [
+                [1, 0, 1],
+                [1, 0, 1],
+                [1, 1, 1],
+            ],
+            dtype=bool,
+        )
+        labels, n = connected_components(mask)
+        assert n == 1
+        assert len(np.unique(labels[mask])) == 1
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ValueError):
+            connected_components(np.zeros((3, 3), dtype=np.uint8))
+
+    @given(
+        hnp.arrays(dtype=bool, shape=st.tuples(st.integers(1, 24),
+                                               st.integers(1, 24)))
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_scipy(self, mask):
+        """Differential test against scipy.ndimage.label (4-connectivity)."""
+        ours, n_ours = connected_components(mask)
+        structure = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]])
+        theirs, n_theirs = ndi.label(mask, structure=structure)
+        assert n_ours == n_theirs
+        # label values may differ; the partition must be identical
+        for component in range(1, n_ours + 1):
+            cells = ours == component
+            their_labels = np.unique(theirs[cells])
+            assert len(their_labels) == 1
+            assert (theirs == their_labels[0]).sum() == cells.sum()
+
+
+class TestBlobTracker:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        return SyntheticScene(seed=3)
+
+    def test_detects_actor(self, scene):
+        tracker = BlobTracker(scene.background)
+        record = tracker.analyze(0, scene.render(0))
+        assert record.detected
+        assert record.tracker == "lofi"
+        (gx, gy) = scene.ground_truth(0)[0]
+        best, score = record.best()
+        assert abs(best.cx - gx) < 4 and abs(best.cy - gy) < 4
+        assert 0 < score <= 1
+
+    def test_empty_scene_no_detection(self, scene):
+        empty = SyntheticScene(actors=[], seed=3)
+        tracker = BlobTracker(empty.background)
+        record = tracker.analyze(0, empty.render(0))
+        assert not record.detected
+        assert record.best() is None
+
+    def test_two_actors_two_regions(self, scene):
+        record = BlobTracker(scene.background).analyze(50, scene.render(50))
+        assert len(record.regions) == 2
+
+    def test_min_area_filters_noise(self, scene):
+        frame = scene.render(0)
+        huge_min = BlobTracker(scene.background, min_area=10_000)
+        assert not huge_min.analyze(0, frame).detected
+
+    def test_region_geometry_consistent(self, scene):
+        record = BlobTracker(scene.background).analyze(0, scene.render(0))
+        for region in record.regions:
+            assert region.x0 < region.x1 and region.y0 < region.y1
+            assert region.contains(region.cx, region.cy)
+            assert region.area <= region.width * region.height
+
+    def test_background_adaptation(self):
+        """With adaptation on, a permanent change fades into the background."""
+        base = np.full((40, 40, 3), 100, dtype=np.uint8)
+        changed = base.copy()
+        changed[10:30, 10:30] = 180
+        tracker = BlobTracker(base, threshold=20, min_area=10, adapt=0.5)
+        assert tracker.analyze(0, changed).detected
+        # the changed region is 'active', so it does NOT adapt; but change
+        # the scene back and the quiet pixels converge again
+        for t in range(1, 4):
+            tracker.analyze(t, base)
+        record = tracker.analyze(5, base)
+        assert not record.detected
+
+    def test_frames_processed_counter(self, scene):
+        tracker = BlobTracker(scene.background)
+        for t in range(3):
+            tracker.analyze(t, scene.render(t))
+        assert tracker.frames_processed == 3

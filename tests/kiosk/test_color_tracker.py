@@ -1,0 +1,111 @@
+"""Unit tests for the color-histogram tracker."""
+
+import numpy as np
+import pytest
+
+from repro.kiosk.color_tracker import ColorTracker, back_project, color_histogram
+from repro.kiosk.frames import SyntheticScene
+from repro.kiosk.records import Region
+
+
+def solid(color, h=16, w=16):
+    return np.tile(np.asarray(color, dtype=np.uint8).reshape(1, 1, 3), (h, w, 1))
+
+
+class TestHistogram:
+    def test_normalized(self):
+        hist = color_histogram(solid((200, 40, 40)))
+        assert hist.sum() == pytest.approx(1.0)
+        assert (hist >= 0).all()
+
+    def test_solid_patch_single_bin(self):
+        hist = color_histogram(solid((200, 40, 40)))
+        assert (hist > 0).sum() == 1
+        assert hist.max() == pytest.approx(1.0)
+
+    def test_empty_patch_rejected(self):
+        with pytest.raises(ValueError):
+            color_histogram(np.empty((0, 3), dtype=np.uint8))
+
+    def test_bins_parameter(self):
+        hist = color_histogram(solid((10, 20, 30)), bins=4)
+        assert hist.shape == (64,)
+
+
+class TestBackProjection:
+    def test_discriminates_colors(self):
+        model = color_histogram(solid((200, 40, 40)))
+        frame = np.concatenate(
+            [solid((200, 40, 40), 8, 8), solid((40, 60, 210), 8, 8)], axis=1
+        )
+        bp = back_project(frame, model)
+        assert bp[:, :8].mean() == pytest.approx(1.0)
+        assert bp[:, 8:].mean() == pytest.approx(0.0)
+
+    def test_shape_matches_frame(self):
+        model = color_histogram(solid((1, 2, 3)))
+        bp = back_project(np.zeros((5, 7, 3), dtype=np.uint8), model)
+        assert bp.shape == (5, 7)
+
+    def test_wrong_histogram_shape_rejected(self):
+        with pytest.raises(ValueError):
+            back_project(np.zeros((4, 4, 3), dtype=np.uint8), np.zeros(10))
+
+
+class TestColorTracker:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        return SyntheticScene(seed=2, noise_sigma=0.0)
+
+    @pytest.fixture(scope="class")
+    def tracker(self, scene):
+        return ColorTracker(color_histogram(solid(scene.actors[0].color)))
+
+    def test_localize_converges_to_actor(self, scene, tracker):
+        frame = scene.render(0)
+        (gx, gy) = scene.ground_truth(0)[0]
+        # start the mean-shift 15 px off target
+        cx, cy, score = tracker.localize(frame, (gx + 15, gy - 12))
+        assert abs(cx - gx) < 5 and abs(cy - gy) < 5
+        assert score > tracker.accept_score
+
+    def test_score_region_discriminates(self, scene, tracker):
+        frame = scene.render(50)  # both actors present
+        (x0, y0) = scene.ground_truth(50)[0]
+        right = Region(int(x0) - 10, int(y0) - 10, int(x0) + 10, int(y0) + 10,
+                       x0, y0, 400)
+        wrong = Region(0, 0, 20, 20, 10, 10, 400)
+        assert tracker.score_region(frame, right) > 5 * max(
+            tracker.score_region(frame, wrong), 1e-6
+        )
+
+    def test_analyze_confirms_candidates(self, scene, tracker):
+        frame = scene.render(0)
+        (gx, gy) = scene.ground_truth(0)[0]
+        candidate = Region(int(gx) - 12, int(gy) - 12, int(gx) + 12,
+                           int(gy) + 12, gx, gy, 500)
+        record = tracker.analyze(0, frame, [candidate])
+        assert record.detected
+        best, score = record.best()
+        assert abs(best.cx - gx) < 5
+
+    def test_analyze_rejects_wrong_color_candidate(self, scene, tracker):
+        frame = scene.render(50)
+        # candidate over the BLUE actor scored against the RED model:
+        (bx, by) = scene.ground_truth(50)[1]
+        candidate = Region(int(bx) - 10, int(by) - 10, int(bx) + 10,
+                           int(by) + 10, bx, by, 400)
+        record = tracker.analyze(50, frame, [candidate])
+        assert not record.detected
+
+    def test_analyze_whole_frame_scan(self, scene, tracker):
+        record = tracker.analyze(0, scene.render(0), candidates=None)
+        assert record.detected
+        (gx, gy) = scene.ground_truth(0)[0]
+        best, _ = record.best()
+        assert abs(best.cx - gx) < 6 and abs(best.cy - gy) < 6
+
+    def test_empty_region_scores_zero(self, tracker, scene):
+        frame = scene.render(0)
+        degenerate = Region(5, 5, 5, 5, 5, 5, 0)
+        assert tracker.score_region(frame, degenerate) == 0.0

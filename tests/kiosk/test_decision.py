@@ -1,0 +1,93 @@
+"""Unit tests for the decision module and GUI state machine."""
+
+import pytest
+
+from repro.kiosk.decision import DecisionModule, GuiModule
+from repro.kiosk.records import Region, TrackRecord
+
+
+def track(ts, detected=True, tracker="lofi", score=0.8):
+    regions = (
+        [Region(10, 10, 30, 30, 20.0, 20.0, 400)] if detected else []
+    )
+    scores = [score] if detected else []
+    return TrackRecord(timestamp=ts, tracker=tracker, regions=regions,
+                       scores=scores)
+
+
+class TestDecisionModule:
+    def test_idle_when_nothing_detected(self):
+        module = DecisionModule()
+        dec = module.decide(0, lofi=track(0, detected=False))
+        assert dec.action == "idle"
+        assert dec.customers_present == 0
+        assert dec.focus is None
+
+    def test_greet_after_streak(self):
+        module = DecisionModule(present_after=2)
+        assert module.decide(0, lofi=track(0)).action == "idle"
+        dec = module.decide(1, lofi=track(1))
+        assert dec.action == "greet"
+        assert module.decide(2, lofi=track(2)).action == "engage"
+
+    def test_farewell_after_absence(self):
+        module = DecisionModule(present_after=1, absent_after=2)
+        module.decide(0, lofi=track(0))  # greet
+        module.decide(1, lofi=track(1, detected=False))
+        dec = module.decide(2, lofi=track(2, detected=False))
+        assert dec.action == "farewell"
+
+    def test_flapping_suppressed_by_hysteresis(self):
+        module = DecisionModule(present_after=2, absent_after=3)
+        actions = []
+        pattern = [True, False, True, False, True, True]
+        for ts, present in enumerate(pattern):
+            actions.append(module.decide(ts, lofi=track(ts, present)).action)
+        assert "greet" not in actions[:4]  # never two in a row until the end
+        assert actions[-1] == "greet"
+
+    def test_hifi_takes_precedence(self):
+        module = DecisionModule(present_after=1)
+        dec = module.decide(
+            0, lofi=track(0, score=0.2), hifi=track(0, tracker="hifi", score=0.9)
+        )
+        assert dec.confidence > 0.9  # 0.5 + 0.5*0.9
+        assert dec.focus == (20.0, 20.0)
+
+    def test_lofi_only_confidence_lower(self):
+        module = DecisionModule(present_after=1)
+        dec = module.decide(0, lofi=track(0, score=0.8), hifi=None)
+        assert dec.confidence == pytest.approx(0.4)
+
+    def test_counts_customers(self):
+        record = TrackRecord(
+            timestamp=0,
+            tracker="lofi",
+            regions=[Region(0, 0, 5, 5, 2, 2, 25),
+                     Region(10, 10, 15, 15, 12, 12, 25)],
+            scores=[0.5, 0.7],
+        )
+        module = DecisionModule(present_after=1)
+        dec = module.decide(0, lofi=record)
+        assert dec.customers_present == 2
+        assert dec.focus == (12, 12)  # highest score wins
+
+
+class TestGuiModule:
+    def test_transcript_records_greet_and_farewell(self):
+        module = DecisionModule(present_after=1, absent_after=1)
+        gui = GuiModule()
+        gui.react(module.decide(0, lofi=track(0)))
+        gui.react(module.decide(1, lofi=track(1)))
+        gui.react(module.decide(2, lofi=track(2, detected=False)))
+        assert gui.greetings == 1
+        assert gui.farewells == 1
+        assert "Welcome" in gui.transcript[0].utterance
+
+    def test_engage_and_idle_are_silent(self):
+        module = DecisionModule(present_after=1)
+        gui = GuiModule()
+        assert gui.react(module.decide(0, lofi=track(0, detected=False))) is None
+        module.decide(1, lofi=track(1))  # greet consumed silently
+        assert gui.react(module.decide(2, lofi=track(2))) is None  # engage
+        assert gui.transcript == []

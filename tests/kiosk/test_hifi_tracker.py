@@ -1,0 +1,157 @@
+"""Unit + differential tests for the NCC hi-fi tracker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.kiosk.frames import SyntheticScene
+from repro.kiosk.hifi_tracker import HifiTracker, normalized_cross_correlation
+from repro.kiosk.records import Region
+
+
+def naive_ncc(image, template):
+    """Reference O(HW·th·tw) implementation for differential testing."""
+    image = image.astype(np.float64)
+    t = template.astype(np.float64)
+    t = t - t.mean()
+    t_norm = np.sqrt((t * t).sum())
+    th, tw = t.shape
+    out = np.zeros((image.shape[0] - th + 1, image.shape[1] - tw + 1))
+    if t_norm <= 1e-12:
+        return out
+    for y in range(out.shape[0]):
+        for x in range(out.shape[1]):
+            win = image[y : y + th, x : x + tw]
+            w = win - win.mean()
+            denom = np.sqrt((w * w).sum()) * t_norm
+            out[y, x] = (w * t).sum() / denom if denom > 1e-9 else 0.0
+    return np.clip(out, -1, 1)
+
+
+class TestNCC:
+    def test_self_match_is_one(self):
+        rng = np.random.default_rng(0)
+        img = rng.uniform(0, 255, (20, 20))
+        ncc = normalized_cross_correlation(img, img)
+        assert ncc.shape == (1, 1)
+        assert ncc[0, 0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_peak_at_embedded_template(self):
+        rng = np.random.default_rng(1)
+        img = rng.uniform(0, 255, (60, 80))
+        template = img[20:35, 30:50].copy()
+        ncc = normalized_cross_correlation(img, template)
+        peak = np.unravel_index(np.argmax(ncc), ncc.shape)
+        assert peak == (20, 30)
+        assert ncc[peak] == pytest.approx(1.0, abs=1e-9)
+
+    def test_values_bounded(self):
+        rng = np.random.default_rng(2)
+        img = rng.uniform(0, 255, (40, 40))
+        ncc = normalized_cross_correlation(img, rng.uniform(0, 255, (8, 8)))
+        assert (ncc <= 1.0 + 1e-9).all() and (ncc >= -1.0 - 1e-9).all()
+
+    def test_flat_template_scores_zero(self):
+        img = np.random.default_rng(3).uniform(0, 255, (20, 20))
+        ncc = normalized_cross_correlation(img, np.full((5, 5), 7.0))
+        assert not ncc.any()
+
+    def test_flat_image_region_scores_zero(self):
+        img = np.full((20, 20), 3.0)
+        template = np.random.default_rng(4).uniform(0, 255, (5, 5))
+        ncc = normalized_cross_correlation(img, template)
+        assert not ncc.any()
+
+    def test_template_larger_than_image_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_cross_correlation(np.zeros((4, 4)), np.zeros((8, 8)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_cross_correlation(np.zeros((4, 4, 3)), np.zeros((2, 2)))
+
+    @given(
+        hnp.arrays(np.float64, st.tuples(st.integers(6, 18), st.integers(6, 18)),
+                   elements=st.floats(0, 255)),
+        st.integers(2, 5),
+        st.integers(2, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive_reference(self, img, th, tw):
+        template = img[:th, :tw].copy()
+        fast = normalized_cross_correlation(img, template)
+        slow = naive_ncc(img, template)
+        # Near-zero-variance windows are threshold cases where the two
+        # implementations may legitimately disagree about "flat"; compare
+        # only where the correlation is numerically meaningful.
+        t = template - template.mean()
+        t_norm = np.sqrt((t * t).sum())
+        meaningful = np.zeros_like(slow, dtype=bool)
+        for y in range(slow.shape[0]):
+            for x in range(slow.shape[1]):
+                win = img[y : y + th, x : x + tw]
+                w = win - win.mean()
+                # Denominators below ~1 pixel² suffer catastrophic
+                # cancellation in the box-sum variance; real matches have
+                # denominators in the thousands.
+                meaningful[y, x] = np.sqrt((w * w).sum()) * t_norm > 1.0
+        np.testing.assert_allclose(
+            fast[meaningful], slow[meaningful], atol=1e-5
+        )
+
+
+class TestHifiTracker:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        return SyntheticScene(seed=4, noise_sigma=0.0)
+
+    def make_region(self, scene, t):
+        (cx, cy) = scene.ground_truth(t)[0]
+        return Region(int(cx) - 14, int(cy) - 20, int(cx) + 14, int(cy) + 20,
+                      cx, cy, 400)
+
+    def test_acquire_then_track(self, scene):
+        tracker = HifiTracker()
+        assert not tracker.acquired
+        tracker.acquire(scene.render(0), self.make_region(scene, 0))
+        assert tracker.acquired
+        for t in range(1, 6):
+            record = tracker.analyze(t, scene.render(t))
+            assert record.detected, f"lost target at frame {t}"
+            best, score = record.best()
+            (gx, gy) = scene.ground_truth(t)[0]
+            assert abs(best.cx - gx) < 6 and abs(best.cy - gy) < 6
+            assert score > tracker.accept_score
+
+    def test_analyze_before_acquire_rejected(self, scene):
+        with pytest.raises(RuntimeError):
+            HifiTracker().analyze(0, scene.render(0))
+
+    def test_empty_region_rejected(self, scene):
+        tracker = HifiTracker()
+        with pytest.raises(ValueError):
+            tracker.acquire(scene.render(0), Region(5, 5, 5, 9, 5, 7, 0))
+
+    def test_miss_grows_search_margin(self, scene):
+        tracker = HifiTracker(search_margin=10, search_growth=15)
+        tracker.acquire(scene.render(0), self.make_region(scene, 0))
+        empty = SyntheticScene(actors=[], seed=4, noise_sigma=0.0)
+        record = tracker.analyze(1, empty.render(1))
+        assert not record.detected
+        assert tracker._margin == 25
+
+    def test_reacquires_after_jump(self, scene):
+        """Target jumps further than one frame of motion; the growing search
+        window recovers it within a few frames."""
+        tracker = HifiTracker(search_margin=6, search_growth=20)
+        tracker.acquire(scene.render(0), self.make_region(scene, 0))
+        # skip ahead 15 frames: the actor moved ~30 px
+        detected_at = None
+        for attempt, t in enumerate([15, 15, 15, 15]):
+            record = tracker.analyze(t, scene.render(t))
+            if record.detected:
+                detected_at = attempt
+                break
+        assert detected_at is not None

@@ -1,0 +1,159 @@
+"""End-to-end tests of the Smart Kiosk pipeline on STM (paper Figs. 2-7)."""
+
+import pytest
+
+from repro.kiosk import PipelineConfig, run_pipeline
+from repro.runtime import Cluster
+
+
+@pytest.fixture(scope="module")
+def single_space_result():
+    with Cluster(n_spaces=1, gc_period=0.02) as cluster:
+        yield run_pipeline(
+            cluster, PipelineConfig(n_frames=50, fps=200.0, scene_seed=11)
+        )
+
+
+class TestSingleSpace:
+    def test_all_frames_digitized(self, single_space_result):
+        assert single_space_result.frames_digitized == 50
+
+    def test_lofi_analyzed_most_frames(self, single_space_result):
+        r = single_space_result
+        assert r.frames_analyzed_lofi >= 25
+        assert r.frames_analyzed_lofi + r.frames_skipped_lofi <= 50
+
+    def test_records_inherit_frame_timestamps(self, single_space_result):
+        for record in single_space_result.lofi_records:
+            assert 0 <= record.timestamp < 50
+
+    def test_customer_greeted(self, single_space_result):
+        assert single_space_result.gui.greetings >= 1
+
+    def test_decisions_cover_analyzed_frames(self, single_space_result):
+        r = single_space_result
+        assert len(r.decisions) == r.frames_analyzed_lofi
+
+    def test_tracking_accuracy(self, single_space_result):
+        assert single_space_result.mean_tracking_error < 10.0
+
+    def test_hifi_spawned_dynamically(self, single_space_result):
+        r = single_space_result
+        assert r.hifi_spawned >= 1
+        assert r.frames_analyzed_hifi >= 1
+
+    def test_hifi_is_temporally_sparser_or_equal(self, single_space_result):
+        """§3: higher levels become temporally sparser (they start later
+        and may drop frames)."""
+        r = single_space_result
+        assert r.frames_analyzed_hifi <= r.frames_digitized
+
+
+class TestMultiSpace:
+    def test_pipeline_across_three_spaces(self):
+        with Cluster(n_spaces=3, gc_period=0.02) as cluster:
+            config = PipelineConfig(
+                n_frames=40,
+                fps=200.0,
+                digitizer_space=0,
+                lofi_space=1,
+                hifi_space=1,
+                decision_space=2,
+                gui_space=2,
+                scene_seed=11,
+            )
+            result = run_pipeline(cluster, config)
+        assert result.frames_digitized == 40
+        assert result.frames_analyzed_lofi >= 15
+        assert result.gui.greetings >= 1
+        assert result.mean_tracking_error < 10.0
+
+
+class TestVariants:
+    def test_without_hifi(self):
+        with Cluster(n_spaces=1, gc_period=0.02) as cluster:
+            result = run_pipeline(
+                cluster,
+                PipelineConfig(n_frames=25, fps=200.0, enable_hifi=False,
+                               scene_seed=11),
+            )
+        assert result.hifi_spawned == 0
+        assert result.frames_analyzed_hifi == 0
+        assert result.gui.greetings >= 1  # lofi alone suffices to greet
+
+    def test_without_color_refinement(self):
+        with Cluster(n_spaces=1, gc_period=0.02) as cluster:
+            result = run_pipeline(
+                cluster,
+                PipelineConfig(n_frames=25, fps=200.0, enable_color=False,
+                               scene_seed=11),
+            )
+        assert result.frames_analyzed_lofi >= 10
+        assert result.mean_tracking_error < 10.0
+
+    def test_bounded_frame_channel(self):
+        """A small frame channel throttles but must not deadlock (GC frees
+        slots as the trackers consume)."""
+        with Cluster(n_spaces=1, gc_period=0.01) as cluster:
+            result = run_pipeline(
+                cluster,
+                PipelineConfig(n_frames=30, fps=200.0,
+                               frame_channel_capacity=4, scene_seed=11),
+            )
+        assert result.frames_digitized == 30
+        assert result.frames_analyzed_lofi >= 10
+
+    def test_gc_reclaims_frames_during_run(self):
+        with Cluster(n_spaces=1, gc_period=0.01) as cluster:
+            result = run_pipeline(
+                cluster, PipelineConfig(n_frames=40, fps=200.0, scene_seed=11)
+            )
+            stm_space = cluster.space(0)
+            video = [
+                ch for ch in stm_space.local_channels()
+                if ch.handle.name == "kiosk.video"
+            ][0]
+            # after the run, everything is consumable; a final GC round
+            # leaves (at most) the sentinel column
+            cluster.gc_once()
+            assert len(video.kernel) <= 1
+        assert result.frames_digitized == 40
+
+
+class TestMultiModal:
+    @pytest.fixture(scope="class")
+    def result(self):
+        with Cluster(n_spaces=1, gc_period=0.02) as cluster:
+            yield run_pipeline(
+                cluster,
+                PipelineConfig(
+                    n_frames=50, fps=200.0, scene_seed=11,
+                    enable_audio=True, enable_gesture=True,
+                    speech_frames=tuple(range(10, 30)),
+                ),
+            )
+
+    def test_audio_stream_covers_every_frame(self, result):
+        assert len(result.audio_records) == 50
+
+    def test_speech_detected_on_schedule(self, result):
+        """The detector finds (almost exactly) the scheduled speech burst."""
+        assert 15 <= result.speech_frames_detected <= 22
+        speech_ts = {r.timestamp for r in result.audio_records if r.speech}
+        assert speech_ts <= set(range(10, 32))  # no far-off false positives
+
+    def test_audio_boosts_decision_confidence(self, result):
+        by_ts = {d.timestamp: d for d in result.decisions}
+        speaking = [d.confidence for ts, d in by_ts.items() if 12 <= ts < 28]
+        silent = [d.confidence for ts, d in by_ts.items() if ts < 8 or ts > 35]
+        assert speaking and silent
+        assert max(speaking) > max(silent)
+
+    def test_gesture_stage_produces_events(self, result):
+        assert result.gestures
+        # the synthetic customer walks across the scene
+        assert any(e.gesture == "walk" for e in result.gestures)
+
+    def test_gesture_events_inherit_column_timestamps(self, result):
+        for event in result.gestures:
+            assert 0 <= event.timestamp < 50

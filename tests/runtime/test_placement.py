@@ -1,0 +1,158 @@
+"""Tests for the latency-aware placement model (paper §9 / companion [12])."""
+
+import pytest
+
+from repro.core import STM_OLDEST
+from repro.runtime.placement import (
+    KIOSK_PIPELINE,
+    PipelineModel,
+    Stage,
+    optimal_placement,
+    predict,
+)
+from repro.sim import SimStampede
+from repro.transport.clf import ClusterTopology
+from repro.transport.media import UDP_LAN
+
+
+def two_stage(nbytes=230_400, c0=500.0, c1=8_000.0):
+    return PipelineModel(
+        stages=(Stage("a", c0, nbytes), Stage("b", c1, 0))
+    )
+
+
+class TestPredict:
+    def test_colocated_cheaper_than_split(self):
+        model = two_stage()
+        local = predict(model, (0, 0), ClusterTopology(2))
+        split = predict(model, (0, 1), ClusterTopology(2))
+        assert local.latency_us < split.latency_us
+
+    def test_split_improves_throughput_when_cpu_bound(self):
+        """Two heavy stages on one space halve the rate one CPU... with the
+        SMP model, splitting across spaces always at least matches."""
+        model = PipelineModel(
+            stages=(Stage("a", 30_000.0, 64), Stage("b", 30_000.0, 0))
+        )
+        together = predict(model, (0, 0), ClusterTopology(2), cpus_per_space=1)
+        split = predict(model, (0, 1), ClusterTopology(2), cpus_per_space=1)
+        assert split.throughput_fps > together.throughput_fps
+
+    def test_udp_edges_cost_more(self):
+        model = two_stage()
+        mc = predict(model, (0, 1), ClusterTopology(2))
+        udp = predict(model, (0, 1), ClusterTopology(2, inter_node=UDP_LAN))
+        assert udp.latency_us > 2 * mc.latency_us
+
+    def test_edge_breakdown_sums_into_latency(self):
+        model = KIOSK_PIPELINE
+        pred = predict(model, (0, 1, 1, 0), ClusterTopology(2))
+        compute = sum(s.compute_us for s in model.stages)
+        assert pred.latency_us == pytest.approx(
+            compute + sum(pred.edge_costs_us)
+        )
+
+    def test_placement_length_checked(self):
+        with pytest.raises(ValueError):
+            predict(two_stage(), (0,), ClusterTopology(2))
+
+    def test_space_range_checked(self):
+        with pytest.raises(ValueError):
+            predict(two_stage(), (0, 7), ClusterTopology(2))
+
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            Stage("bad", -1.0, 0)
+        with pytest.raises(ValueError):
+            Stage("bad", 1.0, -1)
+        with pytest.raises(ValueError):
+            PipelineModel(stages=())
+
+
+class TestOptimalPlacement:
+    def test_latency_optimum_is_all_colocated(self):
+        """With latency as the objective and light compute, everything on
+        one space wins (no wire crossings)."""
+        best = optimal_placement(KIOSK_PIPELINE, n_spaces=3,
+                                 objective="latency")
+        assert len(set(best.placement)) == 1
+
+    def test_pinning_respected(self):
+        best = optimal_placement(
+            KIOSK_PIPELINE, n_spaces=3, objective="latency",
+            pinned={"digitizer": 2},
+        )
+        assert best.placement[0] == 2
+        # ...and the rest follows the digitizer to avoid the frame hop
+        assert set(best.placement) == {2}
+
+    def test_throughput_objective_spreads_heavy_stages(self):
+        model = PipelineModel(
+            stages=(
+                Stage("s0", 40_000.0, 1024),
+                Stage("s1", 40_000.0, 1024),
+                Stage("s2", 40_000.0, 0),
+            )
+        )
+        best = optimal_placement(model, n_spaces=3, objective="throughput",
+                                 cpus_per_space=1)
+        assert len(set(best.placement)) == 3
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_placement(KIOSK_PIPELINE, 2, objective="magic")
+
+    def test_unknown_pinned_stage_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_placement(KIOSK_PIPELINE, 2, pinned={"nope": 0})
+
+    def test_describe(self):
+        best = optimal_placement(KIOSK_PIPELINE, 2)
+        text = best.describe(KIOSK_PIPELINE)
+        assert "digitizer@" in text and "latency=" in text
+
+
+class TestPredictionsMatchSimulator:
+    """The model must agree with the simulator about placement *ordering*."""
+
+    @staticmethod
+    def simulate(placement, items=20, nbytes=230_400, c0=500.0, c1=8_000.0):
+        n_spaces = max(placement) + 1 if max(placement) > 0 else 2
+        sim = SimStampede(n_spaces=n_spaces)
+        chan = sim.create_channel(home=placement[1])
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for i in range(items):
+                t.set_virtual_time(i)
+                yield from t.delay(c0)
+                yield from t.put(out, i, nbytes=nbytes)
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            for _ in range(items):
+                _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+                yield from t.delay(c1)
+                yield from t.consume(inp, ts)
+
+        sim.spawn(producer, space=placement[0])
+        sim.spawn(consumer, space=placement[1])
+        sim.run()
+        return sim.now / items
+
+    def test_ordering_preserved(self):
+        model = two_stage()
+        placements = [(0, 0), (0, 1)]
+        predicted = [
+            predict(model, p, ClusterTopology(2)).latency_us
+            for p in placements
+        ]
+        simulated = [self.simulate(p) for p in placements]
+        # both agree: co-located beats split
+        assert (predicted[0] < predicted[1]) == (simulated[0] < simulated[1])
+
+    def test_magnitudes_within_factor_two(self):
+        model = two_stage()
+        pred = predict(model, (0, 1), ClusterTopology(2)).latency_us
+        sim = self.simulate((0, 1))
+        assert 0.5 < pred / sim < 2.0

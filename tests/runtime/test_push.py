@@ -1,0 +1,235 @@
+"""Tests for the eager-push optimization (paper §9 future work).
+
+    "we would like to use information about the current connections to a
+    channel to preemptively send data towards consumers, thereby improving
+    latency and bandwidth through the channel."
+"""
+
+import time
+
+import pytest
+
+from repro.core import INFINITY, STM_LATEST_UNSEEN, STM_OLDEST
+from repro.runtime import Cluster
+from repro.stm import STM
+
+
+@pytest.fixture
+def cluster():
+    with Cluster(n_spaces=3, gc_period=None) as c:
+        yield c
+
+
+@pytest.fixture
+def me(cluster):
+    t = cluster.space(0).adopt_current_thread(virtual_time=0)
+    yield t
+    if t.alive:
+        t.exit()
+
+
+def wait_for_cache(space, key, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with space._push_cache_lock:
+            if key in space._push_cache:
+                return True
+        time.sleep(0.005)
+    return False
+
+
+class TestPushMechanics:
+    def test_put_populates_consumer_cache(self, cluster, me):
+        import threading
+
+        chan = STM(cluster.space(0)).create_channel("p", home=0, push=True)
+        release = threading.Event()
+        attached = threading.Event()
+
+        # The consumer thread must stay alive: thread exit auto-detaches
+        # its connections, which would remove the push target.
+        def consumer():
+            STM(cluster.space(1)).lookup("p").attach_input()
+            attached.set()
+            release.wait(20)
+
+        handle = cluster.space(1).spawn(consumer, virtual_time=0)
+        assert attached.wait(10)
+        out = chan.attach_output()
+        out.put(0, b"pushed-data")
+        pushed = wait_for_cache(cluster.space(1), (chan.channel_id, 0))
+        release.set()
+        handle.join(10)
+        assert pushed, "payload was not pushed to the consumer space"
+
+    def test_get_resolves_from_cache(self, cluster, me):
+        chan = STM(cluster.space(0)).create_channel("q", home=0, push=True)
+        result = {}
+
+        def consumer():
+            stm = STM(cluster.space(1))
+            conn = stm.lookup("q").attach_input()
+            item = conn.get(0)
+            result["value"] = item.value
+            conn.consume(0)
+            conn.detach()
+
+        handle = cluster.space(1).spawn(consumer, virtual_time=0)
+        out = chan.attach_output()
+        out.put(0, {"frame": 42})
+        handle.join(15)
+        assert result["value"] == {"frame": 42}
+
+    def test_wildcard_get_uses_cache(self, cluster, me):
+        chan = STM(cluster.space(0)).create_channel("w", home=0, push=True)
+        out = chan.attach_output()
+        for ts in range(3):
+            out.put(ts, f"item-{ts}")  # all legal at visibility 0
+        got = {}
+
+        def consumer():
+            stm = STM(cluster.space(1))
+            conn = stm.lookup("w").attach_input()
+            item = conn.get(STM_OLDEST)
+            got["v"] = (item.timestamp, item.value)
+            conn.consume(item.timestamp)
+            conn.detach()
+
+        # consumer attaches AFTER the puts: those items were never pushed
+        # to space 1, so the reply must carry the payload (no-cache path).
+        cluster.space(1).spawn(consumer, virtual_time=0).join(15)
+        assert got["v"] == (0, "item-0")
+
+    def test_items_put_after_attach_are_pushed(self, cluster, me):
+        chan = STM(cluster.space(0)).create_channel("x", home=0, push=True)
+        got = {}
+
+        def consumer():
+            stm = STM(cluster.space(1))
+            conn = stm.lookup("x").attach_input()
+            got["ready"] = True
+            item = conn.get(STM_LATEST_UNSEEN)
+            got["v"] = item.value
+            # the payload must have come through the push cache:
+            with cluster.space(1)._push_cache_lock:
+                got["cached"] = (
+                    (chan.channel_id, item.timestamp)
+                    in cluster.space(1)._push_cache
+                )
+            conn.consume(item.timestamp)
+            conn.detach()
+
+        handle = cluster.space(1).spawn(consumer, virtual_time=0)
+        while not got.get("ready"):
+            time.sleep(0.005)
+        time.sleep(0.05)  # let the attach RPC settle at the home
+        out = chan.attach_output()
+        out.put(5, b"fresh")
+        handle.join(15)
+        assert got["v"] == b"fresh"
+        assert got["cached"]
+
+    def test_multiple_consumer_spaces_each_get_push(self, cluster, me):
+        import threading
+
+        chan = STM(cluster.space(0)).create_channel("m", home=0, push=True)
+        release = threading.Event()
+        handles = []
+        for space_id in (1, 2):
+            attached = threading.Event()
+
+            def attach(space_id=space_id, attached=attached):
+                STM(cluster.space(space_id)).lookup("m").attach_input()
+                attached.set()
+                release.wait(20)
+
+            handles.append(cluster.space(space_id).spawn(attach, virtual_time=0))
+            assert attached.wait(10)
+        out = chan.attach_output()
+        out.put(0, b"broadcast")
+        pushed = [
+            wait_for_cache(cluster.space(space_id), (chan.channel_id, 0))
+            for space_id in (1, 2)
+        ]
+        release.set()
+        for h in handles:
+            h.join(10)
+        assert all(pushed)
+
+    def test_gc_purges_push_cache(self, cluster, me):
+        chan = STM(cluster.space(0)).create_channel("g", home=0, push=True)
+
+        def attach_and_consume():
+            from repro.runtime import current_thread
+
+            stm = STM(cluster.space(1))
+            conn = stm.lookup("g").attach_input()
+            current_thread().set_virtual_time(INFINITY)
+            item = conn.get(0)
+            conn.consume(0)
+            conn.detach()
+
+        handle = cluster.space(1).spawn(attach_and_consume, virtual_time=0)
+        out = chan.attach_output()
+        out.put(0, b"ephemeral")
+        handle.join(15)
+        me.set_virtual_time(INFINITY)
+        cluster.gc_once()
+        with cluster.space(1)._push_cache_lock:
+            assert (chan.channel_id, 0) not in cluster.space(1)._push_cache
+
+    def test_push_requires_serialize_policy(self, cluster, me):
+        from repro.core import CopyPolicy
+        from repro.errors import StampedeError
+
+        with pytest.raises(StampedeError):
+            cluster.space(0).create_channel(
+                copy_policy=CopyPolicy.REFERENCE, push=True
+            )
+
+    def test_local_gets_unaffected_by_push(self, cluster, me):
+        chan = STM(cluster.space(0)).create_channel("local", home=0, push=True)
+        out, inp = chan.attach_output(), chan.attach_input()
+        out.put(0, b"same-space")
+        assert inp.get(0).value == b"same-space"
+
+
+class TestPushEndToEnd:
+    def test_stream_with_push_delivers_identically(self, cluster, me):
+        """Functional equivalence: push only changes *where* bytes travel."""
+        results = {}
+        for push in (False, True):
+            name = f"stream-{push}"
+            STM(cluster.space(0)).create_channel(name, home=0, push=push)
+            received = []
+
+            def consumer(name=name, received=received):
+                from repro.runtime import current_thread
+
+                stm = STM(cluster.space(2))
+                conn = stm.lookup(name).attach_input()
+                current_thread().set_virtual_time(INFINITY)
+                for ts in range(20):
+                    item = conn.get(ts)
+                    received.append((ts, item.value))
+                    conn.consume_until(ts)
+                conn.detach()
+
+            def producer(name=name):
+                from repro.runtime import current_thread
+
+                out = STM(cluster.space(0)).lookup(name).attach_output()
+                for ts in range(20):
+                    current_thread().set_virtual_time(ts)
+                    out.put(ts, bytes([ts]) * 100)
+                out.detach()
+
+            threads = [
+                cluster.space(2).spawn(consumer, virtual_time=0),
+                cluster.space(0).spawn(producer, virtual_time=0),
+            ]
+            for t in threads:
+                t.join(30)
+            results[push] = received
+        assert results[False] == results[True]
+        assert len(results[True]) == 20

@@ -1,0 +1,139 @@
+"""Unit tests for loose temporal synchrony (paper §4.3) with a fake clock."""
+
+import pytest
+
+from repro.errors import RealTimeSlippageError
+from repro.runtime.realtime import Pacer, TickStatus
+
+
+class FakeClock:
+    """Deterministic clock + sleep for driving the pacer."""
+
+    def __init__(self):
+        self.now = 100.0
+        self.slept: list[float] = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.slept.append(seconds)
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def make_pacer(clock, **kw):
+    kw.setdefault("period", 0.1)
+    return Pacer(clock=clock, sleep_fn=clock.sleep, **kw)
+
+
+class TestOnTime:
+    def test_early_thread_waits_until_tick(self, clock):
+        pacer = make_pacer(clock)
+        report = pacer.wait_for_tick()
+        assert report.status is TickStatus.ON_TIME
+        assert clock.slept == [pytest.approx(0.1)]
+        assert report.tick == 1
+
+    def test_successive_ticks_keep_schedule(self, clock):
+        pacer = make_pacer(clock)
+        for i in range(5):
+            pacer.wait_for_tick()
+        # after 5 ticks exactly 0.5 s have passed — no drift accumulation
+        assert clock.now == pytest.approx(100.5)
+        assert pacer.n_waits == 5
+
+    def test_work_time_subtracted_from_wait(self, clock):
+        pacer = make_pacer(clock)
+        pacer.start()
+        clock.now += 0.07  # thread worked 70 ms
+        pacer.wait_for_tick()
+        assert clock.slept == [pytest.approx(0.03)]
+
+
+class TestLateness:
+    def test_late_within_tolerance_proceeds(self, clock):
+        pacer = make_pacer(clock, tolerance=0.05)
+        pacer.start()
+        clock.now += 0.13  # 30 ms late
+        report = pacer.wait_for_tick()
+        assert report.status is TickStatus.LATE_OK
+        assert report.lateness == pytest.approx(0.03)
+        assert not clock.slept
+        assert pacer.n_late == 1
+
+    def test_slip_without_handler_raises(self, clock):
+        pacer = make_pacer(clock, tolerance=0.05)
+        pacer.start()
+        clock.now += 0.5
+        with pytest.raises(RealTimeSlippageError) as exc_info:
+            pacer.wait_for_tick()
+        assert exc_info.value.lateness == pytest.approx(0.4)
+
+    def test_slip_handler_reanchors_when_returning_none(self, clock):
+        seen = []
+        pacer = make_pacer(clock, tolerance=0.05, handler=lambda r: seen.append(r))
+        pacer.start()
+        clock.now += 0.5
+        report = pacer.wait_for_tick()
+        assert report.status is TickStatus.SLIPPED
+        assert len(seen) == 1
+        # Re-anchored: next tick is one period from "now".
+        report2 = pacer.wait_for_tick()
+        assert report2.status is TickStatus.ON_TIME
+        assert clock.slept == [pytest.approx(0.1)]
+
+    def test_slip_handler_can_skip_ticks(self, clock):
+        """The frame-dropping recovery the paper's digitizer would use."""
+        pacer = make_pacer(clock, tolerance=0.05, handler=lambda r: 4)
+        pacer.start()
+        clock.now += 0.55  # 4.5 periods late
+        pacer.wait_for_tick()
+        assert pacer.n_skipped_ticks == 4
+        assert pacer.tick == 5
+        report = pacer.wait_for_tick()  # tick 6 at t0+0.6: 50 ms ahead
+        assert report.status is TickStatus.ON_TIME
+
+    def test_negative_skip_rejected(self, clock):
+        pacer = make_pacer(clock, tolerance=0.0, handler=lambda r: -1)
+        pacer.start()
+        clock.now += 0.2
+        with pytest.raises(ValueError):
+            pacer.wait_for_tick()
+
+
+class TestValidation:
+    def test_bad_period(self, clock):
+        with pytest.raises(ValueError):
+            make_pacer(clock, period=0)
+
+    def test_bad_tolerance(self, clock):
+        with pytest.raises(ValueError):
+            make_pacer(clock, tolerance=-1)
+
+    def test_default_tolerance_is_period(self, clock):
+        pacer = make_pacer(clock, period=0.25)
+        assert pacer.tolerance == 0.25
+
+    def test_reports_accumulate(self, clock):
+        pacer = make_pacer(clock)
+        pacer.wait_for_tick()
+        pacer.wait_for_tick()
+        assert len(pacer.reports) == 2
+        assert [r.tick for r in pacer.reports] == [1, 2]
+
+
+def test_realtime_pacing_against_wall_clock():
+    """One real-time smoke check: 5 ticks of 20 ms ≈ 100 ms of wall time."""
+    import time
+
+    pacer = Pacer(period=0.02)
+    t0 = time.monotonic()
+    for _ in range(5):
+        pacer.wait_for_tick()
+    elapsed = time.monotonic() - t0
+    assert 0.08 <= elapsed < 1.0

@@ -1,0 +1,72 @@
+"""Tests for the cluster-wide statistics report."""
+
+import pytest
+
+from repro.core import INFINITY
+from repro.runtime import Cluster
+from repro.runtime.stats import cluster_report
+from repro.stm import STM
+
+
+@pytest.fixture
+def cluster():
+    with Cluster(n_spaces=2, gc_period=None) as c:
+        yield c
+
+
+@pytest.fixture
+def me(cluster):
+    t = cluster.space(0).adopt_current_thread(virtual_time=0)
+    yield t
+    if t.alive:
+        t.exit()
+
+
+class TestClusterReport:
+    def test_counts_ops(self, cluster, me):
+        stm = STM(cluster.space(0))
+        chan = stm.create_channel("counted", home=1)
+        out, inp = chan.attach_output(), chan.attach_input()
+        for ts in range(3):
+            out.put(ts, bytes(50))
+        inp.get_consume(0)
+        report = cluster_report(cluster)
+        assert report.total_puts == 3
+        assert report.total_gets == 1
+        assert report.stored_items == 3
+        assert report.total_bytes_on_wire > 150  # payloads crossed the wire
+
+    def test_space_breakdown(self, cluster, me):
+        STM(cluster.space(0)).create_channel("a", home=0)
+        STM(cluster.space(0)).create_channel("b", home=1)
+        report = cluster_report(cluster)
+        assert len(report.spaces) == 2
+        assert report.spaces[0].n_channels == 1
+        assert report.spaces[1].n_channels == 1
+        assert report.spaces[0].n_threads >= 1  # the adopted thread
+
+    def test_gc_stats_included(self, me):
+        with Cluster(n_spaces=1, gc_period=0.01) as cluster:
+            boot = cluster.space(0).adopt_current_thread(virtual_time=0)
+            stm = STM(cluster.space(0))
+            chan = stm.create_channel()
+            out, inp = chan.attach_output(), chan.attach_input()
+            out.put(0, b"x")
+            inp.get_consume(0)
+            boot.set_virtual_time(INFINITY)
+            cluster.gc_once()
+            report = cluster_report(cluster)
+            assert report.gc_epochs >= 1
+            assert report.total_collected >= 1
+            boot.exit()
+
+    def test_render(self, cluster, me):
+        stm = STM(cluster.space(0))
+        chan = stm.create_channel("pretty")
+        out = chan.attach_output()
+        out.put(0, b"payload")
+        text = cluster_report(cluster).render()
+        assert "cluster report" in text
+        assert "space 0" in text and "space 1" in text
+        assert "pretty" in text
+        assert "totals:" in text

@@ -1,0 +1,295 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimDeadlockError, SimulationError
+from repro.sim.engine import SimEngine
+
+
+class TestScheduling:
+    def test_delay_advances_clock(self):
+        engine = SimEngine()
+        trace = []
+
+        def task():
+            trace.append(engine.now)
+            yield ("delay", 10.0)
+            trace.append(engine.now)
+            yield ("delay", 5.0)
+            trace.append(engine.now)
+
+        engine.spawn(task)
+        engine.run()
+        assert trace == [0.0, 10.0, 15.0]
+
+    def test_delay_until(self):
+        engine = SimEngine()
+        trace = []
+
+        def task():
+            yield ("delay_until", 42.0)
+            trace.append(engine.now)
+            yield ("delay_until", 10.0)  # in the past: no-op
+            trace.append(engine.now)
+
+        engine.spawn(task)
+        engine.run()
+        assert trace == [42.0, 42.0]
+
+    def test_zero_delay_runs_inline(self):
+        engine = SimEngine()
+
+        def task():
+            yield ("delay", 0.0)
+            return engine.now
+
+        handle = engine.spawn(task)
+        engine.run()
+        assert handle.result == 0.0
+
+    def test_tasks_interleave_by_time(self):
+        engine = SimEngine()
+        trace = []
+
+        def make(name, period):
+            def task():
+                for _ in range(3):
+                    yield ("delay", period)
+                    trace.append((name, engine.now))
+            return task
+
+        engine.spawn(make("fast", 1.0), name="fast")
+        engine.spawn(make("slow", 2.5), name="slow")
+        engine.run()
+        assert trace == [
+            ("fast", 1.0), ("fast", 2.0), ("slow", 2.5),
+            ("fast", 3.0), ("slow", 5.0), ("slow", 7.5),
+        ]
+
+    def test_fifo_tie_break_is_deterministic(self):
+        engine = SimEngine()
+        trace = []
+
+        def make(tag):
+            def task():
+                yield ("delay", 5.0)
+                trace.append(tag)
+            return task
+
+        for tag in "abc":
+            engine.spawn(make(tag), name=tag)
+        engine.run()
+        assert trace == ["a", "b", "c"]
+
+    def test_run_until_stops_at_horizon(self):
+        engine = SimEngine()
+
+        def forever():
+            while True:
+                yield ("delay", 10.0)
+
+        engine.spawn(forever)
+        assert engine.run(until_us=35.0) == 35.0
+        assert engine.pending_tasks  # still runnable
+
+    def test_negative_delay_rejected(self):
+        engine = SimEngine()
+
+        def bad():
+            yield ("delay", -1.0)
+
+        engine.spawn(bad)
+        with pytest.raises(SimulationError, match="negative delay"):
+            engine.run()
+
+    def test_bad_command_rejected(self):
+        engine = SimEngine()
+
+        def bad():
+            yield "not-a-tuple"
+
+        engine.spawn(bad)
+        with pytest.raises(SimulationError, match="expected"):
+            engine.run()
+
+    def test_non_generator_spawn_rejected(self):
+        engine = SimEngine()
+        with pytest.raises(SimulationError, match="generator"):
+            engine.spawn(lambda: 42)
+
+
+class TestEvents:
+    def test_pulse_wakes_waiters(self):
+        engine = SimEngine()
+        event = engine.event("e")
+        trace = []
+
+        def waiter():
+            yield ("wait", event)
+            trace.append(("woke", engine.now))
+
+        def pulser():
+            yield ("delay", 20.0)
+            event.pulse()
+
+        engine.spawn(waiter)
+        engine.spawn(pulser)
+        engine.run()
+        assert trace == [("woke", 20.0)]
+
+    def test_pulse_with_delay_charges_wakeup(self):
+        engine = SimEngine()
+        event = engine.event()
+        woke = []
+
+        def waiter():
+            yield ("wait", event)
+            woke.append(engine.now)
+
+        def pulser():
+            yield ("delay", 10.0)
+            event.pulse(delay_us=7.0)
+
+        engine.spawn(waiter)
+        engine.spawn(pulser)
+        engine.run()
+        assert woke == [17.0]
+
+    def test_set_makes_future_waits_immediate(self):
+        engine = SimEngine()
+        event = engine.event()
+        event.set()
+        trace = []
+
+        def waiter():
+            yield ("wait", event)
+            trace.append(engine.now)
+
+        engine.spawn(waiter)
+        engine.run()
+        assert trace == [0.0]
+
+    def test_pulse_only_wakes_current_waiters(self):
+        engine = SimEngine()
+        event = engine.event()
+        trace = []
+
+        def early():
+            yield ("wait", event)
+            trace.append("early")
+
+        def late():
+            yield ("delay", 50.0)
+            yield ("wait", event)
+            trace.append("late")
+
+        def pulser():
+            yield ("delay", 10.0)
+            event.pulse()
+            yield ("delay", 100.0)
+            event.pulse()
+
+        engine.spawn(early)
+        engine.spawn(late)
+        engine.spawn(pulser)
+        engine.run()
+        assert trace == ["early", "late"]
+
+
+class TestCompletionAndErrors:
+    def test_return_value_captured(self):
+        engine = SimEngine()
+
+        def task():
+            yield ("delay", 1.0)
+            return "result"
+
+        handle = engine.spawn(task)
+        engine.run()
+        assert handle.done and handle.result == "result"
+
+    def test_join_propagates_result(self):
+        engine = SimEngine()
+
+        def worker():
+            yield ("delay", 5.0)
+            return 99
+
+        def boss():
+            w = engine.spawn(worker, name="w")
+            value = yield from w.join()
+            return value * 2
+
+        handle = engine.spawn(boss)
+        engine.run()
+        assert handle.result == 198
+
+    def test_task_exception_propagates(self):
+        engine = SimEngine()
+
+        def bad():
+            yield ("delay", 1.0)
+            raise RuntimeError("task blew up")
+
+        handle = engine.spawn(bad)
+        with pytest.raises(RuntimeError, match="blew up"):
+            engine.run()
+        assert handle.done and isinstance(handle.error, RuntimeError)
+
+    def test_deadlock_detected_with_diagnostics(self):
+        engine = SimEngine()
+        event = engine.event("never-pulsed")
+
+        def stuck():
+            yield ("wait", event)
+
+        engine.spawn(stuck, name="stuck-task")
+        with pytest.raises(SimDeadlockError, match="stuck-task"):
+            engine.run()
+
+    def test_determinism_two_identical_runs(self):
+        def build():
+            engine = SimEngine()
+            trace = []
+            event = engine.event()
+
+            def a():
+                for _ in range(5):
+                    yield ("delay", 3.0)
+                    trace.append(("a", engine.now))
+                event.pulse()
+
+            def b():
+                yield ("wait", event)
+                trace.append(("b", engine.now))
+
+            engine.spawn(a)
+            engine.spawn(b)
+            engine.run()
+            return trace
+
+        assert build() == build()
+
+
+class TestRunAll:
+    def test_run_all_returns_results(self):
+        engine = SimEngine()
+
+        def worker(n):
+            yield ("delay", float(n))
+            return n * 10
+
+        handles = [engine.spawn(worker, i, name=f"w{i}") for i in range(3)]
+        results = engine.run_all(handles)
+        assert results == [0, 10, 20]
+
+    def test_run_all_raises_on_unfinished(self):
+        engine = SimEngine()
+
+        def forever():
+            while True:
+                yield ("delay", 10.0)
+
+        handle = engine.spawn(forever)
+        with pytest.raises(SimulationError, match="did not finish"):
+            engine.run_all([handle], until_us=25.0)

@@ -1,0 +1,383 @@
+"""Unit tests for the simulated Stampede runtime (cost model + semantics)."""
+
+import pytest
+
+from repro.core import INFINITY, STM_LATEST_UNSEEN, STM_OLDEST
+from repro.errors import (
+    ChannelEmptyError,
+    ChannelFullError,
+    SimDeadlockError,
+    VisibilityError,
+)
+from repro.sim import SimStampede
+from repro.transport.media import MEMORY_CHANNEL, UDP_LAN
+
+
+def run_pair(sim, chan, n_items, size):
+    """Standard producer/consumer pair; returns completion time."""
+
+    def producer(t):
+        out = yield from t.attach_output(chan)
+        for i in range(n_items):
+            t.set_virtual_time(i)
+            yield from t.put(out, i, nbytes=size)
+
+    def consumer(t):
+        inp = yield from t.attach_input(chan)
+        for _ in range(n_items):
+            _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+            yield from t.consume(inp, ts)
+
+    sim.spawn(producer, space=0)
+    sim.spawn(consumer, space=chan.home)
+    return sim.run()
+
+
+class TestSemantics:
+    def test_local_roundtrip_payload(self):
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0)
+        got = {}
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            yield from t.put(out, 0, nbytes=100, payload="hello")
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            payload, ts, size = yield from t.get(inp, STM_OLDEST)
+            got["all"] = (payload, ts, size)
+            yield from t.consume(inp, ts)
+
+        sim.spawn(producer, space=0)
+        sim.spawn(consumer, space=0)
+        sim.run()
+        assert got["all"] == ("hello", 0, 100)
+
+    def test_visibility_enforced(self):
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0)
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            t.set_virtual_time(5)
+            yield from t.put(out, 2, nbytes=8)
+
+        sim.spawn(producer, space=0)
+        with pytest.raises(VisibilityError):
+            sim.run()
+
+    def test_nonblocking_get_raises(self):
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0)
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            yield from t.get(inp, STM_OLDEST, block=False)
+
+        sim.spawn(consumer, space=0)
+        with pytest.raises(ChannelEmptyError):
+            sim.run()
+
+    def test_blocked_get_wakes_on_put(self):
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0)
+        got = {}
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+            got["at"] = t.now
+            yield from t.consume(inp, ts)
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            yield from t.delay(500.0)
+            yield from t.put(out, 0, nbytes=8)
+
+        sim.spawn(consumer, space=0)
+        sim.spawn(producer, space=0)
+        sim.run()
+        assert got["at"] > 500.0
+
+    def test_bounded_channel_blocks_producer(self):
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0, capacity=1)
+        times = []
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for i in range(3):
+                t.set_virtual_time(i)
+                yield from t.put(out, i, nbytes=8)
+                times.append(t.now)
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            t.set_virtual_time(INFINITY)  # never pin the GC horizon
+            for _ in range(3):
+                yield from t.delay(1000.0)
+                _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+                yield from t.consume(inp, ts)
+
+        sim.spawn(producer, space=0)
+        sim.spawn(consumer, space=0)
+        # Capacity 1 + unknown refcounts: reclamation needs the GC daemon.
+        sim.start_gc_daemon(period_us=200.0)
+        sim.run(until_us=60_000.0)
+        assert len(times) == 3
+        assert times[1] > 1000.0  # second put waited for space
+
+    def test_nonblocking_full_raises(self):
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0, capacity=1)
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            yield from t.put(out, 0, nbytes=8)
+            yield from t.put(out, 1, nbytes=8, block=False)
+
+        sim.spawn(producer, space=0)
+        with pytest.raises(ChannelFullError):
+            sim.run()
+
+    def test_latest_unseen_skipping(self):
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0)
+        seen = []
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for i in range(10):
+                t.set_virtual_time(i)
+                yield from t.put(out, i, nbytes=8)
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            yield from t.delay(10_000.0)  # everything is produced by now
+            _p, ts, _s = yield from t.get(inp, STM_LATEST_UNSEEN)
+            seen.append(ts)
+            yield from t.consume_until(inp, ts)
+
+        sim.spawn(producer, space=0)
+        sim.spawn(consumer, space=0)
+        sim.run()
+        assert seen == [9]
+
+    def test_deadlock_reported(self):
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0)
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            yield from t.get(inp, STM_OLDEST)  # nobody ever puts
+
+        sim.spawn(consumer, space=0)
+        with pytest.raises(SimDeadlockError):
+            sim.run()
+
+
+class TestCostModel:
+    def test_remote_put_slower_than_local(self):
+        local = SimStampede(n_spaces=1)
+        t_local = run_pair(local, local.create_channel(home=0), 10, 1024)
+        remote = SimStampede(n_spaces=2)
+        t_remote = run_pair(remote, remote.create_channel(home=1), 10, 1024)
+        assert t_remote > t_local
+
+    def test_udp_slower_than_memory_channel(self):
+        mc = SimStampede(n_spaces=2, inter_node=MEMORY_CHANNEL)
+        t_mc = run_pair(mc, mc.create_channel(home=1), 10, 1024)
+        udp = SimStampede(n_spaces=2, inter_node=UDP_LAN)
+        t_udp = run_pair(udp, udp.create_channel(home=1), 10, 1024)
+        assert t_udp > 3 * t_mc
+
+    def test_larger_payloads_cost_more(self):
+        sim_a = SimStampede(n_spaces=2)
+        t_a = run_pair(sim_a, sim_a.create_channel(home=1), 20, 128)
+        sim_b = SimStampede(n_spaces=2)
+        t_b = run_pair(sim_b, sim_b.create_channel(home=1), 20, 8112)
+        assert t_b > t_a
+
+    def test_intra_node_uses_shared_memory_costs(self):
+        same_node = SimStampede(n_spaces=2, spaces_per_node=2)
+        t_same = run_pair(same_node, same_node.create_channel(home=1), 10, 4096)
+        cross = SimStampede(n_spaces=2, spaces_per_node=1)
+        t_cross = run_pair(cross, cross.create_channel(home=1), 10, 4096)
+        assert t_same < t_cross
+
+    def test_determinism(self):
+        def once():
+            sim = SimStampede(n_spaces=2)
+            return run_pair(sim, sim.create_channel(home=1), 25, 4096)
+
+        assert once() == once()
+
+
+class TestSimGc:
+    def test_instant_gc_collects_consumed(self):
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0)
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for i in range(5):
+                t.set_virtual_time(i)
+                yield from t.put(out, i, nbytes=8)
+            t.set_virtual_time(INFINITY)
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            for _ in range(5):
+                _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+                yield from t.consume(inp, ts)
+
+        sim.spawn(producer, space=0)
+        sim.spawn(consumer, space=0)
+        sim.run()
+        report = sim.gc_once_instant()
+        assert report.horizon is INFINITY
+        assert report.collected == 5
+        assert len(chan.kernel) == 0
+
+    def test_live_thread_pins_horizon(self):
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0)
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            t.set_virtual_time(3)
+            yield from t.put(out, 3, nbytes=8)
+            # stay alive forever at VT 3
+            while True:
+                yield from t.delay(1000.0)
+
+        def observer(t):
+            inp = yield from t.attach_input(chan)
+            _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+            yield from t.consume(inp, ts)
+
+        sim.spawn(producer, space=0)
+        sim.spawn(observer, space=0, virtual_time=INFINITY)
+        sim.run(until_us=5_000.0)
+        report = sim.gc_once_instant()
+        assert report.horizon == 3
+
+    def test_gc_daemon_charges_time_and_collects(self):
+        sim = SimStampede(n_spaces=2)
+        chan = sim.create_channel(home=1)
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for i in range(10):
+                t.set_virtual_time(i)
+                yield from t.put(out, i, nbytes=1024)
+                yield from t.delay(1000.0)
+            t.set_virtual_time(INFINITY)
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            for _ in range(10):
+                _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+                yield from t.consume(inp, ts)
+
+        sim.spawn(producer, space=0)
+        sim.spawn(consumer, space=1)
+        sim.start_gc_daemon(period_us=2_000.0)
+        sim.run(until_us=50_000.0)
+        assert sim.gc_reports  # rounds happened
+        assert sum(r.collected for r in sim.gc_reports) == 10
+        assert len(chan.kernel) == 0
+
+
+class TestSimConnectionOps:
+    def test_detach_releases_gc_claims(self):
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0)
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            yield from t.put(out, 0, nbytes=8)
+            t.set_virtual_time(INFINITY)
+
+        def fickle_consumer(t):
+            conn = yield from t.attach_input(chan)
+            t.set_virtual_time(INFINITY)
+            yield from t.detach(chan, conn)
+
+        sim.spawn(producer, space=0)
+        sim.spawn(fickle_consumer, space=0)
+        sim.run()
+        report = sim.gc_once_instant()
+        assert report.horizon is INFINITY
+        assert len(chan.kernel) == 0
+
+    def test_consume_until_in_sim(self):
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0)
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for ts in range(5):
+                t.set_virtual_time(ts)
+                yield from t.put(out, ts, nbytes=8)
+            t.set_virtual_time(INFINITY)
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            t.set_virtual_time(INFINITY)
+            _p, ts, _s = yield from t.get(inp, STM_LATEST_UNSEEN)
+            # wait until everything is produced, then sweep:
+            while chan.kernel.latest() != 4:
+                yield from t.delay(100.0)
+            yield from t.consume_until(inp, 4)
+
+        sim.spawn(producer, space=0)
+        sim.spawn(consumer, space=0)
+        sim.run()
+        assert chan.kernel.unconsumed_min().__class__.__name__ == "Infinity"
+
+    def test_oldest_unseen_walk_in_sim(self):
+        from repro.core import STM_OLDEST_UNSEEN
+
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0)
+        walked = []
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for ts in [3, 0, 7]:
+                yield from t.put(out, ts, nbytes=8)
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            t.set_virtual_time(INFINITY)
+            yield from t.delay(10_000.0)
+            for _ in range(3):
+                _p, ts, _s = yield from t.get(inp, STM_OLDEST_UNSEEN)
+                walked.append(ts)
+
+        sim.spawn(producer, space=0)
+        sim.spawn(consumer, space=0)
+        sim.run()
+        assert walked == [0, 3, 7]
+
+    def test_refcounted_put_in_sim(self):
+        sim = SimStampede(n_spaces=1)
+        chan = sim.create_channel(home=0)
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            yield from t.put(out, 0, nbytes=8, refcount=1)
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            t.set_virtual_time(INFINITY)
+            _p, ts, _s = yield from t.get(inp, STM_OLDEST)
+            yield from t.consume(inp, ts)
+
+        sim.spawn(producer, space=0)
+        sim.spawn(consumer, space=0)
+        sim.run()
+        assert chan.kernel.total_refcount_collected == 1
+        assert len(chan.kernel) == 0

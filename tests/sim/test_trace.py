@@ -1,0 +1,122 @@
+"""Tests for simulation timeline tracing."""
+
+import pytest
+
+from repro.core import STM_OLDEST
+from repro.sim import SimStampede
+from repro.sim.engine import SimEngine
+from repro.sim.trace import SimTrace
+
+
+class TestSpanRecording:
+    def test_span_wraps_generator_and_returns_result(self):
+        engine = SimEngine()
+        trace = SimTrace(engine)
+
+        def inner():
+            yield ("delay", 10.0)
+            return "value"
+
+        def task():
+            result = yield from trace.span("t", "work", inner())
+            return result
+
+        handle = engine.spawn(task)
+        engine.run()
+        assert handle.result == "value"
+        assert len(trace.spans) == 1
+        span = trace.spans[0]
+        assert (span.task, span.label) == ("t", "work")
+        assert span.duration_us == 10.0
+
+    def test_record_direct(self):
+        trace = SimTrace(SimEngine())
+        trace.record("x", "io", 5.0, 8.0)
+        assert trace.spans[0].duration_us == 3.0
+
+    def test_record_validates(self):
+        trace = SimTrace(SimEngine())
+        with pytest.raises(ValueError):
+            trace.record("x", "io", 8.0, 5.0)
+
+
+class TestAggregation:
+    def make_trace(self):
+        trace = SimTrace(SimEngine())
+        trace.engine.now = 100.0
+        trace.record("a", "put", 0.0, 30.0)
+        trace.record("a", "put", 20.0, 40.0)  # overlaps the first
+        trace.record("b", "get", 50.0, 60.0)
+        return trace
+
+    def test_busy_merges_overlaps(self):
+        trace = self.make_trace()
+        assert trace.busy_us("a") == 40.0  # 0..40 merged, not 50
+        assert trace.busy_us("b") == 10.0
+
+    def test_utilization(self):
+        trace = self.make_trace()
+        assert trace.utilization("a") == pytest.approx(0.4)
+
+    def test_by_task_sorted(self):
+        trace = self.make_trace()
+        spans = trace.by_task()["a"]
+        assert [s.start_us for s in spans] == [0.0, 20.0]
+
+
+class TestRendering:
+    def test_empty(self):
+        assert "no spans" in SimTrace(SimEngine()).render()
+
+    def test_render_rows_and_axis(self):
+        trace = self.build_pipeline_trace()
+        text = trace.render(width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("simulation timeline")
+        assert any(line.startswith("producer") for line in lines)
+        assert any(line.startswith("consumer") for line in lines)
+        assert "p" in text and "g" in text  # span glyphs
+
+    def test_summary(self):
+        trace = self.build_pipeline_trace()
+        text = trace.summary()
+        assert "producer" in text and "spans" in text
+
+    @staticmethod
+    def build_pipeline_trace():
+        """Trace a real simulated producer/consumer pair."""
+        sim = SimStampede(n_spaces=2)
+        trace = SimTrace(sim.engine)
+        chan = sim.create_channel(home=1)
+
+        def producer(t):
+            out = yield from t.attach_output(chan)
+            for i in range(3):
+                t.set_virtual_time(i)
+                yield from trace.span(
+                    "producer", "put", t.put(out, i, nbytes=4096)
+                )
+
+        def consumer(t):
+            inp = yield from t.attach_input(chan)
+            for _ in range(3):
+                _p, ts, _s = yield from trace.span(
+                    "consumer", "get", t.get(inp, STM_OLDEST)
+                )
+                yield from trace.span(
+                    "consumer", "consume", t.consume(inp, ts)
+                )
+
+        sim.spawn(producer, space=0)
+        sim.spawn(consumer, space=1)
+        sim.run()
+        return trace
+
+    def test_pipeline_trace_has_plausible_structure(self):
+        trace = self.build_pipeline_trace()
+        puts = [s for s in trace.spans if s.label == "put"]
+        gets = [s for s in trace.spans if s.label == "get"]
+        assert len(puts) == 3 and len(gets) == 3
+        # each get completes after its corresponding put started
+        for put, get in zip(puts, gets):
+            assert get.end_us > put.start_us

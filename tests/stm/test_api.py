@@ -1,0 +1,311 @@
+"""Unit tests for the STM facade: channels, connections, copy semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CopyPolicy,
+    INFINITY,
+    STM_LATEST,
+    STM_LATEST_UNSEEN,
+    STM_OLDEST,
+)
+from repro.errors import (
+    AlreadyConsumedError,
+    ChannelEmptyError,
+    ConnectionClosedError,
+    DuplicateTimestampError,
+    StampedeError,
+    VisibilityError,
+)
+from repro.runtime import Cluster
+from repro.stm import STM
+
+
+@pytest.fixture
+def cluster():
+    with Cluster(n_spaces=2, gc_period=None) as c:
+        yield c
+
+
+@pytest.fixture
+def me(cluster):
+    t = cluster.space(0).adopt_current_thread(virtual_time=0)
+    yield t
+    if t.alive:
+        t.exit()
+
+
+@pytest.fixture
+def stm(cluster, me):
+    return STM(cluster.space(0))
+
+
+class TestChannelLifecycle:
+    def test_create_and_lookup(self, stm):
+        chan = stm.create_channel("c1")
+        assert stm.lookup("c1").channel_id == chan.channel_id
+
+    def test_anonymous_channel(self, stm):
+        chan = stm.create_channel()
+        assert chan.name is None
+
+    def test_connection_context_manager(self, stm):
+        chan = stm.create_channel()
+        with chan.attach_output() as out:
+            out.put(0, b"x")
+        assert out.closed
+        with pytest.raises(ConnectionClosedError):
+            out.put(1, b"y")
+
+    def test_detach_idempotent(self, stm):
+        chan = stm.create_channel()
+        inp = chan.attach_input()
+        inp.detach()
+        inp.detach()
+
+
+class TestPutGetConsume:
+    def test_roundtrip(self, stm):
+        chan = stm.create_channel()
+        out, inp = chan.attach_output(), chan.attach_input()
+        out.put(0, {"frame": 1})
+        item = inp.get(0)
+        assert item.value == {"frame": 1}
+        assert item.timestamp == 0
+        assert item.size > 0
+        inp.consume(0)
+
+    def test_get_consume_convenience(self, stm):
+        chan = stm.create_channel()
+        out, inp = chan.attach_output(), chan.attach_input()
+        out.put(0, "a")
+        item = inp.get_consume(STM_OLDEST)
+        assert item.value == "a"
+        with pytest.raises(AlreadyConsumedError):
+            inp.get(0)
+
+    def test_nonblocking_miss(self, stm):
+        chan = stm.create_channel()
+        inp = chan.attach_input()
+        with pytest.raises(ChannelEmptyError):
+            inp.get(STM_LATEST, block=False)
+
+    def test_timestamp_range_on_specific_miss(self, stm, me):
+        chan = stm.create_channel()
+        out, inp = chan.attach_output(), chan.attach_input()
+        out.put(1, "a")
+        me.set_virtual_time(8)
+        out.put(8, "b")
+        from repro.errors import NoSuchItemError
+
+        try:
+            inp.get(4, block=False)
+            raise AssertionError("expected a miss")
+        except ChannelEmptyError as exc:
+            assert "(1, 8)" in str(exc)
+
+    def test_duplicate_put_raises(self, stm):
+        chan = stm.create_channel()
+        out = chan.attach_output()
+        out.put(0, "a")
+        with pytest.raises(DuplicateTimestampError):
+            out.put(0, "b")
+
+
+class TestCopySemantics:
+    def test_put_copies_in(self, stm):
+        """§4.1: the producer may immediately reuse its buffer."""
+        chan = stm.create_channel()
+        out, inp = chan.attach_output(), chan.attach_input()
+        buf = {"pixels": [1, 2, 3]}
+        out.put(0, buf)
+        buf["pixels"].append(999)  # reuse/mutate the producer's buffer
+        assert inp.get(0).value == {"pixels": [1, 2, 3]}
+
+    def test_get_copies_out(self, stm):
+        """§4.1: consumers may mutate their copies independently."""
+        chan = stm.create_channel()
+        out, inp = chan.attach_output(), chan.attach_input()
+        out.put(0, [1, 2])
+        a = inp.get(0).value
+        a.append(3)
+        b = inp.get(0).value  # re-get of the open item
+        assert b == [1, 2]
+
+    def test_numpy_frames_roundtrip(self, stm):
+        chan = stm.create_channel()
+        out, inp = chan.attach_output(), chan.attach_input()
+        frame = np.arange(24, dtype=np.uint8).reshape(2, 4, 3)
+        out.put(0, frame)
+        got = inp.get(0).value
+        np.testing.assert_array_equal(got, frame)
+        got[0, 0, 0] = 255
+        assert frame[0, 0, 0] == 0
+
+    def test_reference_policy_shares_object(self, stm):
+        chan = stm.create_channel(copy_policy=CopyPolicy.REFERENCE)
+        out, inp = chan.attach_output(), chan.attach_input()
+        obj = {"shared": True}
+        out.put(0, obj)
+        assert inp.get(0).value is obj
+
+    def test_reference_policy_rejected_for_remote_home(self, stm):
+        with pytest.raises(StampedeError):
+            stm.create_channel(home=1, copy_policy=CopyPolicy.REFERENCE)
+
+    def test_deepcopy_policy(self, stm):
+        chan = stm.create_channel(copy_policy=CopyPolicy.DEEPCOPY)
+        out, inp = chan.attach_output(), chan.attach_input()
+        obj = {"n": [1]}
+        out.put(0, obj)
+        obj["n"].append(2)
+        assert inp.get(0).value == {"n": [1]}
+
+
+class TestVisibilityIntegration:
+    def test_put_above_vt_only(self, stm, me):
+        chan = stm.create_channel()
+        out = chan.attach_output()
+        me.set_virtual_time(5)
+        with pytest.raises(VisibilityError):
+            out.put(4, "late")
+        out.put(5, "ok")
+
+    def test_inherited_timestamp_pattern(self, stm, me, cluster):
+        """Fig. 7: get opens an item, licensing a put at its timestamp."""
+        frames = stm.create_channel()
+        tracks = stm.create_channel()
+        f_out = frames.attach_output()
+        me.set_virtual_time(3)
+        f_out.put(3, "frame3")
+        # Attach while visibility is still 3 — attaching after jumping to
+        # INFINITY would implicitly consume every existing frame (§4.2).
+        f_in = frames.attach_input()
+        t_out = tracks.attach_output()
+        me.set_virtual_time(INFINITY)
+        # Before the get, visibility is INFINITY: no put possible.
+        with pytest.raises(VisibilityError):
+            t_out.put(3, "track3")
+        item = f_in.get(STM_LATEST)
+        t_out.put(item.timestamp, "track3")  # inheriting is now legal
+        f_in.consume(item.timestamp)
+        with pytest.raises(VisibilityError):
+            t_out.put(3, "too-late")  # consumed: licence expired
+
+    def test_attach_consumes_below_visibility(self, stm, me):
+        chan = stm.create_channel()
+        out = chan.attach_output()
+        for ts in range(4):
+            out.put(ts, ts)  # all legal: ts >= visibility (0)
+        me.set_virtual_time(2)
+        inp = chan.attach_input()  # visibility 2: items 0, 1 invisible
+        assert inp.get(STM_OLDEST).timestamp == 2
+        with pytest.raises(AlreadyConsumedError):
+            inp.get(1)
+
+    def test_consume_until_closes_open_items(self, stm, me):
+        chan = stm.create_channel()
+        out, inp = chan.attach_output(), chan.attach_input()
+        for ts in range(3):
+            me.set_virtual_time(ts)
+            out.put(ts, ts)
+        me.set_virtual_time(INFINITY)
+        inp.get(0)
+        inp.get(2)
+        assert me.visibility() == 0
+        inp.consume_until(1)
+        assert me.visibility() == 2  # 0 closed, 2 still open
+        inp.consume(2)
+        assert me.visibility() is INFINITY
+
+
+class TestCrossSpaceFacade:
+    def test_remote_channel_via_facade(self, cluster, me):
+        stm0 = STM(cluster.space(0))
+        chan = stm0.create_channel("x", home=1)
+        out, inp = chan.attach_output(), chan.attach_input()
+        out.put(0, np.zeros(1000, dtype=np.uint8))
+        item = inp.get(STM_LATEST_UNSEEN)
+        assert item.value.shape == (1000,)
+        inp.consume(item.timestamp)
+
+    def test_lookup_from_other_space(self, cluster, me):
+        STM(cluster.space(0)).create_channel("shared", home=0)
+        chan = STM(cluster.space(1)).lookup("shared")
+        assert chan.handle.home_space == 0
+
+
+class TestMultipleConnectionsPerThread:
+    """§4.1/§6: 'a thread may have multiple connections to the same channel'
+    — e.g. a data connection plus a monitoring connection."""
+
+    def test_two_input_connections_independent_views(self, stm, me):
+        chan = stm.create_channel()
+        out = chan.attach_output()
+        data_conn = chan.attach_input()
+        monitor_conn = chan.attach_input()  # the §6 monitoring connection
+        for ts in range(3):
+            out.put(ts, ts)
+        # the data connection consumes as it processes:
+        item = data_conn.get(STM_OLDEST)
+        data_conn.consume(item.timestamp)
+        # the monitor still sees everything, including the consumed column:
+        assert monitor_conn.get(0).value == 0
+        assert monitor_conn.get(STM_LATEST).timestamp == 2
+        # LATEST_UNSEEN state is per connection:
+        assert data_conn.get(STM_LATEST_UNSEEN).timestamp == 2
+        monitor_conn.consume_until(2)
+        data_conn.consume_until(2)
+
+    def test_two_output_connections_same_thread(self, stm, me):
+        chan = stm.create_channel()
+        out_a = chan.attach_output()
+        out_b = chan.attach_output()
+        out_a.put(0, "from-a")
+        out_b.put(1, "from-b")
+        inp = chan.attach_input()
+        assert inp.get(0).value == "from-a"
+        assert inp.get(1).value == "from-b"
+
+    def test_detaching_one_keeps_the_other(self, stm, me):
+        chan = stm.create_channel()
+        out = chan.attach_output()
+        first = chan.attach_input()
+        second = chan.attach_input()
+        first.detach()
+        out.put(0, "still-flowing")
+        assert second.get(0).value == "still-flowing"
+        second.consume(0)
+
+
+class TestHandlesThroughChannels:
+    def test_channel_handle_passed_as_item(self, stm, cluster, me):
+        """§4.1: 'an application can still pass a datum by reference — it
+        merely passes a reference to the object through STM.'  Channel
+        handles are such references: dynamic channel discovery without the
+        name registry."""
+        directory = stm.create_channel("directory")
+        hidden = stm.create_channel()  # anonymous: only reachable by handle
+        h_out = hidden.attach_output()
+        h_out.put(0, "treasure")
+
+        d_out = directory.attach_output()
+        d_out.put(0, hidden.handle)  # the reference travels through STM
+
+        received = {}
+
+        def finder():
+            stm1 = STM(cluster.space(1))
+            d_in = stm1.lookup("directory").attach_input()
+            item = d_in.get(0)
+            found = stm1.channel(item.value)  # wrap the received handle
+            f_in = found.attach_input()
+            received["value"] = f_in.get(0).value
+            f_in.consume(0)
+            f_in.detach()
+            d_in.consume(0)
+            d_in.detach()
+
+        cluster.space(1).spawn(finder, virtual_time=0).join(15)
+        assert received["value"] == "treasure"

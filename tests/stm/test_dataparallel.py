@@ -1,0 +1,125 @@
+"""Tests for the replicated-stage helper (paper §4.1 / companion [12])."""
+
+import pytest
+
+from repro.core import INFINITY, STM_OLDEST
+from repro.runtime import Cluster
+from repro.stm import STM
+from repro.stm.dataparallel import run_data_parallel
+
+
+@pytest.fixture
+def cluster():
+    with Cluster(n_spaces=2, gc_period=0.02) as c:
+        yield c
+
+
+@pytest.fixture
+def me(cluster):
+    t = cluster.space(0).adopt_current_thread(virtual_time=0)
+    yield t
+    if t.alive:
+        t.exit()
+
+
+def produce(me, chan, n, sentinel=True):
+    """Pre-produce items while KEEPING visibility at 0 (§4.2): raising the
+    producer's virtual time before any consumer attaches would make every
+    item unreachable garbage — exactly what the paper's rules prevent."""
+    out = chan.attach_output()
+    for ts in range(n):
+        out.put(ts, ts * 2)  # legal: ts >= visibility (0)
+    if sentinel:
+        out.put(n, None)
+    out.detach()
+
+
+class TestRunDataParallel:
+    def test_all_items_processed_once(self, cluster, me):
+        stm = STM(cluster.space(0))
+        src = stm.create_channel("dp.in")
+        dst = stm.create_channel("dp.out")
+        produce(me, src, 12)
+        result = run_data_parallel(
+            cluster, src, dst, lambda ts, v: v + 1, n_items=12, n_workers=3,
+        )
+        assert result.items_processed == 12
+        assert result.per_worker == {0: 4, 1: 4, 2: 4}
+        assert sorted(result.completion_order) == list(range(12))
+        assert not result.errors
+
+    def test_results_reassemble_in_order(self, cluster, me):
+        stm = STM(cluster.space(0))
+        src = stm.create_channel("dp2.in")
+        dst = stm.create_channel("dp2.out")
+        produce(me, src, 9)
+        run_data_parallel(
+            cluster, src, dst, lambda ts, v: (ts, v), n_items=9, n_workers=2,
+            sentinel_ts=9,
+        )
+        inp = dst.attach_input()
+        for ts in range(9):
+            item = inp.get(ts)  # STM reassembles: blocking per-column gets
+            assert item.value == (ts, ts * 2)
+            inp.consume(ts)
+        assert inp.get(9).value is None  # forwarded sentinel
+        inp.consume(9)
+        inp.detach()
+
+    def test_worker_errors_recorded_not_raised(self, cluster, me):
+        stm = STM(cluster.space(0))
+        src = stm.create_channel("dp3.in")
+        dst = stm.create_channel("dp3.out")
+        produce(me, src, 6)
+
+        def sometimes_fails(ts, value):
+            if ts == 3:
+                raise RuntimeError("boom")
+            return value
+
+        result = run_data_parallel(
+            cluster, src, dst, sometimes_fails, n_items=6, n_workers=2,
+        )
+        assert result.items_processed == 6  # the failure didn't stop the rest
+        assert len(result.errors) == 1
+        assert result.errors[0][0] == 3
+
+    def test_workers_on_remote_space(self, cluster, me):
+        stm = STM(cluster.space(0))
+        src = stm.create_channel("dp4.in", home=0)
+        dst = stm.create_channel("dp4.out", home=0)
+        produce(me, src, 8)
+        result = run_data_parallel(
+            cluster, src, dst, lambda ts, v: v, n_items=8, n_workers=2,
+            worker_space=1,
+        )
+        assert result.items_processed == 8
+
+    def test_gc_advances_behind_workers(self, cluster, me):
+        """consume_until releases sibling columns: the input channel drains."""
+        import time
+
+        stm = STM(cluster.space(0))
+        src = stm.create_channel("dp5.in")
+        dst = stm.create_channel("dp5.out")
+        produce(me, src, 10)
+        run_data_parallel(
+            cluster, src, dst, lambda ts, v: v, n_items=10, n_workers=3,
+        )
+        # workers have attached and finished: this thread may now release
+        # its own claim on the timestamp axis (§4.2 discipline)
+        me.set_virtual_time(INFINITY)
+        deadline = time.monotonic() + 5
+        kernel = cluster.space(0)._channel(src.channel_id).kernel
+        while len(kernel.timestamps()) > 1 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert len(kernel.timestamps()) <= 1  # at most the sentinel survives
+
+    def test_validation(self, cluster, me):
+        stm = STM(cluster.space(0))
+        src = stm.create_channel("dp6.in")
+        dst = stm.create_channel("dp6.out")
+        with pytest.raises(ValueError):
+            run_data_parallel(cluster, src, dst, lambda t, v: v, 5, n_workers=0)
+        with pytest.raises(ValueError):
+            run_data_parallel(cluster, src, dst, lambda t, v: v, -1)

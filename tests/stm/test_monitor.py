@@ -1,0 +1,123 @@
+"""Tests for channel probes and the space-time view (paper §6 monitoring)."""
+
+import pytest
+
+from repro.core import INFINITY
+from repro.errors import NoSuchChannelError
+from repro.runtime import Cluster
+from repro.stm import STM
+from repro.stm.monitor import ChannelProbe, SpaceTimeView
+
+
+@pytest.fixture
+def cluster():
+    with Cluster(n_spaces=2, gc_period=None) as c:
+        yield c
+
+
+@pytest.fixture
+def me(cluster):
+    t = cluster.space(0).adopt_current_thread(virtual_time=0)
+    yield t
+    if t.alive:
+        t.exit()
+
+
+class TestChannelProbe:
+    def test_snapshot_counts(self, cluster, me):
+        stm = STM(cluster.space(0))
+        chan = stm.create_channel("probed", home=1)
+        out, inp = chan.attach_output(), chan.attach_input()
+        for ts in range(4):
+            out.put(ts, bytes(10))
+        inp.get(0)
+        inp.consume(0)
+        snap = ChannelProbe(cluster, chan.channel_id).snapshot()
+        assert snap.name == "probed"
+        assert snap.home_space == 1
+        assert snap.occupancy == 4
+        assert snap.stored_bytes >= 40
+        assert snap.total_puts == 4
+        assert snap.total_gets == 1
+        assert snap.total_consumes == 1
+        assert snap.n_inputs == 1 and snap.n_outputs == 1
+
+    def test_snapshot_states_per_connection(self, cluster, me):
+        stm = STM(cluster.space(0))
+        chan = stm.create_channel(home=0)
+        out, inp = chan.attach_output(), chan.attach_input()
+        for ts in range(3):
+            out.put(ts, ts)
+        inp.get(1)  # OPEN
+        inp.consume(0)  # CONSUMED
+        snap = ChannelProbe(cluster, chan.channel_id).snapshot()
+        (states,) = snap.states.values()
+        assert states == {0: "c", 1: "O", 2: "u"}
+
+    def test_probe_does_not_pin_gc(self, cluster, me):
+        """A probe is not a connection: GC advances as if it weren't there."""
+        stm = STM(cluster.space(0))
+        chan = stm.create_channel(home=0)
+        out, inp = chan.attach_output(), chan.attach_input()
+        out.put(0, b"x")
+        probe = ChannelProbe(cluster, chan.channel_id)
+        assert probe.snapshot().occupancy == 1
+        inp.get_consume(0)
+        me.set_virtual_time(INFINITY)
+        cluster.gc_once()
+        assert probe.snapshot().occupancy == 0
+
+    def test_unknown_channel_rejected(self, cluster):
+        with pytest.raises(NoSuchChannelError):
+            ChannelProbe(cluster, 424242)
+
+    def test_summary_text(self, cluster, me):
+        stm = STM(cluster.space(0))
+        chan = stm.create_channel("summarized", home=0)
+        out = chan.attach_output()
+        out.put(0, b"x")
+        text = ChannelProbe(cluster, chan.channel_id).snapshot().summary()
+        assert "summarized" in text
+        assert "1 items" in text
+
+    def test_watch_collects_samples(self, cluster, me):
+        stm = STM(cluster.space(0))
+        chan = stm.create_channel(home=0)
+        probe = ChannelProbe(cluster, chan.channel_id)
+        samples = probe.watch(3, interval_s=0.001)
+        assert len(samples) == 3
+
+
+class TestSpaceTimeView:
+    def test_render_shows_channels_and_states(self, cluster, me):
+        stm = STM(cluster.space(0))
+        video = stm.create_channel("video", home=0)
+        tracks = stm.create_channel("tracks", home=1)
+        v_out, v_in = video.attach_output(), video.attach_input()
+        t_out = tracks.attach_output()
+        for ts in range(3):
+            v_out.put(ts, bytes(8))
+        item = v_in.get(1)
+        t_out.put(1, "track-1")
+        v_in.consume(0)
+        text = SpaceTimeView(cluster).render()
+        assert "video" in text and "tracks" in text
+        assert "O" in text  # the open frame
+        assert "c" in text  # the consumed frame
+        lines = text.splitlines()
+        assert any("-" in line for line in lines)  # absent cells
+
+    def test_render_caps_columns(self, cluster, me):
+        stm = STM(cluster.space(0))
+        chan = stm.create_channel("wide", home=0)
+        out = chan.attach_output()
+        for ts in range(40):
+            out.put(ts, ts)
+        text = SpaceTimeView(cluster).render(max_columns=5)
+        header = text.splitlines()[1]
+        assert "39" in header  # keeps the newest columns
+        assert " 0" not in header.split("channel")[-1][:20]
+
+    def test_empty_cluster_renders(self, cluster):
+        text = SpaceTimeView(cluster).render()
+        assert "space-time table" in text

@@ -1,0 +1,154 @@
+"""Tests transliterating the paper's code fragments (Figs. 6-7) via spd_*."""
+
+import pytest
+
+from repro.runtime import Cluster
+from repro.stm import STM
+from repro.stm.spd import (
+    SPD_BLOCK,
+    SPD_CONSUMED,
+    SPD_DUPLICATE,
+    SPD_EMPTY,
+    SPD_FULL,
+    SPD_INFINITY,
+    SPD_LATEST_UNSEEN,
+    SPD_NONBLOCK,
+    SPD_OK,
+    SPD_OLDEST,
+    SPD_VISIBILITY,
+    spd_attach_input_channel,
+    spd_attach_output_channel,
+    spd_await_tick,
+    spd_channel_consume_item,
+    spd_channel_consume_until_item,
+    spd_channel_get_item,
+    spd_channel_put_item,
+    spd_detach_channel,
+    spd_get_virtual_time,
+    spd_init,
+    spd_set_virtual_time,
+)
+
+
+@pytest.fixture
+def cluster():
+    with Cluster(n_spaces=1, gc_period=None) as c:
+        yield c
+
+
+@pytest.fixture
+def me(cluster):
+    t = cluster.space(0).adopt_current_thread(virtual_time=0)
+    yield t
+    if t.alive:
+        t.exit()
+
+
+@pytest.fixture
+def stm(cluster, me):
+    return STM(cluster.space(0))
+
+
+class TestFig6Digitizer:
+    def test_digitizer_fragment(self, stm, me):
+        """Fig. 6, minus the camera: paced puts with frame-count timestamps."""
+        video_frame_chan = stm.create_channel("video")
+        ocon = spd_attach_output_channel(video_frame_chan)
+        # 1 ms ticks for test speed; a generous tolerance so a loaded test
+        # machine can't produce a spurious slippage exception.
+        pacer = spd_init("TO_DIGITIZE", 1, tolerance_ms=5000)
+        for frame_count in range(5):
+            spd_await_tick(pacer)
+            assert spd_set_virtual_time(frame_count) == SPD_OK
+            frame_buf = f"frame-{frame_count}".encode()
+            assert spd_channel_put_item(ocon, frame_count, frame_buf) == SPD_OK
+        assert spd_detach_channel(ocon) == SPD_OK
+
+
+class TestFig7Tracker:
+    def test_tracker_fragment(self, stm, me, cluster):
+        """Fig. 7, faithfully two-threaded: the tracker announces VT=+inf and
+        attaches; a separate digitizer thread produces frames afterwards
+        (attaching at INFINITY implicitly consumes everything already in
+        the channel, §4.2 — so the tracker sees only *new* frames)."""
+        import threading
+
+        video_frame_chan = stm.create_channel("video")
+        model_location_chan = stm.create_channel("locations")
+        tracker_ready = threading.Event()
+
+        def digitizer():
+            from repro.runtime import current_thread
+
+            tracker_ready.wait(10)
+            out = spd_attach_output_channel(video_frame_chan)
+            for ts in range(3):
+                current_thread().set_virtual_time(ts)
+                assert spd_channel_put_item(out, ts, b"pixels") == SPD_OK
+
+        # Spawn while this thread's visibility is still 0 (child VT rule).
+        digitizer_thread = cluster.space(0).spawn(digitizer, virtual_time=0)
+        # -- the tracker of Fig. 7 (this thread) --
+        assert spd_set_virtual_time(SPD_INFINITY) == SPD_OK
+        icon = spd_attach_input_channel(video_frame_chan)
+        ocon = spd_attach_output_channel(model_location_chan)
+        tracker_ready.set()
+        digitizer_thread.join(10)
+        code, frame_buf, tk, _rng = spd_channel_get_item(icon, SPD_LATEST_UNSEEN)
+        assert code == SPD_OK and frame_buf == b"pixels" and tk == 2
+        location_buf = b"location"
+        assert spd_channel_put_item(ocon, tk, location_buf) == SPD_OK
+        assert spd_channel_consume_item(icon, tk) == SPD_OK
+
+    def test_get_virtual_time(self, me):
+        assert spd_get_virtual_time() == 0
+        spd_set_virtual_time(SPD_INFINITY)
+        assert spd_get_virtual_time() is SPD_INFINITY
+
+
+class TestErrorCodes:
+    def test_empty_nonblocking(self, stm):
+        chan = stm.create_channel()
+        icon = spd_attach_input_channel(chan)
+        code, buf, ts, rng = spd_channel_get_item(icon, SPD_OLDEST, SPD_NONBLOCK)
+        assert code == SPD_EMPTY and buf is None and ts is None
+
+    def test_full_nonblocking(self, stm, me):
+        chan = stm.create_channel(capacity=1)
+        ocon = spd_attach_output_channel(chan)
+        assert spd_channel_put_item(ocon, 0, b"a") == SPD_OK
+        assert spd_channel_put_item(ocon, 1, b"b", SPD_NONBLOCK) == SPD_FULL
+
+    def test_duplicate(self, stm, me):
+        chan = stm.create_channel()
+        ocon = spd_attach_output_channel(chan)
+        spd_channel_put_item(ocon, 0, b"a")
+        assert spd_channel_put_item(ocon, 0, b"b") == SPD_DUPLICATE
+
+    def test_visibility_code(self, stm, me):
+        chan = stm.create_channel()
+        ocon = spd_attach_output_channel(chan)
+        me.set_virtual_time(5)
+        assert spd_channel_put_item(ocon, 2, b"late") == SPD_VISIBILITY
+
+    def test_consumed_code_with_timestamp_range(self, stm, me):
+        chan = stm.create_channel()
+        ocon = spd_attach_output_channel(chan)
+        icon = spd_attach_input_channel(chan)
+        for ts in range(3):
+            me.set_virtual_time(ts)
+            spd_channel_put_item(ocon, ts, b"x")
+        assert spd_channel_consume_until_item(icon, 1) == SPD_OK
+        code, _, _, rng = spd_channel_get_item(icon, 1)
+        assert code == SPD_CONSUMED
+        assert rng == (None, 2)  # the paper's neighbour report
+
+    def test_bad_virtual_time_code(self, me):
+        me.set_virtual_time(10)
+        assert spd_set_virtual_time(3) != SPD_OK
+
+    def test_detach_twice_ok(self, stm):
+        chan = stm.create_channel()
+        icon = spd_attach_input_channel(chan)
+        assert spd_detach_channel(icon) == SPD_OK
+        assert spd_detach_channel(icon) == SPD_OK  # facade detach idempotent

@@ -1,0 +1,163 @@
+"""Unit tests for the in-process CLF network (reliable ordered transport)."""
+
+import queue
+import threading
+
+import pytest
+
+from repro.errors import TransportClosedError
+from repro.transport.clf import ClfNetwork, ClusterTopology
+from repro.transport.media import MEMORY_CHANNEL, SHARED_MEMORY, UDP_LAN
+
+
+@pytest.fixture
+def net():
+    network = ClfNetwork.create(3)
+    yield network
+    network.close()
+
+
+class TestTopology:
+    def test_node_assignment(self):
+        topo = ClusterTopology(n_spaces=4, spaces_per_node=2)
+        assert [topo.node_of(i) for i in range(4)] == [0, 0, 1, 1]
+
+    def test_intra_node_uses_shared_memory(self):
+        topo = ClusterTopology(4, spaces_per_node=2)
+        assert topo.medium(0, 1) is SHARED_MEMORY
+        assert topo.medium(2, 3) is SHARED_MEMORY
+
+    def test_inter_node_uses_configured_medium(self):
+        topo = ClusterTopology(4, spaces_per_node=2, inter_node=UDP_LAN)
+        assert topo.medium(0, 2) is UDP_LAN
+        assert topo.medium(3, 0) is UDP_LAN
+
+    def test_default_inter_node_is_memory_channel(self):
+        topo = ClusterTopology(2)
+        assert topo.medium(0, 1) is MEMORY_CHANNEL
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(0)
+        with pytest.raises(ValueError):
+            ClusterTopology(2, 0)
+        with pytest.raises(ValueError):
+            ClusterTopology(2).node_of(5)
+
+
+class TestBasicDelivery:
+    def test_send_recv(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        a.send(1, b"hello")
+        src, data = b.recv(timeout=5)
+        assert (src, data) == (0, b"hello")
+
+    def test_large_message_fragments_and_reassembles(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        payload = bytes(range(256)) * 1200  # ~300 KB, ~38 packets
+        a.send(1, payload)
+        _, data = b.recv(timeout=5)
+        assert data == payload
+        assert a.stats.packets_sent > 30
+        assert b.stats.messages_received == 1
+
+    def test_self_send(self, net):
+        a = net.endpoint(0)
+        a.send(0, b"loopback")
+        assert a.recv(timeout=5) == (0, b"loopback")
+
+    def test_ordering_per_peer(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        for i in range(100):
+            a.send(1, f"m{i}".encode())
+        received = [b.recv(timeout=5)[1] for _ in range(100)]
+        assert received == [f"m{i}".encode() for i in range(100)]
+
+    def test_interleaved_sources_reassemble_independently(self, net):
+        a, b, c = net.endpoint(0), net.endpoint(1), net.endpoint(2)
+        big_a = b"A" * 50_000
+        big_b = b"B" * 50_000
+        # Send from both sources; fragments interleave in c's inbox.
+        ta = threading.Thread(target=a.send, args=(2, big_a))
+        tb = threading.Thread(target=b.send, args=(2, big_b))
+        ta.start(); tb.start(); ta.join(); tb.join()
+        got = {c.recv(timeout=5)[1][:1] for _ in range(2)}
+        assert got == {b"A", b"B"}
+
+    def test_recv_timeout(self, net):
+        with pytest.raises(queue.Empty):
+            net.endpoint(0).recv(timeout=0.05)
+
+
+class TestConcurrentSenders:
+    def test_many_threads_one_destination(self, net):
+        dst = net.endpoint(2)
+        n_threads, n_each = 6, 50
+
+        def sender(space: int, tag: int):
+            ep = net.endpoint(space)
+            for i in range(n_each):
+                ep.send(2, f"{tag}:{i}:".encode() + bytes(9000))
+
+        threads = [
+            threading.Thread(target=sender, args=(t % 2, t))
+            for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        messages = [dst.recv(timeout=10)[1] for _ in range(n_threads * n_each)]
+        for t in threads:
+            t.join()
+        # per-tag FIFO: sequence numbers of each tag arrive in order
+        seen: dict[bytes, int] = {}
+        for msg in messages:
+            tag, seq, _ = msg.split(b":", 2)
+            assert seen.get(tag, -1) < int(seq)
+            seen[tag] = int(seq)
+        assert len(messages) == n_threads * n_each
+
+
+class TestClose:
+    def test_recv_raises_after_close(self, net):
+        a = net.endpoint(0)
+        a.close()
+        with pytest.raises(TransportClosedError):
+            a.recv(timeout=1)
+
+    def test_send_after_close_rejected(self, net):
+        a = net.endpoint(0)
+        a.close()
+        with pytest.raises(TransportClosedError):
+            a.send(1, b"x")
+
+    def test_close_wakes_blocked_receiver(self, net):
+        a = net.endpoint(0)
+        errors = []
+
+        def blocked():
+            try:
+                a.recv()
+            except TransportClosedError:
+                errors.append("closed")
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        a.close()
+        t.join(timeout=5)
+        assert errors == ["closed"]
+
+    def test_endpoint_out_of_range(self, net):
+        with pytest.raises(ValueError):
+            net.endpoint(99)
+
+
+class TestStats:
+    def test_counters(self, net):
+        a, b = net.endpoint(0), net.endpoint(1)
+        a.send(1, b"12345")
+        b.recv(timeout=5)
+        snap = a.stats.snapshot()
+        assert snap["messages_sent"] == 1
+        assert snap["bytes_sent"] == 5
+        assert b.stats.snapshot()["messages_received"] == 1
+        assert a.stats.per_peer_sent[1] == 1

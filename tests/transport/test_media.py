@@ -1,0 +1,120 @@
+"""Unit tests for the medium cost models and their paper calibration (§8.1)."""
+
+import pytest
+
+from repro.transport.media import (
+    CAMERA_BANDWIDTH_MBPS,
+    CLF_MTU,
+    FRAME_INTERVAL_US,
+    IMAGE_BYTES,
+    MEDIA,
+    MEMORY_CHANNEL,
+    SHARED_MEMORY,
+    UDP_LAN,
+)
+
+
+class TestPaperConstants:
+    def test_image_bytes(self):
+        assert IMAGE_BYTES == 230_400  # 320 x 240 x 3
+
+    def test_camera_bandwidth(self):
+        assert CAMERA_BANDWIDTH_MBPS == pytest.approx(6.912)
+
+    def test_frame_interval(self):
+        assert FRAME_INTERVAL_US == pytest.approx(33_333.33, rel=1e-4)
+
+    def test_mtu(self):
+        assert CLF_MTU == 8152
+
+
+class TestCalibrationAnchors:
+    """The published cells of Figs. 8-9 that the models must reproduce."""
+
+    @pytest.mark.parametrize(
+        "medium,expected",
+        [(SHARED_MEMORY, 17.0), (MEMORY_CHANNEL, 19.0), (UDP_LAN, 227.0)],
+    )
+    def test_latency_at_8_bytes(self, medium, expected):
+        assert medium.one_way_latency_us(8) == pytest.approx(expected, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "medium,expected",
+        [(SHARED_MEMORY, 2.3), (MEMORY_CHANNEL, 2.3), (UDP_LAN, 0.13)],
+    )
+    def test_bandwidth_at_8_bytes(self, medium, expected):
+        assert medium.max_bandwidth_mbps(8) == pytest.approx(expected, rel=0.05)
+
+
+class TestModelShape:
+    @pytest.mark.parametrize("medium", list(MEDIA.values()))
+    def test_latency_monotone_in_size(self, medium):
+        sizes = [8, 128, 1024, 4096, 8152]
+        lats = [medium.one_way_latency_us(s) for s in sizes]
+        assert lats == sorted(lats)
+
+    @pytest.mark.parametrize("medium", list(MEDIA.values()))
+    def test_bandwidth_monotone_in_packet_size(self, medium):
+        sizes = [8, 128, 1024, 4096, 8152]
+        bws = [medium.max_bandwidth_mbps(s) for s in sizes]
+        assert bws == sorted(bws)
+
+    @pytest.mark.parametrize("medium", list(MEDIA.values()))
+    def test_bandwidth_never_exceeds_wire(self, medium):
+        for s in [8, 1024, 8152]:
+            assert medium.max_bandwidth_mbps(s) <= medium.wire_bandwidth_mbps + 1e-9
+
+    def test_udp_much_slower_than_memory_channel(self):
+        for s in [8, 1024, 8152]:
+            assert (
+                UDP_LAN.one_way_latency_us(s)
+                > 3 * MEMORY_CHANNEL.one_way_latency_us(s)
+            )
+
+    def test_memory_channel_sustains_camera_rate(self):
+        """§8: the platform must comfortably beat 6.912 MB/s; FDDI UDP not."""
+        assert MEMORY_CHANNEL.max_bandwidth_mbps(CLF_MTU) > 5 * CAMERA_BANDWIDTH_MBPS
+        assert UDP_LAN.max_bandwidth_mbps(CLF_MTU) < CAMERA_BANDWIDTH_MBPS
+
+
+class TestMessageLatency:
+    def test_single_packet_message(self):
+        assert MEMORY_CHANNEL.message_latency_us(100) == pytest.approx(
+            MEMORY_CHANNEL.one_way_latency_us(100)
+        )
+
+    def test_multi_packet_pipelines(self):
+        """An image-sized message must beat 29 sequential one-way latencies."""
+        n_packets = -(-IMAGE_BYTES // CLF_MTU)
+        sequential = n_packets * MEMORY_CHANNEL.one_way_latency_us(CLF_MTU)
+        pipelined = MEMORY_CHANNEL.message_latency_us(IMAGE_BYTES)
+        assert pipelined < sequential
+        # but it can't beat pure wire occupancy:
+        assert pipelined > IMAGE_BYTES / MEMORY_CHANNEL.wire_bandwidth_mbps
+
+    def test_exact_multiple_of_mtu(self):
+        lat = MEMORY_CHANNEL.message_latency_us(2 * CLF_MTU)
+        assert lat > MEMORY_CHANNEL.message_latency_us(CLF_MTU)
+
+    def test_monotone_in_size(self):
+        sizes = [1, CLF_MTU, CLF_MTU + 1, 3 * CLF_MTU, IMAGE_BYTES]
+        lats = [MEMORY_CHANNEL.message_latency_us(s) for s in sizes]
+        assert lats == sorted(lats)
+
+
+class TestAckedStream:
+    def test_ack_reduces_bandwidth(self):
+        """Fig. 9's starred column is below the unacked column."""
+        for medium in MEDIA.values():
+            raw = medium.max_bandwidth_mbps(CLF_MTU)
+            acked = medium.acked_stream_bandwidth_mbps(IMAGE_BYTES, IMAGE_BYTES)
+            assert acked < raw
+            assert acked > 0.5 * raw  # but only "somewhat lower" (paper)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MEMORY_CHANNEL.acked_stream_bandwidth_mbps(100, 0)
+        with pytest.raises(ValueError):
+            MEMORY_CHANNEL.max_bandwidth_mbps(0)
+        with pytest.raises(ValueError):
+            MEMORY_CHANNEL.one_way_latency_us(-1)

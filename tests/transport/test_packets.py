@@ -1,0 +1,144 @@
+"""Unit + property tests for CLF packetization (fragmentation/reassembly)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PacketTooLargeError, TransportError
+from repro.transport.media import CLF_MTU
+from repro.transport.packets import (
+    HEADER_BYTES,
+    Reassembler,
+    fragment,
+    max_payload,
+    parse,
+)
+
+
+class TestFragment:
+    def test_small_message_single_packet(self):
+        packets = list(fragment(1, b"hello"))
+        assert len(packets) == 1
+        assert len(packets[0]) == HEADER_BYTES + 5
+
+    def test_empty_message_still_one_packet(self):
+        packets = list(fragment(1, b""))
+        assert len(packets) == 1
+        assert len(packets[0]) == HEADER_BYTES
+
+    def test_fragment_count(self):
+        chunk = max_payload()
+        data = bytes(chunk * 2 + 1)
+        assert len(list(fragment(1, data))) == 3
+
+    def test_packets_respect_mtu(self):
+        data = bytes(100_000)
+        for packet in fragment(1, data):
+            assert len(packet) <= CLF_MTU
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(ValueError):
+            max_payload(HEADER_BYTES)
+
+    def test_parse_roundtrip(self):
+        packet = next(fragment(42, b"abc"))
+        msgid, index, count, payload = parse(packet)
+        assert (msgid, index, count, payload) == (42, 0, 1, b"abc")
+
+
+class TestReassembler:
+    def test_roundtrip_small(self):
+        r = Reassembler()
+        assert r.feed(next(fragment(1, b"x"))) == b"x"
+
+    def test_roundtrip_multi_fragment(self):
+        data = bytes(range(256)) * 200  # ~51 KB, several fragments
+        r = Reassembler()
+        out = None
+        for packet in fragment(7, data):
+            result = r.feed(packet)
+            if result is not None:
+                assert out is None
+                out = result
+        assert out == data
+        assert not r.mid_message
+
+    def test_sequential_messages(self):
+        r = Reassembler()
+        for msgid in range(5):
+            data = bytes([msgid]) * (msgid * 9000 + 1)
+            results = [r.feed(p) for p in fragment(msgid, data)]
+            assert results[-1] == data
+            assert all(x is None for x in results[:-1])
+
+    def test_mid_message_flag(self):
+        r = Reassembler()
+        packets = list(fragment(1, bytes(20_000)))
+        r.feed(packets[0])
+        assert r.mid_message
+
+    def test_interleaved_messages_detected(self):
+        r = Reassembler()
+        a = list(fragment(1, bytes(20_000)))
+        b = list(fragment(2, bytes(20_000)))
+        r.feed(a[0])
+        with pytest.raises(TransportError, match="violation"):
+            r.feed(b[0])
+
+    def test_reordered_fragments_detected(self):
+        r = Reassembler()
+        packets = list(fragment(1, bytes(30_000)))
+        r.feed(packets[0])
+        with pytest.raises(TransportError, match="violation"):
+            r.feed(packets[2])
+
+    def test_message_starting_mid_stream_detected(self):
+        r = Reassembler()
+        packets = list(fragment(1, bytes(30_000)))
+        with pytest.raises(TransportError, match="began at fragment"):
+            r.feed(packets[1])
+
+    def test_corrupted_payload_detected(self):
+        packet = bytearray(next(fragment(1, b"hello world")))
+        packet[-1] ^= 0xFF
+        with pytest.raises(TransportError, match="CRC"):
+            Reassembler().feed(bytes(packet))
+
+    def test_corrupt_length_detected(self):
+        packet = bytearray(next(fragment(1, b"hello")))
+        packet[24] = 200  # claim a longer payload than present
+        with pytest.raises(TransportError, match="truncated"):
+            Reassembler().feed(bytes(packet))
+
+    def test_runt_packet_detected(self):
+        with pytest.raises(TransportError, match="runt"):
+            Reassembler().feed(b"tiny")
+
+    def test_oversize_packet_detected(self):
+        with pytest.raises(PacketTooLargeError):
+            Reassembler().feed(bytes(CLF_MTU + 1))
+
+
+@given(st.binary(max_size=60_000), st.integers(0, 2**40))
+def test_roundtrip_property(data, msgid):
+    """Any message fragments and reassembles byte-identically."""
+    r = Reassembler()
+    out = None
+    for packet in fragment(msgid, data):
+        result = r.feed(packet)
+        if result is not None:
+            out = result
+    assert out == data
+
+
+@given(st.binary(min_size=1, max_size=5000), st.integers(64, 512))
+def test_roundtrip_small_mtu(data, mtu):
+    """Fragmentation works for any MTU larger than the header."""
+    r = Reassembler(mtu)
+    out = None
+    for packet in fragment(1, data, mtu):
+        assert len(packet) <= mtu
+        result = r.feed(packet)
+        if result is not None:
+            out = result
+    assert out == data

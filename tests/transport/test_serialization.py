@@ -1,0 +1,85 @@
+"""Unit tests for the tagged message codec."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import TransportError
+from repro.runtime.messages import GcCollectMsg, RpcReply, RpcRequest
+from repro.transport.serialization import (
+    decode_message,
+    encode_message,
+    message_types,
+    register_message,
+)
+
+
+class TestRoundtrip:
+    def test_rpc_request(self):
+        msg = RpcRequest(call_id=7, src_space=1, body={"op": "put"})
+        out = decode_message(encode_message(msg))
+        assert out == msg
+
+    def test_rpc_reply_with_exception(self):
+        msg = RpcReply(call_id=3, error=ValueError("boom"))
+        out = decode_message(encode_message(msg))
+        assert isinstance(out.error, ValueError)
+        assert str(out.error) == "boom"
+
+    def test_gc_collect_with_infinity(self):
+        from repro.core.time import INFINITY
+
+        msg = GcCollectMsg(epoch=2, horizon=INFINITY)
+        out = decode_message(encode_message(msg))
+        assert out.horizon is INFINITY  # singleton preserved across the wire
+
+
+class TestRegistry:
+    def test_registered_types_present(self):
+        types = message_types()
+        assert types[1] is RpcRequest
+        assert types[2] is RpcReply
+
+    def test_unregistered_type_rejected(self):
+        @dataclass
+        class NotRegistered:
+            x: int = 0
+
+        with pytest.raises(TransportError, match="unregistered"):
+            encode_message(NotRegistered())
+
+    def test_duplicate_tag_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_message(1)  # tag 1 is RpcRequest
+            @dataclass
+            class Clash:
+                pass
+
+    def test_reregistering_same_class_is_idempotent(self):
+        register_message(1)(RpcRequest)  # no error
+
+    def test_tag_range_checked(self):
+        with pytest.raises(ValueError, match="16 bits"):
+
+            @register_message(1 << 17)
+            @dataclass
+            class TooBig:
+                pass
+
+
+class TestDecodeErrors:
+    def test_short_message(self):
+        with pytest.raises(TransportError, match="too short"):
+            decode_message(b"\x01")
+
+    def test_unknown_tag(self):
+        with pytest.raises(TransportError, match="unknown message tag"):
+            decode_message(b"\xff\xff" + b"junk")
+
+    def test_tag_body_mismatch(self):
+        import pickle
+
+        fake = (1).to_bytes(2, "little") + pickle.dumps({"not": "RpcRequest"})
+        with pytest.raises(TransportError, match="wraps"):
+            decode_message(fake)

@@ -1,0 +1,66 @@
+"""Unit tests for the striped id allocator."""
+
+import threading
+
+import pytest
+
+from repro.util.ids import IdAllocator
+
+
+def test_sequential_default_stride():
+    alloc = IdAllocator()
+    assert [alloc.next() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_striping_disjoint_across_spaces():
+    n_spaces = 4
+    allocators = [IdAllocator(i, n_spaces) for i in range(n_spaces)]
+    seen = set()
+    for alloc in allocators:
+        for _ in range(100):
+            value = alloc.next()
+            assert value not in seen
+            seen.add(value)
+    assert len(seen) == 400
+
+
+def test_stride_arithmetic():
+    alloc = IdAllocator(2, 5)
+    assert [alloc.next() for _ in range(4)] == [2, 7, 12, 17]
+
+
+def test_iterable_protocol():
+    alloc = IdAllocator()
+    it = iter(alloc)
+    assert next(it) == 0
+    assert next(it) == 1
+
+
+@pytest.mark.parametrize("bad", [0, -1])
+def test_invalid_stride_rejected(bad):
+    with pytest.raises(ValueError):
+        IdAllocator(0, bad)
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        IdAllocator(-1, 1)
+
+
+def test_thread_safety_no_duplicates():
+    alloc = IdAllocator()
+    results: list[int] = []
+    lock = threading.Lock()
+
+    def worker():
+        local = [alloc.next() for _ in range(500)]
+        with lock:
+            results.extend(local)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(results) == 4000
+    assert len(set(results)) == 4000

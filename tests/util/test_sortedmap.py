@@ -1,0 +1,139 @@
+"""Unit + property tests for SortedIntMap (the channel's item index)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.sortedmap import SortedIntMap
+
+
+@pytest.fixture
+def filled():
+    m = SortedIntMap()
+    for k in [5, 1, 9, 3, 7]:
+        m[k] = f"v{k}"
+    return m
+
+
+class TestBasics:
+    def test_empty(self):
+        m = SortedIntMap()
+        assert len(m) == 0
+        assert not m
+        assert m.min_key() is None
+        assert m.max_key() is None
+
+    def test_set_get_contains(self, filled):
+        assert filled[5] == "v5"
+        assert 5 in filled
+        assert 6 not in filled
+        assert filled.get(6) is None
+        assert filled.get(6, "x") == "x"
+
+    def test_keys_sorted(self, filled):
+        assert filled.keys() == [1, 3, 5, 7, 9]
+
+    def test_overwrite_keeps_single_key(self, filled):
+        filled[5] = "new"
+        assert filled[5] == "new"
+        assert filled.keys() == [1, 3, 5, 7, 9]
+
+    def test_delete(self, filled):
+        del filled[5]
+        assert 5 not in filled
+        assert filled.keys() == [1, 3, 7, 9]
+
+    def test_pop(self, filled):
+        assert filled.pop(1) == "v1"
+        assert filled.pop(1, "d") == "d"
+        with pytest.raises(KeyError):
+            filled.pop(1)
+
+    def test_iteration_and_items(self, filled):
+        assert list(filled) == [1, 3, 5, 7, 9]
+        assert list(filled.items())[0] == (1, "v1")
+        assert list(filled.values())[-1] == "v9"
+
+
+class TestOrderedQueries:
+    def test_min_max(self, filled):
+        assert filled.min_key() == 1
+        assert filled.max_key() == 9
+
+    def test_floor_ceil(self, filled):
+        assert filled.floor_key(6) == 5
+        assert filled.floor_key(5) == 5
+        assert filled.floor_key(0) is None
+        assert filled.ceil_key(6) == 7
+        assert filled.ceil_key(7) == 7
+        assert filled.ceil_key(10) is None
+
+    def test_lower_higher_strict(self, filled):
+        assert filled.lower_key(5) == 3
+        assert filled.higher_key(5) == 7
+        assert filled.lower_key(1) is None
+        assert filled.higher_key(9) is None
+
+    def test_neighbours_of_missing_key(self, filled):
+        assert filled.neighbours(6) == (5, 7)
+        assert filled.neighbours(0) == (None, 1)
+        assert filled.neighbours(100) == (9, None)
+
+    def test_keys_below_at_or_above(self, filled):
+        assert filled.keys_below(5) == [1, 3]
+        assert filled.keys_at_or_above(5) == [5, 7, 9]
+
+    def test_pop_below(self, filled):
+        dead = filled.pop_below(6)
+        assert dead == [(1, "v1"), (3, "v3"), (5, "v5")]
+        assert filled.keys() == [7, 9]
+
+    def test_pop_below_nothing(self, filled):
+        assert filled.pop_below(0) == []
+        assert len(filled) == 5
+
+
+@given(st.lists(st.integers(0, 200), max_size=60), st.integers(0, 200))
+def test_matches_dict_reference(keys, bound):
+    """Differential test against a plain dict + sorted()."""
+    m = SortedIntMap()
+    ref: dict[int, int] = {}
+    for k in keys:
+        m[k] = k * 2
+        ref[k] = k * 2
+    assert m.keys() == sorted(ref)
+    assert m.min_key() == (min(ref) if ref else None)
+    assert m.max_key() == (max(ref) if ref else None)
+    below = sorted(k for k in ref if k < bound)
+    assert m.keys_below(bound) == below
+    lower = [k for k in ref if k < bound]
+    higher = [k for k in ref if k > bound]
+    assert m.lower_key(bound) == (max(lower) if lower else None)
+    assert m.higher_key(bound) == (min(higher) if higher else None)
+    dead = m.pop_below(bound)
+    assert [k for k, _ in dead] == below
+    assert m.keys() == sorted(k for k in ref if k >= bound)
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["set", "del", "pop_below"]), st.integers(0, 50)),
+        max_size=80,
+    )
+)
+def test_mutation_sequences_keep_invariants(ops):
+    """Keys list and dict stay consistent under arbitrary op sequences."""
+    m = SortedIntMap()
+    ref: dict[int, int] = {}
+    for op, k in ops:
+        if op == "set":
+            m[k] = k
+            ref[k] = k
+        elif op == "del" and k in ref:
+            del m[k]
+            del ref[k]
+        elif op == "pop_below":
+            m.pop_below(k)
+            ref = {key: v for key, v in ref.items() if key >= k}
+        assert m.keys() == sorted(ref)
+        assert len(m) == len(ref)

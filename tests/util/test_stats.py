@@ -1,0 +1,101 @@
+"""Unit tests for the streaming statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import OnlineStats, percentile, summarize
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([42.0], 50) == 42.0
+
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+           st.floats(0, 100))
+    def test_matches_numpy(self, data, q):
+        ours = percentile(data, q)
+        theirs = float(np.percentile(data, q))
+        assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-9)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.count == 0
+        assert s.variance == 0.0
+
+    def test_basic_moments(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.min == 1.0
+        assert s.max == 4.0
+        assert s.stdev == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_percentile_requires_samples(self):
+        s = OnlineStats()
+        s.add(1.0)
+        with pytest.raises(ValueError):
+            s.pctl(50)
+
+    def test_pctl_with_samples(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.pctl(50) == 2.0
+
+    @given(st.lists(st.floats(-1e5, 1e5), min_size=2, max_size=100))
+    def test_welford_matches_numpy(self, data):
+        s = OnlineStats()
+        s.extend(data)
+        assert s.mean == pytest.approx(np.mean(data), rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(
+            np.var(data, ddof=1), rel=1e-6, abs=1e-6
+        )
+
+    @given(
+        st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=40),
+        st.lists(st.floats(-1e5, 1e5), min_size=1, max_size=40),
+    )
+    def test_merge_equals_concatenation(self, a, b):
+        sa, sb = summarize(a), summarize(b)
+        merged = sa.merge(sb)
+        direct = summarize(a + b)
+        assert merged.count == direct.count
+        assert merged.mean == pytest.approx(direct.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(
+            direct.variance, rel=1e-6, abs=1e-6
+        )
+        assert merged.min == direct.min
+        assert merged.max == direct.max
+
+    def test_merge_empty(self):
+        merged = OnlineStats().merge(OnlineStats())
+        assert merged.count == 0
+
+    def test_as_dict(self):
+        d = summarize([2.0]).as_dict()
+        assert d["count"] == 1
+        assert d["mean"] == 2.0
+        assert math.isfinite(d["stdev"])
