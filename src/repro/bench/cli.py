@@ -29,6 +29,7 @@ from repro.bench.pipeline_sim import pipeline_placement_table
 from repro.bench.fig09 import clf_bandwidth_table
 from repro.bench.fig10 import stm_latency_table
 from repro.bench.fig11 import stm_bandwidth_table
+from repro.bench.pr1_hotpath import pr1_hotpath_table
 from repro.bench.tables import TableResult
 
 __all__ = ["EXPERIMENTS", "run", "main"]
@@ -78,6 +79,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[str], list[TableResult]]]] = {
     "pipeline-placement": (
         "Kiosk pipeline latency per placement (sim vs scheduler model)",
         lambda mode: [pipeline_placement_table()],
+    ),
+    "pr1-hotpath": (
+        "PR-1 hot-path counters: wakeups/put, GC epoch, payload memcpys",
+        lambda mode: [pr1_hotpath_table(mode)],
     ),
 }
 

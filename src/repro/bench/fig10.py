@@ -62,9 +62,22 @@ def stm_latency_table(
             }
             table.paper[medium.name] = dict(_PAPER[key])
     elif mode == "measured":
+        from repro.transport.serialization import frame_stats
+
+        frame_stats.reset()
         table.rows["thread runtime (this host)"] = {
             s: measure_stm_latency_us(s, items) for s in sizes
         }
+        snap = frame_stats.snapshot()
+        if snap["frames_encoded"]:
+            per_byte = (
+                snap["payload_bytes_copied"] / snap["payload_bytes_framed"]
+            )
+            table.notes = (
+                f"payload framing: {snap['frames_encoded']} payloads shipped "
+                f"out-of-band, {per_byte:.2f} memcpys per payload byte "
+                f"(send gather + receive reassembly)"
+            )
     else:
         raise ValueError(f"unknown mode {mode!r}")
     return table

@@ -59,8 +59,20 @@ def stm_bandwidth_table(
         a = simulate_stm_bandwidth_mbps(1, medium, items)
         b = simulate_stm_bandwidth_mbps(2, medium, items)
     elif mode == "measured":
+        from repro.transport.serialization import frame_stats
+
+        frame_stats.reset()
         a = measure_stm_bandwidth_mbps(1, items)
         b = measure_stm_bandwidth_mbps(2, items)
+        snap = frame_stats.snapshot()
+        if snap["frames_encoded"]:
+            per_byte = (
+                snap["payload_bytes_copied"] / snap["payload_bytes_framed"]
+            )
+            table.notes += (
+                f"; payload framing: {snap['frames_encoded']} images "
+                f"out-of-band, {per_byte:.2f} memcpys per payload byte"
+            )
     else:
         raise ValueError(f"unknown mode {mode!r}")
     table.rows["A: 1 producer / 1 consumer"] = {"MB/s": a}

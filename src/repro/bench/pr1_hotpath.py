@@ -1,0 +1,325 @@
+"""PR-1 hot-path counters: wakeups per op, GC epoch cost, payload framing.
+
+Three targeted measurements proving the put → get → consume → GC hot-path
+optimizations (targeted wakeups, incremental GC minima, zero-copy payload
+framing) against the seed implementation:
+
+* **wakeups** — N consumers block in gets for distinct timestamps on one
+  channel; a producer satisfies them one put at a time.  We count how many
+  blocked waiters are *woken* per put: a ``notify_all`` scheme wakes every
+  waiter on every state change (thundering herd); targeted wakeups wake
+  exactly the one whose operation completed.
+* **gc epoch** — a 64-channel / 256-item cluster in the steady state that
+  makes the seed's ``unconsumed_min`` skip-scan maximal (everything
+  explicitly consumed above a pinned watermark), plus a thread visibility
+  that pins the horizon so nothing is collected.  We time ``run_once``:
+  cached minima make the per-epoch kernel work O(inputs), and the
+  scatter/gather daemon turns sum-of-RTTs into max-of-RTTs.
+* **framing** — a 1 MB SERIALIZE payload crossing address spaces
+  (remote put + remote get).  With pickle protocol-5 out-of-band buffers and
+  scatter/gather packetization the payload is copied once per side
+  (packetize and reassemble); the seed re-pickles it inside the RPC message
+  and slices it twice more on the way out.
+
+The module is deliberately *scheme-agnostic*: when the runtime exposes the
+new counters (``LocalChannel.waiters_woken``, ``ChannelKernel.min_scan_steps``,
+``frame_stats``) it reads them; otherwise it instruments the seed's
+condition variable so the same script produced the "seed" rows recorded in
+``BENCH_pr1.json``.
+
+Run: ``python -m repro.bench --only pr1-hotpath`` or
+``python -m repro.bench.pr1_hotpath [out.json]``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any
+
+from repro.bench.tables import TableResult
+
+__all__ = [
+    "measure_wakeups",
+    "measure_gc_epoch",
+    "measure_framing",
+    "hotpath_snapshot",
+    "pr1_hotpath_table",
+]
+
+
+def _drain_barrier(threads, timeout: float = 20.0) -> None:
+    for t in threads:
+        t.join(timeout)
+
+
+# ----------------------------------------------------------------------
+# 1. targeted wakeups
+# ----------------------------------------------------------------------
+def measure_wakeups(n_consumers: int = 8, settle_s: float = 0.05) -> dict[str, Any]:
+    """Blocked-thread wakeups per put with ``n_consumers`` blocked gets.
+
+    Each consumer blocks on a *distinct* timestamp, and puts are spaced by
+    ``settle_s`` so every woken thread has re-blocked before the next state
+    change — i.e. we measure the wakeup fan-out of one isolated operation,
+    not the coalescing that back-to-back notifies happen to get for free.
+    """
+    from repro.runtime import Cluster
+    from repro.stm import STM
+
+    with Cluster(n_spaces=1, gc_period=None) as cluster:
+        me = cluster.space(0).adopt_current_thread(virtual_time=0)
+        stm = STM(cluster.space(0))
+        chan = stm.create_channel("pr1.wakeups")
+        out = chan.attach_output()
+        local = cluster.space(0)._channel(chan.channel_id)
+        read_woken = _install_wakeup_probe(local)
+        started = threading.Barrier(n_consumers + 1)
+
+        def consumer(ts: int) -> None:
+            inp = STM(cluster.space(0)).lookup("pr1.wakeups").attach_input()
+            started.wait()
+            inp.get(ts)
+            inp.consume(ts)
+            inp.detach()
+
+        threads = [
+            cluster.space(0).spawn(consumer, (ts,), virtual_time=0)
+            for ts in range(n_consumers)
+        ]
+        started.wait()
+        deadline = time.monotonic() + 10.0
+        # Wait until every consumer is actually blocked in its get.
+        while time.monotonic() < deadline:
+            if _blocked_waiters(local) >= n_consumers:
+                break
+            time.sleep(0.01)
+
+        for ts in range(n_consumers):
+            out.put(ts, b"x", refcount=1)
+            time.sleep(settle_s)
+        _drain_barrier(threads)
+        woken = read_woken()
+        out.detach()
+        me.exit()
+    return {
+        "blocked_getters": n_consumers,
+        "puts": n_consumers,
+        "waiters_woken": woken,
+        "woken_per_put": woken / n_consumers,
+    }
+
+
+def _blocked_waiters(local) -> int:
+    """How many operations are currently blocked on this channel."""
+    if hasattr(local, "get_waiters"):  # targeted-wakeup scheme
+        with local.lock:
+            return len(local.get_waiters) + len(local.put_waiters)
+    # seed scheme: blocked local ops wait on the channel condition variable
+    return len(local.cond._waiters)  # noqa: SLF001 - instrumentation
+
+
+def _install_wakeup_probe(local):
+    """Return a callable yielding blocked-thread wakeups since installation.
+
+    A "wakeup" is one resumption of a thread that was blocked in a channel
+    operation: under the seed's ``notify_all`` scheme every state change
+    resumes every waiter (most resume futilely, re-check, and re-block);
+    under targeted wakeups a thread resumes exactly once, with its result.
+    """
+    if hasattr(local, "waiters_woken"):  # targeted-wakeup scheme: built-in
+        start = local.waiters_woken
+        return lambda: local.waiters_woken - start
+    # seed scheme: count returns from the condition wait (one per resumption)
+    counters = {"woken": 0}
+    cond = local.cond
+    original = cond.wait
+
+    def counting_wait(timeout=None):
+        result = original(timeout)
+        counters["woken"] += 1
+        return result
+
+    cond.wait = counting_wait
+    return lambda: counters["woken"]
+
+
+# ----------------------------------------------------------------------
+# 2. GC epoch cost
+# ----------------------------------------------------------------------
+def measure_gc_epoch(
+    n_spaces: int = 4,
+    n_channels: int = 64,
+    items_per_channel: int = 256,
+    epochs: int = 10,
+) -> dict[str, Any]:
+    """Steady-state ``GcDaemon.run_once`` cost on a loaded cluster.
+
+    Every channel holds ``items_per_channel`` items, all explicitly consumed
+    above a pinned watermark (the seed's worst case: the ``unconsumed_min``
+    skip-scan walks every item, every epoch).  A low thread visibility pins
+    the horizon so the load never drains.
+    """
+    from repro.runtime import Cluster
+    from repro.runtime.gc_daemon import GcDaemon
+    from repro.stm import STM
+
+    base_ts = 100  # items start above the pinned watermark
+    with Cluster(n_spaces=n_spaces, gc_period=None) as cluster:
+        me = cluster.space(0).adopt_current_thread(virtual_time=50)
+        stm = STM(cluster.space(0))
+        for i in range(n_channels):
+            chan = stm.create_channel(f"pr1.gc{i}", home=i % n_spaces)
+            out, inp = chan.attach_output(), chan.attach_input()
+            for ts in range(base_ts, base_ts + items_per_channel):
+                out.put(ts, b"")
+            for ts in range(base_ts, base_ts + items_per_channel):
+                inp.consume(ts)
+        daemon = GcDaemon(cluster, period=1.0)
+        daemon.run_once()  # warm-up epoch (fills min caches when present)
+        scan_probe = _install_scan_probe(cluster)
+        t0 = time.perf_counter()
+        for _ in range(epochs):
+            daemon.run_once()
+        epoch_s = (time.perf_counter() - t0) / epochs
+        scan_steps = scan_probe() / epochs
+        me.exit()
+    return {
+        "n_spaces": n_spaces,
+        "n_channels": n_channels,
+        "items_per_channel": items_per_channel,
+        "epoch_ms": epoch_s * 1e3,
+        "min_scan_steps_per_epoch": scan_steps,
+    }
+
+
+def _install_scan_probe(cluster):
+    """Count unconsumed-min skip-scan steps across all channels."""
+    kernels = [
+        chan.kernel
+        for space in cluster.spaces
+        for chan in space.local_channels()
+    ]
+    if kernels and hasattr(kernels[0], "min_scan_steps"):
+        start = sum(k.min_scan_steps for k in kernels)
+        return lambda: sum(k.min_scan_steps for k in kernels) - start
+    # seed scheme: wrap the item map's higher_key (the skip-scan's stepper)
+    # at class level — SortedIntMap is slotted, so per-instance won't do.
+    from repro.util.sortedmap import SortedIntMap
+
+    counters = {"steps": 0}
+    original = SortedIntMap.higher_key
+
+    def stepping_higher_key(self_map, key):
+        counters["steps"] += 1
+        return original(self_map, key)
+
+    SortedIntMap.higher_key = stepping_higher_key  # type: ignore[method-assign]
+    return lambda: counters["steps"]
+
+
+# ----------------------------------------------------------------------
+# 3. zero-copy payload framing
+# ----------------------------------------------------------------------
+def measure_framing(payload_bytes: int = 1 << 20, iters: int = 30) -> dict[str, Any]:
+    """Remote put + get + consume of a 1 MB SERIALIZE payload."""
+    from repro.runtime import Cluster
+    from repro.stm import STM
+
+    with Cluster(n_spaces=2, gc_period=None) as cluster:
+        me = cluster.space(0).adopt_current_thread(virtual_time=0)
+        stm = STM(cluster.space(0))
+        chan = stm.create_channel("pr1.frame", home=1)
+        out, inp = chan.attach_output(), chan.attach_input()
+        payload = bytes(payload_bytes)
+        for ts in range(3):  # warm-up
+            out.put(ts, payload, refcount=1)
+            inp.get_consume(ts)
+        copy_probe = _install_copy_probe()
+        t0 = time.perf_counter()
+        for ts in range(3, 3 + iters):
+            out.put(ts, payload, refcount=1)
+            inp.get_consume(ts)
+        elapsed = time.perf_counter() - t0
+        copied = copy_probe()
+        out.detach()
+        inp.detach()
+        me.exit()
+    cycle_us = elapsed / iters * 1e6
+    result = {
+        "payload_bytes": payload_bytes,
+        "iters": iters,
+        "cycle_us": cycle_us,
+        "mbps": 2 * payload_bytes * iters / elapsed / 1e6,
+    }
+    if copied is not None:
+        # payload memcpys per one-way transfer (2 transfers per cycle)
+        result["payload_copies_per_transfer"] = copied / (2 * iters * payload_bytes)
+    return result
+
+
+def _install_copy_probe():
+    """Count payload bytes copied by the framing layer, when instrumented."""
+    try:
+        from repro.transport.serialization import frame_stats
+    except ImportError:  # seed scheme: no out-of-band framing counters
+        return lambda: None
+    frame_stats.reset()
+    return lambda: frame_stats.payload_bytes_copied
+
+
+# ----------------------------------------------------------------------
+# snapshot + table
+# ----------------------------------------------------------------------
+def hotpath_snapshot(out_path: str | None = None) -> dict[str, Any]:
+    """Run all three measurements; optionally write them to ``out_path``."""
+    snapshot = {
+        "wakeups": measure_wakeups(),
+        "gc_epoch": measure_gc_epoch(),
+        "framing": measure_framing(),
+    }
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+            fh.write("\n")
+    return snapshot
+
+
+def pr1_hotpath_table(mode: str = "measured") -> TableResult:
+    """The snapshot as a render-able table (for ``python -m repro.bench``)."""
+    snap = hotpath_snapshot()
+    table = TableResult(
+        title="PR-1 hot-path counters (this host)",
+        row_label="metric",
+        col_label="",
+        columns=["value"],
+        unit="(mixed)",
+        notes=(
+            f"wakeups: {snap['wakeups']['blocked_getters']} blocked getters; "
+            f"gc: {snap['gc_epoch']['n_channels']} channels x "
+            f"{snap['gc_epoch']['items_per_channel']} items; "
+            f"framing: {snap['framing']['payload_bytes']} B payload"
+        ),
+    )
+    table.rows["waiters woken per put"] = {
+        "value": snap["wakeups"]["woken_per_put"]
+    }
+    table.rows["GC epoch (ms)"] = {"value": snap["gc_epoch"]["epoch_ms"]}
+    table.rows["GC min-scan steps/epoch"] = {
+        "value": snap["gc_epoch"]["min_scan_steps_per_epoch"]
+    }
+    table.rows["1MB remote put+get (us)"] = {
+        "value": snap["framing"]["cycle_us"]
+    }
+    copies = snap["framing"].get("payload_copies_per_transfer")
+    if copies is not None:
+        table.rows["payload memcpys per transfer"] = {"value": copies}
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    import sys
+
+    out = sys.argv[1] if len(sys.argv) > 1 else None
+    print(json.dumps(hotpath_snapshot(out), indent=2))

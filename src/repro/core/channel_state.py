@@ -112,6 +112,11 @@ class ChannelKernel:
         self.total_refcount_collected = 0
         self.bytes_put = 0
         self.bytes_got = 0
+        #: running sum of stored item sizes (keeps stored_bytes() O(1)).
+        self._stored_bytes = 0
+        #: item visits made by unconsumed-min recomputation scans; stays flat
+        #: across GC epochs while the per-connection min caches are warm.
+        self.min_scan_steps = 0
 
     # ------------------------------------------------------------------
     # connection lifecycle
@@ -237,6 +242,17 @@ class ChannelKernel:
         self.items[timestamp] = record
         self.total_puts += 1
         self.bytes_put += size
+        self._stored_bytes += size
+        # A new item can only *lower* a connection's unconsumed minimum, so
+        # the caches update in place — no invalidation, no rescan.
+        for view in self.inputs.values():
+            cache = view.min_cache
+            if (
+                cache is not None
+                and (cache is INFINITY or timestamp < cache)
+                and view.is_unconsumed(timestamp)
+            ):
+                view.min_cache = timestamp
         self.version += 1
         return PutResult(Status.OK)
 
@@ -353,6 +369,8 @@ class ChannelKernel:
                 f"connection {conn_id} (strict consume)"
             )
         view.consume_one(timestamp)
+        if view.min_cache == timestamp:
+            view.min_cache = None  # the minimum advanced; recompute lazily
         self.total_consumes += 1
         self._after_consume([timestamp])
 
@@ -371,7 +389,12 @@ class ChannelKernel:
             if view.is_unconsumed(ts) or ts in view.open_ts
         ]
         view.consume_upto(timestamp)
-        self.total_consumes += 1
+        cache = view.min_cache
+        if cache is not None and cache is not INFINITY and cache < bound:
+            view.min_cache = None  # the cached minimum was just consumed
+        # One consume_until may retire many timestamps; count what it
+        # actually consumed so batched consumes don't under-report.
+        self.total_consumes += len(affected)
         self._after_consume(affected)
 
     def _after_consume(self, timestamps: list[int]) -> None:
@@ -385,8 +408,12 @@ class ChannelKernel:
                 # *and* wants it — the declared count reaching zero is the
                 # producer's signal that all planned consumers are done.
                 del self.items[ts]
+                self._stored_bytes -= record.size
                 self.total_collected += 1
                 self.total_refcount_collected += 1
+                for view in self.inputs.values():
+                    if view.min_cache == ts:
+                        view.min_cache = None  # cached minimum reclaimed
         self.version += 1
 
     # ------------------------------------------------------------------
@@ -401,15 +428,30 @@ class ChannelKernel:
         — its items are protected only by thread visibilities, exactly as the
         paper's rule prescribes (a future connection can only reach items >=
         its creating thread's visibility).
+
+        Each connection's minimum is cached on its view and invalidated by
+        exactly the operations that can move it (consume of the minimum,
+        reclaim of the minimum, collection below it), so the steady-state
+        cost is a dict-min over the inputs — the per-epoch skip-scan over
+        items only runs for views whose cache was invalidated.
         """
         mins: list[VirtualTime] = []
         for view in self.inputs.values():
-            key = self.items.ceil_key(view.consumed_below)
-            while key is not None and view.is_consumed(key):
-                key = self.items.higher_key(key)
-            if key is not None:
-                mins.append(key)
+            cached = view.min_cache
+            if cached is None:
+                cached = view.min_cache = self._recompute_min(view)
+            if cached is not INFINITY:
+                mins.append(cached)
         return vt_min(mins)
+
+    def _recompute_min(self, view) -> VirtualTime:
+        """Skip-scan for a view's smallest stored-and-unconsumed timestamp."""
+        key = self.items.ceil_key(view.consumed_below)
+        self.min_scan_steps += 1
+        while key is not None and view.is_consumed(key):
+            key = self.items.higher_key(key)
+            self.min_scan_steps += 1
+        return key if key is not None else INFINITY
 
     def collect_below(self, horizon: VirtualTime) -> list[int]:
         """Reclaim every item with timestamp < ``horizon``; return their ts.
@@ -429,6 +471,11 @@ class ChannelKernel:
         self.gc_horizon = max(self.gc_horizon, bound)
         if dead:
             self.total_collected += len(dead)
+            self._stored_bytes -= sum(rec.size for _, rec in dead)
+            for view in self.inputs.values():
+                cache = view.min_cache
+                if cache is not None and cache is not INFINITY and cache < bound:
+                    view.min_cache = None  # cached minimum was collected
             self.version += 1
         return [ts for ts, _ in dead]
 
@@ -453,7 +500,8 @@ class ChannelKernel:
         return self._input(conn_id).state_of(ts)
 
     def stored_bytes(self) -> int:
-        return sum(rec.size for rec in self.items.values())
+        """Bytes currently stored, from the running counter (O(1))."""
+        return self._stored_bytes
 
     def destroy(self) -> None:
         """Tear the channel down; subsequent operations raise."""
@@ -461,4 +509,5 @@ class ChannelKernel:
         self.items = SortedIntMap()
         self.inputs.clear()
         self.outputs.clear()
+        self._stored_bytes = 0
         self.version += 1

@@ -108,6 +108,11 @@ class InputConnState:
     #: greatest timestamp ever returned by a get on this connection, used to
     #: resolve the LATEST_UNSEEN wildcard; None before the first get.
     last_gotten: int | None = None
+    #: cached smallest stored-and-unconsumed timestamp for this connection
+    #: (INFINITY when fully consumed), or None when it must be recomputed.
+    #: Maintained by the channel kernel so the per-epoch GC minimum is a
+    #: dict-min instead of a skip-scan over the items.
+    min_cache: Any = None
 
     def state_of(self, ts: int) -> ItemState:
         """State of timestamp ``ts`` relative to this connection."""

@@ -45,25 +45,38 @@ class CopyPolicy(enum.Enum):
     REFERENCE = "reference"
 
 
-def estimate_size(obj: Any) -> int:
+def estimate_size(obj: Any, _seen: set[int] | None = None) -> int:
     """Approximate in-memory size in bytes of ``obj``.
 
     Exact for bytes-like and numpy payloads (the cases that matter for the
     paper's tables, whose payloads are byte buffers and video frames); a
     shallow ``sys.getsizeof`` plus one level of container recursion elsewhere
     — cost accounting needs the right magnitude, not byte-exactness.
+
+    Self-referential containers (REFERENCE/DEEPCOPY payloads are arbitrary
+    object graphs) are counted once: a container already on the current
+    recursion path contributes 0 instead of recursing forever.
     """
     if isinstance(obj, (bytes, bytearray, memoryview)):
         return len(obj)
     nbytes = getattr(obj, "nbytes", None)  # numpy arrays and friends
     if isinstance(nbytes, int):
         return nbytes
-    if isinstance(obj, (list, tuple, set, frozenset)):
-        return sys.getsizeof(obj) + sum(estimate_size(x) for x in obj)
-    if isinstance(obj, dict):
-        return sys.getsizeof(obj) + sum(
-            estimate_size(k) + estimate_size(v) for k, v in obj.items()
-        )
+    if isinstance(obj, (list, tuple, set, frozenset, dict)):
+        if _seen is None:
+            _seen = set()
+        if id(obj) in _seen:
+            return 0  # cycle: this container is already being counted
+        _seen.add(id(obj))
+        try:
+            if isinstance(obj, dict):
+                return sys.getsizeof(obj) + sum(
+                    estimate_size(k, _seen) + estimate_size(v, _seen)
+                    for k, v in obj.items()
+                )
+            return sys.getsizeof(obj) + sum(estimate_size(x, _seen) for x in obj)
+        finally:
+            _seen.discard(id(obj))
     return sys.getsizeof(obj)
 
 

@@ -56,7 +56,10 @@ class DecisionModule:
         if hifi is not None and hifi.detected:
             best = hifi.best()
             count = len(hifi.regions)
-            confidence = 0.5 + 0.5 * (best[1] if best else 0.0)
+            # Visual evidence alone tops out at 0.95: the last band of the
+            # scale is reserved for multi-modal corroboration, so a fused
+            # (vision + speech) decision always outranks vision alone.
+            confidence = 0.5 + 0.45 * (best[1] if best else 0.0)
         elif lofi is not None and lofi.detected:
             best = lofi.best()
             count = len(lofi.regions)

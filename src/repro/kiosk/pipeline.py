@@ -180,14 +180,17 @@ def run_pipeline(cluster: Cluster, config: PipelineConfig | None = None) -> Pipe
         out = chan_out.attach_output()
         tracker = HifiTracker()
 
-        def put_record(ts: int, record: TrackRecord) -> None:
+        def put_record(ts: int, record: TrackRecord) -> bool:
             # A successor/predecessor hi-fi instance may already have filled
             # this column (e.g. across a tracker hand-off at stream end);
             # first record wins, per the channel's unique-timestamp rule.
+            # Returns whether THIS record filled the column, so the caller
+            # counts each analyzed column once across hand-offs.
             try:
                 out.put(ts, record)
             except DuplicateTimestampError:
-                pass
+                return False
+            return True
 
         try:
             # Re-analyze the ORIGINAL frame that triggered the hypothesis.
@@ -198,25 +201,27 @@ def run_pipeline(cluster: Cluster, config: PipelineConfig | None = None) -> Pipe
             region = acquired_from.best()[0]
             tracker.acquire(original.value.pixels, region)
             record = tracker.analyze(hypothesis_ts, original.value.pixels)
-            put_record(hypothesis_ts, record)
+            stored = put_record(hypothesis_ts, record)
             inp.consume_until(hypothesis_ts)
             me.set_virtual_time(INFINITY)
-            with result_lock:
-                result.frames_analyzed_hifi += 1
-                if record.detected:
-                    result.hifi_records.append(record)
+            if stored:
+                with result_lock:
+                    result.frames_analyzed_hifi += 1
+                    if record.detected:
+                        result.hifi_records.append(record)
             while True:
                 item = inp.get(STM_LATEST_UNSEEN)
                 if item.value is None:
                     inp.consume_until(item.timestamp)
                     break
                 record = tracker.analyze(item.timestamp, item.value.pixels)
-                put_record(item.timestamp, record)
+                stored = put_record(item.timestamp, record)
                 inp.consume_until(item.timestamp)
-                with result_lock:
-                    result.frames_analyzed_hifi += 1
-                    if record.detected:
-                        result.hifi_records.append(record)
+                if stored:
+                    with result_lock:
+                        result.frames_analyzed_hifi += 1
+                        if record.detected:
+                            result.hifi_records.append(record)
         finally:
             inp.detach()
             out.detach()

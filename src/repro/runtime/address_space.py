@@ -4,8 +4,8 @@ An :class:`AddressSpace` is one of the cluster's protection domains (the
 paper runs one per SMP).  It owns:
 
 * the **channels homed here** — each a :class:`LocalChannel` pairing a
-  :class:`~repro.core.channel_state.ChannelKernel` with a condition variable
-  (for local blockers) and a park list (for remote blockers);
+  :class:`~repro.core.channel_state.ChannelKernel` with two reason-keyed
+  wait sets holding blocked operations, local and remote alike;
 * the **Stampede threads** running here, whose visibilities feed GC;
 * a **dispatcher thread** that serves incoming CLF messages: channel RPCs
   from other spaces, GC protocol traffic, spawn/join requests, and name
@@ -16,10 +16,15 @@ space takes a direct, lock-protected fast path ("CLF exploits shared memory
 within an SMP"); operations on remote channels become synchronous RPCs over
 CLF.  Both paths run the *same* kernel code, so semantics cannot diverge.
 
-Blocking: a local blocked operation waits on the channel's condition
-variable; a remote blocked operation is parked at the home space and retried
-whenever the channel's state changes, with the reply sent as soon as the
-operation completes (or a cancel arrives).
+Blocking — targeted wakeups: every blocked operation (local or remote) is
+parked at the channel in one of two wait sets keyed by its
+:class:`~repro.core.channel_state.BlockReason` — puts blocked on
+``CHANNEL_FULL``, gets blocked on ``NO_MATCHING_ITEM``.  Whichever thread
+changes channel state *completes the parked operations itself* under the
+channel lock and wakes only the waiters whose operation finished: a put
+retries parked getters, a consume/collect retries parked putters.  There is
+no ``notify_all`` herd — a waiter is woken exactly once, with its result (or
+error) already in hand.  Remote waiters get their reply sent the same way.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.core.payload import CopyPolicy
 from repro.core.time import INFINITY, VirtualTime, vt_min
 from repro.errors import (
     AddressSpaceError,
+    ChannelDestroyedError,
     ChannelEmptyError,
     ChannelFullError,
     NameInUseError,
@@ -64,7 +70,11 @@ from repro.runtime.messages import (
 )
 from repro.runtime.threads import StampedeThread, current_thread
 from repro.transport.clf import ClfEndpoint
-from repro.transport.serialization import decode_message, encode_message
+from repro.transport.serialization import (
+    Frame,
+    decode_message,
+    encode_message_sg,
+)
 from repro.util.ids import IdAllocator
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -86,25 +96,57 @@ class ChannelHandle:
     push: bool = False
 
 
-@dataclass
-class _Parked:
-    """A remote blocking request waiting at the channel home."""
+@dataclass(eq=False)
+class _Waiter:
+    """A blocked put or get parked at the channel home.
 
-    call_id: int
-    src_space: int
+    Covers both kinds of blocker: a *remote* waiter carries the RPC routing
+    (``call_id``/``src_space``) so the completed result can be sent as a
+    reply; a *local* waiter carries an :class:`threading.Event` the blocked
+    thread sleeps on plus result/error slots.  Either way the operation is
+    finished *by the thread that changed channel state* — the waiter never
+    retries anything itself.
+    """
+
     body: Any  # PutReq | GetReq
+    # remote waiters:
+    call_id: int | None = None
+    src_space: int | None = None
+    # local waiters:
+    event: threading.Event | None = None
+    result: Any = None
+    error: BaseException | None = None
 
 
 class LocalChannel:
-    """A channel homed in this address space."""
+    """A channel homed in this address space.
+
+    Blocked operations park in one of two wait sets keyed by their
+    :class:`~repro.core.channel_state.BlockReason`: ``put_waiters`` holds
+    operations blocked on CHANNEL_FULL, ``get_waiters`` those blocked on
+    NO_MATCHING_ITEM.  State changes drain only the set they can satisfy.
+    """
 
     def __init__(self, kernel: ChannelKernel, handle: ChannelHandle):
         self.kernel = kernel
         self.handle = handle
-        self.cond = threading.Condition()
-        self.parked: list[_Parked] = []
+        self.lock = threading.Lock()
+        self.put_waiters: list[_Waiter] = []  # blocked on CHANNEL_FULL
+        self.get_waiters: list[_Waiter] = []  # blocked on NO_MATCHING_ITEM
+        #: blocked operations completed (woken) since channel creation —
+        #: under targeted wakeups this equals the number of blocked ops,
+        #: never a multiple of it.
+        self.waiters_woken = 0
         #: conn_id -> attaching space, for the eager-push optimization.
         self.input_spaces: dict[int, int] = {}
+
+    @property
+    def parked(self) -> list[_Waiter]:
+        """The remote blockers currently parked here (diagnostics/tests)."""
+        return [
+            w for w in self.put_waiters + self.get_waiters
+            if w.call_id is not None
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<LocalChannel {self.handle.channel_id} items={len(self.kernel)}>"
@@ -212,9 +254,12 @@ class AddressSpace:
             elif isinstance(msg, RpcCancel):
                 self._serve_cancel(msg)
             elif isinstance(msg, CachePushMsg):
+                payload = msg.payload
+                if isinstance(payload, Frame):
+                    payload = payload.data
                 with self._push_cache_lock:
                     self._push_cache[(msg.channel_id, msg.timestamp)] = (
-                        msg.payload, msg.size,
+                        payload, msg.size,
                     )
             elif isinstance(msg, GcCollectMsg):
                 self.apply_gc_horizon(msg.horizon)
@@ -246,22 +291,23 @@ class AddressSpace:
         channel = self._parked_index.pop(msg.call_id, None)
         if channel is None:
             return  # already completed; the reply won the race
-        with channel.cond:
-            for i, parked in enumerate(channel.parked):
-                if parked.call_id == msg.call_id:
-                    del channel.parked[i]
-                    self._reply_error(
-                        parked.src_space,
-                        parked.call_id,
-                        TimeoutError("operation cancelled by caller timeout"),
-                    )
-                    return
+        with channel.lock:
+            for waiters in (channel.put_waiters, channel.get_waiters):
+                for i, waiter in enumerate(waiters):
+                    if waiter.call_id == msg.call_id:
+                        del waiters[i]
+                        self._reply_error(
+                            waiter.src_space,
+                            waiter.call_id,
+                            TimeoutError("operation cancelled by caller timeout"),
+                        )
+                        return
 
     def _reply_value(self, dst: int, call_id: int, value: Any) -> None:
-        self.endpoint.send(dst, encode_message(RpcReply(call_id, value=value)))
+        self.endpoint.send(dst, encode_message_sg(RpcReply(call_id, value=value)))
 
     def _reply_error(self, dst: int, call_id: int, error: BaseException) -> None:
-        self.endpoint.send(dst, encode_message(RpcReply(call_id, error=error)))
+        self.endpoint.send(dst, encode_message_sg(RpcReply(call_id, error=error)))
 
     # ==================================================================
     # RPC client
@@ -278,12 +324,12 @@ class AddressSpace:
         with self._calls_lock:
             self._calls[call_id] = call
         self.endpoint.send(
-            dst_space, encode_message(RpcRequest(call_id, self.space_id, body))
+            dst_space, encode_message_sg(RpcRequest(call_id, self.space_id, body))
         )
         if not call.event.wait(timeout):
             # Ask the server to abandon the parked request, then give the
             # reply (cancelled or real) a grace period to land.
-            self.endpoint.send(dst_space, encode_message(RpcCancel(call_id)))
+            self.endpoint.send(dst_space, encode_message_sg(RpcCancel(call_id)))
             call.event.wait(5.0)
             if not call.done:
                 with self._calls_lock:
@@ -297,6 +343,67 @@ class AddressSpace:
         if call.error is not None:
             raise call.error
         return call.value
+
+    def call_async(self, dst_space: int, body: Any) -> tuple[int | None, _Call]:
+        """Fire an RPC without waiting; pair with :meth:`gather`.
+
+        Lets a coordinator scatter a request to every space and then wait
+        for all replies together (max-of-RTTs instead of sum-of-RTTs — the
+        GC daemon's epoch pattern).  Self-calls execute inline, so only
+        non-blocking request bodies should be scattered.
+        """
+        call = _Call()
+        if dst_space == self.space_id:
+            try:
+                call.value = self._handle_blocking_locally(body, None)
+            except BaseException as exc:  # noqa: BLE001 - delivered at gather
+                call.error = exc
+            call.done = True
+            call.event.set()
+            return (None, call)
+        call_id = self._call_ids.next()
+        with self._calls_lock:
+            self._calls[call_id] = call
+        self.endpoint.send(
+            dst_space, encode_message_sg(RpcRequest(call_id, self.space_id, body))
+        )
+        return (call_id, call)
+
+    def gather(
+        self,
+        pending: list[tuple[int | None, _Call]],
+        timeout: float | None = None,
+    ) -> list[Any]:
+        """Collect :meth:`call_async` results, in scatter order.
+
+        ``timeout`` bounds the *total* wait across all replies.  The first
+        error encountered is raised (after unregistering the remaining
+        outstanding calls so late replies are dropped).
+        """
+        deadline = (time.monotonic() + timeout) if timeout is not None else None
+        results: list[Any] = []
+        error: BaseException | None = None
+        for call_id, call in pending:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            done = call.event.wait(remaining)
+            if call_id is not None:
+                with self._calls_lock:
+                    self._calls.pop(call_id, None)
+            if error is not None:
+                continue  # keep unregistering the rest
+            if not done:
+                error = TimeoutError(
+                    f"gather timed out after {timeout}s with replies outstanding"
+                )
+            elif call.error is not None:
+                error = call.error
+            else:
+                results.append(call.value)
+        if error is not None:
+            raise error
+        return results
 
     def _complete_call(self, reply: RpcReply) -> None:
         with self._calls_lock:
@@ -354,95 +461,129 @@ class AddressSpace:
 
     def _h_destroy_channel(self, body: DestroyChannelReq, src: int, cid) -> None:
         channel = self._channel(body.channel_id)
-        with channel.cond:
-            for parked in channel.parked:
-                self._parked_index.pop(parked.call_id, None)
-                self._reply_error(
-                    parked.src_space,
-                    parked.call_id,
-                    StampedeError("channel destroyed while operation blocked"),
-                )
-            channel.parked.clear()
+        with channel.lock:
+            for waiter in channel.put_waiters + channel.get_waiters:
+                if waiter.call_id is not None:
+                    error: BaseException = StampedeError(
+                        "channel destroyed while operation blocked"
+                    )
+                else:
+                    error = ChannelDestroyedError(
+                        f"channel {body.channel_id} is destroyed"
+                    )
+                self._fail_waiter(channel, waiter, error)
+            channel.put_waiters.clear()
+            channel.get_waiters.clear()
             channel.kernel.destroy()
-            channel.cond.notify_all()
         with self._channels_lock:
             self._channels.pop(body.channel_id, None)
 
     def _h_attach(self, body: AttachReq, src: int, cid) -> None:
         channel = self._channel(body.channel_id)
-        with channel.cond:
+        with channel.lock:
             if body.is_input:
                 channel.kernel.attach_input(body.conn_id, body.visibility)
                 channel.input_spaces[body.conn_id] = src
             else:
                 channel.kernel.attach_output(body.conn_id)
-            self._drain_locked(channel)
-            channel.cond.notify_all()
+            # Attach/detach change the connection set both sides key off, so
+            # both wait sets are retried (rare, cold path).
+            self._drain_locked(channel, puts=True, gets=True)
 
     def _h_detach(self, body: DetachReq, src: int, cid) -> None:
         channel = self._channel(body.channel_id)
-        with channel.cond:
+        with channel.lock:
             channel.kernel.detach(body.conn_id)
             channel.input_spaces.pop(body.conn_id, None)
-            self._drain_locked(channel)
-            channel.cond.notify_all()
+            self._drain_locked(channel, puts=True, gets=True)
 
     # -- puts/gets/consumes --------------------------------------------------
     def _h_put(self, body: PutReq, src: int, call_id) -> Any:
         channel = self._channel(body.channel_id)
-        with channel.cond:
+        if isinstance(body.payload, Frame):
+            # Out-of-band framed payload: store the raw bytes.  Mutating the
+            # body keeps drain retries (which replay it) unwrapped too.
+            body.payload = body.payload.data
+        with channel.lock:
             result = channel.kernel.put(
                 body.conn_id, body.timestamp, body.payload, body.size, body.refcount
             )
             if result.status is Status.OK:
                 self._maybe_push(channel, body.timestamp)
-                self._drain_locked(channel)
-                channel.cond.notify_all()
+                # A put only adds an item: it can satisfy blocked gets, never
+                # unblock another put.
+                self._drain_locked(channel, puts=False, gets=True)
                 return None
             if not body.block:
                 raise ChannelFullError(
                     f"channel {body.channel_id} is full "
                     f"(capacity {channel.kernel.capacity})"
                 )
-            parked = _Parked(call_id, src, body)
-            channel.parked.append(parked)
-            self._parked_index[call_id] = channel
+            self._park(channel, _Waiter(body, call_id=call_id, src_space=src),
+                       result.reason)
             return _PARKED
 
     def _h_get(self, body: GetReq, src: int, call_id) -> Any:
         channel = self._channel(body.channel_id)
-        with channel.cond:
+        with channel.lock:
             result = channel.kernel.get(body.conn_id, body.request)
             if result.status is Status.OK:
-                channel.cond.notify_all()
+                # A get changes no state another operation waits on: nothing
+                # to drain, nobody to wake.
                 return self._get_reply(channel, body, result, src)
             if not body.block:
                 raise ChannelEmptyError(
                     f"no item matching {body.request!r} in channel "
                     f"{body.channel_id}; neighbours {result.timestamp_range}"
                 )
-            parked = _Parked(call_id, src, body)
-            channel.parked.append(parked)
-            self._parked_index[call_id] = channel
+            self._park(channel, _Waiter(body, call_id=call_id, src_space=src),
+                       result.reason)
             return _PARKED
 
     def _h_consume(self, body: ConsumeReq, src: int, cid) -> None:
         channel = self._channel(body.channel_id)
-        with channel.cond:
+        with channel.lock:
             if body.until:
                 channel.kernel.consume_until(body.conn_id, body.timestamp)
             else:
                 channel.kernel.consume(body.conn_id, body.timestamp)
-            self._drain_locked(channel)
-            channel.cond.notify_all()
+            # A consume can only reclaim space: it unblocks puts (and, via a
+            # completed put, transitively gets — _drain_locked cascades).
+            self._drain_locked(channel, puts=True, gets=False)
 
-    def _drain_locked(self, channel: LocalChannel) -> None:
-        """Retry parked remote requests after a state change (lock held)."""
-        if not channel.parked:
-            return
-        still_parked: list[_Parked] = []
-        for parked in channel.parked:
-            body = parked.body
+    def _park(self, channel: LocalChannel, waiter: _Waiter,
+              reason: BlockReason | None) -> None:
+        """File a blocked operation in the wait set its BlockReason selects."""
+        if reason is BlockReason.CHANNEL_FULL:
+            channel.put_waiters.append(waiter)
+        else:  # NO_MATCHING_ITEM
+            channel.get_waiters.append(waiter)
+        if waiter.call_id is not None:
+            self._parked_index[waiter.call_id] = channel
+
+    def _drain_locked(self, channel: LocalChannel, *,
+                      puts: bool, gets: bool) -> None:
+        """Complete parked operations a state change may have unblocked.
+
+        Runs with the channel lock held, on whichever thread changed the
+        channel.  Only the wait set(s) the change can satisfy are retried;
+        when a parked put completes it adds an item, so the get set is then
+        drained too (the cascade never goes the other way — a completed get
+        frees nothing).  Waiters whose operation finished (or raised) are
+        woken exactly once, result in hand.
+        """
+        if puts and channel.put_waiters:
+            if self._drain_set(channel, channel.put_waiters):
+                gets = True
+        if gets and channel.get_waiters:
+            self._drain_set(channel, channel.get_waiters)
+
+    def _drain_set(self, channel: LocalChannel, waiters: list[_Waiter]) -> bool:
+        """Retry one wait set; return True when any operation completed OK."""
+        still_parked: list[_Waiter] = []
+        any_ok = False
+        for waiter in waiters:
+            body = waiter.body
             try:
                 if isinstance(body, PutReq):
                     result = channel.kernel.put(
@@ -454,28 +595,50 @@ class AddressSpace:
                     )
                     if result.status is Status.OK:
                         self._maybe_push(channel, body.timestamp)
-                        self._parked_index.pop(parked.call_id, None)
-                        self._reply_value(parked.src_space, parked.call_id, None)
+                        self._complete_waiter(channel, waiter, None)
+                        any_ok = True
                     else:
-                        still_parked.append(parked)
-                elif isinstance(body, GetReq):
+                        still_parked.append(waiter)
+                else:  # GetReq
                     result = channel.kernel.get(body.conn_id, body.request)
                     if result.status is Status.OK:
-                        self._parked_index.pop(parked.call_id, None)
-                        self._reply_value(
-                            parked.src_space,
-                            parked.call_id,
-                            self._get_reply(channel, body, result,
-                                            parked.src_space),
+                        requester = (
+                            waiter.src_space if waiter.src_space is not None
+                            else self.space_id
                         )
+                        self._complete_waiter(
+                            channel, waiter,
+                            self._get_reply(channel, body, result, requester),
+                        )
+                        any_ok = True
                     else:
-                        still_parked.append(parked)
-                else:  # pragma: no cover - only puts/gets park
-                    still_parked.append(parked)
+                        still_parked.append(waiter)
             except BaseException as exc:  # noqa: BLE001 - forwarded
-                self._parked_index.pop(parked.call_id, None)
-                self._reply_error(parked.src_space, parked.call_id, exc)
-        channel.parked[:] = still_parked
+                self._fail_waiter(channel, waiter, exc)
+        waiters[:] = still_parked
+        return any_ok
+
+    def _complete_waiter(self, channel: LocalChannel, waiter: _Waiter,
+                         value: Any) -> None:
+        """Deliver a result to a parked operation and wake it (lock held)."""
+        channel.waiters_woken += 1
+        if waiter.event is not None:  # local blocker
+            waiter.result = value
+            waiter.event.set()
+        else:
+            self._parked_index.pop(waiter.call_id, None)
+            self._reply_value(waiter.src_space, waiter.call_id, value)
+
+    def _fail_waiter(self, channel: LocalChannel, waiter: _Waiter,
+                     error: BaseException) -> None:
+        """Deliver an error to a parked operation and wake it (lock held)."""
+        channel.waiters_woken += 1
+        if waiter.event is not None:  # local blocker
+            waiter.error = error
+            waiter.event.set()
+        else:
+            self._parked_index.pop(waiter.call_id, None)
+            self._reply_error(waiter.src_space, waiter.call_id, error)
 
     def _maybe_push(self, channel: LocalChannel, timestamp: int) -> None:
         """Eagerly forward a fresh item to consumer spaces (§9; lock held).
@@ -496,8 +659,13 @@ class AddressSpace:
             return
         if record.pushed_to is None:
             record.pushed_to = set()
-        msg = encode_message(CachePushMsg(
-            channel.kernel.channel_id, timestamp, record.payload, record.size,
+        payload = record.payload
+        if channel.handle.copy_policy is CopyPolicy.SERIALIZE and isinstance(
+            payload, (bytes, bytearray, memoryview)
+        ):
+            payload = Frame(payload)
+        msg = encode_message_sg(CachePushMsg(
+            channel.kernel.channel_id, timestamp, payload, record.size,
         ))
         for space in targets:
             self.endpoint.send(space, msg)
@@ -518,53 +686,71 @@ class AddressSpace:
             and requester in record.pushed_to
         ):
             return (None, result.timestamp, result.size, True)
-        return (result.payload, result.timestamp, result.size, False)
+        payload = result.payload
+        if (
+            requester != self.space_id
+            and channel.handle.copy_policy is CopyPolicy.SERIALIZE
+            and isinstance(payload, (bytes, bytearray, memoryview))
+        ):
+            payload = Frame(payload)
+        return (payload, result.timestamp, result.size, False)
 
     # -- local blocking fast paths ------------------------------------------
     def _local_put(self, body: PutReq, timeout: float | None) -> None:
         channel = self._channel(body.channel_id)
-        deadline = (time.monotonic() + timeout) if timeout is not None else None
-        with channel.cond:
-            while True:
-                result = channel.kernel.put(
-                    body.conn_id, body.timestamp, body.payload, body.size, body.refcount
+        with channel.lock:
+            result = channel.kernel.put(
+                body.conn_id, body.timestamp, body.payload, body.size, body.refcount
+            )
+            if result.status is Status.OK:
+                self._maybe_push(channel, body.timestamp)
+                self._drain_locked(channel, puts=False, gets=True)
+                return None
+            if not body.block:
+                raise ChannelFullError(
+                    f"channel {body.channel_id} is full "
+                    f"(capacity {channel.kernel.capacity})"
                 )
-                if result.status is Status.OK:
-                    self._maybe_push(channel, body.timestamp)
-                    self._drain_locked(channel)
-                    channel.cond.notify_all()
-                    return
-                if not body.block:
-                    raise ChannelFullError(
-                        f"channel {body.channel_id} is full "
-                        f"(capacity {channel.kernel.capacity})"
-                    )
-                self._cond_wait(channel, deadline, "put")
+            waiter = _Waiter(body, event=threading.Event())
+            self._park(channel, waiter, result.reason)
+        return self._await_local(channel, waiter, timeout, "put")
 
     def _local_get(self, body: GetReq, timeout: float | None):
         channel = self._channel(body.channel_id)
-        deadline = (time.monotonic() + timeout) if timeout is not None else None
-        with channel.cond:
-            while True:
-                result = channel.kernel.get(body.conn_id, body.request)
-                if result.status is Status.OK:
-                    channel.cond.notify_all()
-                    return (result.payload, result.timestamp, result.size, False)
-                if not body.block:
-                    raise ChannelEmptyError(
-                        f"no item matching {body.request!r} in channel "
-                        f"{body.channel_id}; neighbours {result.timestamp_range}"
-                    )
-                self._cond_wait(channel, deadline, "get")
+        with channel.lock:
+            result = channel.kernel.get(body.conn_id, body.request)
+            if result.status is Status.OK:
+                return (result.payload, result.timestamp, result.size, False)
+            if not body.block:
+                raise ChannelEmptyError(
+                    f"no item matching {body.request!r} in channel "
+                    f"{body.channel_id}; neighbours {result.timestamp_range}"
+                )
+            waiter = _Waiter(body, event=threading.Event())
+            self._park(channel, waiter, result.reason)
+        return self._await_local(channel, waiter, timeout, "get")
 
     @staticmethod
-    def _cond_wait(channel: LocalChannel, deadline: float | None, op: str) -> None:
-        if deadline is None:
-            channel.cond.wait()
-            return
-        remaining = deadline - time.monotonic()
-        if remaining <= 0 or not channel.cond.wait(remaining):
-            raise TimeoutError(f"blocking {op} timed out")
+    def _await_local(channel: LocalChannel, waiter: _Waiter,
+                     timeout: float | None, op: str) -> Any:
+        """Sleep until a drain completes this thread's parked operation.
+
+        The draining thread removes the waiter from its wait set, fills the
+        result/error slot and sets the event — all under the channel lock —
+        so once the event fires the outcome is final.  On timeout, the
+        waiter is withdrawn under the lock; finding it already gone means a
+        completion won the race and must be honoured.
+        """
+        if not waiter.event.wait(timeout):
+            with channel.lock:
+                for waiters in (channel.put_waiters, channel.get_waiters):
+                    for i, parked in enumerate(waiters):
+                        if parked is waiter:
+                            del waiters[i]
+                            raise TimeoutError(f"blocking {op} timed out")
+        if waiter.error is not None:
+            raise waiter.error
+        return waiter.result
 
     # -- name registry (registry space only) -----------------------------
     def _h_register_name(self, body: RegisterNameReq, src: int, cid) -> None:
@@ -864,6 +1050,13 @@ class AddressSpace:
         block: bool = True,
         timeout: float | None = None,
     ) -> None:
+        if (
+            handle.home_space != self.space_id
+            and handle.copy_policy is CopyPolicy.SERIALIZE
+            and isinstance(payload, (bytes, bytearray, memoryview))
+        ):
+            # Ship encoded payloads out-of-band: one memcpy each way.
+            payload = Frame(payload)
         self.call(
             handle.home_space,
             PutReq(handle.channel_id, conn_id, timestamp, payload, size,
@@ -897,6 +1090,8 @@ class AddressSpace:
                 GetReq(handle.channel_id, conn_id, ts, block, False),
                 timeout=timeout,
             )
+        if isinstance(payload, Frame):
+            payload = payload.data
         return (payload, ts, size)
 
     def consume(
@@ -926,7 +1121,7 @@ class AddressSpace:
         visibilities = [t.visibility() for t in self.threads()]
         channel_mins: dict[int, VirtualTime] = {}
         for channel in self.local_channels():
-            with channel.cond:
+            with channel.lock:
                 channel_mins[channel.kernel.channel_id] = channel.kernel.unconsumed_min()
         return LocalGCSummary(
             space_id=self.space_id,
@@ -951,13 +1146,15 @@ class AddressSpace:
                 }
         collected = 0
         for channel in self.local_channels():
-            with channel.cond:
+            with channel.lock:
                 dead = channel.kernel.collect_below(horizon)
                 if dead:
                     collected += len(dead)
-                    # space freed: bounded-channel puts may proceed
-                    self._drain_locked(channel)
-                    channel.cond.notify_all()
+                    # Space freed: bounded-channel puts may proceed.  Gets
+                    # are retried too so one parked on a just-collected
+                    # timestamp fails fast with ItemGarbageCollectedError
+                    # instead of blocking forever.
+                    self._drain_locked(channel, puts=True, gets=True)
         if horizon is not INFINITY:
             self._gc_horizon_applied = max(self._gc_horizon_applied, int(horizon))
         return collected

@@ -105,11 +105,13 @@ class GcDaemon:
             self._epoch += 1
             epoch = self._epoch
             coordinator = self.cluster.space(self.cluster.registry_space)
-            summaries = []
-            for space_id in range(self.cluster.n_spaces):
-                summaries.append(
-                    coordinator.call(space_id, GcSummaryReq(epoch), timeout=10.0)
-                )
+            # Scatter the summary requests to every space, then gather: the
+            # epoch costs one max-of-RTTs instead of a sum of serial RTTs.
+            pending = [
+                coordinator.call_async(space_id, GcSummaryReq(epoch))
+                for space_id in range(self.cluster.n_spaces)
+            ]
+            summaries = coordinator.gather(pending, timeout=10.0)
             horizon = merge_summaries(summaries)
             collected = self._broadcast(coordinator, epoch, horizon)
             self.stats.epochs += 1
@@ -119,17 +121,17 @@ class GcDaemon:
             return horizon
 
     def _broadcast(self, coordinator, epoch: int, horizon: VirtualTime) -> int:
-        """Apply the horizon on every space (synchronous RPC per space).
+        """Apply the horizon on every space (scatter/gather over CLF).
 
-        Synchrony makes ``run_once`` deterministic for callers: when it
-        returns, every space has already collected.  Returns the total
-        number of items collected across the cluster this round.
+        Gathering before returning keeps ``run_once`` deterministic for
+        callers: when it returns, every space has already collected.
+        Returns the total number of items collected across the cluster this
+        round.
         """
         if horizon is not INFINITY and horizon <= 0:
             return 0  # nothing below the horizon can exist
-        collected = 0
-        for space_id in range(self.cluster.n_spaces):
-            collected += coordinator.call(
-                space_id, GcApplyReq(epoch, horizon), timeout=10.0
-            )
-        return collected
+        pending = [
+            coordinator.call_async(space_id, GcApplyReq(epoch, horizon))
+            for space_id in range(self.cluster.n_spaces)
+        ]
+        return sum(coordinator.gather(pending, timeout=10.0))

@@ -99,7 +99,7 @@ class ChannelProbe:
     def snapshot(self) -> ChannelSnapshot:
         """Consistent snapshot of the channel (taken under its lock)."""
         local = self._local
-        with local.cond:
+        with local.lock:
             kernel: ChannelKernel = local.kernel
             timestamps = kernel.timestamps()
             states = {

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import TransportClosedError, TransportError
 from repro.transport.media import CLF_MTU, MEMORY_CHANNEL, Medium, SHARED_MEMORY
-from repro.transport.packets import Reassembler, fragment
+from repro.transport.packets import Reassembler, fragment, fragment_sg
 
 __all__ = ["ClusterTopology", "ClfStats", "ClfEndpoint", "ClfNetwork"]
 
@@ -116,23 +116,37 @@ class ClfEndpoint:
         self.stats = ClfStats()
 
     # -- sending ------------------------------------------------------------
-    def send(self, dst: int, data: bytes) -> None:
-        """Reliably deliver ``data`` to space ``dst`` (ordered per peer)."""
+    def send(self, dst: int, data) -> None:
+        """Reliably deliver ``data`` to space ``dst`` (ordered per peer).
+
+        ``data`` is either one contiguous bytes-like message or a
+        scatter/gather list of segments (the zero-copy framing path, see
+        :func:`~repro.transport.serialization.encode_message_sg`); a
+        segment list is gathered directly into MTU packets without an
+        intermediate join.
+        """
         if self._closed:
             raise TransportClosedError(f"endpoint {self.space} is closed")
         target = self._network._endpoint(dst)
         msgid = next(self._msgid)
+        if isinstance(data, (bytes, bytearray)):
+            nbytes = len(data)
+            packets = fragment(msgid, data, self._network.mtu)
+        else:
+            segments = [data] if isinstance(data, memoryview) else data
+            nbytes = sum(memoryview(seg).nbytes for seg in segments)
+            packets = fragment_sg(msgid, segments, self._network.mtu)
         npackets = 0
         with self._network._order_locks[(self.space, dst)]:
             # The per-(src,dst) lock keeps packets of concurrent sends from
             # interleaving: CLF's ordering guarantee is per point-to-point
             # stream, not per thread.
-            for packet in fragment(msgid, data, self._network.mtu):
+            for packet in packets:
                 target._inbox.put((self.space, packet))
                 npackets += 1
         self.stats.messages_sent += 1
         self.stats.packets_sent += npackets
-        self.stats.bytes_sent += len(data)
+        self.stats.bytes_sent += nbytes
         self.stats.per_peer_sent[dst] = self.stats.per_peer_sent.get(dst, 0) + 1
 
     # -- receiving ------------------------------------------------------------

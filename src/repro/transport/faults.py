@@ -71,11 +71,16 @@ class FaultyNetwork:
 
         original_send = ClfEndpoint.send
 
-        def faulty_send(endpoint, dst: int, data: bytes) -> None:
+        def faulty_send(endpoint, dst: int, data) -> None:
             key = (endpoint.space, dst)
             plan = outer._plans.get(key)
             if plan is None or endpoint._network is not outer.network:
                 return original_send(endpoint, dst, data)
+            if not isinstance(data, (bytes, bytearray)):
+                # scatter/gather send: join the segments so the per-packet
+                # fault machinery below sees one contiguous message
+                segments = [data] if isinstance(data, memoryview) else data
+                data = b"".join(bytes(memoryview(seg)) for seg in segments)
             # Re-implement the send loop with per-packet faults.
             from repro.transport.packets import fragment
 

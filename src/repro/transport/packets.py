@@ -28,7 +28,7 @@ from typing import Iterator
 from repro.errors import PacketTooLargeError, TransportError
 from repro.transport.media import CLF_MTU
 
-__all__ = ["HEADER_BYTES", "max_payload", "fragment", "Reassembler"]
+__all__ = ["HEADER_BYTES", "max_payload", "fragment", "fragment_sg", "Reassembler"]
 
 _HEADER = struct.Struct("<QQQII")
 #: bytes of header per packet.
@@ -56,8 +56,46 @@ def fragment(msgid: int, data: bytes, mtu: int = CLF_MTU) -> Iterator[bytes]:
         yield header + payload
 
 
-def parse(packet: bytes, mtu: int = CLF_MTU) -> tuple[int, int, int, bytes]:
-    """Parse one wire packet -> (msgid, index, count, payload)."""
+def fragment_sg(msgid: int, segments, mtu: int = CLF_MTU) -> Iterator[bytearray]:
+    """Packetize a scatter/gather list of bytes-like segments.
+
+    The message on the wire is the concatenation of ``segments``, but the
+    segments are gathered *directly into the packets*: each message byte is
+    copied exactly once (segment -> packet), with no intermediate joined
+    buffer — this is what makes out-of-band payload framing one-memcpy on
+    the send side.  Packets come out as bytearrays; receivers treat them as
+    read-only.
+    """
+    chunk = max_payload(mtu)
+    views = [memoryview(seg).cast("B") for seg in segments]
+    total = sum(v.nbytes for v in views)
+    count = max(1, -(-total // chunk))  # ceil division
+    seg_i = 0
+    offset = 0
+    for index in range(count):
+        paylen = min(chunk, total - index * chunk)
+        packet = bytearray(HEADER_BYTES + paylen)
+        pos = HEADER_BYTES
+        while pos < HEADER_BYTES + paylen:
+            view = views[seg_i]
+            take = min(HEADER_BYTES + paylen - pos, view.nbytes - offset)
+            packet[pos:pos + take] = view[offset:offset + take]
+            pos += take
+            offset += take
+            if offset == view.nbytes:
+                seg_i += 1
+                offset = 0
+        crc = zlib.crc32(memoryview(packet)[HEADER_BYTES:])
+        _HEADER.pack_into(packet, 0, msgid, index, count, paylen, crc)
+        yield packet
+
+
+def parse(packet, mtu: int = CLF_MTU) -> tuple[int, int, int, memoryview]:
+    """Parse one wire packet -> (msgid, index, count, payload).
+
+    The payload comes back as a memoryview into ``packet`` (zero-copy); the
+    reassembler's join is the only receive-side copy.
+    """
     if len(packet) > mtu:
         raise PacketTooLargeError(
             f"packet of {len(packet)} bytes exceeds MTU {mtu}"
@@ -65,11 +103,11 @@ def parse(packet: bytes, mtu: int = CLF_MTU) -> tuple[int, int, int, bytes]:
     if len(packet) < HEADER_BYTES:
         raise TransportError(f"runt packet of {len(packet)} bytes")
     msgid, index, count, paylen, crc = _HEADER.unpack_from(packet)
-    payload = packet[HEADER_BYTES : HEADER_BYTES + paylen]
-    if len(payload) != paylen:
+    payload = memoryview(packet)[HEADER_BYTES : HEADER_BYTES + paylen]
+    if payload.nbytes != paylen:
         raise TransportError(
             f"truncated packet: header claims {paylen} payload bytes, "
-            f"got {len(payload)}"
+            f"got {payload.nbytes}"
         )
     if zlib.crc32(payload) != crc:
         raise TransportError(f"payload CRC mismatch in message {msgid} packet {index}")
@@ -90,9 +128,9 @@ class Reassembler:
         self._msgid: int | None = None
         self._expect_index = 0
         self._count = 0
-        self._parts: list[bytes] = []
+        self._parts: list[memoryview] = []
 
-    def feed(self, packet: bytes) -> bytes | None:
+    def feed(self, packet) -> bytes | None:
         """Consume one packet; return the completed message or None."""
         msgid, index, count, payload = parse(packet, self.mtu)
         if self._msgid is None:

@@ -9,19 +9,111 @@ the message without a second encode.
 A small header byte-tags each message with its registered type so a
 receiving dispatcher can route without unpickling twice, and so corrupted or
 foreign traffic fails loudly.
+
+Zero-copy payload framing
+-------------------------
+Wrapping a bytes-like payload in :class:`Frame` before it enters a message
+makes :func:`encode_message_sg` emit it as a pickle protocol-5 *out-of-band
+buffer*: the pickle stream carries only a reference, and the payload itself
+travels as a separate scatter/gather segment handed to
+:meth:`~repro.transport.clf.ClfEndpoint.send`.  The sender then copies the
+payload exactly once (gathering segments into MTU packets) and the receiver
+exactly once (reassembling packets into the message), instead of the 2-3
+extra copies a re-pickle of megabyte payloads costs — the "one memcpy each
+way" framing §5's Memory Channel path intends.  :data:`frame_stats` counts
+those per-side copies for the benchmarks.
+
+Wire format: an unframed message is ``tag(2) | pickle`` exactly as before.
+A framed message is ``tag(2) | 0x01 | nbufs(2) | pkl_len(4) | pickle |
+(buf_len(8) | buf)*`` — distinguishable because a protocol-2+ pickle always
+begins with the 0x80 PROTO opcode, never 0x01.
 """
 
 from __future__ import annotations
 
 import pickle
+import struct
 from typing import Any, Type
 
 from repro.errors import TransportError
 
-__all__ = ["register_message", "encode_message", "decode_message", "message_types"]
+__all__ = [
+    "register_message",
+    "encode_message",
+    "encode_message_sg",
+    "decode_message",
+    "message_types",
+    "Frame",
+    "frame_stats",
+]
 
 _BY_TAG: dict[int, Type] = {}
 _BY_TYPE: dict[Type, int] = {}
+
+#: third byte of a framed message (a pickle stream would have 0x80 here).
+_FRAMED_MAGIC = 0x01
+_FRAMED_HEADER = struct.Struct("<HI")  # nbufs, pickle length
+_BUF_HEADER = struct.Struct("<Q")  # per-buffer length
+
+
+class Frame:
+    """Marks a bytes-like payload for out-of-band (zero-copy) framing.
+
+    The runtime wraps already-encoded SERIALIZE payloads in a Frame before
+    placing them in a ``PutReq``/reply/push message; the codec then ships
+    the bytes as a separate wire segment instead of re-pickling them.  After
+    decoding, ``data`` is a memoryview into the received message buffer —
+    still zero-copy — so consumers must treat it as read-only bytes-like.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data):
+        self.data = data
+
+    def __reduce_ex__(self, protocol):
+        if protocol >= 5:
+            return (Frame, (pickle.PickleBuffer(self.data),))
+        return (Frame, (bytes(self.data),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Frame {memoryview(self.data).nbytes} bytes>"
+
+
+class FrameStats:
+    """Counters for the framing layer (read by the PR-1 benchmarks).
+
+    ``payload_bytes_copied`` counts one copy per side per framed payload:
+    the send-side gather into MTU packets and the receive-side reassembly
+    join each touch the payload exactly once, and nothing else does.
+    """
+
+    __slots__ = (
+        "frames_encoded",
+        "frames_decoded",
+        "payload_bytes_copied",
+        "payload_bytes_framed",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.frames_encoded = 0
+        self.frames_decoded = 0
+        self.payload_bytes_copied = 0
+        self.payload_bytes_framed = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "frames_encoded": self.frames_encoded,
+            "frames_decoded": self.frames_decoded,
+            "payload_bytes_copied": self.payload_bytes_copied,
+            "payload_bytes_framed": self.payload_bytes_framed,
+        }
+
+
+frame_stats = FrameStats()
 
 
 def register_message(tag: int):
@@ -46,29 +138,106 @@ def message_types() -> dict[int, Type]:
     return dict(_BY_TAG)
 
 
-def encode_message(msg: Any) -> bytes:
-    """Serialize a registered message to wire bytes."""
+def _tag_of(msg: Any) -> int:
     tag = _BY_TYPE.get(type(msg))
     if tag is None:
         raise TransportError(
             f"cannot encode unregistered message type {type(msg).__name__}"
         )
-    return tag.to_bytes(2, "little") + pickle.dumps(
-        msg, protocol=pickle.HIGHEST_PROTOCOL
+    return tag
+
+
+def encode_message_sg(msg: Any) -> list:
+    """Serialize a registered message to a list of wire segments.
+
+    Returns ``[header+pickle]`` for ordinary messages; when the message
+    contains :class:`Frame`-wrapped payloads, their bytes follow as extra
+    segments (each preceded by a small length segment), un-copied.  Feed
+    the list to :meth:`~repro.transport.clf.ClfEndpoint.send`, which
+    gathers segments directly into packets.
+    """
+    tag = _tag_of(msg)
+    buffers: list[pickle.PickleBuffer] = []
+    pkl = pickle.dumps(msg, protocol=5, buffer_callback=buffers.append)
+    if not buffers:
+        return [tag.to_bytes(2, "little") + pkl]
+    head = (
+        tag.to_bytes(2, "little")
+        + bytes((_FRAMED_MAGIC,))
+        + _FRAMED_HEADER.pack(len(buffers), len(pkl))
+        + pkl
     )
+    segments: list = [head]
+    for buf in buffers:
+        raw = buf.raw()
+        segments.append(_BUF_HEADER.pack(raw.nbytes))
+        segments.append(raw)
+        frame_stats.frames_encoded += 1
+        frame_stats.payload_bytes_framed += raw.nbytes
+        # the send side will copy this buffer exactly once: segment -> packet
+        frame_stats.payload_bytes_copied += raw.nbytes
+    return segments
 
 
-def decode_message(data: bytes) -> Any:
-    """Deserialize wire bytes produced by :func:`encode_message`."""
-    if len(data) < 2:
-        raise TransportError(f"message too short: {len(data)} bytes")
-    tag = int.from_bytes(data[:2], "little")
+def encode_message(msg: Any) -> bytes:
+    """Serialize a registered message to contiguous wire bytes.
+
+    The joined form of :func:`encode_message_sg` — used where a single
+    buffer is required (fault injection, tests); the runtime's hot paths
+    send the segment list instead.
+    """
+    segments = encode_message_sg(msg)
+    if len(segments) == 1:
+        return segments[0]
+    return b"".join(bytes(memoryview(seg)) for seg in segments)
+
+
+def decode_message(data) -> Any:
+    """Deserialize wire bytes produced by either encoder.
+
+    Accepts any bytes-like object; framed payloads come back as
+    :class:`Frame` objects whose ``data`` is a memoryview into ``data``
+    (no copy).
+    """
+    view = memoryview(data)
+    if view.nbytes < 2:
+        raise TransportError(f"message too short: {view.nbytes} bytes")
+    tag = int.from_bytes(view[:2], "little")
     cls = _BY_TAG.get(tag)
     if cls is None:
         raise TransportError(f"unknown message tag {tag}")
-    msg = pickle.loads(data[2:])
+    if view.nbytes > 2 and view[2] == _FRAMED_MAGIC:
+        msg = _decode_framed(view)
+    else:
+        msg = pickle.loads(view[2:])
     if not isinstance(msg, cls):
         raise TransportError(
             f"message tag {tag} ({cls.__name__}) wraps a {type(msg).__name__}"
         )
     return msg
+
+
+def _decode_framed(view: memoryview) -> Any:
+    try:
+        nbufs, pkl_len = _FRAMED_HEADER.unpack_from(view, 3)
+        offset = 3 + _FRAMED_HEADER.size
+        pkl = view[offset:offset + pkl_len]
+        if pkl.nbytes != pkl_len:
+            raise TransportError("framed message truncated in pickle section")
+        offset += pkl_len
+        buffers: list[memoryview] = []
+        for _ in range(nbufs):
+            (buf_len,) = _BUF_HEADER.unpack_from(view, offset)
+            offset += _BUF_HEADER.size
+            buf = view[offset:offset + buf_len]
+            if buf.nbytes != buf_len:
+                raise TransportError("framed message truncated in buffer section")
+            offset += buf_len
+            buffers.append(buf)
+            frame_stats.frames_decoded += 1
+            # the receive side copied this buffer exactly once: packets ->
+            # reassembled message (the buffer is a view into that message)
+            frame_stats.payload_bytes_copied += buf_len
+    except struct.error as exc:
+        raise TransportError(f"corrupt framed message header: {exc}") from exc
+    return pickle.loads(pkl, buffers=buffers)

@@ -91,6 +91,35 @@ class TestEstimateSize:
         _, size = encode(payload, CopyPolicy.SERIALIZE)
         assert size >= 500  # pickle adds a small header
 
+    def test_self_referential_list_terminates(self):
+        loop = [b"x" * 100]
+        loop.append(loop)
+        size = estimate_size(loop)
+        assert size >= 100  # contents still counted, no RecursionError
+
+    def test_self_referential_dict_terminates(self):
+        loop = {"payload": b"y" * 50}
+        loop["self"] = loop
+        assert estimate_size(loop) >= 50
+
+    def test_mutual_cycle_terminates(self):
+        a, b = [b"a" * 10], [b"b" * 10]
+        a.append(b)
+        b.append(a)
+        assert estimate_size(a) >= 20
+
+    def test_shared_subobject_counted_per_reference(self):
+        # A DAG is not a cycle: the same buffer reachable twice counts twice,
+        # matching what two REFERENCE gets of it would cost.
+        shared = [b"s" * 100]
+        assert estimate_size([shared, shared]) >= 200
+
+    def test_reference_policy_cyclic_payload(self):
+        loop = []
+        loop.append(loop)
+        stored, size = encode(loop, CopyPolicy.REFERENCE)
+        assert stored is loop and size > 0
+
 
 def test_unknown_policy_rejected():
     with pytest.raises(TypeError):

@@ -1,0 +1,287 @@
+"""Stress tests for the targeted-wakeup waiting machinery.
+
+The runtime completes blocked operations *from the thread that changed
+channel state* and wakes exactly the threads whose operations finished
+(separate put-waiter and get-waiter sets per channel, keyed by block
+reason) instead of ``notify_all`` on a per-channel condition.  These tests
+hammer the scheme where it is easiest to lose a wakeup: wildcard gets
+(LATEST_UNSEEN / OLDEST_UNSEEN) racing puts, consumes, GC epochs, and
+attach/detach churn on a bounded remote channel.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import INFINITY, STM_LATEST_UNSEEN, STM_OLDEST_UNSEEN
+from repro.errors import ChannelEmptyError, StampedeError
+from repro.runtime import Cluster
+from repro.stm import STM
+
+N_ITEMS = 120  # per producer
+
+
+@pytest.fixture
+def cluster():
+    with Cluster(n_spaces=2, gc_period=None) as c:
+        yield c
+
+
+@pytest.fixture
+def me(cluster):
+    t = cluster.space(0).adopt_current_thread(virtual_time=0)
+    yield t
+    if t.alive:
+        t.exit()
+
+
+class TestWildcardStress:
+    """Producers, wildcard consumers, GC epochs, and churn on one channel.
+
+    The channel is homed on the *other* space, so every operation is an RPC
+    and every blocked operation is a remotely parked waiter.  Wildcard
+    consumers park on NO_MATCHING_ITEM between puts while GC collects the
+    consumed prefix behind them.  A lost wakeup deadlocks the test (the
+    driver loop times out); a mis-delivered one surfaces in ``errors``.
+    """
+
+    def test_wildcards_gc_and_detach(self, cluster, me):
+        stm = STM(cluster.space(0))
+        chan = stm.create_channel("stress", home=1)
+        total = 2 * N_ITEMS
+        errors: list[BaseException] = []
+        oldest_seen: dict[int, list[int]] = {0: [], 1: []}
+        done = threading.Event()
+
+        def producer(lo: int, hi: int) -> None:
+            try:
+                from repro.runtime.threads import require_current_thread
+
+                thread = require_current_thread()
+                out = stm.lookup("stress").attach_output()
+                for ts in range(lo, hi):
+                    thread.set_virtual_time(ts)
+                    out.put(ts, ts.to_bytes(4, "little"))
+                out.detach()
+                thread.set_virtual_time(INFINITY)
+            except BaseException as exc:  # noqa: BLE001 - surfaced in main
+                errors.append(exc)
+
+        def oldest_consumer(idx: int) -> None:
+            try:
+                from repro.runtime.threads import require_current_thread
+
+                thread = require_current_thread()
+                inp = stm.lookup("stress").attach_input()
+                seen = oldest_seen[idx]
+                high = 0
+                while len(seen) < total:
+                    item = inp.get(STM_OLDEST_UNSEEN)
+                    inp.consume(item.timestamp)
+                    seen.append(item.timestamp)
+                    if item.timestamp > high:
+                        high = item.timestamp
+                        thread.set_virtual_time(high)
+                inp.detach()
+                thread.set_virtual_time(INFINITY)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def latest_consumer() -> None:
+            try:
+                from repro.runtime.threads import require_current_thread
+
+                thread = require_current_thread()
+                inp = stm.lookup("stress").attach_input()
+                while True:
+                    item = inp.get(STM_LATEST_UNSEEN)
+                    inp.consume_until(item.timestamp)
+                    thread.set_virtual_time(item.timestamp)
+                    if item.timestamp == total - 1:
+                        break
+                inp.detach()
+                thread.set_virtual_time(INFINITY)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def churn() -> None:
+            # Attach/detach under load: each detach runs the drain path that
+            # retries parked operations; each INFINITY-visibility attach
+            # implicitly consumes everything present.
+            try:
+                from repro.runtime.threads import require_current_thread
+
+                require_current_thread().set_virtual_time(INFINITY)
+                while not done.is_set():
+                    inp = stm.lookup("stress").attach_input()
+                    try:
+                        inp.get(STM_LATEST_UNSEEN, block=False)
+                    except ChannelEmptyError:
+                        pass
+                    inp.detach()
+                    time.sleep(0.002)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        space = cluster.space(0)
+        threads = [
+            space.spawn(producer, (0, N_ITEMS), virtual_time=0),
+            space.spawn(producer, (N_ITEMS, total), virtual_time=N_ITEMS),
+            space.spawn(oldest_consumer, (0,), virtual_time=0),
+            space.spawn(oldest_consumer, (1,), virtual_time=0),
+            space.spawn(latest_consumer, virtual_time=0),
+        ]
+        churn_thread = space.spawn(churn, virtual_time=0)
+        # Unpin the GC horizon from this (adopted) thread, then drive GC
+        # epochs concurrently so items are collected out from under the
+        # racing wildcard gets (never past an unconsumed claim).
+        me.set_virtual_time(INFINITY)
+        deadline = time.monotonic() + 60.0
+        while any(t.alive for t in threads):
+            cluster.gc_once()
+            assert not errors, errors
+            assert time.monotonic() < deadline, (
+                "stress run wedged: lost wakeup or stalled GC"
+            )
+            time.sleep(0.002)
+        done.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        churn_thread.join(timeout=10.0)
+        assert not errors, errors
+
+        # No lost items and no double delivery on the exact-delivery path.
+        for idx in (0, 1):
+            assert sorted(oldest_seen[idx]) == list(range(total))
+        # Everything was consumed and every pin is gone: a final epoch
+        # collects the channel down to empty.
+        cluster.gc_once()
+        kernel = cluster.space(1)._channel(chan.channel_id).kernel
+        assert kernel.timestamps() == []
+
+    def test_bounded_channel_storm(self, cluster, me):
+        """Two producers hammer a capacity-2 remote channel (put parking).
+
+        ``refcount=1`` makes every consume reclaim its slot eagerly, so each
+        consume must unpark exactly the putter waiting on CHANNEL_FULL — a
+        lost put wakeup wedges the run immediately at this capacity.
+        """
+        stm = STM(cluster.space(0))
+        stm.create_channel("storm", capacity=2, home=1)
+        total = 2 * N_ITEMS
+        errors: list[BaseException] = []
+        seen: list[int] = []
+
+        def producer(start: int) -> None:
+            try:
+                from repro.runtime.threads import require_current_thread
+
+                thread = require_current_thread()
+                out = stm.lookup("storm").attach_output()
+                for ts in range(start, total, 2):
+                    thread.set_virtual_time(ts)
+                    out.put(ts, b"", refcount=1)
+                out.detach()
+                thread.set_virtual_time(INFINITY)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def consumer() -> None:
+            try:
+                inp = stm.lookup("storm").attach_input()
+                while len(seen) < total:
+                    item = inp.get(STM_OLDEST_UNSEEN)
+                    inp.consume(item.timestamp)
+                    seen.append(item.timestamp)
+                inp.detach()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        space = cluster.space(0)
+        threads = [
+            space.spawn(producer, (0,), virtual_time=0),
+            space.spawn(producer, (1,), virtual_time=0),
+            space.spawn(consumer, virtual_time=0),
+        ]
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors, errors
+        assert sorted(seen) == list(range(total))
+
+
+class TestWakeupPrecision:
+    def test_one_wakeup_per_satisfying_put(self, cluster, me):
+        """Each put wakes exactly the getter it satisfies, not the herd."""
+        stm = STM(cluster.space(0))
+        stm.create_channel("precise")
+        local = cluster.space(0)._channel(stm.lookup("precise").channel_id)
+        n = 6
+        started = threading.Barrier(n + 1)
+        results: list[int] = []
+
+        def getter(ts: int) -> None:
+            inp = stm.lookup("precise").attach_input()
+            started.wait()
+            item = inp.get(ts)
+            results.append(item.timestamp)
+            inp.consume(ts)
+            inp.detach()
+
+        threads = [
+            cluster.space(0).spawn(getter, (ts,), virtual_time=0)
+            for ts in range(n)
+        ]
+        started.wait()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            with local.lock:
+                if len(local.get_waiters) == n:
+                    break
+            time.sleep(0.005)
+        out = stm.lookup("precise").attach_output()
+        before = local.waiters_woken
+        for ts in range(n):
+            out.put(ts, b"x", refcount=1)
+            time.sleep(0.02)  # let the woken getter finish before the next put
+        for t in threads:
+            t.join(timeout=10.0)
+        assert sorted(results) == list(range(n))
+        assert local.waiters_woken - before == n
+        out.detach()
+
+    def test_consume_wakes_blocked_putter(self, cluster, me):
+        """Freeing a slot (eager reclamation at consume) unparks a putter."""
+        stm = STM(cluster.space(0))
+        stm.create_channel("tight", capacity=1, home=1)
+        out = stm.lookup("tight").attach_output()
+        inp = stm.lookup("tight").attach_input()
+        out.put(0, b"a", refcount=1)
+        unblocked = threading.Event()
+
+        def putter() -> None:
+            out.put(1, b"b", refcount=1)
+            unblocked.set()
+
+        t = cluster.space(0).spawn(putter, virtual_time=0)
+        time.sleep(0.05)
+        assert not unblocked.is_set()  # parked on CHANNEL_FULL
+        inp.get_consume(0)  # refcount satisfied: slot reclaimed eagerly
+        t.join(timeout=10.0)
+        assert unblocked.is_set()
+        inp.get_consume(1)
+        inp.detach()
+        out.detach()
+
+    def test_detach_of_blocked_getter_thread_is_clean(self, cluster, me):
+        """A waiter that times out removes itself; later puts still work."""
+        stm = STM(cluster.space(0))
+        stm.create_channel("timeouts", home=1)
+        inp = stm.lookup("timeouts").attach_input()
+        with pytest.raises((TimeoutError, StampedeError)):
+            inp.get(7, timeout=0.1)
+        out = stm.lookup("timeouts").attach_output()
+        out.put(7, b"late", refcount=1)
+        assert inp.get_consume(7).value == b"late"
+        inp.detach()
+        out.detach()
