@@ -42,10 +42,12 @@ def slow_consumer(cluster):
     processed = 0
     while True:
         item = inp.get(STM_LATEST_UNSEEN)
-        inp.consume_until(item.timestamp)  # releases the skipped items too
         if item.value is None:
+            inp.consume_until(item.timestamp)
             break
         processed += 1
+        # done with the item: consuming-through releases the skipped ones too.
+        inp.consume_until(item.timestamp)
         time.sleep(1 / 100)  # 3x slower than the producer
     inp.detach()
     return processed

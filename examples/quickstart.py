@@ -38,13 +38,15 @@ def consumer(cluster):
     last = -1
     while True:
         item = inp.get(STM_LATEST_UNSEEN)  # newest item not seen yet
-        inp.consume_until(item.timestamp)  # release everything older, too
         if item.value is None:
+            inp.consume_until(item.timestamp)
             break
         skipped = item.timestamp - last - 1
         note = f" (skipped {skipped} stale items)" if skipped else ""
         print(f"consumer: got t={item.timestamp} -> {item.value}{note}")
         last = item.timestamp
+        # done with the item: release it (and everything older) for GC.
+        inp.consume_until(item.timestamp)
     inp.detach()
 
 

@@ -1,0 +1,23 @@
+"""Correctness tooling for the STM runtime and the paper's API discipline.
+
+Three coordinated passes, one ``Finding`` model, one CLI::
+
+    python -m repro.analysis                 # static passes on src/ + examples/
+    python -m repro.analysis --list-rules    # the rule catalog
+    STMSAN=1 python -m pytest ...            # dynamic sanitizer (lock order,
+                                             # kernel mutations, use-after-reclaim)
+
+* :mod:`repro.analysis.lockcheck` — static lock-discipline pass (STM101-103).
+* :mod:`repro.analysis.protolint` — static STM protocol linter (STM201-205).
+* :mod:`repro.analysis.sanitizer` — runtime shim recording dynamic findings
+  (STM301-303) when ``STMSAN=1`` or :func:`sanitizer.enable` is called.
+
+All passes emit :class:`repro.analysis.findings.Finding` records with stable
+rule ids; :mod:`repro.analysis.baseline` lets CI be strict on new code while
+grandfathering documented findings.
+"""
+
+from repro.analysis.findings import Finding, Rule, RULES, Severity
+from repro.analysis.cli import main, run_static_passes
+
+__all__ = ["Finding", "Rule", "RULES", "Severity", "main", "run_static_passes"]

@@ -1,0 +1,15 @@
+"""``python -m repro.analysis`` entry point."""
+
+import os
+import sys
+
+from repro.analysis.cli import main
+
+try:
+    code = main()
+except BrokenPipeError:  # e.g. `... --list-rules | head`
+    # Point stdout at devnull so the interpreter's exit-time flush of the
+    # closed pipe doesn't print a second traceback.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+sys.exit(code)

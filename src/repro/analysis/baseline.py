@@ -1,0 +1,58 @@
+"""Baseline (suppression) files: grandfather known findings, stay strict on new ones.
+
+Format is one key per line, ``rule_id|path|line``, with ``#`` comments::
+
+    # gather under GcDaemon._lock serializes whole GC rounds by design
+    STM103|src/repro/runtime/gc_daemon.py|88
+
+A trailing ``|*`` wildcard line matches every line of that rule/file pair,
+for findings whose line numbers churn with unrelated edits::
+
+    STM205|benchmarks/legacy_harness.py|*
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "split_baselined"]
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Read baseline keys; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return set()
+    keys: set[str] = set()
+    for raw in p.read_text().splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            keys.add(line)
+    return keys
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write every finding's key, sorted, with a header comment."""
+    lines = [
+        "# repro.analysis baseline: rule_id|path|line (| * wildcards the line).",
+        "# Regenerate with: python -m repro.analysis --write-baseline",
+    ]
+    lines.extend(sorted({f.baseline_key() for f in findings}))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def split_baselined(
+    findings: list[Finding], baseline: set[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (new, baselined) against exact and wildcard keys."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f in findings:
+        wildcard = f"{f.rule_id}|{f.file}|*"
+        if f.baseline_key() in baseline or wildcard in baseline:
+            old.append(f)
+        else:
+            new.append(f)
+    return new, old

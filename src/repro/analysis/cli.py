@@ -1,0 +1,157 @@
+"""Command-line harness for the static analysis passes.
+
+Usage::
+
+    python -m repro.analysis                      # scan src/ + examples/
+    python -m repro.analysis src tests/analysis   # explicit paths
+    python -m repro.analysis --list-rules         # the rule catalog
+    python -m repro.analysis --only protolint     # one pass
+    python -m repro.analysis --baseline stm-baseline.txt
+    python -m repro.analysis --write-baseline     # grandfather current findings
+
+Exit status: 0 when every finding is baselined (or none exist), 1 when new
+findings remain, 2 on usage errors.  This is the scriptable twin of the
+``analysis`` CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.findings import Finding, RULES, sort_findings
+from repro.analysis.lockcheck import check_lock_discipline
+from repro.analysis.protolint import check_protocol
+from repro.analysis.source import SourceFile, filter_suppressed, load_sources
+
+__all__ = ["PASSES", "run_static_passes", "main"]
+
+#: pass id -> (description, callable(sources) -> findings); the registration
+#: idiom mirrors repro.bench.cli's EXPERIMENTS table.
+PASSES: dict[str, tuple[str, Callable[[list[SourceFile]], list[Finding]]]] = {
+    "lockcheck": (
+        "lock discipline: with-less acquire, lock-order cycles, "
+        "blocking calls under locks (STM101-103)",
+        check_lock_discipline,
+    ),
+    "protolint": (
+        "STM protocol: get/consume pairing, use-after-consume, "
+        "put-after-detach, timestamp monotonicity, attach/detach (STM201-205)",
+        check_protocol,
+    ),
+}
+
+_DEFAULT_PATHS = ["src", "examples"]
+_DEFAULT_BASELINE = "stm-baseline.txt"
+
+
+def run_static_passes(
+    paths: list[str] | None = None,
+    only: list[str] | None = None,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Run the selected passes; returns suppression-filtered findings."""
+    ids = only or list(PASSES)
+    unknown = [i for i in ids if i not in PASSES]
+    if unknown:
+        raise SystemExit(
+            f"unknown pass id(s) {unknown}; choose from {sorted(PASSES)}"
+        )
+    sources = load_sources(list(paths or _DEFAULT_PATHS), root=root)
+    findings: list[Finding] = []
+    for pass_id in ids:
+        _desc, fn = PASSES[pass_id]
+        findings.extend(fn(sources))
+    return sort_findings(filter_suppressed(findings, sources))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static lock-discipline and STM-protocol analysis.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files/directories to scan (default: {' '.join(_DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        metavar="ID",
+        help=f"pass ids to run (default: all of {sorted(PASSES)})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file of grandfathered findings "
+        f"(default: {_DEFAULT_BASELINE} if it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json emits one object per finding)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.rule_id}  {rule.severity.value:7s} {rule.title}")
+            print(f"        {rule.description}")
+        return 0
+
+    findings = run_static_passes(args.paths or None, args.only)
+
+    baseline_path = args.baseline or _DEFAULT_BASELINE
+    if args.write_baseline:
+        baseline_mod.write_baseline(baseline_path, findings)
+        print(f"[{len(findings)} finding(s) written to {baseline_path}]")
+        return 0
+
+    known = baseline_mod.load_baseline(baseline_path)
+    new, old = baseline_mod.split_baselined(findings, known)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "rule": f.rule_id,
+                        "severity": f.severity.value,
+                        "file": f.file,
+                        "line": f.line,
+                        "message": f.message,
+                        "baselined": f in old,
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for f in new:
+            print(f.render())
+        summary = f"{len(new)} new finding(s)"
+        if old:
+            summary += f", {len(old)} baselined"
+        print(summary, file=sys.stderr)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

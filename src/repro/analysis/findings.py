@@ -1,0 +1,165 @@
+"""The one ``Finding`` model every analysis pass reports through.
+
+A finding is a (rule id, severity, location, message) tuple with a stable
+string form used both for terminal output and for baseline matching::
+
+    STM201 warning src/foo.py:12 input connection 'inp' is gotten from but ...
+
+Rule ids are permanent: checkers may sharpen what a rule matches, but an id
+is never reused for a different class of defect.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; both levels fail the CLI unless baselined."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A catalog entry: stable id, default severity, one-line contract."""
+
+    rule_id: str
+    title: str
+    severity: Severity
+    description: str
+
+
+#: The rule catalog.  STM1xx = lock discipline (static), STM2xx = STM
+#: protocol (static), STM3xx = dynamic sanitizer findings.
+RULES: dict[str, Rule] = {
+    r.rule_id: r
+    for r in [
+        Rule(
+            "STM101",
+            "with-less lock acquisition",
+            Severity.ERROR,
+            "A runtime lock is acquired via .acquire() instead of a 'with' "
+            "block; an exception between acquire and release leaks the lock.",
+        ),
+        Rule(
+            "STM102",
+            "inconsistent static lock order",
+            Severity.ERROR,
+            "Nested 'with' lock acquisitions form a cycle across the scanned "
+            "modules (lock A taken under B somewhere, B under A elsewhere): "
+            "a potential deadlock.",
+        ),
+        Rule(
+            "STM103",
+            "blocking call under a channel lock",
+            Severity.WARNING,
+            "A blocking call (Event.wait, sleep, join, recv, RPC call/gather) "
+            "is made while a channel-style lock is held, stalling every "
+            "thread that touches the channel.",
+        ),
+        Rule(
+            "STM201",
+            "get without consume",
+            Severity.WARNING,
+            "An input connection is gotten from but never consumes anything "
+            "in the same function: unconsumed items pin the GC horizon "
+            "(space leak) until the connection detaches.",
+        ),
+        Rule(
+            "STM202",
+            "use of a gotten item after consume",
+            Severity.WARNING,
+            "An item obtained from get() is used after consume()/"
+            "consume_until() may have released it; under the REFERENCE copy "
+            "policy the buffer can be reclaimed out from under the reader.",
+        ),
+        Rule(
+            "STM203",
+            "put after detach",
+            Severity.ERROR,
+            "An output connection is put to after it was detached on the "
+            "same path; the put raises at runtime.",
+        ),
+        Rule(
+            "STM204",
+            "non-monotonic explicit timestamps",
+            Severity.WARNING,
+            "Literal timestamps on consecutive puts to the same output "
+            "connection decrease; earlier items may already be consumed or "
+            "garbage-collected, making the put a silent no-op or an error.",
+        ),
+        Rule(
+            "STM205",
+            "attach without detach",
+            Severity.WARNING,
+            "A connection from attach_input()/attach_output() never detaches "
+            "and never escapes the function; its per-connection state pins "
+            "the channel's GC minimum for the life of the thread.",
+        ),
+        Rule(
+            "STM301",
+            "dynamic lock-order cycle",
+            Severity.ERROR,
+            "At runtime, two lock classes were acquired in both orders by "
+            "different threads (A held while taking B, and B held while "
+            "taking A): a potential deadlock.",
+        ),
+        Rule(
+            "STM302",
+            "channel-state mutation without the owning lock",
+            Severity.ERROR,
+            "A ChannelKernel mutating method ran on a thread that does not "
+            "hold the channel's lock.",
+        ),
+        Rule(
+            "STM303",
+            "use after reclaim",
+            Severity.ERROR,
+            "A payload (or zero-copy memoryview) belonging to a consumed or "
+            "collected item was touched after the kernel reclaimed it.",
+        ),
+    ]
+}
+
+
+@dataclass
+class Finding:
+    """One defect at one location, reported by any pass."""
+
+    rule_id: str
+    file: str
+    line: int
+    message: str
+    severity: Severity | None = None
+    #: extra context (e.g. the acquiring stack for dynamic findings).
+    detail: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.severity is None:
+            rule = RULES.get(self.rule_id)
+            self.severity = rule.severity if rule else Severity.ERROR
+
+    @property
+    def location(self) -> str:
+        return f"{self.file}:{self.line}"
+
+    def baseline_key(self) -> str:
+        """Stable identity used by the baseline file."""
+        return f"{self.rule_id}|{self.file}|{self.line}"
+
+    def render(self) -> str:
+        text = f"{self.rule_id} {self.severity} {self.location} {self.message}"
+        if self.detail:
+            text += "\n" + "\n".join(f"    {ln}" for ln in self.detail.splitlines())
+        return text
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Deterministic report order: file, line, rule id."""
+    return sorted(findings, key=lambda f: (f.file, f.line, f.rule_id))

@@ -1,0 +1,182 @@
+"""Static lock-discipline pass over the runtime (rules STM101-103).
+
+The runtime's convention is: every lock is named ``lock`` / ``*_lock`` /
+``*_locks`` (per-key lock tables), is only ever taken with a ``with``
+statement, and nested acquisitions follow one global order.  This pass
+enforces the convention lexically:
+
+* **STM101** — ``something_lock.acquire()`` outside a ``with``.
+* **STM102** — the nested-``with`` graph over canonical lock names has a
+  cycle somewhere in the scanned tree (each edge on a cycle is reported).
+* **STM103** — a blocking call (``Event.wait``, ``sleep``, ``join``,
+  ``recv``, RPC ``call``/``gather``) lexically inside a ``with``-lock body.
+
+Lock names are canonicalised to ``Class.attr`` for ``self``-attached locks
+(so ``GcDaemon._lock`` and ``StampedeThread._lock`` stay distinct) and to
+the bare attribute name otherwise (``channel.lock`` → ``lock``).
+
+The dynamic complement — real per-thread held sets and the runtime lock
+order — lives in :mod:`repro.analysis.sanitizer` (STM301/STM302).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = ["check_lock_discipline"]
+
+#: method names considered blocking for STM103.
+_BLOCKING = {"wait", "sleep", "join", "recv", "gather", "call", "wait_for_tick"}
+
+
+def _lock_name(expr: ast.expr) -> str | None:
+    """Return the bare lock name for a lock-like expression, else None."""
+    while isinstance(expr, ast.Subscript):  # self._order_locks[(a, b)]
+        expr = expr.value
+    if isinstance(expr, ast.Attribute):
+        name = expr.attr
+    elif isinstance(expr, ast.Name):
+        name = expr.id
+    else:
+        return None
+    if name == "lock" or name.endswith("_lock") or name.endswith("_locks"):
+        return name
+    return None
+
+
+def _canonical(expr: ast.expr, cls: str | None) -> str | None:
+    """Qualify self-attached locks with the enclosing class name."""
+    name = _lock_name(expr)
+    if name is None:
+        return None
+    target = expr
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    if (
+        cls
+        and isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return f"{cls}.{name}"
+    return name
+
+
+@dataclass
+class _Edge:
+    outer: str
+    inner: str
+    file: str
+    line: int
+
+
+@dataclass
+class _FileScan(ast.NodeVisitor):
+    """One file's walk: held-lock stack, acquire() calls, blocking calls."""
+
+    src: SourceFile
+    findings: list[Finding]
+    edges: list[_Edge]
+    _held: list[str] = field(default_factory=list)
+    _cls: str | None = None
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        prev, self._cls = self._cls, node.name
+        self.generic_visit(node)
+        self._cls = prev
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        taken: list[str] = []
+        for item in node.items:
+            name = _canonical(item.context_expr, self._cls)
+            if name is None:
+                continue
+            for outer in self._held + taken:
+                self.edges.append(
+                    _Edge(outer, name, self.src.display, item.context_expr.lineno)
+                )
+            taken.append(name)
+        self._held.extend(taken)
+        for stmt in node.body:
+            self.visit(stmt)
+        if taken:
+            del self._held[-len(taken):]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "acquire" and _lock_name(func.value) is not None:
+                self.findings.append(
+                    Finding(
+                        "STM101",
+                        self.src.display,
+                        node.lineno,
+                        f"lock '{ast.unparse(func.value)}' acquired with "
+                        ".acquire() instead of a 'with' block",
+                    )
+                )
+            elif func.attr in _BLOCKING and self._held:
+                self.findings.append(
+                    Finding(
+                        "STM103",
+                        self.src.display,
+                        node.lineno,
+                        f"blocking call '{ast.unparse(func)}()' while holding "
+                        f"lock(s) {', '.join(self._held)}",
+                    )
+                )
+        self.generic_visit(node)
+
+
+def check_lock_discipline(sources: list[SourceFile]) -> list[Finding]:
+    """Run STM101-103 over the parsed sources."""
+    findings: list[Finding] = []
+    edges: list[_Edge] = []
+    for src in sources:
+        _FileScan(src, findings, edges).visit(src.tree)
+
+    graph: dict[str, set[str]] = {}
+    for e in edges:
+        graph.setdefault(e.outer, set()).add(e.inner)
+
+    def reaches(start: str, goal: str) -> bool:
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+        return False
+
+    reported: set[tuple[str, str]] = set()
+    for e in edges:
+        if (e.outer, e.inner) in reported:
+            continue
+        # the edge is on a cycle iff the inner lock can reach the outer one
+        if e.outer == e.inner or reaches(e.inner, e.outer):
+            reported.add((e.outer, e.inner))
+            findings.append(
+                Finding(
+                    "STM102",
+                    e.file,
+                    e.line,
+                    f"lock '{e.inner}' acquired while holding '{e.outer}' "
+                    "here, but the opposite order exists elsewhere in the "
+                    "scanned tree (potential deadlock)",
+                )
+            )
+    return findings

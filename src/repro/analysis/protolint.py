@@ -1,0 +1,463 @@
+"""Static STM protocol linter (rules STM201-205).
+
+Checks the paper's §4.1 API contract on application code: every connection
+obtained from ``attach_input()`` / ``attach_output()`` (or the C-style
+``spd_attach_*`` wrappers) is tracked through the function that created it,
+and its get/consume/put/detach events are ordered with a lightweight
+control-flow approximation:
+
+* events are ordered by lexical position within a common statement list;
+* events in sibling branches of an ``if`` are unordered;
+* an event inside a branch that ends in ``break``/``continue``/``return``/
+  ``raise`` does not precede later sibling statements (control never falls
+  through), which keeps the common sentinel idiom silent::
+
+      if item.value is None:
+          inp.consume_until(item.timestamp)
+          break
+      use(item.value)          # fine: the consume above cannot reach here
+
+A connection that *escapes* the function (passed to a call, returned,
+yielded, stored into a container or attribute, or referenced from a nested
+function) is trusted — its obligations may be met elsewhere — and all rules
+go silent for it.  Connections used as ``with`` contexts count as detached
+(the context manager detaches on exit).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = ["check_protocol"]
+
+_ATTACH_INPUT = {"attach_input", "spd_attach_input_channel"}
+_ATTACH_OUTPUT = {"attach_output", "spd_attach_output_channel"}
+_GET = {"get", "get_consume", "spd_channel_get_item"}
+_CONSUME = {
+    "consume",
+    "consume_until",
+    "get_consume",
+    "spd_channel_consume_item",
+    "spd_channel_consume_items_until",
+}
+_PUT = {"put", "spd_channel_put_item"}
+_DETACH = {"detach", "spd_detach_channel"}
+#: spd_* free functions take the connection as their first argument.
+_SPD_FUNCS = (
+    _ATTACH_INPUT | _ATTACH_OUTPUT | _GET | _CONSUME | _PUT | _DETACH
+) - {"get", "get_consume", "consume", "consume_until", "put", "detach",
+     "attach_input", "attach_output"}
+
+# A "path" locates a statement as ((stmt_list, index), ...) from the scope
+# body down to the statement itself; stmt lists are compared by identity.
+_Path = tuple[tuple[int, int], ...]
+
+
+@dataclass
+class _Event:
+    kind: str           # attach | get | consume | put | detach | escape | use | rebind
+    var: str
+    line: int
+    path: _Path
+    #: literal int timestamp for put events, else None
+    ts_literal: int | None = None
+
+
+@dataclass
+class _Conn:
+    var: str
+    kind: str           # "input" | "output"
+    line: int           # attach line
+
+
+@dataclass
+class _Scope:
+    """One function (or the module body) being analyzed."""
+
+    name: str
+    conns: dict[str, _Conn] = field(default_factory=dict)
+    #: item var -> source connection var (bound via ``item = conn.get(...)``)
+    items: dict[str, str] = field(default_factory=dict)
+    events: list[_Event] = field(default_factory=list)
+    #: item-var use events: (item_var, line, path)
+    item_uses: list[tuple[str, int, _Path]] = field(default_factory=list)
+    #: item var -> binding event path (rebinds reset consumed state)
+    item_binds: list[tuple[str, int, _Path]] = field(default_factory=list)
+
+
+def _terminates(stmts: list[ast.stmt], from_index: int) -> bool:
+    """True if control cannot fall past the end of ``stmts`` once the
+    statement at ``from_index`` has run (a later sibling terminates)."""
+    return any(
+        isinstance(s, (ast.Break, ast.Continue, ast.Return, ast.Raise))
+        for s in stmts[from_index:]
+    )
+
+
+class _ScopeWalker:
+    """Collect events for one scope with path-tracked statement order."""
+
+    def __init__(self, body: list[ast.stmt], name: str) -> None:
+        self.scope = _Scope(name)
+        self.nested: list[tuple[list[ast.stmt], str]] = []
+        #: id(list) -> the actual statement list, for terminator checks
+        self.lists: dict[int, list[ast.stmt]] = {}
+        self._recognized: set[int] = set()  # id(Name node) already consumed
+        self._walk_block(body, ())
+
+    # -- ordering ---------------------------------------------------------
+
+    def strictly_precedes(self, a: _Path, b: _Path) -> bool:
+        i = 0
+        while i < len(a) and i < len(b) and a[i] == b[i]:
+            i += 1
+        if i == len(a) or i == len(b):
+            return False  # same statement, or one nests inside the other
+        (a_list, a_idx), (b_list, b_idx) = a[i], b[i]
+        if a_list != b_list or a_idx >= b_idx:
+            return False  # different branches, or b comes first
+        # does control fall through from a's branch to the common list?
+        for list_id, idx in a[i + 1:]:
+            if _terminates(self.lists[list_id], idx):
+                return False
+        return True
+
+    # -- event extraction -------------------------------------------------
+
+    def _walk_block(self, stmts: list[ast.stmt], prefix: _Path) -> None:
+        self.lists[id(stmts)] = stmts
+        for idx, stmt in enumerate(stmts):
+            path = prefix + ((id(stmts), idx),)
+            self._walk_stmt(stmt, path)
+
+    def _walk_stmt(self, stmt: ast.stmt, path: _Path) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.nested.append((stmt.body, stmt.name))
+            self._note_escapes_in(stmt, path)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self._note_escapes_in(stmt, path)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._handle_assign(stmt.targets, stmt.value, path)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._handle_assign([stmt.target], stmt.value, path)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                ctx = item.context_expr
+                if isinstance(ctx, ast.Name):
+                    self._event("detach", ctx.id, ctx.lineno, path)
+                    self._recognized.add(id(ctx))
+        # expression-level events within this statement
+        for node in self._iter_exprs(stmt):
+            if isinstance(node, ast.Call):
+                self._handle_call(node, path)
+        # leftover Name loads = escapes (conns) or uses (items)
+        for node in self._iter_exprs(stmt):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in self._recognized
+            ):
+                self._event("escape", node.id, node.lineno, path)
+                self.scope.item_uses.append((node.id, node.lineno, path))
+        # child blocks
+        for block in self._child_blocks(stmt):
+            self._walk_block(block, path)
+
+    def _child_blocks(self, stmt: ast.stmt) -> list[list[ast.stmt]]:
+        blocks: list[list[ast.stmt]] = []
+        for name in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, name, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                blocks.append(block)
+        for handler in getattr(stmt, "handlers", []):
+            blocks.append(handler.body)
+        return blocks
+
+    def _iter_exprs(self, stmt: ast.stmt):
+        """Walk this statement's expressions, skipping nested statements
+        (child blocks are walked separately) and nested function bodies."""
+        todo: list[ast.AST] = []
+        for fname, value in ast.iter_fields(stmt):
+            if fname in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            if isinstance(value, ast.AST):
+                todo.append(value)
+            elif isinstance(value, list):
+                todo.extend(v for v in value if isinstance(v, ast.AST))
+        while todo:
+            node = todo.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                        yield sub
+                continue
+            yield node
+            todo.extend(ast.iter_child_nodes(node))
+
+    def _note_escapes_in(self, node: ast.AST, path: _Path) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                self._event("escape", sub.id, sub.lineno, path)
+                self.scope.item_uses.append((sub.id, sub.lineno, path))
+
+    def _event(self, kind: str, var: str, line: int, path: _Path,
+               ts: int | None = None) -> None:
+        self.scope.events.append(_Event(kind, var, line, path, ts))
+
+    def _unwrap(self, value: ast.expr) -> ast.expr:
+        while isinstance(value, (ast.Await, ast.YieldFrom)):
+            value = value.value
+        return value
+
+    def _handle_assign(self, targets: list[ast.expr], value: ast.expr,
+                       path: _Path) -> None:
+        value = self._unwrap(value)
+        pairs: list[tuple[ast.expr, ast.expr]] = []
+        for target in targets:
+            if (
+                isinstance(target, ast.Tuple)
+                and isinstance(value, ast.Tuple)
+                and len(target.elts) == len(value.elts)
+            ):
+                pairs.extend(zip(target.elts, value.elts, strict=True))
+            else:
+                pairs.append((target, value))
+        for target, val in pairs:
+            if not isinstance(target, ast.Name):
+                continue
+            val = self._unwrap(val)
+            kind = self._attach_kind(val)
+            if kind is not None:
+                self.scope.conns[target.id] = _Conn(target.id, kind, target.lineno)
+                self._event("attach", target.id, target.lineno, path)
+                continue
+            recv = self._protocol_receiver(val, _GET)
+            if recv is not None:
+                self.scope.items[target.id] = recv
+                self.scope.item_binds.append((target.id, target.lineno, path))
+            elif target.id in self.scope.conns or target.id in self.scope.items:
+                # rebound to something unrelated: stop tracking cleanly
+                self._event("rebind", target.id, target.lineno, path)
+
+    def _attach_kind(self, value: ast.expr) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name in _ATTACH_INPUT:
+            return "input"
+        if name in _ATTACH_OUTPUT:
+            return "output"
+        return None
+
+    def _protocol_receiver(self, value: ast.expr, methods: set[str]) -> str | None:
+        """``conn.get(...)`` or ``spd_channel_get_item(conn, ...)`` → 'conn'."""
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in methods
+            and isinstance(func.value, ast.Name)
+        ):
+            return func.value.id
+        if (
+            isinstance(func, ast.Name)
+            and func.id in methods
+            and value.args
+            and isinstance(value.args[0], ast.Name)
+        ):
+            return value.args[0].id
+        return None
+
+    def _handle_call(self, node: ast.Call, path: _Path) -> None:
+        func = node.func
+        # conn.method(...) form
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            var, meth = func.value.id, func.attr
+            matched = False
+            if meth in _GET:
+                self._event("get", var, node.lineno, path)
+                matched = True
+            if meth in _CONSUME:
+                self._event("consume", var, node.lineno, path)
+                matched = True
+            if meth in _PUT:
+                ts = None
+                if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+                    node.args[0].value, int
+                ):
+                    ts = node.args[0].value
+                self._event("put", var, node.lineno, path, ts)
+                matched = True
+            if meth in _DETACH:
+                self._event("detach", var, node.lineno, path)
+                matched = True
+            if matched:
+                self._recognized.add(id(func.value))
+            return
+        # spd_xxx(conn, ...) free-function form
+        if isinstance(func, ast.Name) and func.id in _SPD_FUNCS and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Name):
+                kinds: list[tuple[str, int | None]] = []
+                if func.id in _GET:
+                    kinds.append(("get", None))
+                if func.id in _CONSUME:
+                    kinds.append(("consume", None))
+                if func.id in _PUT:
+                    ts = None
+                    if len(node.args) > 1 and isinstance(
+                        node.args[1], ast.Constant
+                    ) and isinstance(node.args[1].value, int):
+                        ts = node.args[1].value
+                    kinds.append(("put", ts))
+                if func.id in _DETACH:
+                    kinds.append(("detach", None))
+                for kind, ts in kinds:
+                    self._event(kind, first.id, first.lineno, path, ts)
+                if kinds:
+                    self._recognized.add(id(first))
+
+
+def _check_scope(walker: _ScopeWalker, src: SourceFile) -> list[Finding]:
+    scope = walker.scope
+    findings: list[Finding] = []
+    by_var: dict[str, list[_Event]] = {}
+    for ev in scope.events:
+        by_var.setdefault(ev.var, []).append(ev)
+
+    for var, conn in scope.conns.items():
+        events = by_var.get(var, [])
+        if any(e.kind == "escape" for e in events):
+            continue
+        gets = [e for e in events if e.kind == "get"]
+        consumes = [e for e in events if e.kind == "consume"]
+        puts = [e for e in events if e.kind == "put"]
+        detaches = [e for e in events if e.kind == "detach"]
+
+        # STM201: gotten from, never consumes
+        if conn.kind == "input" and gets and not consumes:
+            findings.append(
+                Finding(
+                    "STM201",
+                    src.display,
+                    gets[0].line,
+                    f"input connection '{var}' is gotten from but never "
+                    "consumes; unconsumed items pin the GC horizon",
+                )
+            )
+
+        # STM203: put after detach
+        for put in puts:
+            if any(walker.strictly_precedes(d.path, put.path) for d in detaches):
+                findings.append(
+                    Finding(
+                        "STM203",
+                        src.display,
+                        put.line,
+                        f"put on output connection '{var}' after it was "
+                        "detached",
+                    )
+                )
+                break
+
+        # STM204: literal timestamps decreasing along a straight-line path
+        literal_puts = [e for e in puts if e.ts_literal is not None]
+        for i, earlier in enumerate(literal_puts):
+            for later in literal_puts[i + 1:]:
+                if (
+                    walker.strictly_precedes(earlier.path, later.path)
+                    and later.ts_literal < earlier.ts_literal
+                ):
+                    findings.append(
+                        Finding(
+                            "STM204",
+                            src.display,
+                            later.line,
+                            f"timestamp {later.ts_literal} on '{var}.put' is "
+                            f"older than the earlier put at line "
+                            f"{earlier.line} (timestamp {earlier.ts_literal})",
+                        )
+                    )
+                    break
+            else:
+                continue
+            break
+
+        # STM205: attached, never detached (and not a 'with' context)
+        if not detaches and (gets or puts or consumes or len(events) == 1):
+            findings.append(
+                Finding(
+                    "STM205",
+                    src.display,
+                    conn.line,
+                    f"connection '{var}' from attach_{conn.kind} is never "
+                    "detached; its claims pin the channel's GC minimum "
+                    "until the thread exits",
+                )
+            )
+
+    # STM202: item used after a consume on its source connection
+    for item_var, conn_var in scope.items.items():
+        if conn_var not in scope.conns:
+            continue  # connection not tracked here (param/escaped source)
+        conn_events = by_var.get(conn_var, [])
+        if any(e.kind == "escape" for e in conn_events):
+            continue
+        consumes = [e for e in conn_events if e.kind == "consume"]
+        binds = [(ln, p) for v, ln, p in scope.item_binds if v == item_var]
+        for use_var, use_line, use_path in scope.item_uses:
+            if use_var != item_var:
+                continue
+            for consume in consumes:
+                if not walker.strictly_precedes(consume.path, use_path):
+                    continue
+                # a re-bind between the consume and the use resets the item
+                rebound = any(
+                    walker.strictly_precedes(consume.path, bind_path)
+                    and walker.strictly_precedes(bind_path, use_path)
+                    for _ln, bind_path in binds
+                )
+                if rebound:
+                    continue
+                findings.append(
+                    Finding(
+                        "STM202",
+                        src.display,
+                        use_line,
+                        f"item '{item_var}' from '{conn_var}.get' used after "
+                        f"'{conn_var}' consumed at line {consume.line}; under "
+                        "the REFERENCE copy policy the buffer may already be "
+                        "reclaimed",
+                    )
+                )
+                break
+            else:
+                continue
+            break
+    return findings
+
+
+def check_protocol(sources: list[SourceFile]) -> list[Finding]:
+    """Run STM201-205 over the parsed sources."""
+    findings: list[Finding] = []
+    for src in sources:
+        # module body plus every (nested) function, each as its own scope
+        queue: list[tuple[list[ast.stmt], str]] = [(src.tree.body, "<module>")]
+        while queue:
+            body, name = queue.pop()
+            walker = _ScopeWalker(body, name)
+            queue.extend(walker.nested)
+            findings.extend(_check_scope(walker, src))
+    return findings

@@ -1,0 +1,102 @@
+"""Shared source-file plumbing for the static passes.
+
+Handles file discovery, parsing, display-relative paths, and inline
+suppressions.  A finding is suppressed by a comment on its line (or on the
+opening line of the ``with``/call that produced it)::
+
+    with self._lock:  # stm-ok: STM103 -- serializes whole GC rounds by design
+        self.coordinator.gather(calls)
+
+``# stm-ok`` with no rule list waives every rule on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["SourceFile", "load_sources", "iter_python_files", "filter_suppressed"]
+
+_SUPPRESS_RE = re.compile(r"#\s*stm-ok\b:?\s*([A-Z0-9, ]*)")
+
+
+@dataclass
+class SourceFile:
+    """One parsed module plus its suppression map."""
+
+    path: Path          # real filesystem path
+    display: str        # path as reported in findings (relative when possible)
+    text: str
+    tree: ast.Module
+    #: line -> set of suppressed rule ids ("*" = all rules on that line)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        elif path.suffix == ".py" and path.exists():
+            out.add(path)
+    return sorted(out)
+
+
+def _parse_suppressions(text: str) -> dict[int, set[str]]:
+    supp: dict[int, set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        supp[lineno] = rules or {"*"}
+    return supp
+
+
+def load_sources(paths: list[str | Path], root: Path | None = None) -> list[SourceFile]:
+    """Parse every python file under ``paths``; syntax errors are skipped
+    (the repo's own lint gate owns those)."""
+    root = root or Path.cwd()
+    sources: list[SourceFile] = []
+    for path in iter_python_files(paths):
+        try:
+            text = path.read_text()
+            tree = ast.parse(text, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError, OSError):
+            continue
+        try:
+            display = str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            display = str(path)
+        sources.append(
+            SourceFile(
+                path=path,
+                display=display,
+                text=text,
+                tree=tree,
+                suppressions=_parse_suppressions(text),
+            )
+        )
+    return sources
+
+
+def filter_suppressed(
+    findings: list[Finding], sources: list[SourceFile]
+) -> list[Finding]:
+    """Drop findings waived by an inline ``# stm-ok`` comment."""
+    by_display = {s.display: s for s in sources}
+    kept: list[Finding] = []
+    for f in findings:
+        src = by_display.get(f.file)
+        if src is not None:
+            rules = src.suppressions.get(f.line)
+            if rules is not None and ("*" in rules or f.rule_id in rules):
+                continue
+        kept.append(f)
+    return kept

@@ -60,14 +60,14 @@ def gc_strategy_ablation(
         chan = sim.create_channel(home=1)
         peak = {"items": 0}
 
-        def refcount_for(i: int) -> int:
+        def refcount_for(i: int, *, strategy=strategy) -> int:
             if strategy == "refcount":
                 return consumers
             if strategy == "hybrid":
                 return consumers if i % 2 == 0 else -1
             return -1
 
-        def producer(t):
+        def producer(t, *, chan=chan, peak=peak, refcount_for=refcount_for):
             out = yield from t.attach_output(chan)
             for i in range(items):
                 t.set_virtual_time(i)
@@ -77,7 +77,7 @@ def gc_strategy_ablation(
                 peak["items"] = max(peak["items"], len(chan.kernel))
                 yield from t.delay(1_000.0)
 
-        def consumer(t):
+        def consumer(t, *, chan=chan):
             inp = yield from t.attach_input(chan)
             t.set_virtual_time(INFINITY)
             for _ in range(items):
@@ -127,13 +127,13 @@ def placement_ablation(size: int = IMAGE_BYTES, items: int = 30) -> TableResult:
         sim = SimStampede(n_spaces=3, inter_node=MEMORY_CHANNEL)
         chan = sim.create_channel(home=home)
 
-        def producer(t):
+        def producer(t, *, chan=chan):
             out = yield from t.attach_output(chan)
             for i in range(items):
                 t.set_virtual_time(i)
                 yield from t.put(out, i, nbytes=size)
 
-        def consumer(t):
+        def consumer(t, *, chan=chan):
             inp = yield from t.attach_input(chan)
             for _ in range(items):
                 _p, ts, _s = yield from t.get(inp, STM_OLDEST)
@@ -173,7 +173,7 @@ def channel_depth_ablation(
         staleness: list[float] = []
         produced = {"ts": -1}
 
-        def producer(t):
+        def producer(t, *, chan=chan, blocked=blocked, produced=produced):
             out = yield from t.attach_output(chan)
             for i in range(items):
                 yield from t.delay(_FRAME_US)
@@ -185,7 +185,7 @@ def channel_depth_ablation(
                 )  # anything beyond transfer+sync is capacity stall
                 produced["ts"] = i
 
-        def consumer(t):
+        def consumer(t, *, chan=chan, produced=produced, staleness=staleness):
             inp = yield from t.attach_input(chan)
             t.set_virtual_time(INFINITY)
             for _ in range(items):
@@ -233,7 +233,7 @@ def skipping_ablation(items: int = 90) -> TableResult:
         staleness: list[float] = []
         processed = {"n": 0, "last": -1}
 
-        def producer(t):
+        def producer(t, *, chan=chan, produced=produced):
             out = yield from t.attach_output(chan)
             for i in range(items):
                 yield from t.delay(_FRAME_US)
@@ -242,7 +242,15 @@ def skipping_ablation(items: int = 90) -> TableResult:
                 produced["ts"] = i
             produced["done"] = True
 
-        def consumer(t):
+        def consumer(
+            t,
+            *,
+            chan=chan,
+            policy=policy,
+            produced=produced,
+            processed=processed,
+            staleness=staleness,
+        ):
             inp = yield from t.attach_input(chan)
             t.set_virtual_time(INFINITY)
             while not (produced["done"] and processed["last"] >= items - 1):
@@ -296,7 +304,7 @@ def gc_cadence_ablation(
         peak = {"bytes": 0}
         lags: list[float] = []
 
-        def producer(t):
+        def producer(t, *, chan=chan, peak=peak, lags=lags):
             out = yield from t.attach_output(chan)
             for i in range(items):
                 yield from t.delay(_FRAME_US)
@@ -305,7 +313,7 @@ def gc_cadence_ablation(
                 peak["bytes"] = max(peak["bytes"], chan.kernel.stored_bytes())
                 lags.append(i - chan.kernel.gc_horizon)
 
-        def consumer(t):
+        def consumer(t, *, chan=chan):
             inp = yield from t.attach_input(chan)
             t.set_virtual_time(INFINITY)
             for _ in range(items):
@@ -363,7 +371,14 @@ def push_ablation(items: int = 15, size: int = IMAGE_BYTES) -> TableResult:
             release = _threading.Event()
             stats = _Stats()
 
-            def consumer():
+            def consumer(
+                *,
+                cluster=cluster,
+                push=push,
+                attached=attached,
+                release=release,
+                stats=stats,
+            ):
                 from repro.runtime import current_thread as _ct
 
                 conn = _STM(cluster.space(1)).lookup(f"push-{push}").attach_input()
@@ -384,6 +399,7 @@ def push_ablation(items: int = 15, size: int = IMAGE_BYTES) -> TableResult:
             for ts in range(items):
                 boot.set_virtual_time(ts)
                 out.put(ts, payload)
+            out.detach()
             _time.sleep(0.1)  # let the pushes land before timing the gets
             release.set()
             handle.join(60)

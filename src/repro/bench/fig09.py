@@ -36,7 +36,7 @@ def clf_bandwidth_table(
 ) -> TableResult:
     """Regenerate Fig. 9; the ``8152*`` column is the per-image-ack variant."""
     sizes = sizes or PACKET_SIZES
-    columns = list(sizes) + [ACK_COLUMN]
+    columns = [*sizes, ACK_COLUMN]
     table = TableResult(
         title="Fig. 9: maximum CLF bandwidths",
         row_label="communication medium",

@@ -169,9 +169,14 @@ def measure_gc_epoch(
     with Cluster(n_spaces=n_spaces, gc_period=None) as cluster:
         me = cluster.space(0).adopt_current_thread(virtual_time=50)
         stm = STM(cluster.space(0))
+        # the input connections must stay attached while the epochs run —
+        # their consumed-above-a-watermark state is the load being measured —
+        # so collect them and detach after timing.
+        conns = []
         for i in range(n_channels):
             chan = stm.create_channel(f"pr1.gc{i}", home=i % n_spaces)
             out, inp = chan.attach_output(), chan.attach_input()
+            conns.append((out, inp))
             for ts in range(base_ts, base_ts + items_per_channel):
                 out.put(ts, b"")
             for ts in range(base_ts, base_ts + items_per_channel):
@@ -184,6 +189,9 @@ def measure_gc_epoch(
             daemon.run_once()
         epoch_s = (time.perf_counter() - t0) / epochs
         scan_steps = scan_probe() / epochs
+        for out, inp in conns:
+            out.detach()
+            inp.detach()
         me.exit()
     return {
         "n_spaces": n_spaces,

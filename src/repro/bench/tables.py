@@ -34,8 +34,9 @@ class TableResult:
 
     def render(self, width: int = 10) -> str:
         """Human-readable table with paper reference cells in parentheses."""
-        header = [str(self.row_label).ljust(34)] + [
-            str(c).rjust(width) for c in self.columns
+        header = [
+            str(self.row_label).ljust(34),
+            *(str(c).rjust(width) for c in self.columns),
         ]
         lines = [self.title, "=" * len(self.title), "  ".join(header)]
         for row_key, cells in self.rows.items():

@@ -37,7 +37,26 @@ from repro.errors import (
 )
 from repro.util.sortedmap import SortedIntMap
 
-__all__ = ["Status", "BlockReason", "GetResult", "PutResult", "ChannelKernel"]
+__all__ = [
+    "Status",
+    "BlockReason",
+    "GetResult",
+    "PutResult",
+    "ChannelKernel",
+    "set_reclaim_hook",
+]
+
+#: Optional observer called as ``hook(kernel, timestamp, record)`` whenever
+#: the kernel reclaims an item (refcount zero, GC sweep, or destroy).  Used
+#: by the STMSAN sanitizer to tombstone reclaimed payloads; None (the
+#: default) costs one identity check per reclaim.
+_reclaim_hook = None
+
+
+def set_reclaim_hook(hook) -> None:
+    """Install (or clear, with None) the item-reclaim observer."""
+    global _reclaim_hook
+    _reclaim_hook = hook
 
 
 class Status(enum.Enum):
@@ -414,6 +433,8 @@ class ChannelKernel:
                 for view in self.inputs.values():
                     if view.min_cache == ts:
                         view.min_cache = None  # cached minimum reclaimed
+                if _reclaim_hook is not None:
+                    _reclaim_hook(self, ts, record)
         self.version += 1
 
     # ------------------------------------------------------------------
@@ -476,6 +497,9 @@ class ChannelKernel:
                 cache = view.min_cache
                 if cache is not None and cache is not INFINITY and cache < bound:
                     view.min_cache = None  # cached minimum was collected
+            if _reclaim_hook is not None:
+                for ts, rec in dead:
+                    _reclaim_hook(self, ts, rec)
             self.version += 1
         return [ts for ts, _ in dead]
 
@@ -506,6 +530,9 @@ class ChannelKernel:
     def destroy(self) -> None:
         """Tear the channel down; subsequent operations raise."""
         self.destroyed = True
+        if _reclaim_hook is not None:
+            for ts in self.items.keys():
+                _reclaim_hook(self, ts, self.items.get(ts))
         self.items = SortedIntMap()
         self.inputs.clear()
         self.outputs.clear()

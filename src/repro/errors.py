@@ -37,6 +37,7 @@ __all__ = [
     "DeadlineMissedError",
     "SimulationError",
     "SimDeadlockError",
+    "StmSanError",
 ]
 
 
@@ -165,6 +166,22 @@ class RealTimeSlippageError(StampedeError):
 
 class DeadlineMissedError(RealTimeSlippageError):
     """Alias used by the pacing API when a hard deadline is configured."""
+
+
+class StmSanError(StampedeError):
+    """The STMSAN runtime sanitizer detected a protocol violation.
+
+    Raised only while the sanitizer is enabled (``STMSAN=1``), for
+    violations that cannot be merely recorded: touching a reclaimed
+    payload's tombstone, or re-acquiring a non-reentrant runtime lock
+    (which would deadlock for real).  Carries the stack that reclaimed or
+    acquired the resource, so the report shows both sides of the race.
+    """
+
+    def __init__(self, message: str, stack: str = ""):
+        super().__init__(message)
+        #: formatted stack of the reclaiming/acquiring side (may be empty).
+        self.stack = stack
 
 
 class SimulationError(StampedeError):

@@ -63,7 +63,9 @@ class IbrResult:
         """How many results were produced out of request order."""
         return sum(
             1
-            for earlier, later in zip(self.completion_order, self.completion_order[1:])
+            for earlier, later in zip(
+                self.completion_order, self.completion_order[1:], strict=False
+            )
             if later < earlier
         )
 

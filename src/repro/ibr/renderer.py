@@ -106,7 +106,7 @@ class ViewSynthesizer:
             return self.angles[0], self.angles[1]
         if angle >= self.angles[-1]:
             return self.angles[-2], self.angles[-1]
-        for lo, hi in zip(self.angles, self.angles[1:]):
+        for lo, hi in zip(self.angles, self.angles[1:], strict=False):
             if lo <= angle <= hi:
                 return lo, hi
         raise AssertionError("unreachable")  # pragma: no cover

@@ -58,7 +58,7 @@ def connected_components(mask: np.ndarray) -> tuple[np.ndarray, int]:
         padded = np.concatenate(([False], row, [False]))
         changes = np.flatnonzero(padded[1:] != padded[:-1])
         starts, ends = changes[0::2], changes[1::2]
-        for x0, x1 in zip(starts, ends):
+        for x0, x1 in zip(starts, ends, strict=True):
             # Labels of the row above overlapping this run (4-connectivity).
             if y > 0:
                 above = labels[y - 1, x0:x1]

@@ -32,8 +32,9 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, ClassVar
 
+from repro.analysis.sanitizer import guard_kernel, san_lock
 from repro.core.channel_state import BlockReason, ChannelKernel, Status
 from repro.core.flags import GetWildcard, UNKNOWN_REFCOUNT
 from repro.core.gc_state import LocalGCSummary
@@ -130,7 +131,8 @@ class LocalChannel:
     def __init__(self, kernel: ChannelKernel, handle: ChannelHandle):
         self.kernel = kernel
         self.handle = handle
-        self.lock = threading.Lock()
+        self.lock = san_lock("LocalChannel.lock")
+        guard_kernel(kernel, self.lock)  # STMSAN only; no-op otherwise
         self.put_waiters: list[_Waiter] = []  # blocked on CHANNEL_FULL
         self.get_waiters: list[_Waiter] = []  # blocked on NO_MATCHING_ITEM
         #: blocked operations completed (woken) since channel creation —
@@ -181,29 +183,29 @@ class AddressSpace:
         self._conn_ids = IdAllocator(space_id, n)
         self._call_ids = IdAllocator(space_id, n)
         self._channels: dict[int, LocalChannel] = {}
-        self._channels_lock = threading.Lock()
+        self._channels_lock = san_lock("AddressSpace.channels")
         self._threads: dict[str, StampedeThread] = {}
-        self._threads_lock = threading.Lock()
+        self._threads_lock = san_lock("AddressSpace.threads")
         self._thread_seq = IdAllocator(0, 1)
         self._calls: dict[int, _Call] = {}
-        self._calls_lock = threading.Lock()
+        self._calls_lock = san_lock("AddressSpace.calls")
         self._parked_index: dict[int, LocalChannel] = {}  # call_id -> channel
         self._pending_joins: dict[str, list[tuple[int, int]]] = {}
         # registry space only:
         self._names: dict[str, ChannelHandle] = {}
         self._name_waiters: dict[str, list[tuple[int, int]]] = {}
-        self._registry_lock = threading.Lock()
+        self._registry_lock = san_lock("AddressSpace.registry")
         self._gc_horizon_applied: VirtualTime = 0
         #: (channel_id, timestamp) -> (payload, size): items eagerly pushed
         #: here by push-enabled channel homes (§9).
         self._push_cache: dict[tuple[int, int], tuple[Any, int]] = {}
-        self._push_cache_lock = threading.Lock()
+        self._push_cache_lock = san_lock("AddressSpace.push_cache")
         self._dispatcher: threading.Thread | None = None
         self._running = False
         #: connections attached by threads of this space: conn_id ->
         #: (handle, thread) — used to auto-detach on thread exit.
         self._conn_owner: dict[int, tuple[ChannelHandle, StampedeThread]] = {}
-        self._conn_owner_lock = threading.Lock()
+        self._conn_owner_lock = san_lock("AddressSpace.conn_owner")
 
     # ==================================================================
     # lifecycle
@@ -829,7 +831,7 @@ class AddressSpace:
     def _h_gc_apply(self, body, src: int, cid) -> int:
         return self.apply_gc_horizon(body.horizon)
 
-    _HANDLERS: dict[type, Callable] = {}
+    _HANDLERS: ClassVar[dict[type, Callable]] = {}
 
     # ==================================================================
     # public API used by the STM facade and the cluster
@@ -932,7 +934,7 @@ class AddressSpace:
         # pinning the GC minimum.
         leaked: list[int] = []
         with self._conn_owner_lock:
-            for conn_id, (handle, owner) in list(self._conn_owner.items()):
+            for conn_id, (_handle, owner) in list(self._conn_owner.items()):
                 if owner is thread:
                     leaked.append(conn_id)
         for conn_id in leaked:

@@ -37,6 +37,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.analysis.sanitizer import san_lock
 from repro.core.gc_state import merge_summaries
 from repro.core.time import INFINITY, VirtualTime
 from repro.runtime.messages import GcApplyReq, GcSummaryReq
@@ -71,7 +72,7 @@ class GcDaemon:
         self._epoch = 0
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
-        self._lock = threading.Lock()
+        self._lock = san_lock("GcDaemon.lock")
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -111,7 +112,10 @@ class GcDaemon:
                 coordinator.call_async(space_id, GcSummaryReq(epoch))
                 for space_id in range(self.cluster.n_spaces)
             ]
-            summaries = coordinator.gather(pending, timeout=10.0)
+            # The blocking gather runs under self._lock on purpose: the lock
+            # serializes whole GC rounds, and the dispatcher threads that
+            # serve the replies never take it.
+            summaries = coordinator.gather(pending, timeout=10.0)  # stm-ok: STM103
             horizon = merge_summaries(summaries)
             collected = self._broadcast(coordinator, epoch, horizon)
             self.stats.epochs += 1

@@ -94,7 +94,7 @@ class PlacementPrediction:
     def describe(self, model: PipelineModel) -> str:
         pairs = ", ".join(
             f"{stage.name}@{space}"
-            for stage, space in zip(model.stages, self.placement)
+            for stage, space in zip(model.stages, self.placement, strict=True)
         )
         return (
             f"[{pairs}] latency={self.latency_us:.0f}us "
@@ -167,7 +167,7 @@ def predict(
     for space in set(placement):
         compute = sum(
             stage.compute_us
-            for stage, sp in zip(model.stages, placement)
+            for stage, sp in zip(model.stages, placement, strict=True)
             if sp == space
         )
         parallelism = min(cpus_per_space, max(

@@ -24,6 +24,7 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Callable
 
+from repro.analysis.sanitizer import san_lock
 from repro.core.time import INFINITY, VirtualTime, vt_lt, vt_min
 from repro.errors import StampedeError, VirtualTimeError, VisibilityError
 
@@ -73,7 +74,7 @@ class StampedeThread:
             )
         self.space = space
         self.name = name
-        self._lock = threading.Lock()
+        self._lock = san_lock("StampedeThread.lock")
         self._virtual_time: VirtualTime = virtual_time
         #: (channel_id, conn_id, timestamp) triples currently open.
         self._open: set[tuple[int, int, int]] = set()
@@ -92,7 +93,7 @@ class StampedeThread:
         """min(virtual time, timestamps of currently open items)."""
         with self._lock:
             return vt_min(
-                [self._virtual_time] + [ts for (_, _, ts) in self._open]
+                [self._virtual_time, *(ts for (_, _, ts) in self._open)]
             )
 
     def set_virtual_time(self, value: VirtualTime) -> None:
@@ -103,7 +104,7 @@ class StampedeThread:
         holds the visibility down that far.
         """
         with self._lock:
-            vis = vt_min([self._virtual_time] + [ts for (_, _, ts) in self._open])
+            vis = vt_min([self._virtual_time, *(ts for (_, _, ts) in self._open)])
             if vt_lt(value, vis):
                 raise VirtualTimeError(
                     f"cannot set virtual time to {value!r}: below current "

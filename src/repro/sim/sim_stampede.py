@@ -118,7 +118,7 @@ class SimThread:
         return self._virtual_time
 
     def visibility(self) -> VirtualTime:
-        return vt_min([self._virtual_time] + [ts for (_, _, ts) in self._open])
+        return vt_min([self._virtual_time, *(ts for (_, _, ts) in self._open)])
 
     def set_virtual_time(self, value: VirtualTime) -> None:
         vis = self.visibility()

@@ -50,7 +50,9 @@ class DataParallelResult:
     def out_of_order(self) -> int:
         return sum(
             1
-            for a, b in zip(self.completion_order, self.completion_order[1:])
+            for a, b in zip(
+                self.completion_order, self.completion_order[1:], strict=False
+            )
             if b < a
         )
 

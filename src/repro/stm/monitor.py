@@ -168,7 +168,7 @@ class SpaceTimeView:
         all_ts = sorted({ts for snap in snaps for ts in snap.timestamps})
         if len(all_ts) > max_columns:
             all_ts = all_ts[-max_columns:]
-        header = ["channel".ljust(24)] + [f"{ts:>5}" for ts in all_ts]
+        header = ["channel".ljust(24), *(f"{ts:>5}" for ts in all_ts)]
         lines = ["space-time table", "  ".join(header)]
         for snap in snaps:
             label = (snap.name or f"#{snap.channel_id}")[:24].ljust(24)
@@ -182,7 +182,7 @@ class SpaceTimeView:
                     for conn in sorted(snap.states)
                 ) or "."
                 cells.append(glyphs.rjust(5))
-            lines.append("  ".join([label] + cells))
+            lines.append("  ".join([label, *cells]))
         lines.append("glyphs: u=unseen O=open c=consumed -=absent "
                      "(one per input connection)")
         return "\n".join(lines)

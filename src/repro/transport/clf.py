@@ -29,6 +29,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.analysis.sanitizer import san_lock
 from repro.errors import TransportClosedError, TransportError
 from repro.transport.media import CLF_MTU, MEMORY_CHANNEL, Medium, SHARED_MEMORY
 from repro.transport.packets import Reassembler, fragment, fragment_sg
@@ -195,9 +196,9 @@ class ClfNetwork:
         self.topology = topology
         self.mtu = mtu
         self._endpoints: dict[int, ClfEndpoint] = {}
-        self._lock = threading.Lock()
+        self._lock = san_lock("ClfNetwork.endpoints")
         self._order_locks = {
-            (s, d): threading.Lock()
+            (s, d): san_lock("ClfNetwork.order")
             for s in range(topology.n_spaces)
             for d in range(topology.n_spaces)
         }

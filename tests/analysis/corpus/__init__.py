@@ -1,0 +1,6 @@
+# Seeded-violation corpus for the repro.analysis static passes.
+#
+# Each file plants specific rule violations; the line of each expected
+# finding carries a "# VIOLATION: STM###" marker, and the tests assert the
+# passes fire exactly on the marked lines and nowhere else.  These files are
+# never imported (the code need not run, only parse).

@@ -1,0 +1,54 @@
+"""Protocol-clean code: every rule must stay silent on this file."""
+
+import threading
+
+from repro.core import STM_LATEST_UNSEEN
+
+a_lock = threading.Lock()
+b_lock = threading.Lock()
+
+
+def consistent_order():
+    with a_lock:
+        with b_lock:
+            counter = 1
+    with a_lock:
+        with b_lock:
+            counter += 1
+    return counter
+
+
+def disciplined_consumer(channel):
+    inp = channel.attach_input()
+    while True:
+        item = inp.get(STM_LATEST_UNSEEN)
+        if item.value is None:
+            inp.consume_until(item.timestamp)
+            break
+        process(item.value)
+        inp.consume_until(item.timestamp)
+    inp.detach()
+
+
+def disciplined_producer(channel, frames):
+    out = channel.attach_output()
+    for ts, frame in enumerate(frames):
+        out.put(ts, frame)
+    out.put(10, None)
+    out.put(11, None)
+    out.detach()
+
+
+def context_managed(channel):
+    with channel.attach_input() as inp:
+        item = inp.get_consume(STM_LATEST_UNSEEN)
+        return item.value
+
+
+def escapes_are_trusted(channel, sink):
+    inp = channel.attach_input()
+    sink.append(inp)  # obligations transfer to the sink's owner
+
+
+def process(value):
+    return value

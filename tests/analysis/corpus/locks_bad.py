@@ -1,0 +1,36 @@
+"""Seeded lock-discipline violations (STM101, STM102, STM103)."""
+
+import threading
+
+state_lock = threading.Lock()
+table_lock = threading.Lock()
+
+
+def manual_acquire():
+    state_lock.acquire()  # VIOLATION: STM101
+    try:
+        pass
+    finally:
+        state_lock.release()
+
+
+def forward_order():
+    with state_lock:
+        with table_lock:  # VIOLATION: STM102
+            pass
+
+
+def reverse_order():
+    with table_lock:
+        with state_lock:  # VIOLATION: STM102
+            pass
+
+
+class Worker:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.ready = threading.Event()
+
+    def blocking_under_lock(self):
+        with self.lock:
+            self.ready.wait(1.0)  # VIOLATION: STM103

@@ -1,0 +1,38 @@
+"""Seeded STM protocol violations (STM201-STM205)."""
+
+from repro.core import STM_OLDEST
+
+
+def get_without_consume(channel):
+    inp = channel.attach_input()
+    item = inp.get(STM_OLDEST)  # VIOLATION: STM201
+    inp.detach()
+    return item.value
+
+
+def use_after_consume(channel):
+    inp = channel.attach_input()
+    item = inp.get(STM_OLDEST)
+    inp.consume(item.timestamp)
+    value = item.value  # VIOLATION: STM202
+    inp.detach()
+    return value
+
+
+def put_after_detach(channel):
+    out = channel.attach_output()
+    out.put(0, b"first")
+    out.detach()
+    out.put(1, b"late")  # VIOLATION: STM203
+
+
+def timestamps_go_backwards(channel):
+    out = channel.attach_output()
+    out.put(5, b"newer")
+    out.put(3, b"older")  # VIOLATION: STM204
+    out.detach()
+
+
+def attach_never_detached(channel):
+    out = channel.attach_output()  # VIOLATION: STM205
+    out.put(0, b"payload")

@@ -1,0 +1,75 @@
+"""CLI contract: exit codes, baseline round-trip, rule listing."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+CORPUS = Path(__file__).parent / "corpus"
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_nonzero_on_seeded_corpus(capsys):
+    assert main([str(CORPUS)]) == 1
+    out = capsys.readouterr().out
+    assert "STM101" in out and "STM205" in out
+
+
+def test_zero_on_clean_code(capsys):
+    assert main([str(CORPUS / "clean.py")]) == 0
+
+
+def test_baseline_round_trip(tmp_path, capsys):
+    baseline = tmp_path / "stm-baseline.txt"
+    # grandfather the corpus findings...
+    assert main([str(CORPUS), "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert baseline.exists()
+    # ...then the same scan passes against the baseline,
+    assert main([str(CORPUS), "--baseline", str(baseline)]) == 0
+    # while an empty baseline still fails it.
+    assert main([str(CORPUS), "--baseline", str(tmp_path / "none.txt")]) == 1
+
+
+def test_wildcard_baseline_lines(tmp_path):
+    from repro.analysis import run_static_passes
+
+    findings = run_static_passes([str(CORPUS)])
+    assert findings
+    baseline = tmp_path / "b.txt"
+    # line-wildcard keys survive line-number churn from unrelated edits
+    lines = sorted({f"{f.rule_id}|{f.file}|*" for f in findings})
+    baseline.write_text("\n".join(lines) + "\n")
+    assert main([str(CORPUS), "--baseline", str(baseline)]) == 0
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("STM101", "STM202", "STM303"):
+        assert rule in out
+
+
+def test_module_entry_point_nonzero_on_corpus():
+    """Acceptance: ``python -m repro.analysis`` exits non-zero on the corpus."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(CORPUS)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        timeout=60,
+    )
+    assert proc.returncode == 1, proc.stderr
+    assert "finding(s)" in proc.stderr
+
+
+def test_json_format(capsys):
+    assert main([str(CORPUS / "protocol_bad.py"), "--format", "json"]) == 1
+    out = capsys.readouterr().out
+    assert '"rule": "STM203"' in out
