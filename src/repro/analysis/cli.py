@@ -1,6 +1,14 @@
-"""Command-line harness for the static analysis passes.
+"""Command-line harness for the analysis tooling.
 
-Usage::
+Subcommands::
+
+    python -m repro.analysis [static] ...         # static passes (default)
+    python -m repro.analysis modelcheck           # schedule exploration
+    python -m repro.analysis replay SEED          # replay one schedule seed
+    python -m repro.analysis racecheck            # vector-clock race stress
+
+Static-pass usage (with or without the explicit ``static`` word —
+bare paths keep working for compatibility)::
 
     python -m repro.analysis                      # scan src/ + examples/
     python -m repro.analysis src tests/analysis   # explicit paths
@@ -9,9 +17,9 @@ Usage::
     python -m repro.analysis --baseline stm-baseline.txt
     python -m repro.analysis --write-baseline     # grandfather current findings
 
-Exit status: 0 when every finding is baselined (or none exist), 1 when new
-findings remain, 2 on usage errors.  This is the scriptable twin of the
-``analysis`` CI job.
+Exit status (every subcommand): 0 when clean (or every finding is
+baselined), 1 when findings remain, 2 on usage or internal errors.  This
+is the scriptable twin of the ``analysis`` and ``modelcheck`` CI jobs.
 """
 
 from __future__ import annotations
@@ -69,7 +77,186 @@ def run_static_passes(
     return sort_findings(filter_suppressed(findings, sources))
 
 
+def _finding_json(finding: Finding, baselined: bool = False) -> dict:
+    return {
+        "rule": finding.rule_id,
+        "severity": finding.severity.value,
+        "file": finding.file,
+        "line": finding.line,
+        "message": finding.message,
+        "baselined": baselined,
+    }
+
+
+def _main_modelcheck(argv: list[str]) -> int:
+    from repro.analysis.modelcheck import SCENARIOS, explore
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis modelcheck",
+        description="Explore thread interleavings of the bundled STM "
+        "scenarios with the deterministic scheduler.",
+    )
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        metavar="NAME",
+        help=f"scenarios to check (default: all of {sorted(SCENARIOS)})",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override each scenario's schedule budget",
+    )
+    parser.add_argument("--format", choices=["text", "json"], default="text")
+    args = parser.parse_args(argv)
+
+    names = args.scenarios or sorted(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        parser.error(f"unknown scenario(s) {unknown}; choose from {sorted(SCENARIOS)}")
+
+    rows = []
+    failed = False
+    for name in names:
+        scenario = SCENARIOS[name]
+        result = explore(scenario, budget=args.budget or scenario.budget)
+        # A seeded scenario is healthy exactly when it *does* violate; a
+        # clean scenario is healthy exactly when it does not.
+        ok = result.clean == (not scenario.expect_violation)
+        failed = failed or not ok
+        rows.append((scenario, result, ok))
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "scenario": s.name,
+                        "expect_violation": s.expect_violation,
+                        "runs": r.runs,
+                        "exhausted": r.exhausted,
+                        "ok": ok,
+                        "finding": None
+                        if r.finding is None
+                        else _finding_json(r.finding),
+                    }
+                    for s, r, ok in rows
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for scenario, result, ok in rows:
+            if result.finding is None:
+                state = "exhausted" if result.exhausted else "budget reached"
+                verdict = "clean" if ok else "MISSED SEEDED VIOLATION"
+            else:
+                state = "violation"
+                verdict = "expected" if ok else "UNEXPECTED"
+            print(
+                f"{scenario.name:28s} {result.runs:5d} run(s)  "
+                f"{state} ({verdict})"
+            )
+            if result.finding is not None and not ok:
+                print(result.finding.render())
+        summary = f"{len(rows)} scenario(s), {sum(1 for *_, ok in rows if not ok)} failure(s)"
+        print(summary, file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _main_replay(argv: list[str]) -> int:
+    from repro.analysis.modelcheck import SCENARIOS, replay
+    from repro.analysis.modelcheck.explorer import decode_seed
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis replay",
+        description="Deterministically re-run one recorded schedule seed.",
+    )
+    parser.add_argument(
+        "seed", help='schedule seed, e.g. "seeded-lost-wakeup:0.0.0.1.1.1.1.0"'
+    )
+    parser.add_argument("--format", choices=["text", "json"], default="text")
+    args = parser.parse_args(argv)
+
+    name, schedule = decode_seed(args.seed)
+    if name not in SCENARIOS:
+        parser.error(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
+    finding = replay(SCENARIOS[name], schedule)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "seed": args.seed,
+                    "reproduced": finding is not None,
+                    "finding": None if finding is None else _finding_json(finding),
+                },
+                indent=2,
+            )
+        )
+    elif finding is None:
+        print(f"{args.seed}: no violation under this schedule")
+    else:
+        print(finding.render())
+    return 1 if finding is not None else 0
+
+
+def _main_racecheck(argv: list[str]) -> int:
+    from repro.analysis import racecheck
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis racecheck",
+        description="Run the bundled real-thread stress workload under the "
+        "vector-clock race detector (and the runtime sanitizer).",
+    )
+    parser.add_argument(
+        "--pairs", type=int, default=3, help="producer/consumer thread pairs"
+    )
+    parser.add_argument(
+        "--items", type=int, default=150, help="items per producer"
+    )
+    parser.add_argument("--format", choices=["text", "json"], default="text")
+    args = parser.parse_args(argv)
+
+    found = sort_findings(
+        racecheck.run_builtin_workload(pairs=args.pairs, items=args.items)
+    )
+    if args.format == "json":
+        print(json.dumps([_finding_json(f) for f in found], indent=2))
+    else:
+        for finding in found:
+            print(finding.render())
+        print(f"{len(found)} finding(s)", file=sys.stderr)
+    return 1 if found else 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    subcommands = {
+        "modelcheck": _main_modelcheck,
+        "replay": _main_replay,
+        "racecheck": _main_racecheck,
+    }
+    try:
+        if argv and argv[0] in subcommands:
+            return subcommands[argv[0]](argv[1:])
+        if argv and argv[0] == "static":
+            argv = argv[1:]
+        return _main_static(argv)
+    except SystemExit:
+        raise
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        raise
+    except BrokenPipeError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - the exit-code-2 contract
+        print(f"internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+
+def _main_static(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Static lock-discipline and STM-protocol analysis.",
@@ -127,22 +314,7 @@ def main(argv: list[str] | None = None) -> int:
     new, old = baseline_mod.split_baselined(findings, known)
 
     if args.format == "json":
-        print(
-            json.dumps(
-                [
-                    {
-                        "rule": f.rule_id,
-                        "severity": f.severity.value,
-                        "file": f.file,
-                        "line": f.line,
-                        "message": f.message,
-                        "baselined": f in old,
-                    }
-                    for f in findings
-                ],
-                indent=2,
-            )
-        )
+        print(json.dumps([_finding_json(f, f in old) for f in findings], indent=2))
     else:
         for f in new:
             print(f.render())

@@ -36,7 +36,8 @@ class Rule:
 
 
 #: The rule catalog.  STM1xx = lock discipline (static), STM2xx = STM
-#: protocol (static), STM3xx = dynamic sanitizer findings.
+#: protocol (static), STM3xx = dynamic sanitizer findings, STM4xx =
+#: model-checker findings (schedule exploration).
 RULES: dict[str, Rule] = {
     r.rule_id: r
     for r in [
@@ -123,6 +124,47 @@ RULES: dict[str, Rule] = {
             Severity.ERROR,
             "A payload (or zero-copy memoryview) belonging to a consumed or "
             "collected item was touched after the kernel reclaimed it.",
+        ),
+        Rule(
+            "STM304",
+            "data race on shared runtime state",
+            Severity.ERROR,
+            "Vector clocks prove a read and a write of the same shared "
+            "variable are unordered by any lock (no happens-before edge "
+            "between the accessing threads): a data race.",
+        ),
+        Rule(
+            "STM305",
+            "unordered kernel mutation",
+            Severity.ERROR,
+            "Two ChannelKernel mutations of the same kernel instance are "
+            "unordered by happens-before (e.g. each thread used a different "
+            "lock): the kernel's sequential state machine is being driven "
+            "concurrently.",
+        ),
+        Rule(
+            "STM401",
+            "invariant violation under some schedule",
+            Severity.ERROR,
+            "The model checker found a thread interleaving under which a "
+            "scenario invariant does not hold; the finding carries a "
+            "deterministically replayable schedule seed.",
+        ),
+        Rule(
+            "STM402",
+            "deadlock under some schedule",
+            Severity.ERROR,
+            "The model checker found a thread interleaving that deadlocks "
+            "(no thread enabled, some unfinished); the finding carries a "
+            "replayable schedule seed.",
+        ),
+        Rule(
+            "STM403",
+            "unexpected exception under some schedule",
+            Severity.ERROR,
+            "A scenario thread raised an unexpected exception under some "
+            "interleaving (e.g. an operation failed that sequentially "
+            "succeeds); the finding carries a replayable schedule seed.",
         ),
     ]
 }

@@ -1,0 +1,50 @@
+"""Schedule-exploring model checker for the STM kernel and runtime.
+
+The checker runs small, real STM workloads — actual
+:class:`~repro.runtime.cluster.Cluster` objects on the single-space
+shared-memory path — under a *deterministic cooperative scheduler*.
+Every lock acquire/release and event wait/set/clear the runtime performs
+(via the :mod:`repro.runtime.sync` factories) becomes a scheduling point,
+and the explorer enumerates the interleavings of those points with a DFS
+over thread choices, pruned by a sleep-set partial-order reduction and
+bounded by a schedule budget.
+
+A schedule is a sequence of thread indices; when a run violates a scenario
+invariant, raises unexpectedly, or deadlocks, the finding carries the
+schedule as a replayable *seed* (``"1.0.0.2.1..."``) that deterministically
+reproduces the failure — see :func:`replay`.
+
+Public surface:
+
+* :func:`explore` — exhaust one scenario's schedule space (up to a budget).
+* :func:`replay` — re-run one scenario under a recorded schedule seed.
+* :data:`SCENARIOS` — the bundled scenario suite (clean + seeded-bug).
+* ``python -m repro.analysis modelcheck`` — the CLI entry point.
+"""
+
+from repro.analysis.modelcheck.explorer import (
+    ExplorationResult,
+    explore,
+    replay,
+)
+from repro.analysis.modelcheck.scenarios import SCENARIOS, Scenario
+from repro.analysis.modelcheck.scheduler import (
+    DeadlockError,
+    InvariantViolation,
+    ModelEvent,
+    ModelLock,
+    Scheduler,
+)
+
+__all__ = [
+    "DeadlockError",
+    "ExplorationResult",
+    "InvariantViolation",
+    "ModelEvent",
+    "ModelLock",
+    "SCENARIOS",
+    "Scenario",
+    "Scheduler",
+    "explore",
+    "replay",
+]

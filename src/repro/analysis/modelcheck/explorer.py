@@ -1,0 +1,250 @@
+"""DFS schedule exploration with sleep-set partial-order reduction.
+
+The explorer is *stateless* (Verisoft-style): it cannot snapshot Python
+heap state, so every schedule is executed from scratch with a forced
+choice prefix, and the search tree is reconstructed from the determinism
+of the scenario.  A node of the tree is a scheduling step; it records the
+enabled thread set, each enabled thread's pending-operation footprint, the
+choices already explored, and its *sleep set*.
+
+Sleep sets (Godefroid) are the partial-order reduction: after fully
+exploring choice ``t`` at a node, ``t`` goes to sleep for the node's later
+branches, and a sleeping thread is only woken in a subtree by an operation
+*dependent* on its pending one.  Two operations are dependent iff they
+target the same primitive (same lock, same event); reordering two steps on
+disjoint primitives commutes, so schedules that differ only in such
+reorderings are explored once.  The reduction is sound for safety
+properties and deadlocks — every reachable state of the full tree is
+reached by some explored schedule.
+
+The schedule *budget* bounds the number of executions; hitting it means
+the space was sampled exhaustively-up-to-budget, which the result reports
+as ``exhausted=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+from repro.analysis.modelcheck.scheduler import (
+    DeadlockError,
+    InvariantViolation,
+    Op,
+    Scheduler,
+)
+from repro.analysis.modelcheck.scenarios import Scenario
+from repro.runtime import sync
+
+__all__ = ["ExplorationResult", "explore", "replay", "encode_seed", "decode_seed"]
+
+
+def encode_seed(scenario_name: str, schedule: list[int]) -> str:
+    """A replayable schedule seed: ``"<scenario>:<tid>.<tid>..."``."""
+    return f"{scenario_name}:" + ".".join(map(str, schedule))
+
+
+def decode_seed(seed: str) -> tuple[str, list[int]]:
+    name, _, tail = seed.partition(":")
+    schedule = [int(x) for x in tail.split(".") if x != ""]
+    return name, schedule
+
+
+@dataclass
+class _Node:
+    """One scheduling step of the current DFS path."""
+
+    enabled: list[int]
+    footprints: dict[int, int | None]
+    sleep: set[int]
+    tried: list[int] = field(default_factory=list)
+    #: sleep set inherited by the child of the most recent choice.
+    child_sleep: set[int] = field(default_factory=set)
+
+    def candidates(self) -> list[int]:
+        blocked = self.sleep.union(self.tried)
+        return [t for t in self.enabled if t not in blocked]
+
+
+@dataclass
+class _RunOutcome:
+    schedule: list[int]
+    violation: Finding | None = None
+
+
+@dataclass
+class ExplorationResult:
+    """What :func:`explore` found for one scenario."""
+
+    scenario: str
+    runs: int
+    #: True when the (reduced) schedule tree was fully explored.
+    exhausted: bool
+    finding: Finding | None = None
+
+    @property
+    def clean(self) -> bool:
+        return self.finding is None
+
+
+def _independent(fp_a: int | None, fp_b: int | None) -> bool:
+    """Operations commute iff they touch distinct primitives; unknown
+    footprints (START ops) conservatively conflict with everything."""
+    return fp_a is not None and fp_b is not None and fp_a != fp_b
+
+
+def _execute(
+    scenario: Scenario,
+    prefix: list[int],
+    stack: list[_Node] | None,
+) -> _RunOutcome:
+    """One schedule execution: force ``prefix``, then first-candidate DFS.
+
+    ``stack`` is the DFS path being (re)built; nodes for steps < len(stack)
+    already exist from the previous execution and are reused (determinism
+    makes them identical).  Pass ``stack=None`` for pure replay.
+    """
+    sched = Scheduler()
+    sync.install_factories(sched.make_lock, sched.make_event)
+    ctx = None
+    outcome = _RunOutcome(schedule=sched.trace)
+    try:
+        ctx = scenario.build()
+        for name, fn in scenario.threads(ctx):
+            sched.spawn(name, lambda fn=fn: fn(ctx))
+
+        pruned = False
+
+        def sticky(tids: list[int]) -> int:
+            """Prefer continuing the thread that just ran: DFS then explores
+            schedules in roughly increasing context-switch count, which
+            reaches real racy interleavings orders of magnitude sooner than
+            round-robin order."""
+            if sched.trace and sched.trace[-1] in tids:
+                return sched.trace[-1]
+            return tids[0]
+
+        def choose(enabled: list[tuple[int, Op]]) -> int:
+            nonlocal pruned
+            step = len(sched.trace)
+            tids = [t for t, _ in enabled]
+            fps = {t: op.footprint for t, op in enabled}
+            if step < len(prefix):
+                # Forced segment: the node (if tracked) already exists.
+                chosen = prefix[step]
+                if chosen not in fps:  # pragma: no cover - determinism guard
+                    raise RuntimeError(
+                        f"replay diverged at step {step}: thread {chosen} "
+                        f"not enabled (enabled: {tids})"
+                    )
+                if stack is not None and step < len(stack):
+                    node = stack[step]
+                    node.child_sleep = {
+                        u
+                        for u in node.sleep.union(t for t in node.tried
+                                                  if t != chosen)
+                        if u in fps
+                        and _independent(fps[u], fps[chosen])
+                    }
+                return chosen
+            if stack is None or pruned:
+                return sticky(tids)
+            # Fresh node: inherit the parent's child_sleep, drop sleepers
+            # that are no longer enabled (re-exploring them is redundant
+            # but sound; keeping a disabled sleeper is not worth tracking).
+            inherited = stack[step - 1].child_sleep if step > 0 else set()
+            sleep = {u for u in inherited if u in fps}
+            node = _Node(enabled=tids, footprints=fps, sleep=sleep)
+            choices = node.candidates()
+            if not choices:
+                # Sleep-blocked: every continuation is covered by an
+                # already-explored reordering.  Finish the run (the OS
+                # threads must complete) without growing the tree.
+                pruned = True
+                return sticky(tids)
+            chosen = sticky(choices)
+            node.tried.append(chosen)
+            node.child_sleep = {
+                u for u in node.sleep if _independent(fps[u], fps[chosen])
+            }
+            stack.append(node)
+            return chosen
+
+        def after_step() -> None:
+            scenario.step_invariant(ctx)
+
+        sched.run(choose, after_step)
+        scenario.final_invariant(ctx)
+    except DeadlockError as exc:
+        sched.abort()
+        outcome.violation = _finding(
+            scenario, "STM402", str(exc), sched.trace
+        )
+    except InvariantViolation as exc:
+        sched.abort()
+        outcome.violation = _finding(
+            scenario, "STM401", str(exc), sched.trace
+        )
+    except Exception as exc:  # noqa: BLE001 - any scenario crash is a finding
+        sched.abort()
+        outcome.violation = _finding(
+            scenario,
+            "STM403",
+            f"{type(exc).__name__}: {exc}",
+            sched.trace,
+        )
+    finally:
+        try:
+            if ctx is not None:
+                scenario.teardown(ctx)
+        finally:
+            sync.clear_factories()
+        sched.join_all()
+    return outcome
+
+
+def _finding(
+    scenario: Scenario, rule_id: str, message: str, schedule: list[int]
+) -> Finding:
+    seed = encode_seed(scenario.name, schedule)
+    return Finding(
+        rule_id,
+        file=f"modelcheck/{scenario.name}",
+        line=len(schedule),
+        message=f"{message} [seed {seed}]",
+        detail=f"replay: python -m repro.analysis replay {seed}",
+    )
+
+
+def explore(scenario: Scenario, budget: int = 500) -> ExplorationResult:
+    """DFS the scenario's schedule space; stop at the first violation or
+    after ``budget`` executions."""
+    stack: list[_Node] = []
+    prefix: list[int] = []
+    runs = 0
+    while runs < budget:
+        outcome = _execute(scenario, prefix, stack)
+        runs += 1
+        if outcome.violation is not None:
+            return ExplorationResult(
+                scenario.name, runs, exhausted=False, finding=outcome.violation
+            )
+        # Backtrack: deepest node with an untried, non-sleeping choice.
+        while stack:
+            node = stack[-1]
+            choices = node.candidates()
+            if choices:
+                chosen = choices[0]
+                node.tried.append(chosen)
+                prefix = [n.tried[-1] for n in stack[:-1]] + [chosen]
+                break
+            stack.pop()
+        else:
+            return ExplorationResult(scenario.name, runs, exhausted=True)
+    return ExplorationResult(scenario.name, runs, exhausted=False)
+
+
+def replay(scenario: Scenario, schedule: list[int]) -> Finding | None:
+    """Re-run one schedule; returns the violation it reproduces (or None)."""
+    outcome = _execute(scenario, schedule, stack=None)
+    return outcome.violation

@@ -1,0 +1,482 @@
+"""The bundled model-checking scenarios: clean suite + seeded bugs.
+
+Each scenario is a tiny, real STM workload: the *clean* ones drive an
+actual single-space :class:`~repro.runtime.cluster.Cluster` (no dispatcher
+threads, no GC daemon — every operation runs inline on a model thread, so
+the scheduler controls the complete thread set) and must hold their
+invariants under **every** explored interleaving.  The *seeded* ones
+(``expect_violation=True``) contain a deliberately broken synchronization
+pattern — a check-then-act put, a GC that ignores thread visibilities, a
+lost wakeup — and exist to prove the explorer finds such bugs and that
+their schedule seeds replay deterministically.
+
+Scenario fixtures are built on the controller thread (primitives touched
+there bypass the scheduler); Stampede threads are registered directly so
+their visibilities count toward GC from step zero, independent of when the
+model schedules their bodies.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Callable
+
+from repro.analysis.modelcheck.scheduler import InvariantViolation
+from repro.core.channel_state import ChannelKernel, Status
+from repro.core.time import INFINITY
+from repro.runtime.cluster import Cluster
+from repro.runtime.sync import make_event, make_lock
+from repro.runtime.threads import StampedeThread
+
+__all__ = ["Scenario", "SCENARIOS"]
+
+
+class Scenario:
+    """Base scenario: subclasses define build/threads/invariants."""
+
+    name: str = ""
+    description: str = ""
+    expect_violation: bool = False
+    #: default max schedule executions for :func:`~..explorer.explore`.
+    budget: int = 250
+
+    def build(self) -> SimpleNamespace:
+        raise NotImplementedError
+
+    def threads(
+        self, ctx: SimpleNamespace
+    ) -> list[tuple[str, Callable[[SimpleNamespace], None]]]:
+        raise NotImplementedError
+
+    def step_invariant(self, ctx: SimpleNamespace) -> None:
+        """Checked on the controller after every transition."""
+
+    def final_invariant(self, ctx: SimpleNamespace) -> None:
+        """Checked once every thread has finished."""
+
+    def teardown(self, ctx: SimpleNamespace) -> None:
+        cluster = getattr(ctx, "cluster", None)
+        if cluster is not None:
+            cluster.shutdown()
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvariantViolation(message)
+
+
+def _cluster_ctx(capacity: int | None = None) -> SimpleNamespace:
+    """A single-space cluster fixture fully under scheduler control."""
+    cluster = Cluster(n_spaces=1, gc_period=None, dispatchers=False)
+    space = cluster.space(0)
+    handle = space.create_channel(capacity=capacity)
+    return SimpleNamespace(
+        cluster=cluster, space=space, handle=handle, results=[]
+    )
+
+
+def _register_thread(ctx, name: str, virtual_time) -> StampedeThread:
+    """Create + register a Stampede thread without binding any OS thread.
+
+    Registration in build() (not in the body) means the thread's visibility
+    feeds gc_summary from the first transition — matching a real program,
+    where a thread exists before any schedule-dependent work it performs.
+    """
+    thread = StampedeThread(ctx.space, name, virtual_time)
+    ctx.space._threads[name] = thread
+    return thread
+
+
+def _kernel(ctx) -> ChannelKernel:
+    # Raw (lock-free) access for controller-side invariant checks: safe
+    # because invariants run between transitions, when no model thread is
+    # mid-critical-section *running* — state is frozen.
+    return ctx.space._channels[ctx.handle.channel_id].kernel
+
+
+# ---------------------------------------------------------------------------
+# clean scenarios
+# ---------------------------------------------------------------------------
+
+
+class PutGetConsume(Scenario):
+    """Concurrent put/get/consume on one channel.
+
+    Producer puts two refcount-1 items; consumer (blocking) gets and
+    consumes both.  Invariants: the consumer sees exactly the payloads in
+    timestamp order, and both items are eagerly reclaimed (§6).
+    """
+
+    name = "put-get-consume"
+    description = "concurrent put/get/consume on one channel"
+
+    def build(self):
+        ctx = _cluster_ctx()
+        producer = _register_thread(ctx, "producer", 0)
+        consumer = _register_thread(ctx, "consumer", 0)
+        ctx.out = ctx.space.attach(ctx.handle, is_input=False, thread=producer)
+        ctx.inp = ctx.space.attach(ctx.handle, is_input=True, thread=consumer)
+        return ctx
+
+    def threads(self, ctx):
+        def producer(ctx):
+            ctx.space.put(ctx.handle, ctx.out, 0, b"a", 1, refcount=1)
+            ctx.space.put(ctx.handle, ctx.out, 1, b"b", 1, refcount=1)
+
+        def consumer(ctx):
+            for ts in (0, 1):
+                payload, got_ts, _size = ctx.space.get(ctx.handle, ctx.inp, ts)
+                ctx.results.append((got_ts, payload))
+                ctx.space.consume(ctx.handle, ctx.inp, ts)
+
+        return [("producer", producer), ("consumer", consumer)]
+
+    def final_invariant(self, ctx):
+        _require(
+            ctx.results == [(0, b"a"), (1, b"b")],
+            f"consumer saw {ctx.results!r}, expected items 0:a and 1:b in order",
+        )
+        _require(
+            len(_kernel(ctx)) == 0,
+            "refcount-1 items not reclaimed after both consumes",
+        )
+
+
+class ConsumeVsGcEpoch(Scenario):
+    """A consume racing a full GC epoch (GcDaemon.run_once).
+
+    The §4.2 guarantee under test: the horizon folds thread visibilities
+    and channel unconsumed-minima, so the GC round must never reclaim the
+    item the consumer is entitled to get, at any interleaving point.
+    """
+
+    name = "consume-vs-gc-epoch"
+    description = "consume racing a GC epoch (GcDaemon.run_once)"
+
+    def build(self):
+        ctx = _cluster_ctx()
+        ctx.producer_t = _register_thread(ctx, "producer", 0)
+        ctx.consumer_t = _register_thread(ctx, "consumer", 0)
+        ctx.out = ctx.space.attach(ctx.handle, is_input=False, thread=ctx.producer_t)
+        ctx.inp = ctx.space.attach(ctx.handle, is_input=True, thread=ctx.consumer_t)
+        ctx.put_done = [False, False]
+        ctx.consumed0 = False
+        return ctx
+
+    def threads(self, ctx):
+        def producer(ctx):
+            ctx.space.put(ctx.handle, ctx.out, 0, b"a", 1)
+            ctx.put_done[0] = True
+            ctx.space.put(ctx.handle, ctx.out, 1, b"b", 1)
+            ctx.put_done[1] = True
+            ctx.producer_t.set_virtual_time(INFINITY)
+
+        def consumer(ctx):
+            payload, ts, _size = ctx.space.get(ctx.handle, ctx.inp, 0)
+            ctx.results.append((ts, payload))
+            ctx.space.consume(ctx.handle, ctx.inp, 0)
+            ctx.consumed0 = True
+            ctx.consumer_t.set_virtual_time(1)
+
+        def gc(ctx):
+            ctx.horizon = ctx.cluster.gc_once()
+
+        return [("producer", producer), ("consumer", consumer), ("gc", gc)]
+
+    def step_invariant(self, ctx):
+        kernel = _kernel(ctx)
+        _require(
+            not ctx.put_done[0] or ctx.consumed0 or 0 in kernel.items,
+            "GC reclaimed item ts=0 while still unconsumed (§4.2 violation)",
+        )
+        _require(
+            not ctx.put_done[1] or 1 in kernel.items,
+            "GC reclaimed item ts=1 while still unconsumed (§4.2 violation)",
+        )
+
+    def final_invariant(self, ctx):
+        _require(ctx.results == [(0, b"a")], f"consumer saw {ctx.results!r}")
+        _require(
+            1 in _kernel(ctx).items,
+            "unconsumed item ts=1 missing after the GC epoch",
+        )
+
+
+class DetachVsReclaim(Scenario):
+    """An input detach racing the eager refcount reclaim of §6.
+
+    Consumer A's consume drops the declared refcount to zero and reclaims
+    the item while consumer B detaches its own view of the same channel.
+    Both orders must commute: no exception, empty channel, no input views.
+    """
+
+    name = "detach-vs-reclaim"
+    description = "input detach racing eager refcount reclaim"
+
+    def build(self):
+        ctx = _cluster_ctx()
+        producer = _register_thread(ctx, "producer", 0)
+        thread_a = _register_thread(ctx, "a", 0)
+        thread_b = _register_thread(ctx, "b", 0)
+        out = ctx.space.attach(ctx.handle, is_input=False, thread=producer)
+        ctx.conn_a = ctx.space.attach(ctx.handle, is_input=True, thread=thread_a)
+        ctx.conn_b = ctx.space.attach(ctx.handle, is_input=True, thread=thread_b)
+        ctx.space.put(ctx.handle, out, 0, b"x", 1, refcount=1)
+        return ctx
+
+    def threads(self, ctx):
+        def consume_a(ctx):
+            payload, ts, _size = ctx.space.get(ctx.handle, ctx.conn_a, 0)
+            ctx.results.append((ts, payload))
+            ctx.space.consume(ctx.handle, ctx.conn_a, 0)
+
+        def detach_b(ctx):
+            ctx.space.detach(ctx.handle, ctx.conn_b)
+
+        return [("consume-a", consume_a), ("detach-b", detach_b)]
+
+    def final_invariant(self, ctx):
+        kernel = _kernel(ctx)
+        _require(ctx.results == [(0, b"x")], f"consumer A saw {ctx.results!r}")
+        _require(len(kernel) == 0, "refcount-0 item survived the consume")
+        _require(
+            ctx.conn_b not in kernel.inputs,
+            "detached connection still attached",
+        )
+
+
+class BoundedPutVsGet(Scenario):
+    """A blocking put on a full bounded channel racing the get/consume
+    that makes room.
+
+    Exercises the park/targeted-wakeup path: the blocked put parks on a
+    CHANNEL_FULL waiter; the consume must complete it (and the completed
+    put must then satisfy a parked get, the drain cascade).  Deadlock
+    freedom across all interleavings is the implicit property.
+    """
+
+    name = "bounded-put-vs-get"
+    description = "bounded-channel blocking put racing get/consume"
+
+    def build(self):
+        ctx = _cluster_ctx(capacity=1)
+        producer = _register_thread(ctx, "producer", 0)
+        consumer = _register_thread(ctx, "consumer", 0)
+        ctx.out = ctx.space.attach(ctx.handle, is_input=False, thread=producer)
+        ctx.inp = ctx.space.attach(ctx.handle, is_input=True, thread=consumer)
+        return ctx
+
+    def threads(self, ctx):
+        def producer(ctx):
+            ctx.space.put(ctx.handle, ctx.out, 0, b"a", 1, refcount=1)
+            # Blocks whenever ts=0 still occupies the single slot.
+            ctx.space.put(ctx.handle, ctx.out, 1, b"b", 1, refcount=1)
+
+        def consumer(ctx):
+            for ts in (0, 1):
+                payload, got_ts, _size = ctx.space.get(ctx.handle, ctx.inp, ts)
+                ctx.results.append((got_ts, payload))
+                ctx.space.consume(ctx.handle, ctx.inp, ts)
+
+        return [("producer", producer), ("consumer", consumer)]
+
+    def step_invariant(self, ctx):
+        _require(
+            len(_kernel(ctx)) <= 1,
+            "bounded channel exceeded its capacity of 1",
+        )
+
+    def final_invariant(self, ctx):
+        _require(
+            ctx.results == [(0, b"a"), (1, b"b")],
+            f"consumer saw {ctx.results!r}, expected 0:a then 1:b",
+        )
+        _require(len(_kernel(ctx)) == 0, "items not reclaimed")
+
+
+class GcHorizonMonotonic(Scenario):
+    """Two concurrent horizon applies must keep the watermark monotone.
+
+    Regression scenario for the ``_gc_horizon_applied`` lost-update race:
+    an explicit gc_once round racing the periodic daemon's apply could
+    write a *lower* watermark over a higher one (read-modify-write without
+    a lock), making later rounds re-collect.  Fixed by
+    ``AddressSpace._gc_horizon_lock``.
+    """
+
+    name = "gc-horizon-monotonic"
+    description = "concurrent GC applies keep the horizon watermark monotone"
+
+    def build(self):
+        ctx = _cluster_ctx()
+        ctx.max_seen = 0
+        return ctx
+
+    def threads(self, ctx):
+        def apply_low(ctx):
+            ctx.space.apply_gc_horizon(1)
+
+        def apply_high(ctx):
+            ctx.space.apply_gc_horizon(2)
+
+        return [("apply-low", apply_low), ("apply-high", apply_high)]
+
+    def step_invariant(self, ctx):
+        applied = ctx.space._gc_horizon_applied
+        _require(
+            applied >= ctx.max_seen,
+            f"gc horizon watermark went backwards: {ctx.max_seen} -> {applied}",
+        )
+        ctx.max_seen = max(ctx.max_seen, applied)
+
+    def final_invariant(self, ctx):
+        _require(
+            ctx.space._gc_horizon_applied == 2,
+            f"final watermark {ctx.space._gc_horizon_applied}, expected 2",
+        )
+
+
+# ---------------------------------------------------------------------------
+# seeded-bug scenarios (expect_violation=True)
+# ---------------------------------------------------------------------------
+
+
+class SeededAtomicityBreak(Scenario):
+    """Check-then-act put: capacity test and insert in separate critical
+    sections.  Two producers race a capacity-1 kernel; the stale check
+    lets the loser's put hit a full channel."""
+
+    name = "seeded-atomicity-break"
+    description = "two-phase capacity check/insert put (TOCTOU)"
+    expect_violation = True
+    budget = 100
+
+    def build(self):
+        kernel = ChannelKernel(0, capacity=1)
+        kernel.attach_output(1)
+        kernel.attach_output(2)
+        return SimpleNamespace(kernel=kernel, lock=make_lock("LocalChannel.lock"))
+
+    def threads(self, ctx):
+        def producer(ctx, conn_id):
+            with ctx.lock:
+                full = len(ctx.kernel) >= 1
+            if full:
+                return
+            # BUG: the capacity check above is stale by the time the put
+            # runs — atomicity of check+insert is broken across the two
+            # critical sections.
+            with ctx.lock:
+                result = ctx.kernel.put(conn_id, conn_id, b"x", 1)
+                if result.status is not Status.OK:
+                    raise InvariantViolation(
+                        "put hit a full channel after the capacity check "
+                        "passed: check-then-act atomicity break"
+                    )
+
+        return [
+            ("producer-1", lambda c: producer(c, 1)),
+            ("producer-2", lambda c: producer(c, 2)),
+        ]
+
+    def teardown(self, ctx):
+        pass
+
+
+class SeededGcReclaimsLive(Scenario):
+    """A GC round that snapshots the channel minimum but ignores thread
+    visibilities, then applies the stale horizon after a put landed —
+    reclaiming an item its producer is still entitled to get (§4.2
+    explains exactly why the real protocol folds visibilities)."""
+
+    name = "seeded-gc-reclaims-live"
+    description = "stale-horizon GC reclaims a live item"
+    expect_violation = True
+    # The violating interleaving needs three context switches (snapshot /
+    # put / apply / get); deepest-first DFS reaches it around run ~230.
+    budget = 600
+
+    def build(self):
+        ctx = _cluster_ctx()
+        worker = _register_thread(ctx, "worker", 0)
+        ctx.out = ctx.space.attach(ctx.handle, is_input=False, thread=worker)
+        ctx.inp = ctx.space.attach(ctx.handle, is_input=True, thread=worker)
+        return ctx
+
+    def threads(self, ctx):
+        def worker(ctx):
+            ctx.space.put(ctx.handle, ctx.out, 5, b"frame", 5)
+            payload, ts, _size = ctx.space.get(ctx.handle, ctx.inp, 5)
+            ctx.results.append((ts, payload))
+            ctx.space.consume(ctx.handle, ctx.inp, 5)
+
+        def bad_gc(ctx):
+            channel = ctx.space._channels[ctx.handle.channel_id]
+            with channel.lock:
+                # BUG: the horizon is just the channel's unconsumed min —
+                # thread visibilities are ignored, so an empty channel
+                # yields INFINITY ("collect everything")...
+                horizon = channel.kernel.unconsumed_min()
+            # ...and by the time it is applied, the worker's put (licensed
+            # by its visibility of 0) may have landed below it.
+            ctx.space.apply_gc_horizon(horizon)
+
+        return [("worker", worker), ("bad-gc", bad_gc)]
+
+    def final_invariant(self, ctx):
+        _require(ctx.results == [(5, b"frame")], f"worker saw {ctx.results!r}")
+
+
+class SeededLostWakeup(Scenario):
+    """The classic lost wakeup: the waiter re-checks its condition outside
+    the lock and clears the event *after* the producer may already have
+    set it, then waits forever."""
+
+    name = "seeded-lost-wakeup"
+    description = "clear-after-check waiter loses the producer's wakeup"
+    expect_violation = True
+    budget = 100
+
+    def build(self):
+        return SimpleNamespace(
+            lock=make_lock("lw.lock"), event=make_event(), items=[]
+        )
+
+    def threads(self, ctx):
+        def waiter(ctx):
+            with ctx.lock:
+                have = bool(ctx.items)
+            if not have:
+                # BUG: the producer's set() can land between the check
+                # above and this clear(), which then erases the only
+                # wakeup the waiter will ever get.
+                ctx.event.clear()
+                ctx.event.wait()
+            with ctx.lock:
+                if not ctx.items:
+                    raise InvariantViolation("woken without an item")
+
+        def producer(ctx):
+            with ctx.lock:
+                ctx.items.append(1)
+            ctx.event.set()
+
+        return [("waiter", waiter), ("producer", producer)]
+
+    def teardown(self, ctx):
+        pass
+
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in [
+        PutGetConsume(),
+        ConsumeVsGcEpoch(),
+        DetachVsReclaim(),
+        BoundedPutVsGet(),
+        GcHorizonMonotonic(),
+        SeededAtomicityBreak(),
+        SeededGcReclaimsLive(),
+        SeededLostWakeup(),
+    ]
+}

@@ -152,6 +152,18 @@ class _ScopeWalker:
                 if isinstance(ctx, ast.Name):
                     self._event("detach", ctx.id, ctx.lineno, path)
                     self._recognized.add(id(ctx))
+                    continue
+                # ``[async] with attach_input(...) as conn:`` — the context
+                # manager detaches on exit, so the connection is attached
+                # *and* detached right here.  Events inside the body nest
+                # under this path and therefore never count as after the
+                # detach; later sibling statements do (STM203 still works).
+                kind = self._attach_kind(self._unwrap(ctx))
+                if kind is not None and isinstance(item.optional_vars, ast.Name):
+                    var = item.optional_vars.id
+                    self.scope.conns[var] = _Conn(var, kind, ctx.lineno)
+                    self._event("attach", var, ctx.lineno, path)
+                    self._event("detach", var, ctx.lineno, path)
         # expression-level events within this statement
         for node in self._iter_exprs(stmt):
             if isinstance(node, ast.Call):
@@ -421,6 +433,10 @@ def _check_scope(walker: _ScopeWalker, src: SourceFile) -> list[Finding]:
             if use_var != item_var:
                 continue
             for consume in consumes:
+                # a consume at an item-binding statement is a get_consume:
+                # the binding owns a copy, not a reclaimable reference
+                if any(bind_path == consume.path for _ln, bind_path in binds):
+                    continue
                 if not walker.strictly_precedes(consume.path, use_path):
                     continue
                 # a re-bind between the consume and the use resets the item

@@ -37,6 +37,7 @@ import threading
 import traceback
 from typing import Any
 
+from repro.analysis import racecheck
 from repro.analysis.findings import Finding
 from repro.errors import StmSanError
 
@@ -169,12 +170,15 @@ class SanLock:
     matter which instances exhibit it.
     """
 
-    __slots__ = ("name", "_raw", "_owner")
+    #: _rc_vc is the race detector's published clock (repro.analysis
+    #: .racecheck); living on the lock keeps its lifetime exactly right.
+    __slots__ = ("name", "_raw", "_owner", "_rc_vc")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._raw = threading.Lock()
         self._owner: int | None = None
+        self._rc_vc = None
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
         me = threading.get_ident()
@@ -194,6 +198,7 @@ class SanLock:
         if got:
             self._owner = me
             held.append(self)
+            racecheck.lock_acquired(self)
         return got
 
     def _note_order(self, held: list["SanLock"]) -> None:
@@ -226,6 +231,7 @@ class SanLock:
                 _edge_site.setdefault(edge, site)
 
     def release(self) -> None:
+        racecheck.lock_released(self)
         self._owner = None
         held = _held()
         for i in range(len(held) - 1, -1, -1):
@@ -264,12 +270,18 @@ def san_lock(name: str) -> Any:
 # ---------------------------------------------------------------------------
 
 
+#: kernel methods monitored as *reads* by the race detector (STM304).
+KERNEL_READERS = ("unconsumed_min", "timestamps", "oldest", "latest")
+
+
 def guard_kernel(kernel: Any, lock: Any) -> None:
     """Wrap ``kernel``'s mutating methods (per instance) so each call
-    asserts the owning channel lock is held.  No-op unless the sanitizer
+    asserts the owning channel lock is held, and feed every monitored
+    access to the vector-clock race detector.  No-op unless the sanitizer
     created ``lock`` (i.e. it is a SanLock)."""
     if not isinstance(lock, SanLock):
         return
+    var_name = f"ChannelKernel#{getattr(kernel, 'channel_id', '?')}"
     for name in KERNEL_MUTATORS:
         method = getattr(kernel, name, None)
         if method is None:
@@ -282,9 +294,28 @@ def guard_kernel(kernel: Any, lock: Any) -> None:
                     f"ChannelKernel.{__n} called without holding "
                     f"'{lock.name}'",
                 )
+            if racecheck.enabled():
+                file, line, _stack = _call_site()
+                racecheck.on_write(
+                    kernel, var_name, f"{__n} at {file}:{line}"
+                )
             return __m(*args, **kwargs)
 
         setattr(kernel, name, guarded)
+    for name in KERNEL_READERS:
+        method = getattr(kernel, name, None)
+        if method is None:
+            continue
+
+        def reading(*args: Any, __m=method, __n=name, **kwargs: Any) -> Any:
+            if racecheck.enabled():
+                file, line, _stack = _call_site()
+                racecheck.on_read(
+                    kernel, var_name, f"{__n} at {file}:{line}"
+                )
+            return __m(*args, **kwargs)
+
+        setattr(kernel, name, reading)
 
 
 # ---------------------------------------------------------------------------
@@ -363,5 +394,9 @@ def _on_reclaim(kernel: Any, timestamp: int, record: Any) -> None:
     )
 
 
-if os.environ.get("STMSAN", "") not in ("", "0"):
+_stmsan_env = os.environ.get("STMSAN", "")
+if _stmsan_env not in ("", "0"):
     enable()
+    # STMSAN=race additionally turns on the vector-clock race detector.
+    if _stmsan_env == "race":
+        racecheck.enable()

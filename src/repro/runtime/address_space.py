@@ -34,7 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, ClassVar
 
-from repro.analysis.sanitizer import guard_kernel, san_lock
+from repro.analysis.sanitizer import guard_kernel
 from repro.core.channel_state import BlockReason, ChannelKernel, Status
 from repro.core.flags import GetWildcard, UNKNOWN_REFCOUNT
 from repro.core.gc_state import LocalGCSummary
@@ -69,6 +69,7 @@ from repro.runtime.messages import (
     ShutdownMsg,
     SpawnReq,
 )
+from repro.runtime.sync import make_event, make_lock
 from repro.runtime.threads import StampedeThread, current_thread
 from repro.transport.clf import ClfEndpoint
 from repro.transport.serialization import (
@@ -131,7 +132,7 @@ class LocalChannel:
     def __init__(self, kernel: ChannelKernel, handle: ChannelHandle):
         self.kernel = kernel
         self.handle = handle
-        self.lock = san_lock("LocalChannel.lock")
+        self.lock = make_lock("LocalChannel.lock")
         guard_kernel(kernel, self.lock)  # STMSAN only; no-op otherwise
         self.put_waiters: list[_Waiter] = []  # blocked on CHANNEL_FULL
         self.get_waiters: list[_Waiter] = []  # blocked on NO_MATCHING_ITEM
@@ -183,29 +184,36 @@ class AddressSpace:
         self._conn_ids = IdAllocator(space_id, n)
         self._call_ids = IdAllocator(space_id, n)
         self._channels: dict[int, LocalChannel] = {}
-        self._channels_lock = san_lock("AddressSpace.channels")
+        self._channels_lock = make_lock("AddressSpace.channels")
         self._threads: dict[str, StampedeThread] = {}
-        self._threads_lock = san_lock("AddressSpace.threads")
+        self._threads_lock = make_lock("AddressSpace.threads")
         self._thread_seq = IdAllocator(0, 1)
         self._calls: dict[int, _Call] = {}
-        self._calls_lock = san_lock("AddressSpace.calls")
+        self._calls_lock = make_lock("AddressSpace.calls")
         self._parked_index: dict[int, LocalChannel] = {}  # call_id -> channel
+        # The parked index is touched by the dispatcher (_serve_cancel) and
+        # by whatever thread drains a waiter, under *different* channel
+        # locks — it needs its own lock (found by repro.analysis.modelcheck).
+        self._parked_lock = make_lock("AddressSpace.parked")
         self._pending_joins: dict[str, list[tuple[int, int]]] = {}
         # registry space only:
         self._names: dict[str, ChannelHandle] = {}
         self._name_waiters: dict[str, list[tuple[int, int]]] = {}
-        self._registry_lock = san_lock("AddressSpace.registry")
+        self._registry_lock = make_lock("AddressSpace.registry")
         self._gc_horizon_applied: VirtualTime = 0
+        # Guards the horizon watermark: concurrent GC applies (daemon round
+        # racing an explicit gc_once) would otherwise lose the max-update.
+        self._gc_horizon_lock = make_lock("AddressSpace.gc_horizon")
         #: (channel_id, timestamp) -> (payload, size): items eagerly pushed
         #: here by push-enabled channel homes (§9).
         self._push_cache: dict[tuple[int, int], tuple[Any, int]] = {}
-        self._push_cache_lock = san_lock("AddressSpace.push_cache")
+        self._push_cache_lock = make_lock("AddressSpace.push_cache")
         self._dispatcher: threading.Thread | None = None
         self._running = False
         #: connections attached by threads of this space: conn_id ->
         #: (handle, thread) — used to auto-detach on thread exit.
         self._conn_owner: dict[int, tuple[ChannelHandle, StampedeThread]] = {}
-        self._conn_owner_lock = san_lock("AddressSpace.conn_owner")
+        self._conn_owner_lock = make_lock("AddressSpace.conn_owner")
 
     # ==================================================================
     # lifecycle
@@ -290,7 +298,8 @@ class AddressSpace:
         self._reply_value(req.src_space, req.call_id, result)
 
     def _serve_cancel(self, msg: RpcCancel) -> None:
-        channel = self._parked_index.pop(msg.call_id, None)
+        with self._parked_lock:
+            channel = self._parked_index.pop(msg.call_id, None)
         if channel is None:
             return  # already completed; the reply won the race
         with channel.lock:
@@ -561,7 +570,8 @@ class AddressSpace:
         else:  # NO_MATCHING_ITEM
             channel.get_waiters.append(waiter)
         if waiter.call_id is not None:
-            self._parked_index[waiter.call_id] = channel
+            with self._parked_lock:
+                self._parked_index[waiter.call_id] = channel
 
     def _drain_locked(self, channel: LocalChannel, *,
                       puts: bool, gets: bool) -> None:
@@ -628,7 +638,8 @@ class AddressSpace:
             waiter.result = value
             waiter.event.set()
         else:
-            self._parked_index.pop(waiter.call_id, None)
+            with self._parked_lock:
+                self._parked_index.pop(waiter.call_id, None)
             self._reply_value(waiter.src_space, waiter.call_id, value)
 
     def _fail_waiter(self, channel: LocalChannel, waiter: _Waiter,
@@ -639,7 +650,8 @@ class AddressSpace:
             waiter.error = error
             waiter.event.set()
         else:
-            self._parked_index.pop(waiter.call_id, None)
+            with self._parked_lock:
+                self._parked_index.pop(waiter.call_id, None)
             self._reply_error(waiter.src_space, waiter.call_id, error)
 
     def _maybe_push(self, channel: LocalChannel, timestamp: int) -> None:
@@ -713,7 +725,7 @@ class AddressSpace:
                     f"channel {body.channel_id} is full "
                     f"(capacity {channel.kernel.capacity})"
                 )
-            waiter = _Waiter(body, event=threading.Event())
+            waiter = _Waiter(body, event=make_event())
             self._park(channel, waiter, result.reason)
         return self._await_local(channel, waiter, timeout, "put")
 
@@ -728,7 +740,7 @@ class AddressSpace:
                     f"no item matching {body.request!r} in channel "
                     f"{body.channel_id}; neighbours {result.timestamp_range}"
                 )
-            waiter = _Waiter(body, event=threading.Event())
+            waiter = _Waiter(body, event=make_event())
             self._park(channel, waiter, result.reason)
         return self._await_local(channel, waiter, timeout, "get")
 
@@ -1134,8 +1146,9 @@ class AddressSpace:
 
     def apply_gc_horizon(self, horizon: VirtualTime) -> int:
         """Collect items below ``horizon`` in every local channel."""
-        if horizon is not INFINITY and horizon <= self._gc_horizon_applied:
-            return 0
+        with self._gc_horizon_lock:
+            if horizon is not INFINITY and horizon <= self._gc_horizon_applied:
+                return 0
         with self._push_cache_lock:
             if horizon is INFINITY:
                 self._push_cache.clear()
@@ -1158,7 +1171,10 @@ class AddressSpace:
                     # instead of blocking forever.
                     self._drain_locked(channel, puts=True, gets=True)
         if horizon is not INFINITY:
-            self._gc_horizon_applied = max(self._gc_horizon_applied, int(horizon))
+            with self._gc_horizon_lock:
+                self._gc_horizon_applied = max(
+                    self._gc_horizon_applied, int(horizon)
+                )
         return collected
 
 

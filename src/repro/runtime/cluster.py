@@ -45,6 +45,11 @@ class Cluster:
         the daemon (tests then drive :meth:`gc_once` explicitly).
     registry_space:
         Which space hosts the channel name registry (default 0).
+    dispatchers:
+        Start the per-space dispatcher threads (default True).  A
+        single-space cluster serves every operation inline on the calling
+        thread, so the model checker runs with ``dispatchers=False`` to
+        keep the thread set fully under its control.
     """
 
     def __init__(
@@ -55,6 +60,7 @@ class Cluster:
         gc_period: float | None = 0.05,
         registry_space: int = 0,
         mtu: int = CLF_MTU,
+        dispatchers: bool = True,
     ):
         if not 0 <= registry_space < n_spaces:
             raise ValueError(
@@ -70,9 +76,12 @@ class Cluster:
         ]
         self._named_handles: dict[str, ChannelHandle] = {}
         self._named_lock = threading.Lock()
-        for space in self._spaces:
-            space.start()
+        if dispatchers:
+            for space in self._spaces:
+                space.start()
         self.gc_daemon: GcDaemon | None = None
+        self._fallback_gc_daemon: GcDaemon | None = None
+        self._fallback_gc_lock = threading.Lock()
         if gc_period is not None:
             self.gc_daemon = GcDaemon(self, period=gc_period)
             self.gc_daemon.start()
@@ -88,7 +97,16 @@ class Cluster:
 
     def gc_once(self):
         """Run one synchronous GC round (mainly for tests and examples)."""
-        daemon = self.gc_daemon or GcDaemon(self, period=1.0)
+        # Reuse one fallback daemon when the periodic one is disabled:
+        # GcDaemon._lock serializes whole rounds, and a fresh daemon per
+        # call would defeat that (two concurrent gc_once rounds would
+        # interleave their scatter/gather phases).
+        daemon = self.gc_daemon
+        if daemon is None:
+            with self._fallback_gc_lock:
+                daemon = self._fallback_gc_daemon
+                if daemon is None:
+                    daemon = self._fallback_gc_daemon = GcDaemon(self, period=1.0)
         return daemon.run_once()
 
     # -- named-handle cache: avoids re-asking the registry for every lookup.

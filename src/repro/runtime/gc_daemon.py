@@ -37,10 +37,10 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
-from repro.analysis.sanitizer import san_lock
 from repro.core.gc_state import merge_summaries
 from repro.core.time import INFINITY, VirtualTime
 from repro.runtime.messages import GcApplyReq, GcSummaryReq
+from repro.runtime.sync import make_lock
 
 __all__ = ["GcStats", "GcDaemon"]
 
@@ -72,7 +72,7 @@ class GcDaemon:
         self._epoch = 0
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
-        self._lock = san_lock("GcDaemon.lock")
+        self._lock = make_lock("GcDaemon.lock")
 
     # ------------------------------------------------------------------
     def start(self) -> None:

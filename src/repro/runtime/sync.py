@@ -1,0 +1,63 @@
+"""Synchronization-primitive factories for the runtime.
+
+Every lock and event the runtime creates goes through :func:`make_lock` /
+:func:`make_event` instead of calling ``threading`` directly.  By default
+the factories delegate to the sanitizer's :func:`~repro.analysis.sanitizer
+.san_lock` (plain ``threading.Lock`` unless ``STMSAN=1``) and to
+``threading.Event``, so production behaviour is unchanged.
+
+The indirection exists for :mod:`repro.analysis.modelcheck`: the model
+checker installs factories that return cooperative ``ModelLock`` /
+``ModelEvent`` objects whose acquire/release/wait/set calls are scheduler
+yield points, which is what lets it explore thread interleavings of real
+runtime code deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.analysis.sanitizer import san_lock
+
+__all__ = ["make_lock", "make_event", "install_factories", "clear_factories"]
+
+_lock_factory: Callable[[str], Any] | None = None
+_event_factory: Callable[[], Any] | None = None
+
+
+def make_lock(name: str) -> Any:
+    """A mutual-exclusion lock for runtime-internal state.
+
+    ``name`` identifies the lock *class* (used by the sanitizer's
+    lock-order graph and by the model checker's independence relation).
+    """
+    if _lock_factory is not None:
+        return _lock_factory(name)
+    return san_lock(name)
+
+
+def make_event() -> Any:
+    """An event for blocking waits (e.g. parked local channel waiters)."""
+    if _event_factory is not None:
+        return _event_factory()
+    return threading.Event()
+
+
+def install_factories(
+    lock_factory: Callable[[str], Any] | None,
+    event_factory: Callable[[], Any] | None,
+) -> None:
+    """Override the primitive factories (model checker only).
+
+    Affects primitives created *after* the call; live objects keep whatever
+    implementation they were born with.
+    """
+    global _lock_factory, _event_factory
+    _lock_factory = lock_factory
+    _event_factory = event_factory
+
+
+def clear_factories() -> None:
+    """Restore the default (sanitizer-aware) factories."""
+    install_factories(None, None)

@@ -24,9 +24,9 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Callable
 
-from repro.analysis.sanitizer import san_lock
 from repro.core.time import INFINITY, VirtualTime, vt_lt, vt_min
 from repro.errors import StampedeError, VirtualTimeError, VisibilityError
+from repro.runtime.sync import make_lock
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.address_space import AddressSpace
@@ -74,7 +74,7 @@ class StampedeThread:
             )
         self.space = space
         self.name = name
-        self._lock = san_lock("StampedeThread.lock")
+        self._lock = make_lock("StampedeThread.lock")
         self._virtual_time: VirtualTime = virtual_time
         #: (channel_id, conn_id, timestamp) triples currently open.
         self._open: set[tuple[int, int, int]] = set()

@@ -1,0 +1,49 @@
+"""Context-managed attach lifecycles: ``with attach(...) as conn:``.
+
+The context manager detaches on exit, so STM205 (attach without detach)
+must stay silent for every connection below; rules that order events
+(STM201, STM203) still apply inside and after the block.
+"""
+
+from repro.core import STM_LATEST_UNSEEN
+
+
+def with_attach_is_detached(channel):
+    with channel.attach_input() as inp:
+        item = inp.get(STM_LATEST_UNSEEN)
+        value = item.value
+        inp.consume_until(item.timestamp)
+        return value
+
+
+def with_attach_output(channel, frames):
+    with channel.attach_output() as out:
+        for ts, frame in enumerate(frames):
+            out.put(ts, frame)
+
+
+async def async_with_attach(channel):
+    async with channel.attach_input() as inp:
+        item = inp.get(STM_LATEST_UNSEEN)
+        value = item.value
+        inp.consume_until(item.timestamp)
+        return value
+
+
+def with_attach_both(channel_a, channel_b):
+    with channel_a.attach_input() as inp, channel_b.attach_output() as out:
+        item = inp.get(STM_LATEST_UNSEEN)
+        out.put(item.timestamp, item.value)
+        inp.consume_until(item.timestamp)
+
+
+def with_attach_get_without_consume(channel):
+    with channel.attach_input() as inp:
+        item = inp.get(STM_LATEST_UNSEEN)  # VIOLATION: STM201
+        return item.value
+
+
+def put_after_with_block(channel, frame):
+    with channel.attach_output() as out:
+        out.put(0, frame)
+    out.put(1, frame)  # VIOLATION: STM203

@@ -1,0 +1,156 @@
+"""The vector-clock race detector: clocks, lock edges, STM304/305."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.analysis import racecheck, sanitizer
+from repro.analysis.racecheck import VectorClock
+from repro.core.channel_state import ChannelKernel
+
+
+@pytest.fixture
+def racing():
+    """Enable detector + sanitizer for one test; pristine state on both
+    sides so suite-level STMSAN settings are preserved."""
+    was_san = sanitizer.enabled()
+    racecheck.enable()
+    sanitizer.reset()
+    racecheck.reset()
+    try:
+        yield racecheck
+    finally:
+        racecheck.disable()
+        racecheck.reset()
+        if not was_san:
+            sanitizer.disable()
+        sanitizer.reset()
+
+
+def rules(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+# ---------------------------------------------------------------------------
+# vector clocks
+# ---------------------------------------------------------------------------
+
+
+def test_vector_clock_join_and_tick():
+    a = VectorClock({1: 3})
+    b = VectorClock({1: 1, 2: 5})
+    a.join(b)
+    assert a.clocks == {1: 3, 2: 5}
+    a.tick(1)
+    assert a.time_of(1) == 4
+    assert a.time_of(99) == 0
+
+
+def test_vector_clock_copy_is_independent():
+    a = VectorClock({1: 1})
+    b = a.copy()
+    b.tick(1)
+    assert a.time_of(1) == 1 and b.time_of(1) == 2
+
+
+# ---------------------------------------------------------------------------
+# lock-induced happens-before
+# ---------------------------------------------------------------------------
+
+
+def _run_pair(first, second):
+    """Run ``first`` then (after it finishes) ``second`` on real threads."""
+    t1 = threading.Thread(target=first)
+    t1.start()
+    t1.join()
+    t2 = threading.Thread(target=second)
+    t2.start()
+    t2.join()
+
+
+def test_same_lock_handoff_orders_accesses(racing):
+    kernel = ChannelKernel(0)
+    lock = sanitizer.san_lock("chan")
+    sanitizer.guard_kernel(kernel, lock)
+
+    def attach(conn):
+        def body():
+            with lock:
+                kernel.attach_output(conn)
+
+        return body
+
+    _run_pair(attach(1), attach(2))
+    assert racecheck.findings() == []
+
+
+def test_different_locks_are_an_stm305_race(racing):
+    kernel = ChannelKernel(0)
+    lock_a = sanitizer.san_lock("chan.A")
+    lock_b = sanitizer.san_lock("chan.B")
+    sanitizer.guard_kernel(kernel, lock_a)
+
+    def mutate(lock, conn):
+        def body():
+            with lock:
+                kernel.attach_output(conn)
+
+        return body
+
+    # Sequential in wall-clock time, but no common lock: no
+    # happens-before edge, hence a (write/write) race.
+    _run_pair(mutate(lock_a, 1), mutate(lock_b, 2))
+    assert "STM305" in rules(racecheck.findings())
+
+
+def test_unlocked_read_against_locked_write_is_stm304(racing):
+    kernel = ChannelKernel(0)
+    lock = sanitizer.san_lock("chan")
+    sanitizer.guard_kernel(kernel, lock)
+
+    def write():
+        with lock:
+            kernel.attach_output(1)
+
+    def read():
+        kernel.unconsumed_min()  # no lock: unordered with the write
+
+    _run_pair(write, read)
+    assert "STM304" in rules(racecheck.findings())
+
+
+def test_reads_alone_never_race(racing):
+    kernel = ChannelKernel(0)
+    lock = sanitizer.san_lock("chan")
+    sanitizer.guard_kernel(kernel, lock)
+
+    _run_pair(lambda: kernel.unconsumed_min(), lambda: kernel.unconsumed_min())
+    assert racecheck.findings() == []
+
+
+@pytest.mark.skipif(
+    os.environ.get("STMSAN") == "race",
+    reason="this run enables the detector via STMSAN=race",
+)
+def test_disabled_detector_records_nothing():
+    assert not racecheck.enabled()
+    kernel = ChannelKernel(0)
+    racecheck.on_write(kernel, "k", "nowhere")
+    racecheck.on_write(kernel, "k", "nowhere")
+    assert racecheck.findings() == []
+
+
+# ---------------------------------------------------------------------------
+# the bundled workload (the ``racecheck`` CLI subcommand's engine)
+# ---------------------------------------------------------------------------
+
+
+def test_builtin_workload_is_race_free():
+    was_enabled = racecheck.enabled()
+    found = racecheck.run_builtin_workload(pairs=2, items=40)
+    assert found == [], "\n".join(f.render() for f in found)
+    # the workload restores the global detector/sanitizer state
+    assert racecheck.enabled() == was_enabled

@@ -34,7 +34,9 @@ def findings_for(path: Path) -> set[tuple[str, int]]:
     return {(f.rule_id, f.line) for f in findings}
 
 
-@pytest.mark.parametrize("name", ["locks_bad.py", "protocol_bad.py"])
+@pytest.mark.parametrize(
+    "name", ["locks_bad.py", "protocol_bad.py", "with_attach.py"]
+)
 def test_rules_fire_exactly_on_marked_lines(name):
     path = CORPUS / name
     expected = expected_violations(path)

@@ -1,0 +1,162 @@
+"""Real-thread sanitizer stress: GC epochs racing consume/detach.
+
+Runs ``GcDaemon.run_once`` in a tight loop on one thread while worker
+threads put/get/consume and detach/re-attach connections on real
+(preemptive) OS threads, with the runtime sanitizer *and* the vector-clock
+race detector armed.  The assertion is threefold: no worker raises (no
+live item is ever reclaimed out from under a consumer), the sanitizer
+records nothing (lock discipline holds on every interleaving hit), and
+the race detector finds no unordered kernel access.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import racecheck, sanitizer
+from repro.core import INFINITY
+from repro.runtime import Cluster
+from repro.runtime.threads import StampedeThread
+
+PAIRS = 2
+ITEMS = 60
+GC_ROUNDS = 200
+
+
+@pytest.fixture
+def armed():
+    """Sanitizer + race detector on, pristine on both sides."""
+    was_san = sanitizer.enabled()
+    racecheck.enable()
+    sanitizer.reset()
+    racecheck.reset()
+    try:
+        yield
+    finally:
+        racecheck.disable()
+        racecheck.reset()
+        if not was_san:
+            sanitizer.disable()
+        sanitizer.reset()
+
+
+def test_gc_epochs_race_consume_and_detach(armed):
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def trap(fn):
+        def body():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                errors.append(exc)
+
+        return body
+
+    with Cluster(n_spaces=1, gc_period=None) as cluster:
+        space = cluster.space(0)
+        workers: list[threading.Thread] = []
+        plans = []
+        for i in range(PAIRS):
+            handle = space.create_channel(capacity=16)
+            producer = StampedeThread(space, f"gcs-prod-{i}", 0)
+            consumer = StampedeThread(space, f"gcs-cons-{i}", 0)
+            space._threads[producer.name] = producer
+            space._threads[consumer.name] = consumer
+            out = space.attach(handle, is_input=False, thread=producer)
+            inp = space.attach(handle, is_input=True, thread=consumer)
+            plans.append((handle, producer, consumer, out, inp))
+
+        def produce(handle, thread, out):
+            def body():
+                for ts in range(ITEMS):
+                    space.put(handle, out, ts, b"p" * 16, 16)
+                    thread.set_virtual_time(ts + 1)
+                space.detach(handle, out)
+                thread.set_virtual_time(INFINITY)
+
+            return body
+
+        def consume(handle, thread, inp):
+            def body():
+                # Detach and re-attach mid-stream: the re-attach marks
+                # items below the thread's visibility consumed (§4.2), so
+                # the stream continues seamlessly while GC races the gap.
+                conn = inp
+                for ts in range(ITEMS):
+                    space.get(handle, conn, ts)
+                    space.consume(handle, conn, ts)
+                    thread.set_virtual_time(ts + 1)
+                    if ts == ITEMS // 2:
+                        space.detach(handle, conn)
+                        conn = space.attach(
+                            handle, is_input=True, thread=thread
+                        )
+                space.detach(handle, conn)
+                thread.set_virtual_time(INFINITY)
+
+            return body
+
+        def gc_hammer():
+            while not stop.is_set():
+                cluster.gc_once()
+            cluster.gc_once()  # one final epoch after every worker is done
+
+        for handle, producer, consumer, out, inp in plans:
+            workers.append(threading.Thread(target=trap(produce(handle, producer, out))))
+            workers.append(threading.Thread(target=trap(consume(handle, consumer, inp))))
+        gc_thread = threading.Thread(target=trap(gc_hammer))
+        gc_thread.start()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60.0)
+        stop.set()
+        gc_thread.join(timeout=60.0)
+        assert not gc_thread.is_alive(), "gc hammer wedged"
+
+    assert errors == [], f"worker raised: {errors[0]!r}"
+    assert sanitizer.findings() == [], "\n".join(
+        f.render() for f in sanitizer.findings()
+    )
+    assert racecheck.findings() == [], "\n".join(
+        f.render() for f in racecheck.findings()
+    )
+
+
+def test_run_once_is_serialized_under_concurrent_callers(armed):
+    """Two threads driving gc_once concurrently must serialize on the
+    daemon lock and keep the horizon monotone (the PR's
+    ``_gc_horizon_applied`` lost-update regression, on real threads)."""
+    with Cluster(n_spaces=1, gc_period=None) as cluster:
+        space = cluster.space(0)
+        me = StampedeThread(space, "gcs-driver", 0)
+        space._threads[me.name] = me
+        horizons: list[list[int]] = [[], []]
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(2)
+
+        def driver(slot):
+            try:
+                barrier.wait()
+                for _ in range(50):
+                    horizons[slot].append(space._gc_horizon_applied)
+                    cluster.gc_once()
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=driver, args=(slot,)) for slot in (0, 1)
+        ]
+        for t in threads:
+            t.start()
+        for slot, t in enumerate(threads):
+            me.set_virtual_time(slot + 1)  # let the horizon move mid-race
+            t.join(timeout=60.0)
+        assert errors == []
+        for seen in horizons:
+            assert seen == sorted(seen), "gc horizon watermark went backwards"
+    assert sanitizer.findings() == []
+    assert racecheck.findings() == []
