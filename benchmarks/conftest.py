@@ -1,6 +1,10 @@
 """Shared benchmark fixtures: collect every regenerated table and write the
 bundle to ``benchmarks/_output/tables.txt`` at the end of the session, so
 EXPERIMENTS.md can be refreshed from one artifact.
+
+``pytest benchmarks/ --trace-out=OUT.json`` arms the :mod:`repro.obs`
+tracer for the whole session and writes one Chrome trace covering every
+benchmark that ran (load it in https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -11,6 +15,32 @@ import pytest
 
 _TABLES: list = []
 _OUTPUT = pathlib.Path(__file__).parent / "_output"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out", default=None, metavar="OUT.json",
+        help="write a repro.obs Chrome trace of the benchmark session",
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--trace-out"):
+        from repro.obs import events as obs_events
+
+        obs_events.enable()
+
+
+def pytest_unconfigure(config):
+    path = config.getoption("--trace-out")
+    if not path:
+        return
+    from repro.obs import events as obs_events
+    from repro.obs.export import write_chrome_trace
+
+    rec = obs_events.disable()
+    if rec is not None:
+        write_chrome_trace(path, rec)
 
 
 @pytest.fixture

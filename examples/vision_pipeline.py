@@ -11,12 +11,15 @@ that triggered the hypothesis (§3) — retrievable only because STM indexes
 items by timestamp and GC is driven by visibility, not FIFO order.
 
 Run:  python examples/vision_pipeline.py [--frames N] [--fps F] [--spaces K]
+                                         [--trace OUT.json]
 """
 
 import argparse
+import contextlib
 
 from repro import Cluster
 from repro.kiosk import PipelineConfig, run_pipeline
+from repro.obs import trace
 
 
 def main():
@@ -27,6 +30,9 @@ def main():
                         help="camera rate; the paper's camera runs at 30")
     parser.add_argument("--spaces", type=int, default=1, choices=[1, 3],
                         help="1 = SMP configuration, 3 = clustered stages")
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="record a Chrome trace_event timeline of the run "
+                             "(open in https://ui.perfetto.dev)")
     args = parser.parse_args()
 
     if args.spaces == 3:
@@ -38,8 +44,10 @@ def main():
     else:
         config = PipelineConfig(n_frames=args.frames, fps=args.fps)
 
-    with Cluster(n_spaces=args.spaces, gc_period=0.02) as cluster:
-        result = run_pipeline(cluster, config)
+    tracing = trace(args.trace) if args.trace else contextlib.nullcontext()
+    with tracing:
+        with Cluster(n_spaces=args.spaces, gc_period=0.02) as cluster:
+            result = run_pipeline(cluster, config)
 
     print(f"\n=== Smart Kiosk pipeline ({args.spaces} address space(s)) ===")
     print(f"frames digitized        : {result.frames_digitized}")
@@ -55,6 +63,9 @@ def main():
     print("\nkiosk conversation:")
     for event in result.gui.transcript:
         print(f"  [frame {event.timestamp:3d}] kiosk says: {event.utterance}")
+    if args.trace:
+        print(f"\ntrace written to {args.trace} "
+              f"(open in https://ui.perfetto.dev or chrome://tracing)")
 
 
 if __name__ == "__main__":

@@ -25,6 +25,10 @@ Package map
     image-based rendering.
 ``repro.bench``
     Drivers that regenerate every table (Figs. 8-11) and the ablations.
+``repro.obs``
+    Observability: low-overhead event tracing (``STMOBS=1`` or
+    ``obs.trace(...)``), the metrics registry, and Chrome-trace /
+    lag-report exporters — ``python -m repro.obs`` for the CLI.
 
 Quickstart
 ----------

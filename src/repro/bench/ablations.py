@@ -346,7 +346,7 @@ def push_ablation(items: int = 15, size: int = IMAGE_BYTES) -> TableResult:
     from repro.core import INFINITY as _INF
     from repro.runtime import Cluster as _Cluster
     from repro.stm import STM as _STM
-    from repro.util.stats import OnlineStats as _Stats
+    from repro.obs.metrics import OnlineStats as _Stats
 
     table = TableResult(
         title="Ablation: eager push vs pull (§9, measured on this host)",

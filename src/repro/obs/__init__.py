@@ -1,0 +1,82 @@
+"""repro.obs: end-to-end observability for the STM runtime.
+
+The paper leans on exactly this kind of instrumentation — §6's "debugging
+or a monitoring connection", §8's real-time guarantees, and §9's call for
+"more detailed performance analysis" — and this package supplies it in
+three layers:
+
+* :mod:`repro.obs.events` — a low-overhead **event-tracing layer**:
+  thread-local ring buffers of structured spans, instants, and counter
+  samples, emitted from instrumentation points threaded through the STM
+  kernel (put/get/consume including block/wakeup sub-spans), the GC daemon
+  (epoch scatter/collect, per-space reclaim), ``runtime.threads``
+  (virtual-time ticks), and the CLF transport (packet send/recv with byte
+  counts).  Armed by ``STMOBS=1`` or the :func:`trace` context manager;
+  a single ``recorder is None`` check when off.
+* :mod:`repro.obs.metrics` — a **metrics registry** of counters, gauges,
+  and fixed-bucket latency histograms (p50/p95/p99), keyed by
+  channel/connection/space.  The canonical home of the streaming-statistics
+  helpers formerly in ``repro.util.stats`` (which is now a shim).
+* :mod:`repro.obs.export` — **exporters**: Chrome ``trace_event`` JSON
+  (loadable in Perfetto / ``chrome://tracing``; one track per thread per
+  address space, spans colored by op), the space-time lag report
+  (per-thread virtual time vs. wall clock, paper §8), and text/JSON dumps.
+
+Command line: ``python -m repro.obs`` (see :mod:`repro.obs.cli`), plus a
+``--trace OUT.json`` flag on ``examples/vision_pipeline.py`` and on the
+benchmark suite (``pytest benchmarks --trace OUT.json``).
+"""
+
+from repro.obs.events import (
+    Recorder,
+    Ring,
+    TraceEvent,
+    armed,
+    disable,
+    enable,
+    get_recorder,
+    trace,
+)
+from repro.obs.export import (
+    lag_report,
+    render_lag_report,
+    summarize_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    OnlineStats,
+    percentile,
+    summarize,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OnlineStats",
+    "Recorder",
+    "Ring",
+    "TraceEvent",
+    "armed",
+    "disable",
+    "enable",
+    "get_recorder",
+    "lag_report",
+    "percentile",
+    "render_lag_report",
+    "summarize",
+    "summarize_trace",
+    "to_chrome_trace",
+    "trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,178 @@
+"""Command line for repro.obs: trace a workload, inspect a trace.
+
+Subcommands::
+
+    python -m repro.obs kiosk --frames 60 --trace out.json
+        Run the Smart Kiosk pipeline with tracing armed; write the Chrome
+        trace, print the trace summary, the space-time lag report, and the
+        metrics registry snapshot.  Open ``out.json`` in Perfetto
+        (https://ui.perfetto.dev) or chrome://tracing.
+
+    python -m repro.obs report TRACE.json [--format text|json]
+        Validate and summarize a previously captured trace.
+
+    python -m repro.obs lag TRACE.json [--fps F]
+        The space-time lag report (per-thread virtual time vs. wall clock,
+        paper §8) reconstructed from a captured trace.
+
+    python -m repro.obs validate TRACE.json
+        Schema-check a trace; exit 1 with the problems listed otherwise.
+
+Exit codes: 0 ok, 1 invalid trace / failed run, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs import events as obs_events
+from repro.obs.export import (
+    lag_report,
+    lag_report_from_doc,
+    render_lag_report,
+    render_trace_summary,
+    summarize_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import REGISTRY
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _cmd_kiosk(args: argparse.Namespace) -> int:
+    # Imported lazily: the CLI must stay usable for trace inspection even
+    # where numpy (pulled in by the kiosk stages) is unavailable.
+    from repro.kiosk import PipelineConfig, run_pipeline
+    from repro.runtime import Cluster
+
+    if args.spaces == 3:
+        config = PipelineConfig(
+            n_frames=args.frames, fps=args.fps,
+            digitizer_space=0, lofi_space=1, hifi_space=1,
+            decision_space=2, gui_space=2,
+        )
+    else:
+        config = PipelineConfig(n_frames=args.frames, fps=args.fps)
+    with obs_events.trace(capacity=args.capacity) as rec:
+        with Cluster(n_spaces=args.spaces, gc_period=0.02) as cluster:
+            result = run_pipeline(cluster, config)
+    doc = write_chrome_trace(args.trace, rec)
+    problems = validate_chrome_trace(doc)
+    if problems:  # pragma: no cover - would be a bug in the exporter
+        print("exported trace failed schema validation:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps({
+            "trace": str(args.trace),
+            "frames_digitized": result.frames_digitized,
+            "summary": summarize_trace(doc),
+            "lag": lag_report(rec, fps=args.fps),
+            "metrics": REGISTRY.snapshot(),
+        }, indent=2, default=str))
+        return 0
+    print(f"kiosk run: {result.frames_digitized} frames digitized, "
+          f"{result.frames_analyzed_lofi} analyzed, "
+          f"{len(result.decisions)} decisions, "
+          f"{result.wall_seconds:.2f} s wall")
+    print(f"trace written to {args.trace} "
+          f"(open in https://ui.perfetto.dev or chrome://tracing)")
+    print()
+    print(render_trace_summary(summarize_trace(doc)))
+    print()
+    print(render_lag_report(lag_report(rec, fps=args.fps)))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    doc = _load(args.trace)
+    problems = validate_chrome_trace(doc)
+    if problems:
+        print(f"{args.trace}: not a valid trace_event document:",
+              file=sys.stderr)
+        for problem in problems[:20]:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    summary = summarize_trace(doc)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_trace_summary(summary))
+    return 0
+
+
+def _cmd_lag(args: argparse.Namespace) -> int:
+    report = lag_report_from_doc(_load(args.trace), fps=args.fps)
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_lag_report(report))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    problems = validate_chrome_trace(_load(args.trace))
+    if problems:
+        for problem in problems:
+            print(problem)
+        return 1
+    print(f"{args.trace}: valid trace_event document")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Tracing, metrics, and timeline export for the STM runtime.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    kiosk = sub.add_parser("kiosk", help="run the kiosk pipeline traced")
+    kiosk.add_argument("--frames", type=int, default=60)
+    kiosk.add_argument("--fps", type=float, default=120.0)
+    kiosk.add_argument("--spaces", type=int, default=1, choices=[1, 3])
+    kiosk.add_argument("--trace", default="kiosk_trace.json",
+                       help="output Chrome trace path (default %(default)s)")
+    kiosk.add_argument("--capacity", type=int,
+                       default=obs_events.DEFAULT_CAPACITY,
+                       help="per-thread ring capacity in events")
+    kiosk.add_argument("--format", choices=["text", "json"], default="text")
+    kiosk.set_defaults(fn=_cmd_kiosk)
+
+    report = sub.add_parser("report", help="summarize a captured trace")
+    report.add_argument("trace")
+    report.add_argument("--format", choices=["text", "json"], default="text")
+    report.set_defaults(fn=_cmd_report)
+
+    lag = sub.add_parser("lag", help="space-time lag report from a trace")
+    lag.add_argument("trace")
+    lag.add_argument("--fps", type=float, default=None,
+                     help="intended tick rate, for absolute lag")
+    lag.add_argument("--format", choices=["text", "json"], default="text")
+    lag.set_defaults(fn=_cmd_lag)
+
+    validate = sub.add_parser("validate", help="schema-check a trace file")
+    validate.add_argument("trace")
+    validate.set_defaults(fn=_cmd_validate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `... | head`; not an error
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0

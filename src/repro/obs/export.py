@@ -1,0 +1,345 @@
+"""Exporters: Chrome ``trace_event`` JSON, lag reports, and text dumps.
+
+The Chrome export follows the `trace_event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+and loads directly in Perfetto or ``chrome://tracing``: one process ("pid")
+per STM address space, one track ("tid") per OS thread, complete spans
+("X") for put/get/consume/block/GC work colored by operation, instants
+("i") for wakeups and CLF packets, and counter tracks ("C") for per-thread
+virtual time.
+
+The **space-time lag report** is the paper-§8 view: how each thread's
+virtual time advances against the wall clock.  A digitizer pacing at 30
+fps should tick its virtual time at 30 Hz; the report shows the measured
+rate and — given the intended rate — how far behind real time the thread
+ended.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable
+
+from repro.obs.events import Recorder, TraceEvent
+from repro.obs.metrics import percentile
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "lag_report",
+    "lag_report_from_doc",
+    "render_lag_report",
+    "summarize_trace",
+    "render_trace_summary",
+]
+
+#: Stable Chrome reserved color names per operation, so put/get/consume/GC
+#: spans are visually distinct without per-viewer configuration.
+_CNAME_BY_NAME = {
+    "put": "thread_state_running",
+    "get": "rail_response",
+    "consume": "thread_state_iowait",
+    "block(put)": "thread_state_sleeping",
+    "block(get)": "thread_state_sleeping",
+    "wakeup": "rail_animation",
+    "gc.epoch": "cq_build_running",
+    "gc.scatter": "rail_load",
+    "gc.collect": "cq_build_passed",
+    "gc.apply": "cq_build_attempt_running",
+}
+_CNAME_BY_CAT = {
+    "stm": "thread_state_runnable",
+    "gc": "cq_build_running",
+    "clf": "rail_idle",
+}
+
+
+def _cname(cat: str, name: str) -> str | None:
+    return _CNAME_BY_NAME.get(name) or _CNAME_BY_CAT.get(cat)
+
+
+def to_chrome_trace(recorder: Recorder) -> dict:
+    """Render the recorder's events as a Chrome ``trace_event`` document."""
+    t0 = recorder.t0_ns
+    trace_events: list[dict] = []
+    seen_tracks: set[tuple[int, int]] = set()
+    thread_names: dict[int, str] = {}
+    for ring in recorder.rings():
+        thread_names[ring.tid] = ring.thread_name
+        for ev in ring.events():
+            ph, cat, name, ts_ns, dur_ns, pid, args = ev
+            if pid < 0:
+                pid = 0
+            seen_tracks.add((pid, ring.tid))
+            out: dict[str, Any] = {
+                "name": name,
+                "cat": cat,
+                "ph": ph,
+                "ts": (ts_ns - t0) / 1000.0,
+                "pid": pid,
+                "tid": ring.tid,
+            }
+            if ph == "X":
+                out["dur"] = dur_ns / 1000.0
+                cname = _cname(cat, name)
+                if cname is not None:
+                    out["cname"] = cname
+            elif ph == "i":
+                out["s"] = "t"  # thread-scoped instant
+            if args:
+                out["args"] = dict(args)
+            trace_events.append(out)
+    trace_events.sort(key=lambda ev: ev["ts"])
+    meta: list[dict] = []
+    for pid in sorted({pid for pid, _ in seen_tracks}):
+        meta.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"address space {pid}"},
+        })
+    for pid, tid in sorted(seen_tracks):
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": thread_names.get(tid, f"thread-{tid}")},
+        })
+    return {
+        "traceEvents": meta + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "wall_t0": recorder.wall_t0,
+            "overwritten_events": recorder.overwritten(),
+        },
+    }
+
+
+def write_chrome_trace(path: str | os.PathLike, recorder: Recorder) -> dict:
+    """Export ``recorder`` to ``path`` as Chrome trace JSON; returns the doc."""
+    doc = to_chrome_trace(recorder)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, default=str)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# schema validation
+# ----------------------------------------------------------------------
+_PHASES = {"X", "i", "C", "M", "B", "E"}
+_META_NAMES = {"process_name", "thread_name", "process_labels",
+               "process_sort_index", "thread_sort_index"}
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Check ``doc`` against the ``trace_event`` schema; [] means valid."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be a JSON object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document must carry a 'traceEvents' array"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: 'name' must be a string")
+        if not isinstance(ev.get("pid"), int):
+            problems.append(f"{where}: 'pid' must be an integer")
+        if ph == "M":
+            if ev["name"] not in _META_NAMES:
+                problems.append(f"{where}: unknown metadata {ev['name']!r}")
+            args = ev.get("args")
+            if not isinstance(args, dict):
+                problems.append(f"{where}: metadata needs an 'args' object")
+            continue
+        if not isinstance(ev.get("tid"), int):
+            problems.append(f"{where}: 'tid' must be an integer")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: 'ts' must be a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'dur' must be a non-negative number")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: counter needs a non-empty 'args'")
+            elif not all(isinstance(v, (int, float)) for v in args.values()):
+                problems.append(f"{where}: counter args must be numeric")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# space-time lag report (paper §8)
+# ----------------------------------------------------------------------
+def lag_report(recorder: Recorder, fps: float | None = None) -> list[dict]:
+    """Per-thread virtual-time progression vs. the wall clock.
+
+    Scans the ``vt`` counter samples the runtime emits on every
+    ``set_virtual_time`` call.  For each thread with at least one finite
+    tick: the first/last virtual time, the wall-clock span between them,
+    the measured tick rate, and — when the intended ``fps`` is given — the
+    end-of-run lag in items and seconds (positive = behind real time).
+    """
+    series: dict[tuple[int, str], list[tuple[int, float]]] = {}
+    for ring in recorder.rings():
+        for ev in ring.events():
+            ph, cat, _name, ts_ns, _dur, pid, args = ev
+            if ph != "C" or cat != "vt" or not args:
+                continue
+            value = args.get("virtual_time")
+            if value is None:
+                continue
+            series.setdefault((pid, ring.thread_name), []).append(
+                (ts_ns, float(value))
+            )
+    report: list[dict] = []
+    for (pid, thread_name), ticks in sorted(series.items()):
+        ticks.sort(key=lambda t: t[0])
+        (t_first, v_first), (t_last, v_last) = ticks[0], ticks[-1]
+        wall_s = (t_last - t_first) / 1e9
+        dvt = v_last - v_first
+        entry = {
+            "space": max(pid, 0),
+            "thread": thread_name,
+            "ticks": len(ticks),
+            "first_vt": v_first,
+            "last_vt": v_last,
+            "wall_seconds": wall_s,
+            "rate_hz": (dvt / wall_s) if wall_s > 0 else None,
+        }
+        if fps is not None and fps > 0:
+            # items the wall clock "owes" the thread minus items delivered
+            entry["lag_items"] = fps * wall_s - dvt
+            entry["lag_seconds"] = wall_s - dvt / fps
+        report.append(entry)
+    return report
+
+
+def lag_report_from_doc(doc: dict, fps: float | None = None) -> list[dict]:
+    """:func:`lag_report`, reconstructed from an exported Chrome trace."""
+    thread_names: dict[tuple[int, int], str] = {}
+    series: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    for ev in doc.get("traceEvents", []):
+        ph = ev.get("ph")
+        if ph == "M" and ev.get("name") == "thread_name":
+            thread_names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+        elif ph == "C" and ev.get("cat") == "vt":
+            value = (ev.get("args") or {}).get("virtual_time")
+            if value is None:
+                continue
+            key = (ev.get("pid", 0), ev.get("tid", 0))
+            series.setdefault(key, []).append((float(ev["ts"]), float(value)))
+    report: list[dict] = []
+    for key, ticks in series.items():
+        ticks.sort(key=lambda t: t[0])
+        (t_first, v_first), (t_last, v_last) = ticks[0], ticks[-1]
+        wall_s = (t_last - t_first) / 1e6  # exported ts are microseconds
+        dvt = v_last - v_first
+        entry = {
+            "space": key[0],
+            "thread": thread_names.get(key, f"thread-{key[1]}"),
+            "ticks": len(ticks),
+            "first_vt": v_first,
+            "last_vt": v_last,
+            "wall_seconds": wall_s,
+            "rate_hz": (dvt / wall_s) if wall_s > 0 else None,
+        }
+        if fps is not None and fps > 0:
+            entry["lag_items"] = fps * wall_s - dvt
+            entry["lag_seconds"] = wall_s - dvt / fps
+        report.append(entry)
+    report.sort(key=lambda e: (e["space"], e["thread"]))
+    return report
+
+
+def render_lag_report(report: list[dict]) -> str:
+    if not report:
+        return "space-time lag: no virtual-time ticks recorded"
+    lines = ["space-time lag (virtual time vs. wall clock)",
+             "--------------------------------------------"]
+    for entry in report:
+        rate = entry["rate_hz"]
+        rate_s = f"{rate:8.1f} Hz" if rate is not None else "    n/a   "
+        line = (
+            f"space {entry['space']} {entry['thread'][:24]:<24} "
+            f"vt {entry['first_vt']:.0f} -> {entry['last_vt']:.0f} "
+            f"over {entry['wall_seconds']:7.3f} s  ({rate_s}"
+        )
+        if "lag_seconds" in entry:
+            line += f", lag {entry['lag_seconds']:+.3f} s"
+        lines.append(line + ")")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# trace summaries (the text/JSON dump)
+# ----------------------------------------------------------------------
+def summarize_trace(doc: dict) -> dict:
+    """Aggregate a Chrome trace doc: per-op span statistics, event counts."""
+    spans: dict[str, list[float]] = {}
+    instants: dict[str, int] = {}
+    counters: dict[str, int] = {}
+    n_tracks: set[tuple[int, int]] = set()
+    for ev in doc.get("traceEvents", []):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        n_tracks.add((ev.get("pid", 0), ev.get("tid", 0)))
+        name = ev.get("name", "?")
+        if ph == "X":
+            spans.setdefault(name, []).append(float(ev.get("dur", 0.0)))
+        elif ph == "i":
+            instants[name] = instants.get(name, 0) + 1
+        elif ph == "C":
+            counters[name] = counters.get(name, 0) + 1
+    span_stats = {
+        name: {
+            "count": len(durs),
+            "total_us": sum(durs),
+            "mean_us": sum(durs) / len(durs),
+            "p95_us": percentile(durs, 95),
+            "max_us": max(durs),
+        }
+        for name, durs in sorted(spans.items())
+    }
+    return {
+        "tracks": len(n_tracks),
+        "spans": span_stats,
+        "instants": dict(sorted(instants.items())),
+        "counters": dict(sorted(counters.items())),
+    }
+
+
+def render_trace_summary(summary: dict) -> str:
+    lines = [f"trace summary: {summary['tracks']} thread tracks",
+             "op spans (microseconds):"]
+    for name, st in summary["spans"].items():
+        lines.append(
+            f"  {name:<14} x{st['count']:<6} mean {st['mean_us']:9.1f}  "
+            f"p95 {st['p95_us']:9.1f}  max {st['max_us']:9.1f}  "
+            f"total {st['total_us']:11.1f}"
+        )
+    if summary["instants"]:
+        lines.append("instants:")
+        for name, count in summary["instants"].items():
+            lines.append(f"  {name:<14} x{count}")
+    if summary["counters"]:
+        lines.append("counter samples:")
+        for name, count in summary["counters"].items():
+            lines.append(f"  {name:<14} x{count}")
+    return "\n".join(lines)
+
+
+def events_of(events: Iterable[TraceEvent], ph: str, cat: str | None = None):
+    """Filter raw recorder events by phase (and optionally category)."""
+    return [
+        ev for ev in events if ev[0] == ph and (cat is None or ev[1] == cat)
+    ]

@@ -1,0 +1,380 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+This module supersedes the ad-hoc counter scattering the runtime grew over
+time: :func:`repro.runtime.stats.cluster_report` and the benchmark harness
+are now views over one :class:`MetricsRegistry` (the process-wide default is
+:data:`REGISTRY`).  Metrics are keyed by name plus free-form labels
+(``channel=...``, ``space=...``, ``connection=...``), so per-channel latency
+distributions — the thing that separates STM protocol behaviours, per the
+Synchrobench comparison (PAPERS.md) — fall out of the same instrumentation
+points the tracer uses.
+
+Histograms use fixed log-spaced buckets (a 1-2-5 series) so a million-sample
+run costs O(#buckets) memory and percentile estimates (p50/p95/p99) are
+computed by linear interpolation inside the bucket — accurate to the bucket
+resolution, which is what latency reporting needs.
+
+The streaming-statistics helpers (:class:`OnlineStats`, :func:`percentile`,
+:func:`summarize`) moved here from ``repro.util.stats``; that module remains
+as a deprecation shim re-exporting them.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+__all__ = [
+    "OnlineStats",
+    "percentile",
+    "summarize",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "DEFAULT_SECONDS_BUCKETS",
+]
+
+
+# ======================================================================
+# streaming statistics (canonical home; repro.util.stats is a shim)
+# ======================================================================
+def percentile(samples: list[float], q: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (``q`` in [0, 100]).
+
+    Mirrors ``numpy.percentile(..., method="linear")`` but avoids pulling
+    numpy into the hot measurement path for tiny sample sets.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    data = sorted(samples)
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * (q / 100.0)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return data[lo]
+    frac = pos - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+@dataclass
+class OnlineStats:
+    """Welford online accumulator with optional sample retention.
+
+    Parameters
+    ----------
+    keep_samples:
+        When true, raw samples are retained so percentiles can be computed.
+    """
+
+    keep_samples: bool = False
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    samples: list[float] = field(default_factory=list)
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        if self.keep_samples:
+            self.samples.append(x)
+
+    def extend(self, xs) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (Bessel-corrected); 0.0 for fewer than 2 samples."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def pctl(self, q: float) -> float:
+        if not self.keep_samples:
+            raise ValueError("OnlineStats was created with keep_samples=False")
+        return percentile(self.samples, q)
+
+    def merge(self, other: "OnlineStats") -> "OnlineStats":
+        """Return a new accumulator combining both (Chan parallel merge)."""
+        merged = OnlineStats(keep_samples=self.keep_samples and other.keep_samples)
+        merged.count = self.count + other.count
+        if merged.count == 0:
+            return merged
+        delta = other.mean - self.mean
+        merged.mean = self.mean + delta * other.count / merged.count
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / merged.count
+        )
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        if merged.keep_samples:
+            merged.samples = self.samples + other.samples
+        return merged
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+def summarize(samples) -> OnlineStats:
+    """Build an :class:`OnlineStats` (with retained samples) from an iterable."""
+    stats = OnlineStats(keep_samples=True)
+    stats.extend(samples)
+    return stats
+
+
+# ======================================================================
+# registry metrics
+# ======================================================================
+def _bucket_series(lo: float, hi: float) -> list[float]:
+    """A 1-2-5 log series of bucket upper bounds covering [lo, hi]."""
+    out: list[float] = []
+    decade = 10.0 ** math.floor(math.log10(lo))
+    while decade <= hi:
+        for mult in (1.0, 2.0, 5.0):
+            bound = decade * mult
+            if lo <= bound <= hi:
+                out.append(bound)
+        decade *= 10.0
+    return out
+
+
+#: Default latency buckets: 1 µs to 10 s, in nanoseconds (1-2-5 series).
+DEFAULT_LATENCY_BUCKETS_NS: tuple[float, ...] = tuple(_bucket_series(1e3, 1e10))
+
+#: Duration buckets for slow-path timings kept in seconds (e.g. GC epochs).
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = tuple(_bucket_series(1e-6, 1e2))
+
+
+class Counter:
+    """A monotonically increasing count (ops, bytes, packets, ...)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, object], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int | float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def as_dict(self) -> dict:
+        return {"value": self._value}
+
+
+class Gauge:
+    """A value that goes up and down (occupancy, virtual time, lag)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, object], ...] = ()):
+        self.name = name
+        self.labels = labels
+        self._value: float | int | None = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float | int) -> None:
+        self._value = value
+
+    def inc(self, n: float | int = 1) -> None:
+        with self._lock:
+            self._value = (self._value or 0) + n
+
+    @property
+    def value(self) -> float | int | None:
+        return self._value
+
+    def as_dict(self) -> dict:
+        return {"value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile estimates.
+
+    ``buckets`` are the upper bounds of the finite buckets (sorted); one
+    overflow bucket catches everything above the last bound.  Exact min,
+    max, count, and sum are tracked alongside, so ``percentile`` clamps its
+    interpolation to the observed range (a single sample reports itself,
+    not its bucket's midpoint).
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum",
+                 "min", "max", "_lock")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, object], ...] = (),
+        buckets: tuple[float, ...] | None = None,
+    ):
+        self.name = name
+        self.labels = labels
+        if buckets is None:
+            buckets = DEFAULT_LATENCY_BUCKETS_NS
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile by interpolating inside the bucket."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.count == 0:
+            raise ValueError("percentile of an empty histogram")
+        rank = (q / 100.0) * self.count
+        cumulative = 0
+        for idx, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lo = self.buckets[idx - 1] if idx > 0 else self.min
+                hi = self.buckets[idx] if idx < len(self.buckets) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return lo
+                frac = (rank - cumulative) / n
+                return lo + (hi - lo) * frac
+            cumulative += n
+        return self.max  # pragma: no cover - rank <= count always hits above
+
+    def as_dict(self) -> dict:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metrics keyed by (name, labels)."""
+
+    def __init__(self):
+        self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _key(name: str, labels: dict) -> tuple:
+        return (name, tuple(sorted(labels.items())))
+
+    def _get_or_create(self, cls, name: str, labels: dict, **kwargs):
+        key = self._key(name, labels)
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, key[1], **kwargs)
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} {labels!r} already registered as "
+                    f"{metric.kind}, requested {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    def find(self, name: str, **labels):
+        """The metric registered under (name, labels), or None."""
+        with self._lock:
+            return self._metrics.get(self._key(name, labels))
+
+    def collect(self, name: str | None = None) -> list:
+        """All metrics (optionally filtered by name), creation-ordered."""
+        with self._lock:
+            return [
+                m for m in self._metrics.values()
+                if name is None or m.name == name
+            ]
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump: name -> list of {labels, kind, ...stats}."""
+        out: dict[str, list] = {}
+        for metric in self.collect():
+            out.setdefault(metric.name, []).append(
+                {"labels": dict(metric.labels), "kind": metric.kind,
+                 **metric.as_dict()}
+            )
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide default registry (instrumentation points feed this one).
+REGISTRY = MetricsRegistry()

@@ -49,6 +49,7 @@ from repro.errors import (
     NoSuchChannelError,
     StampedeError,
 )
+from repro.obs import events as _obs
 from repro.runtime.messages import (
     AttachReq,
     CachePushMsg,
@@ -634,6 +635,13 @@ class AddressSpace:
                          value: Any) -> None:
         """Deliver a result to a parked operation and wake it (lock held)."""
         channel.waiters_woken += 1
+        rec = _obs.recorder
+        if rec is not None:
+            rec.instant(
+                "stm", "wakeup", self.space_id,
+                channel=channel.kernel.channel_id,
+                remote=waiter.event is None,
+            )
         if waiter.event is not None:  # local blocker
             waiter.result = value
             waiter.event.set()
@@ -646,6 +654,13 @@ class AddressSpace:
                      error: BaseException) -> None:
         """Deliver an error to a parked operation and wake it (lock held)."""
         channel.waiters_woken += 1
+        rec = _obs.recorder
+        if rec is not None:
+            rec.instant(
+                "stm", "wakeup", self.space_id,
+                channel=channel.kernel.channel_id,
+                remote=waiter.event is None, error=type(error).__name__,
+            )
         if waiter.event is not None:  # local blocker
             waiter.error = error
             waiter.event.set()
@@ -755,7 +770,16 @@ class AddressSpace:
         waiter is withdrawn under the lock; finding it already gone means a
         completion won the race and must be honoured.
         """
-        if not waiter.event.wait(timeout):
+        rec = _obs.recorder
+        t0 = rec.now() if rec is not None else 0
+        woke = waiter.event.wait(timeout)
+        if rec is not None:
+            rec.complete(
+                "stm", f"block({op})", t0, channel.handle.home_space,
+                channel=channel.handle.name or f"#{channel.kernel.channel_id}",
+                woke=woke,
+            )
+        if not woke:
             with channel.lock:
                 for waiters in (channel.put_waiters, channel.get_waiters):
                     for i, parked in enumerate(waiters):
@@ -1160,6 +1184,8 @@ class AddressSpace:
                     if key[1] >= bound
                 }
         collected = 0
+        rec = _obs.recorder
+        t0 = rec.now() if rec is not None else 0
         for channel in self.local_channels():
             with channel.lock:
                 dead = channel.kernel.collect_below(horizon)
@@ -1170,6 +1196,11 @@ class AddressSpace:
                     # timestamp fails fast with ItemGarbageCollectedError
                     # instead of blocking forever.
                     self._drain_locked(channel, puts=True, gets=True)
+        if rec is not None:
+            rec.complete(
+                "gc", "gc.apply", t0, self.space_id,
+                horizon=str(horizon), collected=collected,
+            )
         if horizon is not INFINITY:
             with self._gc_horizon_lock:
                 self._gc_horizon_applied = max(

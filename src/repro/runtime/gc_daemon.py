@@ -35,10 +35,13 @@ collect items with unknown reference counts".
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.core.gc_state import merge_summaries
 from repro.core.time import INFINITY, VirtualTime
+from repro.obs import events as _obs
+from repro.obs.metrics import DEFAULT_SECONDS_BUCKETS, REGISTRY
 from repro.runtime.messages import GcApplyReq, GcSummaryReq
 from repro.runtime.sync import make_lock
 
@@ -106,6 +109,9 @@ class GcDaemon:
             self._epoch += 1
             epoch = self._epoch
             coordinator = self.cluster.space(self.cluster.registry_space)
+            rec = _obs.recorder
+            t_epoch = rec.now() if rec is not None else 0
+            wall0 = time.perf_counter()
             # Scatter the summary requests to every space, then gather: the
             # epoch costs one max-of-RTTs instead of a sum of serial RTTs.
             pending = [
@@ -116,12 +122,34 @@ class GcDaemon:
             # serializes whole GC rounds, and the dispatcher threads that
             # serve the replies never take it.
             summaries = coordinator.gather(pending, timeout=10.0)  # stm-ok: STM103
+            if rec is not None:
+                rec.complete(
+                    "gc", "gc.scatter", t_epoch, coordinator.space_id,
+                    epoch=epoch, spaces=self.cluster.n_spaces,
+                )
             horizon = merge_summaries(summaries)
+            t_collect = rec.now() if rec is not None else 0
             collected = self._broadcast(coordinator, epoch, horizon)
             self.stats.epochs += 1
             self.stats.last_horizon = horizon
             self.stats.total_collected += collected
             self.stats.horizons.append(horizon)
+            # Registry feeds are unconditional: this is a cold path (one
+            # sample per epoch), and the cluster report shows GC timing even
+            # when tracing is off.
+            REGISTRY.histogram(
+                "gc_epoch_seconds", buckets=DEFAULT_SECONDS_BUCKETS
+            ).observe(time.perf_counter() - wall0)
+            REGISTRY.counter("gc_collected_total").inc(collected)
+            if rec is not None:
+                rec.complete(
+                    "gc", "gc.collect", t_collect, coordinator.space_id,
+                    epoch=epoch, horizon=str(horizon), collected=collected,
+                )
+                rec.complete(
+                    "gc", "gc.epoch", t_epoch, coordinator.space_id,
+                    epoch=epoch, horizon=str(horizon), collected=collected,
+                )
             return horizon
 
     def _broadcast(self, coordinator, epoch: int, horizon: VirtualTime) -> int:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.metrics import REGISTRY
 from repro.runtime.cluster import Cluster
 from repro.stm.monitor import ChannelProbe, ChannelSnapshot
 
@@ -40,6 +41,9 @@ class ClusterReport:
     gc_epochs: int = 0
     gc_last_horizon: object = None
     gc_total_collected: int = 0
+    #: ``gc_epoch_seconds`` histogram stats from the metrics registry
+    #: (count/mean/p50/p95/p99/max), or None before the first daemon round.
+    gc_epoch_timing: dict | None = None
 
     @property
     def total_bytes_on_wire(self) -> int:
@@ -69,7 +73,9 @@ class ClusterReport:
                 f"{space.n_channels} channels, "
                 f"{space.messages_sent} msgs out "
                 f"({space.bytes_sent} B), "
-                f"{space.messages_received} msgs in"
+                f"{space.messages_received} msgs in "
+                f"({space.bytes_received} B), "
+                f"wire={space.bytes_sent + space.bytes_received} B"
             )
             for snap in space.channels:
                 lines.append(f"  {snap.summary()}")
@@ -83,6 +89,12 @@ class ClusterReport:
                 f"gc: {self.gc_epochs} rounds, last horizon "
                 f"{self.gc_last_horizon!r}, {self.gc_total_collected} items "
                 f"reclaimed by the daemon"
+            )
+        if self.gc_epoch_timing and self.gc_epoch_timing.get("count"):
+            t = self.gc_epoch_timing
+            lines.append(
+                f"gc timing: {t['count']} epochs, mean {t['mean'] * 1e3:.2f} ms, "
+                f"p95 {t['p95'] * 1e3:.2f} ms, max {t['max'] * 1e3:.2f} ms"
             )
         return "\n".join(lines)
 
@@ -114,4 +126,7 @@ def cluster_report(cluster: Cluster) -> ClusterReport:
         report.gc_epochs = stats.epochs
         report.gc_last_horizon = stats.last_horizon
         report.gc_total_collected = stats.total_collected
+        timing = REGISTRY.find("gc_epoch_seconds")
+        if timing is not None:
+            report.gc_epoch_timing = timing.as_dict()
     return report

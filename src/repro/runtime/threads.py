@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.core.time import INFINITY, VirtualTime, vt_lt, vt_min
 from repro.errors import StampedeError, VirtualTimeError, VisibilityError
+from repro.obs import events as _obs
 from repro.runtime.sync import make_lock
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -111,6 +112,14 @@ class StampedeThread:
                     f"visibility {vis!r}"
                 )
             self._virtual_time = value
+        rec = _obs.recorder
+        if rec is not None:
+            if value is INFINITY:
+                rec.instant("vt", "vt.infinity", self.space.space_id,
+                            thread=self.name)
+            else:
+                rec.counter("vt", f"vt {self.name}", int(value),
+                            self.space.space_id, series="virtual_time")
 
     def advance_virtual_time(self, value: VirtualTime) -> None:
         """Alias of :meth:`set_virtual_time`; the paper phrases the GC-progress

@@ -40,6 +40,8 @@ from repro.core.flags import (
 from repro.core.payload import CopyPolicy, decode, encode
 from repro.core.time import validate_timestamp
 from repro.errors import ConnectionClosedError
+from repro.obs import events as _obs
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.runtime.address_space import AddressSpace, ChannelHandle
 from repro.runtime.threads import StampedeThread, require_current_thread
 
@@ -141,6 +143,8 @@ class _Connection:
         self.conn_id = conn_id
         self.thread = thread
         self._closed = False
+        #: stable label for trace spans and metric keys.
+        self._obs_label = channel.handle.name or f"#{channel.handle.channel_id}"
 
     @property
     def closed(self) -> bool:
@@ -196,6 +200,8 @@ class OutputConnection(_Connection):
         validate_timestamp(timestamp)
         self.thread.check_put_timestamp(timestamp)
         stored, size = encode(value, self.channel.handle.copy_policy)
+        rec = _obs.recorder
+        t0 = rec.now() if rec is not None else 0
         self.channel.space.put(
             self.channel.handle,
             self.conn_id,
@@ -206,6 +212,12 @@ class OutputConnection(_Connection):
             block=block,
             timeout=timeout,
         )
+        if rec is not None:
+            dur = rec.complete(
+                "stm", "put", t0, self.thread.space.space_id,
+                channel=self._obs_label, timestamp=timestamp, size=size,
+            )
+            _METRICS.histogram("stm_put_ns", channel=self._obs_label).observe(dur)
 
 
 class InputConnection(_Connection):
@@ -227,33 +239,55 @@ class InputConnection(_Connection):
         neighbouring available timestamps attached.
         """
         self._check_open()
+        rec = _obs.recorder
+        t0 = rec.now() if rec is not None else 0
         stored, ts, size = self.channel.space.get(
             self.channel.handle, self.conn_id, request, block=block, timeout=timeout
         )
         self.thread.note_open(self.channel.channel_id, self.conn_id, ts)
         value = decode(stored, self.channel.handle.copy_policy)
+        if rec is not None:
+            dur = rec.complete(
+                "stm", "get", t0, self.thread.space.space_id,
+                channel=self._obs_label, timestamp=ts, size=size,
+            )
+            _METRICS.histogram("stm_get_ns", channel=self._obs_label).observe(dur)
         return Item(value=value, timestamp=ts, size=size)
 
     def consume(self, timestamp: int) -> None:
         """Declare the item garbage from this connection's perspective."""
         self._check_open()
         validate_timestamp(timestamp)
+        rec = _obs.recorder
+        t0 = rec.now() if rec is not None else 0
         self.channel.space.consume(self.channel.handle, self.conn_id, timestamp)
         # Order matters for GC safety: the channel stops counting the item
         # only once the consume is applied; only then may the thread's
         # visibility rise.
         self.thread.note_closed(self.channel.channel_id, self.conn_id, timestamp)
+        if rec is not None:
+            rec.complete(
+                "stm", "consume", t0, self.thread.space.space_id,
+                channel=self._obs_label, timestamp=timestamp,
+            )
 
     def consume_until(self, timestamp: int) -> None:
         """Consume every item with timestamp <= ``timestamp`` (§4.2)."""
         self._check_open()
         validate_timestamp(timestamp)
+        rec = _obs.recorder
+        t0 = rec.now() if rec is not None else 0
         self.channel.space.consume(
             self.channel.handle, self.conn_id, timestamp, until=True
         )
         for chan_id, conn_id, ts in self.thread.open_items():
             if conn_id == self.conn_id and ts <= timestamp:
                 self.thread.note_closed(chan_id, conn_id, ts)
+        if rec is not None:
+            rec.complete(
+                "stm", "consume", t0, self.thread.space.space_id,
+                channel=self._obs_label, timestamp=timestamp, until=True,
+            )
 
     def get_consume(
         self,

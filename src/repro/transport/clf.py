@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.sanitizer import san_lock
 from repro.errors import TransportClosedError, TransportError
+from repro.obs import events as _obs
 from repro.transport.media import CLF_MTU, MEMORY_CHANNEL, Medium, SHARED_MEMORY
 from repro.transport.packets import Reassembler, fragment, fragment_sg
 
@@ -149,6 +150,10 @@ class ClfEndpoint:
         self.stats.packets_sent += npackets
         self.stats.bytes_sent += nbytes
         self.stats.per_peer_sent[dst] = self.stats.per_peer_sent.get(dst, 0) + 1
+        rec = _obs.recorder
+        if rec is not None:
+            rec.instant("clf", "clf.send", self.space,
+                        dst=dst, bytes=nbytes, packets=npackets)
 
     # -- receiving ------------------------------------------------------------
     def recv(self, timeout: float | None = None) -> tuple[int, bytes]:
@@ -176,6 +181,10 @@ class ClfEndpoint:
             if message is not None:
                 self.stats.messages_received += 1
                 self.stats.bytes_received += len(message)
+                rec = _obs.recorder
+                if rec is not None:
+                    rec.instant("clf", "clf.recv", self.space,
+                                src=src, bytes=len(message))
                 return src, message
 
     def close(self) -> None:

@@ -1,7 +1,7 @@
 """Small shared utilities: id allocation, statistics, sorted containers."""
 
+from repro.obs.metrics import OnlineStats, percentile, summarize
 from repro.util.ids import IdAllocator
-from repro.util.stats import OnlineStats, percentile, summarize
 from repro.util.sortedmap import SortedIntMap
 
 __all__ = ["IdAllocator", "OnlineStats", "percentile", "summarize", "SortedIntMap"]

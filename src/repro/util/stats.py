@@ -1,123 +1,23 @@
-"""Streaming statistics used by the benchmark harness.
+"""Deprecated: moved to :mod:`repro.obs.metrics`.
 
-The paper reports *minimum* latencies and *maximum* bandwidths (§8); the
-harness additionally records mean / standard deviation / percentiles so the
-regenerated tables can be sanity-checked for noise.  Statistics are computed
-online (Welford's algorithm) so million-sample benchmark runs do not hold
-their samples in memory unless percentiles were requested.
+The streaming-statistics helpers that lived here (Welford
+:class:`OnlineStats`, :func:`percentile`, :func:`summarize`) are now part of
+the observability package, next to the registry metrics they feed.  This
+shim re-exports them so old imports keep working; new code should import
+from ``repro.obs.metrics`` (or ``repro.obs``) directly.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+import warnings
+
+from repro.obs.metrics import OnlineStats, percentile, summarize
 
 __all__ = ["OnlineStats", "percentile", "summarize"]
 
-
-def percentile(samples: list[float], q: float) -> float:
-    """Linear-interpolation percentile of ``samples`` (``q`` in [0, 100]).
-
-    Mirrors ``numpy.percentile(..., method="linear")`` but avoids pulling
-    numpy into the hot measurement path for tiny sample sets.
-    """
-    if not samples:
-        raise ValueError("percentile of empty sample set")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"q must be in [0, 100], got {q}")
-    data = sorted(samples)
-    if len(data) == 1:
-        return data[0]
-    pos = (len(data) - 1) * (q / 100.0)
-    lo = math.floor(pos)
-    hi = math.ceil(pos)
-    if lo == hi:
-        return data[lo]
-    frac = pos - lo
-    return data[lo] * (1.0 - frac) + data[hi] * frac
-
-
-@dataclass
-class OnlineStats:
-    """Welford online accumulator with optional sample retention.
-
-    Parameters
-    ----------
-    keep_samples:
-        When true, raw samples are retained so percentiles can be computed.
-    """
-
-    keep_samples: bool = False
-    count: int = 0
-    mean: float = 0.0
-    _m2: float = 0.0
-    min: float = math.inf
-    max: float = -math.inf
-    samples: list[float] = field(default_factory=list)
-
-    def add(self, x: float) -> None:
-        self.count += 1
-        delta = x - self.mean
-        self.mean += delta / self.count
-        self._m2 += delta * (x - self.mean)
-        if x < self.min:
-            self.min = x
-        if x > self.max:
-            self.max = x
-        if self.keep_samples:
-            self.samples.append(x)
-
-    def extend(self, xs) -> None:
-        for x in xs:
-            self.add(x)
-
-    @property
-    def variance(self) -> float:
-        """Sample variance (Bessel-corrected); 0.0 for fewer than 2 samples."""
-        if self.count < 2:
-            return 0.0
-        return self._m2 / (self.count - 1)
-
-    @property
-    def stdev(self) -> float:
-        return math.sqrt(self.variance)
-
-    def pctl(self, q: float) -> float:
-        if not self.keep_samples:
-            raise ValueError("OnlineStats was created with keep_samples=False")
-        return percentile(self.samples, q)
-
-    def merge(self, other: "OnlineStats") -> "OnlineStats":
-        """Return a new accumulator combining both (Chan parallel merge)."""
-        merged = OnlineStats(keep_samples=self.keep_samples and other.keep_samples)
-        merged.count = self.count + other.count
-        if merged.count == 0:
-            return merged
-        delta = other.mean - self.mean
-        merged.mean = self.mean + delta * other.count / merged.count
-        merged._m2 = (
-            self._m2
-            + other._m2
-            + delta * delta * self.count * other.count / merged.count
-        )
-        merged.min = min(self.min, other.min)
-        merged.max = max(self.max, other.max)
-        if merged.keep_samples:
-            merged.samples = self.samples + other.samples
-        return merged
-
-    def as_dict(self) -> dict:
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "stdev": self.stdev,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-        }
-
-
-def summarize(samples) -> OnlineStats:
-    """Build an :class:`OnlineStats` (with retained samples) from an iterable."""
-    stats = OnlineStats(keep_samples=True)
-    stats.extend(samples)
-    return stats
+warnings.warn(
+    "repro.util.stats moved to repro.obs.metrics; "
+    "update imports (this shim will be removed)",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -1,0 +1,16 @@
+"""Observability test hygiene: every test starts and ends disarmed (the
+recorder is a process-wide global, like the STMSAN sanitizer).  The metrics
+REGISTRY is *not* auto-reset — tests that assert on it reset it themselves
+(class-scoped traced runs need their registry state to survive across the
+test methods that share the recording)."""
+
+import pytest
+
+from repro.obs import events as obs_events
+
+
+@pytest.fixture(autouse=True)
+def disarmed_tracing():
+    obs_events.disable()
+    yield
+    obs_events.disable()

@@ -1,0 +1,191 @@
+"""Unit tests for the event-tracing layer: rings, arming, concurrency."""
+
+import threading
+
+import pytest
+
+from repro.obs import events as obs_events
+from repro.obs.events import DEFAULT_CAPACITY, Recorder, Ring
+
+
+def fake_clock():
+    """A deterministic nanosecond clock advancing 1 µs per call."""
+    state = {"t": 0}
+
+    def clock():
+        state["t"] += 1000
+        return state["t"]
+
+    return clock
+
+
+class TestRing:
+    def test_append_and_order(self):
+        ring = Ring(4, tid=1, thread_name="t")
+        for i in range(3):
+            ring.append(("i", "c", f"e{i}", i, 0, 0, None))
+        assert len(ring) == 3
+        assert [ev[2] for ev in ring.events()] == ["e0", "e1", "e2"]
+        assert ring.overwritten == 0
+
+    def test_wraparound_overwrites_oldest(self):
+        ring = Ring(4, tid=1, thread_name="t")
+        for i in range(10):
+            ring.append(("i", "c", f"e{i}", i, 0, 0, None))
+        assert len(ring) == 4
+        # The oldest six were overwritten; survivors are in emission order.
+        assert [ev[2] for ev in ring.events()] == ["e6", "e7", "e8", "e9"]
+        assert ring.overwritten == 6
+
+    def test_wraparound_multiple_cycles(self):
+        ring = Ring(3, tid=1, thread_name="t")
+        for i in range(3 * 7 + 1):
+            ring.append(("i", "c", f"e{i}", i, 0, 0, None))
+        assert [ev[2] for ev in ring.events()] == ["e19", "e20", "e21"]
+        assert ring.overwritten == 19
+
+    def test_capacity_one(self):
+        ring = Ring(1, tid=1, thread_name="t")
+        ring.append(("i", "c", "a", 0, 0, 0, None))
+        ring.append(("i", "c", "b", 1, 0, 0, None))
+        assert [ev[2] for ev in ring.events()] == ["b"]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Ring(0, tid=1, thread_name="t")
+
+
+class TestRecorder:
+    def test_complete_span_returns_duration(self):
+        rec = Recorder(clock=fake_clock())
+        t0 = rec.now()
+        dur = rec.complete("stm", "put", t0, 3, channel="frames")
+        assert dur == 1000  # one fake-clock step
+        (ev,) = rec.events()
+        ph, cat, name, ts, d, pid, args = ev
+        assert (ph, cat, name, pid) == ("X", "stm", "put", 3)
+        assert d == 1000 and args == {"channel": "frames"}
+
+    def test_instant_and_counter(self):
+        rec = Recorder(clock=fake_clock())
+        rec.instant("clf", "clf.send", 1, dst=2, bytes=64)
+        rec.counter("vt", "vt producer", 7, 1, series="virtual_time")
+        instants = [ev for ev in rec.events() if ev[0] == "i"]
+        counters = [ev for ev in rec.events() if ev[0] == "C"]
+        assert instants[0][6] == {"dst": 2, "bytes": 64}
+        assert counters[0][6] == {"virtual_time": 7}
+
+    def test_events_merged_across_threads_in_time_order(self):
+        rec = Recorder(clock=fake_clock())
+        barrier = threading.Barrier(3)
+
+        def emitter(k):
+            barrier.wait()
+            for i in range(50):
+                rec.instant("t", f"w{k}.{i}", k)
+
+        workers = [threading.Thread(target=emitter, args=(k,)) for k in (1, 2)]
+        for w in workers:
+            w.start()
+        barrier.wait()
+        for w in workers:
+            w.join()
+        events = rec.events()
+        assert len(events) == 100
+        assert [ev[3] for ev in events] == sorted(ev[3] for ev in events)
+        # one ring per emitting thread, none shared
+        assert len(rec.rings()) == 2
+        assert {r.tid for r in rec.rings()} == {w.ident for w in workers}
+
+    def test_concurrent_emitters_never_lose_events_below_capacity(self):
+        rec = Recorder(capacity=4096)
+        n_threads, per_thread = 8, 500
+
+        def emitter(k):
+            for i in range(per_thread):
+                rec.instant("t", "e", k, seq=i)
+
+        workers = [
+            threading.Thread(target=emitter, args=(k,)) for k in range(n_threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert len(rec.events()) == n_threads * per_thread
+        assert rec.overwritten() == 0
+
+    def test_spans_filter(self):
+        rec = Recorder(clock=fake_clock())
+        rec.complete("stm", "put", rec.now(), 0)
+        rec.complete("gc", "gc.epoch", rec.now(), 0)
+        rec.instant("stm", "wakeup", 0)
+        assert len(rec.spans()) == 2
+        assert len(rec.spans(name="put")) == 1
+        assert len(rec.spans(cat="gc")) == 1
+
+
+class TestArming:
+    def test_disarmed_by_default(self):
+        assert obs_events.recorder is None
+        assert not obs_events.armed()
+        assert obs_events.get_recorder() is None
+
+    def test_enable_disable_roundtrip(self):
+        rec = obs_events.enable(capacity=128)
+        assert obs_events.armed()
+        assert obs_events.get_recorder() is rec
+        assert rec.capacity == 128
+        # enable() while armed returns the same recorder
+        assert obs_events.enable() is rec
+        assert obs_events.disable() is rec
+        assert not obs_events.armed()
+        assert obs_events.disable() is None
+
+    def test_trace_context_manager(self, tmp_path):
+        out = tmp_path / "t.json"
+        with obs_events.trace(out) as rec:
+            assert obs_events.recorder is rec
+            rec.instant("t", "inside", 0)
+        assert obs_events.recorder is None
+        assert out.exists()
+
+    def test_trace_without_path_writes_nothing(self, tmp_path):
+        with obs_events.trace() as rec:
+            rec.instant("t", "inside", 0)
+        assert obs_events.recorder is None
+
+    def test_nested_trace_shares_recorder(self):
+        with obs_events.trace() as outer:
+            with obs_events.trace() as inner:
+                assert inner is outer
+            # inner exit must not disarm the outer trace
+            assert obs_events.recorder is outer
+        assert obs_events.recorder is None
+
+    def test_env_armed_parsing(self):
+        assert obs_events._env_armed("1")
+        assert obs_events._env_armed("true")
+        assert obs_events._env_armed("on")
+        assert not obs_events._env_armed(None)
+        assert not obs_events._env_armed("")
+        assert not obs_events._env_armed("0")
+        assert not obs_events._env_armed("false")
+        assert not obs_events._env_armed("off")
+
+    def test_stmobs_env_arms_fresh_process(self):
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["STMOBS"] = "1"
+        env["PYTHONPATH"] = str(repo / "src")
+        code = "from repro.obs import events; print(events.armed())"
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == "True"

@@ -1,0 +1,181 @@
+"""Exporter tests: golden Chrome trace, schema validation, lag math."""
+
+import json
+
+import pytest
+
+from repro.obs.events import Recorder
+from repro.obs.export import (
+    lag_report,
+    lag_report_from_doc,
+    render_lag_report,
+    render_trace_summary,
+    summarize_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def stepping_clock(step_ns=1000):
+    state = {"t": 0}
+
+    def clock():
+        state["t"] += step_ns
+        return state["t"]
+
+    return clock
+
+
+def golden_recorder() -> Recorder:
+    """A deterministic single-thread recording: put, get, wakeup, vt ticks."""
+    rec = Recorder(clock=stepping_clock())  # t0_ns = 1000
+    t0 = rec.now()  # 2000
+    rec.complete("stm", "put", t0, 0, channel="frames", timestamp=1, size=64)
+    rec.instant("stm", "wakeup", 1, channel=7)  # ts 4000
+    rec.counter("vt", "vt digitizer", 1, 0, series="virtual_time")  # 5000
+    rec.counter("vt", "vt digitizer", 4, 0, series="virtual_time")  # 6000
+    t1 = rec.now()  # 7000
+    rec.complete("gc", "gc.epoch", t1, 0, epoch=1, horizon="3", collected=2)
+    return rec
+
+
+class TestChromeExport:
+    def test_golden_document(self):
+        doc = to_chrome_trace(golden_recorder())
+        assert validate_chrome_trace(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["producer"] == "repro.obs"
+        assert doc["otherData"]["overwritten_events"] == 0
+
+        meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+        data = [ev for ev in doc["traceEvents"] if ev["ph"] != "M"]
+        # processes 0 and 1 appeared; each carries a name
+        proc_names = {
+            ev["pid"]: ev["args"]["name"]
+            for ev in meta if ev["name"] == "process_name"
+        }
+        assert proc_names == {0: "address space 0", 1: "address space 1"}
+        assert any(ev["name"] == "thread_name" for ev in meta)
+
+        put = next(ev for ev in data if ev["name"] == "put")
+        # ts/dur are microseconds relative to the recorder origin (1000 ns)
+        assert put["ts"] == pytest.approx(1.0)   # (2000 - 1000) / 1000
+        assert put["dur"] == pytest.approx(1.0)  # one 1000 ns step
+        assert put["ph"] == "X"
+        assert put["cname"] == "thread_state_running"
+        assert put["args"] == {"channel": "frames", "timestamp": 1, "size": 64}
+
+        wakeup = next(ev for ev in data if ev["name"] == "wakeup")
+        assert wakeup["ph"] == "i"
+        assert wakeup["s"] == "t"
+        assert wakeup["pid"] == 1
+
+        vt = [ev for ev in data if ev["ph"] == "C"]
+        assert [ev["args"]["virtual_time"] for ev in vt] == [1, 4]
+
+        gc = next(ev for ev in data if ev["name"] == "gc.epoch")
+        assert gc["cname"] == "cq_build_running"
+
+        # globally sorted by timestamp
+        ts = [ev["ts"] for ev in data]
+        assert ts == sorted(ts)
+
+    def test_write_is_valid_json_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        doc = write_chrome_trace(path, golden_recorder())
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+        assert len(loaded["traceEvents"]) == len(doc["traceEvents"])
+
+    def test_negative_pid_mapped_to_zero(self):
+        rec = Recorder(clock=stepping_clock())
+        rec.instant("t", "orphan")  # default pid=-1
+        doc = to_chrome_trace(rec)
+        ev = next(e for e in doc["traceEvents"] if e["name"] == "orphan")
+        assert ev["pid"] == 0
+        assert validate_chrome_trace(doc) == []
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"nope": 1}) != []
+
+    def test_rejects_bad_events(self):
+        bad = {"traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 0, "tid": 0, "ts": 0},
+            {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": -1, "dur": 1},
+            {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0},   # no dur
+            {"ph": "C", "name": "x", "pid": 0, "tid": 0, "ts": 0,
+             "args": {}},                                            # empty
+            {"ph": "C", "name": "x", "pid": 0, "tid": 0, "ts": 0,
+             "args": {"v": "NaN?"}},                                 # non-num
+            {"ph": "M", "name": "made_up_meta", "pid": 0, "args": {}},
+            {"ph": "i", "name": 7, "pid": 0, "tid": 0, "ts": 0},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert len(problems) == 7
+
+    def test_accepts_golden(self):
+        assert validate_chrome_trace(to_chrome_trace(golden_recorder())) == []
+
+
+class TestLagReport:
+    def make_recorder(self):
+        # vt ticks 10..30 over 2 seconds of fake time -> 10 Hz
+        rec = Recorder(clock=stepping_clock(step_ns=100_000_000))
+        for v in range(10, 31):
+            rec.counter("vt", "vt cam", v, 2, series="virtual_time")
+        return rec
+
+    def test_rate_and_lag_math(self):
+        report = lag_report(self.make_recorder(), fps=30.0)
+        (entry,) = report
+        assert entry["space"] == 2
+        assert entry["ticks"] == 21
+        assert entry["first_vt"] == 10 and entry["last_vt"] == 30
+        assert entry["wall_seconds"] == pytest.approx(2.0)
+        assert entry["rate_hz"] == pytest.approx(10.0)
+        # at 30 fps the wall clock "owes" 60 items; 20 were delivered
+        assert entry["lag_items"] == pytest.approx(40.0)
+        assert entry["lag_seconds"] == pytest.approx(2.0 - 20 / 30.0)
+
+    def test_without_fps_no_lag_fields(self):
+        (entry,) = lag_report(self.make_recorder())
+        assert "lag_items" not in entry
+        assert "lag_seconds" not in entry
+
+    def test_from_doc_matches_live(self):
+        rec = self.make_recorder()
+        live = lag_report(rec, fps=30.0)
+        from_doc = lag_report_from_doc(to_chrome_trace(rec), fps=30.0)
+        assert len(from_doc) == len(live) == 1
+        for key in ("space", "ticks", "first_vt", "last_vt"):
+            assert from_doc[0][key] == live[0][key]
+        assert from_doc[0]["wall_seconds"] == pytest.approx(
+            live[0]["wall_seconds"]
+        )
+        assert from_doc[0]["lag_seconds"] == pytest.approx(
+            live[0]["lag_seconds"]
+        )
+
+    def test_empty_report_renders(self):
+        assert "no virtual-time ticks" in render_lag_report([])
+
+    def test_render_mentions_rate_and_lag(self):
+        text = render_lag_report(lag_report(self.make_recorder(), fps=30.0))
+        assert "10.0 Hz" in text
+        assert "lag" in text
+
+
+class TestSummary:
+    def test_summarize_counts(self):
+        doc = to_chrome_trace(golden_recorder())
+        summary = summarize_trace(doc)
+        assert summary["spans"]["put"]["count"] == 1
+        assert summary["spans"]["gc.epoch"]["count"] == 1
+        assert summary["instants"]["wakeup"] == 1
+        assert summary["counters"]["vt digitizer"] == 2
+        text = render_trace_summary(summary)
+        assert "put" in text and "gc.epoch" in text

@@ -1,0 +1,208 @@
+"""Unit tests for the metrics registry and the util.stats fold-in."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_NS,
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    OnlineStats,
+    REGISTRY,
+    percentile,
+    summarize,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("ops")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        assert c.as_dict() == {"value": 42}
+
+    def test_concurrent_inc_is_exact(self):
+        c = Counter("ops")
+
+        def bump():
+            for _ in range(10_000):
+                c.inc()
+
+        workers = [threading.Thread(target=bump) for _ in range(4)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert c.value == 40_000
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("occupancy")
+        assert g.value is None
+        g.set(5)
+        assert g.value == 5
+        g.inc(-2)
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_bucket_series_shape(self):
+        # 1-2-5 series: strictly increasing, spanning the requested range
+        assert DEFAULT_LATENCY_BUCKETS_NS[0] == 1e3
+        assert DEFAULT_LATENCY_BUCKETS_NS[-1] == 1e10
+        assert list(DEFAULT_LATENCY_BUCKETS_NS) == sorted(
+            DEFAULT_LATENCY_BUCKETS_NS
+        )
+        assert DEFAULT_SECONDS_BUCKETS[0] == pytest.approx(1e-6)
+
+    def test_exact_extremes_and_mean(self):
+        h = Histogram("lat", buckets=(10.0, 100.0, 1000.0))
+        for v in (5.0, 50.0, 500.0, 5000.0):  # last one overflows
+            h.observe(v)
+        assert h.count == 4
+        assert h.min == 5.0
+        assert h.max == 5000.0
+        assert h.mean == pytest.approx(1388.75)
+
+    def test_single_sample_reports_itself(self):
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        h.observe(42.0)
+        assert h.percentile(50) == pytest.approx(42.0)
+        assert h.percentile(99) == pytest.approx(42.0)
+
+    def test_percentiles_monotone_and_clamped(self):
+        h = Histogram("lat")
+        for v in range(1, 1001):
+            h.observe(float(v) * 1000)
+        p50, p95, p99 = h.percentile(50), h.percentile(95), h.percentile(99)
+        assert h.min <= p50 <= p95 <= p99 <= h.max
+        # bucket-resolution accuracy: within one 1-2-5 step of the truth
+        assert p50 == pytest.approx(500_000, rel=0.6)
+        assert p99 == pytest.approx(990_000, rel=0.6)
+
+    def test_empty_percentile_rejected(self):
+        h = Histogram("lat")
+        with pytest.raises(ValueError):
+            h.percentile(50)
+        assert h.as_dict() == {"count": 0}
+
+    def test_as_dict_has_quantiles(self):
+        h = Histogram("lat")
+        h.observe(10_000.0)
+        h.observe(20_000.0)
+        d = h.as_dict()
+        assert set(d) >= {"count", "sum", "mean", "min", "max",
+                          "p50", "p95", "p99"}
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("puts", channel="frames")
+        b = reg.counter("puts", channel="frames")
+        assert a is b
+        # label order must not matter
+        h1 = reg.histogram("lat", channel="c", space=0)
+        h2 = reg.histogram("lat", space=0, channel="c")
+        assert h1 is h2
+
+    def test_distinct_labels_distinct_metrics(self):
+        reg = MetricsRegistry()
+        assert reg.counter("puts", channel="a") is not reg.counter(
+            "puts", channel="b"
+        )
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_find_and_collect(self):
+        reg = MetricsRegistry()
+        assert reg.find("nope") is None
+        c = reg.counter("ops", space=1)
+        assert reg.find("ops", space=1) is c
+        reg.counter("other")
+        assert [m.name for m in reg.collect("ops")] == ["ops"]
+        assert len(reg.collect()) == 2
+
+    def test_snapshot_and_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("ops", space=1).inc(3)
+        reg.histogram("lat").observe(5000.0)
+        snap = reg.snapshot()
+        assert snap["ops"] == [
+            {"labels": {"space": 1}, "kind": "counter", "value": 3}
+        ]
+        assert snap["lat"][0]["kind"] == "histogram"
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_global_registry_exists(self):
+        REGISTRY.counter("smoke").inc()
+        assert REGISTRY.find("smoke").value == 1
+
+
+class TestUtilStatsShim:
+    def test_shim_reexports_same_objects(self):
+        import importlib
+        import warnings
+
+        import repro.util.stats as shim
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = importlib.reload(shim)
+        assert shim.OnlineStats is OnlineStats
+        assert shim.percentile is percentile
+        assert shim.summarize is summarize
+
+    def test_shim_warns_on_import(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.util.stats", None)
+        with pytest.warns(DeprecationWarning, match="repro.obs.metrics"):
+            importlib.import_module("repro.util.stats")
+
+    def test_package_reexports(self):
+        import repro.util
+
+        assert repro.util.OnlineStats is OnlineStats
+        assert repro.util.percentile is percentile
+        assert repro.util.summarize is summarize
+
+
+class TestMovedStreamingStats:
+    """Spot checks that the moved helpers behave identically (the full
+    suite lives in tests/util/test_stats.py and runs against the shim)."""
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_online_stats_merge(self):
+        a, b = OnlineStats(), OnlineStats()
+        for x in (1.0, 2.0, 3.0):
+            a.add(x)
+        for x in (10.0, 20.0):
+            b.add(x)
+        m = a.merge(b)
+        assert m.count == 5
+        assert m.mean == pytest.approx(7.2)
+        assert m.min == 1.0 and m.max == 20.0
+
+    def test_summarize(self):
+        s = summarize([3.0, 1.0, 2.0])
+        assert s.count == 3
+        assert s.pctl(50) == 2.0

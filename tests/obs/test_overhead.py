@@ -1,0 +1,63 @@
+"""The overhead guard: disabled-mode tracing must be noise on the hot path.
+
+The hard acceptance criterion (<5% put/get overhead with STMOBS unset) is
+enforced through the analytic bound of :mod:`repro.bench.obs_overhead`:
+a disabled cycle pays GUARDS_PER_CYCLE module-global reads, so
+``guards * guard_cost / cycle_time`` bounds the added cost — robustly
+measurable even on noisy CI hosts, unlike a direct A/B of two timing runs.
+"""
+
+from repro.bench.obs_overhead import (
+    GUARDS_PER_CYCLE,
+    check,
+    measure_cycle_us,
+    measure_guard_ns,
+    run,
+)
+from repro.obs import events as obs_events
+
+
+class TestDisabledOverhead:
+    def test_guard_bound_is_under_five_percent(self):
+        report = run(items=400, guard_reps=50_000)
+        assert check(report) == [], report
+        assert report["disabled_overhead_bound_pct"] < 5.0
+
+    def test_guard_is_nanoseconds_not_microseconds(self):
+        guard_ns = measure_guard_ns(reps=50_000)
+        # One global read + None check: if this ever costs a microsecond,
+        # something catastrophic happened to the disabled path.
+        assert guard_ns < 1000.0
+
+    def test_guard_contribution_vs_cycle(self):
+        guard_ns = measure_guard_ns(reps=50_000)
+        cycle_ns = measure_cycle_us(items=400) * 1000.0
+        assert GUARDS_PER_CYCLE * guard_ns < 0.05 * cycle_ns
+
+
+class TestEnabledMode:
+    def test_enabled_cycle_actually_records(self):
+        obs_events.enable(capacity=1 << 14)
+        try:
+            measure_cycle_us(items=50)
+            rec = obs_events.get_recorder()
+            assert len(rec.spans("put")) >= 50
+            assert len(rec.spans("get")) >= 50
+        finally:
+            obs_events.disable()
+
+    def test_disabled_cycle_records_nothing(self):
+        measure_cycle_us(items=20)
+        assert obs_events.recorder is None
+
+    def test_check_flags_pathological_reports(self):
+        bad = {
+            "cycle_disabled_us": 10.0,
+            "cycle_enabled_us": 50.0,
+            "guard_ns": 500.0,
+            "guards_per_cycle": GUARDS_PER_CYCLE,
+            "disabled_overhead_bound_pct": 20.0,
+            "enabled_overhead_pct": 400.0,
+        }
+        problems = check(bad)
+        assert len(problems) == 2
