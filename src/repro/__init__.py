@@ -59,7 +59,7 @@ from repro.core import (
     GetWildcard,
 )
 from repro.errors import StampedeError, STMError
-from repro.runtime import Cluster, Pacer, StampedeThread, current_thread
+from repro.runtime import Cluster, Pacer, ProcCluster, StampedeThread, current_thread
 from repro.stm import STM, Channel, InputConnection, Item, OutputConnection
 from repro.transport import MEMORY_CHANNEL, SHARED_MEMORY, UDP_LAN
 
@@ -76,6 +76,7 @@ __all__ = [
     "MEMORY_CHANNEL",
     "OutputConnection",
     "Pacer",
+    "ProcCluster",
     "SHARED_MEMORY",
     "STM",
     "STMError",

@@ -30,6 +30,7 @@ from repro.bench.fig09 import clf_bandwidth_table
 from repro.bench.fig10 import stm_latency_table
 from repro.bench.fig11 import stm_bandwidth_table
 from repro.bench.pr1_hotpath import pr1_hotpath_table
+from repro.bench.pr6_procs import pr6_procs_table
 from repro.bench.tables import TableResult
 
 __all__ = ["EXPERIMENTS", "run", "main"]
@@ -83,6 +84,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[str], list[TableResult]]]] = {
     "pr1-hotpath": (
         "PR-1 hot-path counters: wakeups/put, GC epoch, payload memcpys",
         lambda mode: [pr1_hotpath_table(mode)],
+    ),
+    "pr6-procs": (
+        "PR-6 process runtime: GIL escape, shm ring memcpys, kiosk fleet",
+        lambda mode: [pr6_procs_table(mode)],
     ),
 }
 

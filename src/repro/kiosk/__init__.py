@@ -26,6 +26,7 @@ from repro.kiosk.frames import (
 )
 from repro.kiosk.hifi_tracker import HifiTracker, normalized_cross_correlation
 from repro.kiosk.pipeline import PipelineConfig, PipelineResult, run_pipeline
+from repro.kiosk.procfleet import FleetConfig, FleetResult, run_fleet
 from repro.kiosk.records import (
     DecisionRecord,
     GuiEvent,
@@ -44,6 +45,8 @@ __all__ = [
     "DecisionModule",
     "DecisionRecord",
     "FRAME_HEIGHT",
+    "FleetConfig",
+    "FleetResult",
     "FRAME_WIDTH",
     "GestureEvent",
     "GestureRecognizer",
@@ -65,6 +68,7 @@ __all__ = [
     "connected_components",
     "frame_bytes",
     "normalized_cross_correlation",
+    "run_fleet",
     "run_gesture_stage",
     "run_pipeline",
 ]

@@ -16,7 +16,7 @@ three layers:
 * :mod:`repro.obs.metrics` — a **metrics registry** of counters, gauges,
   and fixed-bucket latency histograms (p50/p95/p99), keyed by
   channel/connection/space.  The canonical home of the streaming-statistics
-  helpers formerly in ``repro.util.stats`` (which is now a shim).
+  helpers formerly in ``repro.util.stats`` (shim removed in PR 6).
 * :mod:`repro.obs.export` — **exporters**: Chrome ``trace_event`` JSON
   (loadable in Perfetto / ``chrome://tracing``; one track per thread per
   address space, spans colored by op), the space-time lag report

@@ -15,8 +15,8 @@ computed by linear interpolation inside the bucket — accurate to the bucket
 resolution, which is what latency reporting needs.
 
 The streaming-statistics helpers (:class:`OnlineStats`, :func:`percentile`,
-:func:`summarize`) moved here from ``repro.util.stats``; that module remains
-as a deprecation shim re-exporting them.
+:func:`summarize`) moved here from ``repro.util.stats``; the deprecation
+shim that bridged the move has since been removed.
 """
 
 from __future__ import annotations
@@ -41,7 +41,7 @@ __all__ = [
 
 
 # ======================================================================
-# streaming statistics (canonical home; repro.util.stats is a shim)
+# streaming statistics (canonical home)
 # ======================================================================
 def percentile(samples: list[float], q: float) -> float:
     """Linear-interpolation percentile of ``samples`` (``q`` in [0, 100]).

@@ -3,6 +3,7 @@
 from repro.runtime.address_space import AddressSpace, ChannelHandle, LocalChannel
 from repro.runtime.cluster import Cluster
 from repro.runtime.gc_daemon import GcDaemon, GcStats
+from repro.runtime.procs import ProcCluster
 from repro.runtime.placement import (
     KIOSK_PIPELINE,
     PipelineModel,
@@ -26,6 +27,7 @@ __all__ = [
     "Stage",
     "LocalChannel",
     "Pacer",
+    "ProcCluster",
     "StampedeThread",
     "TickReport",
     "TickStatus",

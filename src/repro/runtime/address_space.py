@@ -57,6 +57,7 @@ from repro.runtime.messages import (
     CreateChannelReq,
     DestroyChannelReq,
     DetachReq,
+    EndpointStatsReq,
     GcApplyReq,
     GcCollectMsg,
     GcSummaryReq,
@@ -77,6 +78,7 @@ from repro.transport.serialization import (
     Frame,
     decode_message,
     encode_message_sg,
+    frame_stats,
 )
 from repro.util.ids import IdAllocator
 
@@ -277,14 +279,24 @@ class AddressSpace:
             elif isinstance(msg, ShutdownMsg):
                 self._running = False
                 break
-        # Fail any calls still outstanding so client threads don't hang.
+        # Fail any calls still outstanding so client threads don't hang.  A
+        # transport-level failure (peer process crashed, heartbeat lapsed)
+        # is surfaced as such so callers can distinguish it from an orderly
+        # shutdown.
+        failure = getattr(self.endpoint, "failure", None)
         with self._calls_lock:
             for call in self._calls.values():
                 if not call.done:
-                    call.error = AddressSpaceError(
-                        f"address space {self.space_id} shut down with the "
-                        f"call outstanding"
-                    )
+                    if failure is not None:
+                        call.error = TransportClosedError(
+                            f"address space {self.space_id}: call failed, "
+                            f"{failure}"
+                        )
+                    else:
+                        call.error = AddressSpaceError(
+                            f"address space {self.space_id} shut down with "
+                            f"the call outstanding"
+                        )
                     call.done = True
                     call.event.set()
 
@@ -867,6 +879,15 @@ class AddressSpace:
     def _h_gc_apply(self, body, src: int, cid) -> int:
         return self.apply_gc_horizon(body.horizon)
 
+    def _h_endpoint_stats(self, body: EndpointStatsReq, src: int, cid) -> dict:
+        snap = {
+            "clf": self.endpoint.stats.snapshot(),
+            "frames": frame_stats.snapshot(),
+        }
+        if body.reset_frames:
+            frame_stats.reset()
+        return snap
+
     _HANDLERS: ClassVar[dict[type, Callable]] = {}
 
     # ==================================================================
@@ -1241,4 +1262,5 @@ AddressSpace._HANDLERS = {
     JoinReq: AddressSpace._h_join,
     GcSummaryReq: AddressSpace._h_gc_summary,
     GcApplyReq: AddressSpace._h_gc_apply,
+    EndpointStatsReq: AddressSpace._h_endpoint_stats,
 }

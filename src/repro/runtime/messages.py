@@ -41,6 +41,7 @@ __all__ = [
     "SpawnReq",
     "GcSummaryReq",
     "GcApplyReq",
+    "EndpointStatsReq",
     "GcCollectMsg",
     "ShutdownMsg",
     "CachePushMsg",
@@ -214,6 +215,20 @@ class GcApplyReq:
 
     epoch: int
     horizon: VirtualTime
+
+
+@dataclass
+class EndpointStatsReq:
+    """Fetch a space's transport-level counters (benchmarks, diagnostics).
+
+    Replies with ``{"clf": ClfStats snapshot, "frames": FrameStats
+    snapshot}``.  In the process runtime this is the only way to see a child
+    space's counters — ``frame_stats`` is per-process, not shared.
+    ``reset_frames`` clears the frame counters after snapshotting so a
+    benchmark can measure one put/get cycle in isolation.
+    """
+
+    reset_frames: bool = False
 
 
 @register_message(4)

@@ -20,7 +20,13 @@ from typing import Any, Callable
 
 from repro.analysis.sanitizer import san_lock
 
-__all__ = ["make_lock", "make_event", "install_factories", "clear_factories"]
+__all__ = [
+    "make_lock",
+    "make_event",
+    "install_factories",
+    "clear_factories",
+    "factories_installed",
+]
 
 _lock_factory: Callable[[str], Any] | None = None
 _event_factory: Callable[[], Any] | None = None
@@ -61,3 +67,15 @@ def install_factories(
 def clear_factories() -> None:
     """Restore the default (sanitizer-aware) factories."""
     install_factories(None, None)
+
+
+def factories_installed() -> bool:
+    """True while non-default factories are active (model checker running).
+
+    The process runtime refuses to launch in this state: cooperative model
+    locks only exist in the installing process, so spawned children could
+    never honour them — the exploration would silently cover nothing.
+    Child processes start from a fresh interpreter (spawn), so they always
+    see the default factories regardless of the parent's state.
+    """
+    return _lock_factory is not None or _event_factory is not None

@@ -64,6 +64,18 @@ class STM:
     def __init__(self, space: AddressSpace):
         self.space = space
 
+    @classmethod
+    def here(cls) -> "STM":
+        """The facade of the calling Stampede thread's own address space.
+
+        The natural entry point inside a spawned thread function.  In the
+        process runtime (:mod:`repro.runtime.procs`) such functions arrive
+        by pickle with no cluster object in reach — they receive channel
+        handles as arguments and bind to their hosting space with
+        ``STM.here()``.
+        """
+        return cls(require_current_thread().space)
+
     def create_channel(
         self,
         name: str | None = None,

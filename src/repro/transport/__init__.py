@@ -20,6 +20,8 @@ from repro.transport.serialization import (
     message_types,
     register_message,
 )
+from repro.transport.shm_ring import DEFAULT_RING_BYTES, ShmRing
+from repro.transport.sockets import SocketEndpoint
 
 __all__ = [
     "CAMERA_BANDWIDTH_MBPS",
@@ -29,6 +31,7 @@ __all__ = [
     "ClfNetwork",
     "ClfStats",
     "ClusterTopology",
+    "DEFAULT_RING_BYTES",
     "FRAME_INTERVAL_US",
     "HEADER_BYTES",
     "IMAGE_BYTES",
@@ -37,6 +40,8 @@ __all__ = [
     "Medium",
     "Reassembler",
     "SHARED_MEMORY",
+    "ShmRing",
+    "SocketEndpoint",
     "UDP_LAN",
     "decode_message",
     "encode_message",

@@ -15,7 +15,7 @@ wire-propagation delay of the 1998 hardware is absent.  The discrete-event
 simulator (:mod:`repro.sim.sim_transport`) provides the complementary
 implementation whose delays come from the calibrated medium models.
 
-Topology: spaces are assigned round-robin^H^H block-wise to nodes
+Topology: spaces are assigned block-wise to nodes
 (``spaces_per_node``), shared memory connects spaces on one node, and the
 configured inter-node medium connects the rest — mirroring the paper's
 cluster of 4-way AlphaServer SMPs on Memory Channel.

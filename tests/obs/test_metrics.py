@@ -155,25 +155,14 @@ class TestRegistry:
 
 
 class TestUtilStatsShim:
-    def test_shim_reexports_same_objects(self):
-        import importlib
-        import warnings
-
-        import repro.util.stats as shim
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            shim = importlib.reload(shim)
-        assert shim.OnlineStats is OnlineStats
-        assert shim.percentile is percentile
-        assert shim.summarize is summarize
-
-    def test_shim_warns_on_import(self):
+    def test_shim_is_gone(self):
+        # The repro.util.stats deprecation shim (PR 5) was removed once the
+        # last importers migrated to repro.obs.metrics.
         import importlib
         import sys
 
         sys.modules.pop("repro.util.stats", None)
-        with pytest.warns(DeprecationWarning, match="repro.obs.metrics"):
+        with pytest.raises(ModuleNotFoundError):
             importlib.import_module("repro.util.stats")
 
     def test_package_reexports(self):
@@ -186,7 +175,7 @@ class TestUtilStatsShim:
 
 class TestMovedStreamingStats:
     """Spot checks that the moved helpers behave identically (the full
-    suite lives in tests/util/test_stats.py and runs against the shim)."""
+    suite lives in tests/util/test_stats.py)."""
 
     def test_percentile_interpolates(self):
         assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)

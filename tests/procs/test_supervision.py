@@ -1,0 +1,82 @@
+"""Crash and wedge detection in the process runtime.
+
+A space process that dies must surface as a clean
+:class:`~repro.errors.TransportClosedError` in every blocked caller — never
+a hang — and a process that is alive but not scheduling (SIGSTOP) must be
+caught by the heartbeat timeout.  Both paths funnel into
+``ProcCluster._on_space_failure``, which poisons the parent endpoint.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.errors import TransportClosedError
+from repro.runtime.procs import ProcCluster
+from repro.stm import STM
+
+
+class TestCrashPropagation:
+    def test_killed_space_fails_blocked_get(self):
+        """SIGKILL mid-blocked-get: the get raises instead of hanging."""
+        with ProcCluster(
+            n_spaces=2, gc_period=None,
+            heartbeat_interval=0.2, heartbeat_timeout=1.0,
+        ) as cluster:
+            me = cluster.space(0).adopt_current_thread(virtual_time=0)
+            stm = STM(cluster.space(0))
+            chan = stm.create_channel("sup.frames", home=1)
+            inp = chan.attach_input()
+            victim = cluster._procs[1].pid
+
+            killer = threading.Timer(0.3, os.kill, (victim, signal.SIGKILL))
+            killer.start()
+            t0 = time.monotonic()
+            try:
+                # Nothing will ever be put: only the crash can end this get,
+                # and it must do so within the heartbeat timeout.
+                with pytest.raises(TransportClosedError):
+                    inp.get(0, timeout=10.0)
+                detect_s = time.monotonic() - t0
+                assert detect_s < 0.3 + 1.0 + 1.0  # kill delay + timeout + slack
+                assert cluster.wait_failed(timeout=5.0)
+                with pytest.raises(TransportClosedError):
+                    cluster.check_failure()
+            finally:
+                killer.cancel()
+                me.exit()
+
+    def test_wedged_space_trips_heartbeat_timeout(self):
+        """SIGSTOP (alive but not scheduling): heartbeats catch it."""
+        cluster = ProcCluster(
+            n_spaces=2, gc_period=None,
+            heartbeat_interval=0.2, heartbeat_timeout=0.8,
+        )
+        victim = cluster._procs[1].pid
+        try:
+            time.sleep(0.5)  # let a few heartbeats land first
+            os.kill(victim, signal.SIGSTOP)
+            t0 = time.monotonic()
+            assert cluster.wait_failed(timeout=5.0)
+            detect_s = time.monotonic() - t0
+            assert detect_s < 0.8 + 1.0  # timeout + supervisor poll slack
+            assert "heartbeat" in str(cluster.failure)
+        finally:
+            os.kill(victim, signal.SIGCONT)  # so shutdown can reap it
+            cluster.shutdown()
+        with pytest.raises(OSError):
+            os.kill(victim, 0)  # reaped: no such process
+
+    def test_failure_poisons_later_calls(self):
+        """After a crash, cluster RPC surfaces the failure immediately."""
+        with ProcCluster(
+            n_spaces=2, gc_period=None,
+            heartbeat_interval=0.2, heartbeat_timeout=1.0,
+        ) as cluster:
+            os.kill(cluster._procs[1].pid, signal.SIGKILL)
+            assert cluster.wait_failed(timeout=5.0)
+            with pytest.raises(TransportClosedError):
+                cluster.endpoint_stats(1)

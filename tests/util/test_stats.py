@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.util.stats import OnlineStats, percentile, summarize
+from repro.obs.metrics import OnlineStats, percentile, summarize
 
 
 class TestPercentile:
