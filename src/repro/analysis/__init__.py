@@ -11,10 +11,14 @@ Three coordinated passes, one ``Finding`` model, one CLI::
 * :mod:`repro.analysis.protolint` — static STM protocol linter (STM201-205).
 * :mod:`repro.analysis.sanitizer` — runtime shim recording dynamic findings
   (STM301-303) when ``STMSAN=1`` or :func:`sanitizer.enable` is called.
+* :mod:`repro.analysis.stmgraph` — whole-program channel dataflow graph and
+  the interprocedural STM501-505 rules (``stmgraph`` subcommand, with
+  ``--format dot|json`` topology export).
 
 All passes emit :class:`repro.analysis.findings.Finding` records with stable
 rule ids; :mod:`repro.analysis.baseline` lets CI be strict on new code while
-grandfathering documented findings.
+grandfathering documented findings, and :mod:`repro.analysis.sarif` renders
+any finding list as SARIF 2.1.0 for code-scanning upload.
 """
 
 from repro.analysis.findings import Finding, Rule, RULES, Severity

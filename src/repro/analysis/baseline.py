@@ -17,7 +17,13 @@ from pathlib import Path
 
 from repro.analysis.findings import Finding
 
-__all__ = ["load_baseline", "write_baseline", "split_baselined"]
+__all__ = [
+    "load_baseline",
+    "write_baseline",
+    "split_baselined",
+    "stale_entries",
+    "prune_baseline",
+]
 
 
 def load_baseline(path: str | Path) -> set[str]:
@@ -33,13 +39,20 @@ def load_baseline(path: str | Path) -> set[str]:
     return keys
 
 
-def write_baseline(path: str | Path, findings: list[Finding]) -> None:
-    """Write every finding's key, sorted, with a header comment."""
+def write_baseline(
+    path: str | Path, findings: list[Finding], extra_keys: set[str] | None = None
+) -> None:
+    """Write every finding's key, sorted, with a header comment.
+
+    ``extra_keys`` lets a caller preserve entries owned by rule families
+    the current invocation did not run (the static passes and the
+    channel-graph pass share one baseline file).
+    """
     lines = [
         "# repro.analysis baseline: rule_id|path|line (| * wildcards the line).",
         "# Regenerate with: python -m repro.analysis --write-baseline",
     ]
-    lines.extend(sorted({f.baseline_key() for f in findings}))
+    lines.extend(sorted({f.baseline_key() for f in findings} | set(extra_keys or ())))
     Path(path).write_text("\n".join(lines) + "\n")
 
 
@@ -56,3 +69,47 @@ def split_baselined(
         else:
             new.append(f)
     return new, old
+
+
+def stale_entries(baseline: set[str], findings: list[Finding]) -> set[str]:
+    """Baseline keys (exact or wildcard) no current finding matches.
+
+    Stale entries are harmless but misleading: they read as documented
+    defects that in fact no longer exist, and they can silently mask a
+    future regression at the same location.  The CLI reports them as a
+    warning; ``--prune-baseline`` rewrites the file without them.
+    """
+    live: set[str] = set()
+    for f in findings:
+        exact = f.baseline_key()
+        wildcard = f"{f.rule_id}|{f.file}|*"
+        if exact in baseline:
+            live.add(exact)
+        if wildcard in baseline:
+            live.add(wildcard)
+    return {k for k in baseline if k not in live}
+
+
+def prune_baseline(path: str | Path, stale: set[str]) -> set[str]:
+    """Rewrite the baseline file without the given stale keys; comments
+    and unrelated entries survive.  The caller decides what counts as
+    stale (typically :func:`stale_entries` filtered to the rule families
+    the current invocation actually ran, so a lockcheck-only run cannot
+    prune the channel-graph pass's entries).
+
+    Returns the keys actually removed; a missing file is a no-op.
+    """
+    p = Path(path)
+    if not p.exists() or not stale:
+        return set()
+    present = {k for k in load_baseline(p) if k in stale}
+    if not present:
+        return set()
+    kept: list[str] = []
+    for raw in p.read_text().splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#") and line in present:
+            continue
+        kept.append(raw)
+    p.write_text("\n".join(kept) + "\n")
+    return present

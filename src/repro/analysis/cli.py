@@ -3,6 +3,7 @@
 Subcommands::
 
     python -m repro.analysis [static] ...         # static passes (default)
+    python -m repro.analysis stmgraph             # whole-program channel graph
     python -m repro.analysis modelcheck           # schedule exploration
     python -m repro.analysis replay SEED          # replay one schedule seed
     python -m repro.analysis racecheck            # vector-clock race stress
@@ -16,6 +17,14 @@ bare paths keep working for compatibility)::
     python -m repro.analysis --only protolint     # one pass
     python -m repro.analysis --baseline stm-baseline.txt
     python -m repro.analysis --write-baseline     # grandfather current findings
+    python -m repro.analysis --prune-baseline     # drop stale baseline entries
+    python -m repro.analysis --format sarif       # SARIF 2.1.0 for code scanning
+
+The channel-graph pass is whole-program (it needs every source at once),
+so it is its own subcommand rather than a ``--only`` pass::
+
+    python -m repro.analysis stmgraph src examples benchmarks
+    python -m repro.analysis stmgraph --format dot | dot -Tsvg > graph.svg
 
 Exit status (every subcommand): 0 when clean (or every finding is
 baselined), 1 when findings remain, 2 on usage or internal errors.  This
@@ -34,9 +43,16 @@ from repro.analysis import baseline as baseline_mod
 from repro.analysis.findings import Finding, RULES, sort_findings
 from repro.analysis.lockcheck import check_lock_discipline
 from repro.analysis.protolint import check_protocol
+from repro.analysis.sarif import sarif_report
 from repro.analysis.source import SourceFile, filter_suppressed, load_sources
 
 __all__ = ["PASSES", "run_static_passes", "main"]
+
+#: which STM rule-id prefixes each pass family owns: stale-baseline
+#: detection and pruning only touch entries the current invocation could
+#: actually have re-confirmed.
+_PASS_PREFIXES = {"lockcheck": ("STM1",), "protolint": ("STM2",)}
+_STMGRAPH_PREFIXES = ("STM5",)
 
 #: pass id -> (description, callable(sources) -> findings); the registration
 #: idiom mirrors repro.bench.cli's EXPERIMENTS table.
@@ -88,6 +104,53 @@ def _finding_json(finding: Finding, baselined: bool = False) -> dict:
     }
 
 
+def _apply_baseline(
+    args: argparse.Namespace,
+    findings: list[Finding],
+    prefixes: tuple[str, ...],
+) -> tuple[list[Finding], list[Finding], list[str]] | int:
+    """Shared --write-baseline / --prune-baseline / stale-entry handling.
+
+    Returns (new, baselined, stale-keys) — or an exit code when the
+    invocation was a --write-baseline run.  Stale detection and pruning
+    are scoped to ``prefixes`` so one pass family never disturbs another
+    family's entries in the shared file.
+    """
+    baseline_path = args.baseline or _DEFAULT_BASELINE
+    if args.write_baseline:
+        keep = {
+            k
+            for k in baseline_mod.load_baseline(baseline_path)
+            if not k.startswith(prefixes)
+        }
+        baseline_mod.write_baseline(baseline_path, findings, extra_keys=keep)
+        print(f"[{len(findings)} finding(s) written to {baseline_path}]")
+        return 0
+
+    known = baseline_mod.load_baseline(baseline_path)
+    stale = sorted(
+        k
+        for k in baseline_mod.stale_entries(known, findings)
+        if k.startswith(prefixes)
+    )
+    if getattr(args, "prune_baseline", False) and stale:
+        removed = baseline_mod.prune_baseline(baseline_path, set(stale))
+        print(
+            f"[pruned {len(removed)} stale baseline entry(ies) from "
+            f"{baseline_path}]",
+            file=sys.stderr,
+        )
+        known -= removed
+        stale = []
+    for key in stale:
+        print(
+            f"warning: stale baseline entry (no matching finding): {key}",
+            file=sys.stderr,
+        )
+    new, old = baseline_mod.split_baselined(findings, known)
+    return new, old, stale
+
+
 def _main_modelcheck(argv: list[str]) -> int:
     from repro.analysis.modelcheck import SCENARIOS, explore
 
@@ -109,7 +172,9 @@ def _main_modelcheck(argv: list[str]) -> int:
         metavar="N",
         help="override each scenario's schedule budget",
     )
-    parser.add_argument("--format", choices=["text", "json"], default="text")
+    parser.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text"
+    )
     args = parser.parse_args(argv)
 
     names = args.scenarios or sorted(SCENARIOS)
@@ -128,7 +193,20 @@ def _main_modelcheck(argv: list[str]) -> int:
         failed = failed or not ok
         rows.append((scenario, result, ok))
 
-    if args.format == "json":
+    if args.format == "sarif":
+        # unexpected findings are new results; expected seeded violations
+        # ship suppressed (they are the corpus working as intended).
+        unexpected = [r.finding for _s, r, ok in rows if not ok and r.finding]
+        expected = [r.finding for _s, r, ok in rows if ok and r.finding]
+        print(
+            json.dumps(
+                sarif_report(
+                    unexpected, expected, tool_name="repro.analysis.modelcheck"
+                ),
+                indent=2,
+            )
+        )
+    elif args.format == "json":
         print(
             json.dumps(
                 [
@@ -177,7 +255,9 @@ def _main_replay(argv: list[str]) -> int:
     parser.add_argument(
         "seed", help='schedule seed, e.g. "seeded-lost-wakeup:0.0.0.1.1.1.1.0"'
     )
-    parser.add_argument("--format", choices=["text", "json"], default="text")
+    parser.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text"
+    )
     args = parser.parse_args(argv)
 
     name, schedule = decode_seed(args.seed)
@@ -185,7 +265,17 @@ def _main_replay(argv: list[str]) -> int:
         parser.error(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
     finding = replay(SCENARIOS[name], schedule)
 
-    if args.format == "json":
+    if args.format == "sarif":
+        print(
+            json.dumps(
+                sarif_report(
+                    [finding] if finding is not None else [],
+                    tool_name="repro.analysis.replay",
+                ),
+                indent=2,
+            )
+        )
+    elif args.format == "json":
         print(
             json.dumps(
                 {
@@ -217,13 +307,22 @@ def _main_racecheck(argv: list[str]) -> int:
     parser.add_argument(
         "--items", type=int, default=150, help="items per producer"
     )
-    parser.add_argument("--format", choices=["text", "json"], default="text")
+    parser.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text"
+    )
     args = parser.parse_args(argv)
 
     found = sort_findings(
         racecheck.run_builtin_workload(pairs=args.pairs, items=args.items)
     )
-    if args.format == "json":
+    if args.format == "sarif":
+        print(
+            json.dumps(
+                sarif_report(found, tool_name="repro.analysis.racecheck"),
+                indent=2,
+            )
+        )
+    elif args.format == "json":
         print(json.dumps([_finding_json(f) for f in found], indent=2))
     else:
         for finding in found:
@@ -235,6 +334,7 @@ def _main_racecheck(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     subcommands = {
+        "stmgraph": _main_stmgraph,
         "modelcheck": _main_modelcheck,
         "replay": _main_replay,
         "racecheck": _main_racecheck,
@@ -286,10 +386,15 @@ def _main_static(argv: list[str]) -> int:
         help="write the current findings to the baseline file and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite the baseline file dropping stale entries",
+    )
+    parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="report format (json emits one object per finding)",
+        help="report format (json: one object per finding; sarif: 2.1.0)",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
@@ -304,21 +409,101 @@ def _main_static(argv: list[str]) -> int:
 
     findings = run_static_passes(args.paths or None, args.only)
 
-    baseline_path = args.baseline or _DEFAULT_BASELINE
-    if args.write_baseline:
-        baseline_mod.write_baseline(baseline_path, findings)
-        print(f"[{len(findings)} finding(s) written to {baseline_path}]")
-        return 0
+    prefixes = tuple(
+        p
+        for pass_id in (args.only or list(PASSES))
+        for p in _PASS_PREFIXES.get(pass_id, ())
+    )
+    outcome = _apply_baseline(args, findings, prefixes)
+    if isinstance(outcome, int):
+        return outcome
+    new, old, _stale = outcome
 
-    known = baseline_mod.load_baseline(baseline_path)
-    new, old = baseline_mod.split_baselined(findings, known)
-
-    if args.format == "json":
+    if args.format == "sarif":
+        print(json.dumps(sarif_report(new, old), indent=2))
+    elif args.format == "json":
         print(json.dumps([_finding_json(f, f in old) for f in findings], indent=2))
     else:
         for f in new:
             print(f.render())
         summary = f"{len(new)} new finding(s)"
+        if old:
+            summary += f", {len(old)} baselined"
+        print(summary, file=sys.stderr)
+    return 1 if new else 0
+
+
+def _main_stmgraph(argv: list[str]) -> int:
+    from repro.analysis.stmgraph import extract_graph
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis stmgraph",
+        description="Extract the whole-program STM channel dataflow graph "
+        "and check the STM501-505 graph-level rules.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files/directories to scan (default: {' '.join(_DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: {_DEFAULT_BASELINE} if it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current STM5xx findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite the baseline file dropping stale STM5xx entries",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json", "dot", "sarif"],
+        default="text",
+        help="text: findings; json: graph + findings; dot: Graphviz "
+        "topology (findings go to stderr); sarif: SARIF 2.1.0",
+    )
+    args = parser.parse_args(argv)
+
+    sources = load_sources(list(args.paths or _DEFAULT_PATHS))
+    graph = extract_graph(sources)
+    findings = sort_findings(filter_suppressed(graph.findings, sources))
+
+    outcome = _apply_baseline(args, findings, _STMGRAPH_PREFIXES)
+    if isinstance(outcome, int):
+        return outcome
+    new, old, _stale = outcome
+
+    if args.format == "dot":
+        sys.stdout.write(graph.to_dot())
+        for f in new:
+            print(f.render(), file=sys.stderr)
+    elif args.format == "json":
+        doc = graph.to_json()
+        doc["findings"] = [_finding_json(f, f in old) for f in findings]
+        print(json.dumps(doc, indent=2))
+    elif args.format == "sarif":
+        print(
+            json.dumps(
+                sarif_report(new, old, tool_name="repro.analysis.stmgraph"),
+                indent=2,
+            )
+        )
+    else:
+        for f in new:
+            print(f.render())
+        summary = (
+            f"graph: {len(graph.threads)} thread(s), "
+            f"{len(graph.channels)} channel(s), {len(graph.edges)} edge(s); "
+            f"{len(new)} new finding(s)"
+        )
         if old:
             summary += f", {len(old)} baselined"
         print(summary, file=sys.stderr)

@@ -37,7 +37,8 @@ class Rule:
 
 #: The rule catalog.  STM1xx = lock discipline (static), STM2xx = STM
 #: protocol (static), STM3xx = dynamic sanitizer findings, STM4xx =
-#: model-checker findings (schedule exploration).
+#: model-checker findings (schedule exploration), STM5xx = whole-program
+#: channel-graph findings (interprocedural static).
 RULES: dict[str, Rule] = {
     r.rule_id: r
     for r in [
@@ -165,6 +166,53 @@ RULES: dict[str, Rule] = {
             "A scenario thread raised an unexpected exception under some "
             "interleaving (e.g. an operation failed that sequentially "
             "succeeds); the finding carries a replayable schedule seed.",
+        ),
+        Rule(
+            "STM501",
+            "bounded-channel wait cycle",
+            Severity.ERROR,
+            "The whole-program channel graph contains a put->get wait cycle "
+            "through a bounded channel: a thread's blocking put can fill the "
+            "channel while its consumer is itself blocked getting an item "
+            "only the putter (transitively) produces — a potential deadlock.",
+        ),
+        Rule(
+            "STM502",
+            "GC starvation: input connection never consumes or detaches",
+            Severity.ERROR,
+            "An input connection's interprocedural operation set (its own "
+            "function plus every helper it is passed to) contains no "
+            "consume, consume_until, or detach on any path: the connection "
+            "pins the channel's GC horizon forever, an unbounded space leak "
+            "the intra-procedural linter cannot see across the call.",
+        ),
+        Rule(
+            "STM503",
+            "orphan producer: put-only channel with no reachable consumer",
+            Severity.WARNING,
+            "A named channel is put to somewhere in the program but no "
+            "scanned code ever attaches an input connection to it: every "
+            "item survives until the producer detaches, and the data goes "
+            "nowhere.",
+        ),
+        Rule(
+            "STM504",
+            "cross-procedure timestamp regression",
+            Severity.WARNING,
+            "Literal timestamps flowing into the same output connection "
+            "decrease across a helper-call boundary (a direct put and a "
+            "helper putting its timestamp parameter, or two helper calls): "
+            "the later put targets an older column that may already be "
+            "consumed or collected.",
+        ),
+        Rule(
+            "STM505",
+            "blocking STM call while holding a runtime lock",
+            Severity.WARNING,
+            "A potentially blocking STM operation (blocking get, put, or a "
+            "wait=True lookup) runs — directly or through a callee — while "
+            "a runtime lock is held; on the asyncio runtime this parks the "
+            "event loop and on threads it stalls every peer of the lock.",
         ),
     ]
 }

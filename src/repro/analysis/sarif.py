@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 export for analysis findings.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests; emitting it from ``python -m repro.analysis
+--format sarif`` lets CI annotate PRs with STM### findings directly.
+
+One run per report: the tool driver lists exactly the rules that fired
+(stable ``STM###`` ids from :data:`repro.analysis.findings.RULES`), and
+each result carries the standard level/message/physicalLocation triple.
+Baselined findings are still present but marked with an ``external``
+suppression so code-scanning treats them as triaged rather than new.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, RULES, Severity
+
+__all__ = ["sarif_report"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def sarif_report(
+    findings: list[Finding],
+    baselined: list[Finding] | None = None,
+    tool_name: str = "repro.analysis",
+) -> dict:
+    """Build a SARIF 2.1.0 document (a plain dict, ready for json.dump).
+
+    ``findings`` are new results; ``baselined`` ones are included with a
+    suppression record so dashboards show them as known, not regressions.
+    """
+    baselined = baselined or []
+    every = list(findings) + list(baselined)
+
+    rule_ids = sorted({f.rule_id for f in every})
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    rules = []
+    for rid in rule_ids:
+        rule = RULES.get(rid)
+        entry = {
+            "id": rid,
+            "name": rid,
+            "shortDescription": {"text": rule.title if rule else rid},
+            "fullDescription": {"text": rule.description if rule else ""},
+            "defaultConfiguration": {
+                "level": _level(rule.severity) if rule else "error"
+            },
+        }
+        rules.append(entry)
+
+    def result(f: Finding, suppressed: bool) -> dict:
+        out = {
+            "ruleId": f.rule_id,
+            "ruleIndex": rule_index[f.rule_id],
+            "level": _level(f.severity),
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.file.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": f.line},
+                    }
+                }
+            ],
+        }
+        if suppressed:
+            out["suppressions"] = [
+                {"kind": "external", "justification": "baselined finding"}
+            ]
+        return out
+
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": [result(f, False) for f in findings]
+                + [result(f, True) for f in baselined],
+            }
+        ],
+    }

@@ -1,0 +1,65 @@
+"""Clean whole-program idioms the channel-graph rules must not flag.
+
+A linear bounded pipeline (no cycle: STM501 silent even though every
+channel is bounded and every get blocks), consume discharged through a
+helper (STM502 silent), every channel has a reader (STM503 silent),
+monotonic helper timestamps (STM504 silent), and locks released around
+STM traffic (STM505 silent).
+"""
+
+import threading
+
+STAGE_A = "clean.stage_a"
+STAGE_B = "clean.stage_b"
+
+counter_lock = threading.Lock()
+
+
+def setup(space):
+    space.create_channel(STAGE_A, capacity=4)
+    space.create_channel(STAGE_B, capacity=4)
+
+
+def consume_in_helper(conn, ts):
+    conn.consume(ts)
+
+
+def stamp(conn, ts, item):
+    conn.put(ts, item)
+
+
+def source(space):
+    out = space.lookup(STAGE_A).attach_output()
+    for ts in range(8):
+        out.put(ts, b"raw")
+    out.detach()
+
+
+def transform(space):
+    inp = space.lookup(STAGE_A).attach_input()
+    out = space.lookup(STAGE_B).attach_output()
+    stamp(out, 0, b"header")
+    stamp(out, 1, b"ready")
+    for ts in range(8):
+        item = inp.get(ts, block=True)
+        out.put(ts + 2, item)
+        consume_in_helper(inp, ts)
+    inp.detach()
+    out.detach()
+
+
+def sink(space):
+    done = 0
+    inp = space.lookup(STAGE_B).attach_input()
+    for ts in range(10):
+        inp.get_consume(ts, block=True)
+        with counter_lock:
+            done += 1
+    inp.detach()
+    return done
+
+
+def main(space):
+    setup(space)
+    for stage in (source, transform, sink):
+        threading.Thread(target=stage, args=(space,)).start()

@@ -1,0 +1,45 @@
+"""Seeded STM501: a put->get wait cycle through bounded channels.
+
+Two threads in a request/reply ring, both channels bounded: once either
+channel fills, every thread on the cycle waits for a peer that is itself
+waiting.  An acyclic version of the same code (see graph_clean.py) is
+silent — the defect is the topology, not any one scope.
+"""
+
+import threading
+
+REQUESTS = "cycle.requests"
+REPLIES = "cycle.replies"
+
+
+def setup(space):
+    space.create_channel(REQUESTS, capacity=1)
+    space.create_channel(REPLIES, capacity=1)
+
+
+def client(space):
+    out = space.lookup(REQUESTS).attach_output()
+    inp = space.lookup(REPLIES).attach_input()
+    for ts in range(100):
+        out.put(ts, b"request")  # VIOLATION: STM501
+        inp.get(ts, block=True)
+        inp.consume(ts)
+    out.detach()
+    inp.detach()
+
+
+def server(space):
+    inp = space.lookup(REQUESTS).attach_input()
+    out = space.lookup(REPLIES).attach_output()
+    for ts in range(100):
+        inp.get(ts, block=True)
+        out.put(ts, b"reply")  # VIOLATION: STM501
+        inp.consume(ts)
+    inp.detach()
+    out.detach()
+
+
+def main(space):
+    setup(space)
+    threading.Thread(target=client, args=(space,)).start()
+    threading.Thread(target=server, args=(space,)).start()

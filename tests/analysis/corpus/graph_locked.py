@@ -1,0 +1,41 @@
+"""Seeded STM505: blocking STM traffic while a runtime lock is held.
+
+``bad_direct`` puts under the lock; ``bad_via_helper`` calls a helper
+that blocks on get — the lock-holding scope never touches a connection
+itself, so only the interprocedural view sees it.  ``good_outside``
+does its STM traffic with the lock released.
+"""
+
+import threading
+
+EVENTS = "locked.events"
+
+state_lock = threading.Lock()
+
+
+def forward_one(conn, ts):
+    return conn.get(ts, block=True)
+
+
+def bad_direct(space):
+    out = space.lookup(EVENTS).attach_output()
+    with state_lock:
+        out.put(0, b"event")  # VIOLATION: STM505
+    out.detach()
+
+
+def bad_via_helper(space):
+    inp = space.lookup(EVENTS).attach_input()
+    with state_lock:
+        forward_one(inp, 0)  # VIOLATION: STM505
+    inp.consume(0)
+    inp.detach()
+
+
+def good_outside(space):
+    out = space.lookup(EVENTS).attach_output()
+    payload = b"event"
+    with state_lock:
+        payload = payload + b"!"
+    out.put(1, payload)
+    out.detach()

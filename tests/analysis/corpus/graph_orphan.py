@@ -1,0 +1,31 @@
+"""Seeded STM503: a put-only channel no scanned code ever reads.
+
+``emit_telemetry`` produces into 'orphan.telemetry', but nothing in the
+program attaches an input connection to it — every item survives until
+the producer detaches and the data goes nowhere.  The results channel
+right next to it has a reader and stays silent.
+"""
+
+TELEMETRY = "orphan.telemetry"
+RESULTS = "orphan.results"
+
+
+def emit_telemetry(space):
+    out = space.lookup(TELEMETRY).attach_output()
+    for ts in range(5):
+        out.put(ts, b"sample")  # VIOLATION: STM503
+    out.detach()
+
+
+def emit_results(space):
+    out = space.lookup(RESULTS).attach_output()
+    for ts in range(5):
+        out.put(ts, b"result")
+    out.detach()
+
+
+def read_results(space):
+    inp = space.lookup(RESULTS).attach_input()
+    for ts in range(5):
+        inp.get_consume(ts, block=True)
+    inp.detach()

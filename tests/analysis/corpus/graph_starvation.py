@@ -1,0 +1,41 @@
+"""Seeded STM502: interprocedural GC starvation.
+
+``bad_reader`` hands its input connection to a helper, so the
+intra-procedural linter cannot follow the lifecycle — but the whole
+closure of {reader, helper} contains no consume and no detach: the
+connection pins the channel's GC horizon forever.  ``paced_reader``
+shows the same call shape discharged by a consuming helper.
+"""
+
+FRAMES = "starve.frames"
+
+
+def drain_only(conn, ts):
+    # gets an item but never consumes it and never detaches
+    return conn.get(ts, block=True)
+
+
+def consume_through(conn, ts):
+    conn.consume_until(ts)
+
+
+def bad_reader(space):
+    inp = space.lookup(FRAMES).attach_input()  # VIOLATION: STM502
+    for ts in range(10):
+        drain_only(inp, ts)
+
+
+def paced_reader(space):
+    # clean: the helper consumes on the reader's behalf
+    inp = space.lookup(FRAMES).attach_input()
+    for ts in range(10):
+        drain_only(inp, ts)
+        consume_through(inp, ts)
+    inp.detach()
+
+
+def producer(space):
+    out = space.lookup(FRAMES).attach_output()
+    for ts in range(10):
+        out.put(ts, b"frame")
+    out.detach()

@@ -1,0 +1,34 @@
+"""Seeded STM504: a helper put regresses the timestamp stream.
+
+``put_at`` forwards its timestamp parameter to ``conn.put``; the direct
+put of timestamp 10 followed by ``put_at(out, 3, ...)`` therefore puts
+3 after 10 on the same connection — across a call boundary, where the
+intra-procedural STM204 check cannot see it.  ``good_producer`` uses
+the same helper monotonically and stays silent.
+"""
+
+TICKS = "tsreg.ticks"
+
+
+def put_at(conn, ts, payload):
+    conn.put(ts, payload)
+
+
+def bad_producer(space):
+    out = space.lookup(TICKS).attach_output()
+    out.put(10, b"new")
+    put_at(out, 3, b"old")  # VIOLATION: STM504
+    out.detach()
+
+
+def good_producer(space):
+    out = space.lookup(TICKS).attach_output()
+    out.put(1, b"first")
+    put_at(out, 2, b"second")
+    out.detach()
+
+
+def reader(space):
+    inp = space.lookup(TICKS).attach_input()
+    inp.get_consume(0, block=True)
+    inp.detach()

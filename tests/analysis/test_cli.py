@@ -73,3 +73,109 @@ def test_json_format(capsys):
     assert main([str(CORPUS / "protocol_bad.py"), "--format", "json"]) == 1
     out = capsys.readouterr().out
     assert '"rule": "STM203"' in out
+
+
+def test_stale_baseline_entry_is_reported(tmp_path, capsys):
+    baseline = tmp_path / "b.txt"
+    baseline.write_text(
+        "# a fixed finding whose entry was never cleaned up\n"
+        "STM203|no/such/file.py|12\n"
+    )
+    # stale entries warn but do not affect the exit code
+    assert main([str(CORPUS / "clean.py"), "--baseline", str(baseline)]) == 0
+    err = capsys.readouterr().err
+    assert "stale baseline entry" in err
+    assert "STM203|no/such/file.py|12" in err
+
+
+def test_prune_baseline_rewrites_the_file(tmp_path, capsys):
+    from repro.analysis import run_static_passes
+
+    findings = run_static_passes([str(CORPUS / "protocol_bad.py")])
+    live = sorted({f.baseline_key() for f in findings})
+    assert live
+    baseline = tmp_path / "b.txt"
+    baseline.write_text(
+        "# comment lines survive pruning\n"
+        + "\n".join(live)
+        + "\nSTM203|no/such/file.py|12\n"
+    )
+    assert (
+        main(
+            [
+                str(CORPUS / "protocol_bad.py"),
+                "--baseline",
+                str(baseline),
+                "--prune-baseline",
+            ]
+        )
+        == 0
+    )
+    err = capsys.readouterr().err
+    assert "pruned 1 stale baseline entry" in err
+    text = baseline.read_text()
+    assert "no/such/file.py" not in text
+    assert "# comment lines survive pruning" in text
+    for key in live:
+        assert key in text
+    # a second run is warning-free
+    assert (
+        main([str(CORPUS / "protocol_bad.py"), "--baseline", str(baseline)])
+        == 0
+    )
+    assert "stale" not in capsys.readouterr().err
+
+
+def test_prune_preserves_other_rule_families(tmp_path, capsys):
+    """A static-pass prune must not delete STM5xx (channel-graph) entries
+    it could never have re-confirmed, and vice versa."""
+    baseline = tmp_path / "b.txt"
+    graph_key = "STM503|somewhere/else.py|7"
+    stale_static = "STM203|no/such/file.py|12"
+    baseline.write_text(f"{graph_key}\n{stale_static}\n")
+    assert (
+        main(
+            [
+                str(CORPUS / "clean.py"),
+                "--baseline",
+                str(baseline),
+                "--prune-baseline",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    text = baseline.read_text()
+    assert graph_key in text
+    assert stale_static not in text
+
+
+def test_stmgraph_subcommand_exit_codes(capsys):
+    assert main(["stmgraph", str(CORPUS / "graph_deadlock.py")]) == 1
+    out = capsys.readouterr().out
+    assert "STM501" in out
+    assert main(["stmgraph", str(CORPUS / "graph_clean.py")]) == 0
+
+
+def test_stmgraph_baseline_round_trip(tmp_path, capsys):
+    baseline = tmp_path / "stm-baseline.txt"
+    target = str(CORPUS / "graph_orphan.py")
+    assert main(["stmgraph", target, "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert main(["stmgraph", target, "--baseline", str(baseline)]) == 0
+    assert main(["stmgraph", target, "--baseline", str(tmp_path / "none.txt")]) == 1
+
+
+def test_stmgraph_dot_format(capsys):
+    assert main(["stmgraph", str(CORPUS / "graph_clean.py"), "--format", "dot"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph stm {")
+    assert 'label="put"' in out
+
+
+def test_stmgraph_json_format(capsys):
+    assert main(["stmgraph", str(CORPUS / "graph_deadlock.py"), "--format", "json"]) == 1
+    import json as _json
+
+    doc = _json.loads(capsys.readouterr().out)
+    assert {"threads", "channels", "edges", "findings"} <= set(doc)
+    assert any(f["rule"] == "STM501" for f in doc["findings"])

@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 export: golden fixture + CLI integration."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+from repro.analysis.findings import Finding
+from repro.analysis.sarif import sarif_report
+
+CORPUS = Path(__file__).parent / "corpus"
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _sample_report() -> dict:
+    findings = [
+        Finding(
+            "STM501",
+            "src/app/ring.py",
+            24,
+            "blocking put to bounded channel 'ring.req' (capacity 1) lies "
+            "on a put->get wait cycle client -> server -> client: potential "
+            "deadlock once the bounded channel fills",
+        ),
+        Finding(
+            "STM204",
+            "src/app/feed.py",
+            9,
+            "literal timestamps decrease on consecutive puts",
+        ),
+    ]
+    baselined = [
+        Finding(
+            "STM103",
+            "src/app/gc.py",
+            88,
+            "blocking call under a channel lock",
+        ),
+    ]
+    return sarif_report(findings, baselined)
+
+
+def test_sarif_matches_golden_fixture():
+    golden = json.loads((FIXTURES / "sarif_golden.json").read_text())
+    assert _sample_report() == golden
+
+
+def test_sarif_structure_contract():
+    doc = _sample_report()
+    assert doc["version"] == "2.1.0"
+    (run,) = doc["runs"]
+    rules = run["tool"]["driver"]["rules"]
+    assert [r["id"] for r in rules] == ["STM103", "STM204", "STM501"]
+    results = run["results"]
+    assert len(results) == 3
+    for res in results:
+        assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] >= 1
+    # the baselined finding ships suppressed, not silently dropped
+    suppressed = [r for r in results if r.get("suppressions")]
+    assert [r["ruleId"] for r in suppressed] == ["STM103"]
+
+
+def test_static_cli_emits_sarif(capsys):
+    assert main([str(CORPUS / "protocol_bad.py"), "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    ids = {r["ruleId"] for r in doc["runs"][0]["results"]}
+    assert ids and all(i.startswith("STM2") for i in ids)
+
+
+def test_stmgraph_cli_emits_sarif(capsys):
+    assert (
+        main(
+            [
+                "stmgraph",
+                str(CORPUS / "graph_deadlock.py"),
+                "--format",
+                "sarif",
+            ]
+        )
+        == 1
+    )
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "repro.analysis.stmgraph"
+    assert {r["ruleId"] for r in doc["runs"][0]["results"]} == {"STM501"}
+
+
+def test_stmgraph_cli_sarif_clean_is_empty_and_exits_zero(capsys):
+    assert (
+        main(
+            ["stmgraph", str(CORPUS / "graph_clean.py"), "--format", "sarif"]
+        )
+        == 0
+    )
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["results"] == []

@@ -49,12 +49,18 @@ def test_clean_corpus_is_silent():
 
 
 def test_every_static_rule_has_a_corpus_case():
-    """Acceptance: each STM1xx/STM2xx rule is demonstrated by the corpus."""
+    """Acceptance: each STM1xx/STM2xx rule is demonstrated by the corpus.
+
+    The STM5xx (channel-graph) markers in graph_*.py belong to the
+    whole-program pass and are covered by test_stmgraph.py.
+    """
     static_rules = {r for r in RULES if r.startswith(("STM1", "STM2"))}
     demonstrated = set()
     for path in CORPUS.glob("*.py"):
         demonstrated |= {rule for rule, _ in expected_violations(path)}
-    assert demonstrated == static_rules
+    assert {r for r in demonstrated if r.startswith(("STM1", "STM2"))} == (
+        static_rules
+    )
 
 
 def test_source_tree_and_examples_are_clean():
@@ -64,6 +70,20 @@ def test_source_tree_and_examples_are_clean():
     repo = Path(__file__).resolve().parents[2]
     findings = run_static_passes(
         [str(repo / "src"), str(repo / "examples")], root=repo
+    )
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_procfleet_worker_modules_are_protolint_clean():
+    """The spawn-picklable fleet workers (PR 6) follow the lookup ->
+    attach -> get/consume -> detach discipline through module-level
+    channel-name constants and ``STM.here()`` binding; STM201-205 must
+    produce zero false positives on these patterns."""
+    repo = Path(__file__).resolve().parents[2]
+    findings = run_static_passes(
+        [str(repo / "src" / "repro" / "kiosk" / "procfleet.py")],
+        only=["protolint"],
+        root=repo,
     )
     assert findings == [], "\n".join(f.render() for f in findings)
 

@@ -1,0 +1,184 @@
+"""Whole-program channel-graph pass: corpus exactness, golden topology.
+
+The seeded graph corpus reuses the ``# VIOLATION: STM###`` marker idiom
+from test_static_passes; each STM5xx rule must fire exactly on its
+marked line and stay silent on the clean idioms.  The golden-topology
+test pins the extracted kiosk pipeline graph to the documented §2
+structure (digitizer -> video -> {lofi, hifi} -> decision -> gui).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.findings import RULES
+from repro.analysis.source import filter_suppressed, load_sources
+from repro.analysis.stmgraph import check_channel_graph, extract_graph
+
+from tests.analysis.test_static_passes import expected_violations
+
+CORPUS = Path(__file__).parent / "corpus"
+REPO = Path(__file__).resolve().parents[2]
+
+GRAPH_CORPUS = [
+    "graph_deadlock.py",
+    "graph_starvation.py",
+    "graph_orphan.py",
+    "graph_ts_regression.py",
+    "graph_locked.py",
+]
+
+
+def graph_findings_for(path: Path) -> set[tuple[str, int]]:
+    sources = load_sources([str(path)], root=path.parent)
+    findings = filter_suppressed(check_channel_graph(sources), sources)
+    return {(f.rule_id, f.line) for f in findings}
+
+
+@pytest.mark.parametrize("name", GRAPH_CORPUS)
+def test_graph_rules_fire_exactly_on_marked_lines(name):
+    path = CORPUS / name
+    expected = expected_violations(path)
+    assert expected, f"corpus file {name} has no markers"
+    assert graph_findings_for(path) == expected
+
+
+def test_clean_graph_corpus_is_silent():
+    assert graph_findings_for(CORPUS / "graph_clean.py") == set()
+
+
+def test_every_graph_rule_has_a_corpus_case():
+    graph_rules = {r for r in RULES if r.startswith("STM5")}
+    demonstrated = set()
+    for name in GRAPH_CORPUS:
+        demonstrated |= {r for r, _ in expected_violations(CORPUS / name)}
+    assert demonstrated == graph_rules
+
+
+def test_inline_suppression_waives_a_graph_rule(tmp_path):
+    bad = tmp_path / "waived.py"
+    body = (
+        "def helper(conn, ts):\n"
+        "    return conn.get(ts, block=True)\n"
+        "\n"
+        "def reader(space):\n"
+        "    inp = space.lookup('w.chan').attach_input(){}\n"
+        "    helper(inp, 0)\n"
+    )
+    bad.write_text(body.format("  # stm-ok: STM502"))
+    assert graph_findings_for(bad) == set()
+    bad.write_text(body.format(""))
+    assert graph_findings_for(bad) == {("STM502", 5)}
+
+
+# ----------------------------------------------------------------------
+# golden topology: the kiosk pipeline of DESIGN.md §2
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def kiosk_graph():
+    sources = load_sources(
+        [str(REPO / "src/repro/kiosk/pipeline.py")], root=REPO
+    )
+    return extract_graph(sources)
+
+
+def _label(graph, node_id: str) -> str:
+    t = graph.threads.get(node_id)
+    return t.label if t is not None else node_id
+
+
+def test_kiosk_graph_is_finding_free(kiosk_graph):
+    assert kiosk_graph.findings == [], [
+        f.render() for f in kiosk_graph.findings
+    ]
+
+
+def test_kiosk_channels(kiosk_graph):
+    assert set(kiosk_graph.channels) == {
+        "kiosk.video",
+        "kiosk.lofi",
+        "kiosk.hifi",
+        "kiosk.audio",
+        "kiosk.decision",
+    }
+
+
+def test_kiosk_stage_threads(kiosk_graph):
+    labels = {t.label for t in kiosk_graph.threads.values()}
+    assert {
+        "run_pipeline",
+        "digitizer",
+        "lofi",
+        "hifi",
+        "decision",
+        "gui",
+        "microphone",
+        "gesture",
+    } <= labels
+
+
+def test_kiosk_dataflow_matches_documented_structure(kiosk_graph):
+    g = kiosk_graph
+    puts = {(_label(g, e.src), e.dst) for e in g.edges if e.kind == "put"}
+    gets = {(e.src, _label(g, e.dst)) for e in g.edges if e.kind == "get"}
+    assert puts == {
+        ("digitizer", "kiosk.video"),
+        ("lofi", "kiosk.lofi"),
+        ("hifi", "kiosk.hifi"),
+        ("microphone", "kiosk.audio"),
+        ("decision", "kiosk.decision"),
+    }
+    assert gets == {
+        ("kiosk.video", "lofi"),
+        ("kiosk.video", "hifi"),
+        ("kiosk.lofi", "decision"),
+        ("kiosk.lofi", "gesture"),
+        ("kiosk.hifi", "decision"),
+        ("kiosk.audio", "decision"),
+        ("kiosk.decision", "gui"),
+    }
+
+
+def test_kiosk_spawn_edges(kiosk_graph):
+    g = kiosk_graph
+    spawns = {
+        (_label(g, e.src), _label(g, e.dst))
+        for e in g.edges
+        if e.kind == "spawn"
+    }
+    assert {
+        ("run_pipeline", "digitizer"),
+        ("run_pipeline", "lofi"),
+        ("run_pipeline", "decision"),
+        ("run_pipeline", "gui"),
+        ("run_pipeline", "microphone"),
+        ("run_pipeline", "gesture"),
+        ("lofi", "hifi"),  # the hifi tracker is spawned on demand
+    } <= spawns
+
+
+def test_kiosk_main_chain_and_placement_seed(kiosk_graph):
+    chain = kiosk_graph.main_chain()
+    assert chain[0] == "digitizer"
+    assert chain[-1] == "gui"
+    assert len(chain) == 4
+    model = kiosk_graph.placement_model()
+    assert [s.name for s in model.stages] == chain
+
+
+def test_dot_export_renders_nodes_and_edges(kiosk_graph):
+    dot = kiosk_graph.to_dot()
+    assert dot.startswith("digraph stm {")
+    assert '"kiosk.video" [shape=ellipse' in dot
+    assert '-> "kiosk.video" [label="put"' in dot
+    assert dot.rstrip().endswith("}")
+
+
+def test_json_export_shape(kiosk_graph):
+    doc = kiosk_graph.to_json()
+    assert {"threads", "channels", "edges", "pipeline"} <= set(doc)
+    kinds = {e["kind"] for e in doc["edges"]}
+    assert kinds == {"put", "get", "spawn"}
+    assert all(":" in e["at"] for e in doc["edges"])
