@@ -28,7 +28,7 @@ def producer(cluster):
     for ts in range(N_ITEMS):
         me.set_virtual_time(ts)
         out.put(ts, bytes(ITEM_BYTES))
-        time.sleep(1 / 300)
+        time.sleep(1 / 300)  # stm-ok: STM506 -- demo pacing
     me.set_virtual_time(10**9)
     out.put(10**9, None)
     out.detach()
@@ -48,7 +48,7 @@ def slow_consumer(cluster):
         processed += 1
         # done with the item: consuming-through releases the skipped ones too.
         inp.consume_until(item.timestamp)
-        time.sleep(1 / 100)  # 3x slower than the producer
+        time.sleep(1 / 100)  # stm-ok: STM506 -- 3x slower than the producer
     inp.detach()
     return processed
 

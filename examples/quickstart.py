@@ -23,7 +23,7 @@ def producer(cluster):
         me.set_virtual_time(value)  # the thread's virtual time = item index
         out.put(value, {"square": value * value})
         print(f"producer: put item at t={value}")
-        time.sleep(0.01)  # ~100 items/s so the consumer sees several
+        time.sleep(0.01)  # stm-ok: STM506 -- ~100 items/s demo pacing
     me.set_virtual_time(10**9)
     out.put(10**9, None)  # end-of-stream sentinel
     out.detach()

@@ -439,7 +439,7 @@ def _main_stmgraph(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis stmgraph",
         description="Extract the whole-program STM channel dataflow graph "
-        "and check the STM501-505 graph-level rules.",
+        "and check the STM501-506 graph-level rules.",
     )
     parser.add_argument(
         "paths",

@@ -214,6 +214,17 @@ RULES: dict[str, Rule] = {
             "a runtime lock is held; on the asyncio runtime this parks the "
             "event loop and on threads it stalls every peer of the lock.",
         ),
+        Rule(
+            "STM506",
+            "wall-clock sleep on an STM kernel path",
+            Severity.WARNING,
+            "A time.sleep runs in a function that performs STM channel "
+            "operations (or in a helper such a function calls): on the "
+            "asyncio runtime it parks the whole event loop — every task in "
+            "the space — and on any runtime it couples virtual-time "
+            "progress to the wall clock; wait on a channel, an event, or "
+            "the driver's timeout parameters instead.",
+        ),
     ]
 }
 

@@ -1,4 +1,4 @@
-"""Whole-program channel-graph analysis (rules STM501-505).
+"""Whole-program channel-graph analysis (rules STM501-506).
 
 Where :mod:`repro.analysis.protolint` reasons about one function at a time,
 this pass extracts a **channel dataflow graph** for the whole scanned
@@ -30,7 +30,9 @@ The pass runs in three phases:
 
 3. **Rules.**  STM501 bounded-channel wait cycle, STM502 interprocedural
    GC starvation, STM503 orphan producer, STM504 cross-procedure timestamp
-   regression, STM505 blocking STM call under a runtime lock.
+   regression, STM505 blocking STM call under a runtime lock, STM506
+   wall-clock sleep on an STM kernel path (fatal to the asyncio runtime,
+   where ``time.sleep`` parks the whole event loop).
 
 The extracted :class:`ChannelGraph` is also an artifact in its own right:
 ``--format json|dot`` exports the topology (threads as boxes, channels as
@@ -161,7 +163,10 @@ class _Summary:
     qualname: str
     name: str
     line: int
+    is_async: bool = False
     params: list[str] = field(default_factory=list)
+    #: wall-clock ``time.sleep`` call sites (lines) in this scope
+    sleeps: list[int] = field(default_factory=list)
     conns: dict[str, _ConnDecl] = field(default_factory=dict)
     channels: dict[str, str] = field(default_factory=dict)   # var -> key
     creates: dict[str, _Cap] = field(default_factory=dict)   # key -> capacity
@@ -198,12 +203,15 @@ class _FuncWalker:
         summary: _Summary,
         consts: dict[str, object],
         parent: "_FuncWalker | None" = None,
+        sleep_aliases: tuple[set[str], set[str]] | None = None,
     ) -> None:
         self.summary = summary
         self.consts = consts
         self.parent = parent
+        #: ({module aliases of time}, {bare names bound to time.sleep})
+        self.sleep_aliases = sleep_aliases or (set(), set())
         #: (body, qualname, summary-factory args) of nested functions
-        self.nested: list[tuple[list[ast.stmt], str, list[str], int]] = []
+        self.nested: list[tuple[list[ast.stmt], str, list[str], int, bool]] = []
         self.lists: dict[int, list[ast.stmt]] = {}
         self._recognized: set[int] = set()
         self._locks: list[str] = []
@@ -313,6 +321,7 @@ class _FuncWalker:
                     f"{self.summary.qualname}.{stmt.name}",
                     [a.arg for a in stmt.args.args],
                     stmt.lineno,
+                    isinstance(stmt, ast.AsyncFunctionDef),
                 )
             )
             return
@@ -491,6 +500,17 @@ class _FuncWalker:
 
     def _handle_call(self, node: ast.Call, path: _Path) -> None:
         func = node.func
+        # -- wall-clock sleep sites (STM506) -------------------------------
+        time_mods, sleep_names = self.sleep_aliases
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "sleep"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in time_mods
+        ) or (isinstance(func, ast.Name) and func.id in sleep_names):
+            self.summary.sleeps.append(node.lineno)
+            return
+
         # -- spawn edges ---------------------------------------------------
         spawn_target = None
         if isinstance(func, ast.Attribute) and func.attr in _SPAWNERS:
@@ -647,6 +667,25 @@ class _FuncWalker:
 # ----------------------------------------------------------------------
 # program-level extraction
 # ----------------------------------------------------------------------
+def _sleep_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Names the module binds to wall-clock sleeping: module aliases of
+    ``time`` (so ``t.sleep`` is caught under ``import time as t``) and
+    bare names bound by ``from time import sleep [as s]``.  ``asyncio``
+    imports never land here, so ``await asyncio.sleep`` stays legal."""
+    time_mods: set[str] = set()
+    sleep_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    time_mods.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "sleep":
+                    sleep_names.add(alias.asname or "sleep")
+    return time_mods, sleep_names
+
+
 def _module_constants(tree: ast.Module) -> dict[str, object]:
     consts: dict[str, object] = {}
     for stmt in tree.body:
@@ -662,18 +701,21 @@ def _collect_scopes(src: SourceFile) -> list[tuple[_FuncWalker, _Summary]]:
     nested closures (each closure walker keeps a reference to its parent
     so ops on captured connections are attributed to the defining scope)."""
     consts = _module_constants(src.tree)
+    sleep_aliases = _sleep_aliases(src.tree)
     out: list[tuple[_FuncWalker, _Summary]] = []
 
     def walk(body: list[ast.stmt], qualname: str, params: list[str],
-             line: int, parent: _FuncWalker | None) -> None:
+             line: int, parent: _FuncWalker | None,
+             is_async: bool = False) -> None:
         summary = _Summary(
             module=src.display, file=src.display, qualname=qualname,
             name=qualname.rsplit(".", 1)[-1], line=line, params=params,
+            is_async=is_async,
         )
-        walker = _FuncWalker(body, summary, consts, parent)
+        walker = _FuncWalker(body, summary, consts, parent, sleep_aliases)
         out.append((walker, summary))
-        for nbody, nqual, nparams, nline in walker.nested:
-            walk(nbody, nqual, nparams, nline, walker)
+        for nbody, nqual, nparams, nline, nasync in walker.nested:
+            walk(nbody, nqual, nparams, nline, walker, nasync)
 
     # The module-body walker recurses into every (nested) function it sees,
     # so plain functions are fully covered; class bodies are opaque to it
@@ -694,6 +736,7 @@ def _collect_scopes(src: SourceFile) -> list[tuple[_FuncWalker, _Summary]]:
                     [a.arg for a in child.args.args],
                     child.lineno,
                     None,
+                    isinstance(child, ast.AsyncFunctionDef),
                 )
     return out
 
@@ -1394,11 +1437,74 @@ def _rule_505_blocking_under_lock(prog: _Program, effects: _Effects) -> list[Fin
     return findings
 
 
+def _rule_506_wall_clock_sleeps(prog: _Program) -> list[Finding]:
+    """Wall-clock sleeps on STM kernel paths.
+
+    A sleep is flagged when its own function performs STM channel
+    operations, or when it sits in a helper that an STM-active function
+    calls (transitively): in both shapes the sleeping scope is pacing
+    channel traffic with the wall clock.  On the asyncio runtime a
+    ``time.sleep`` anywhere on such a path parks the event loop — every
+    task in the space stops, including the GC daemon.  Deliberate
+    settle sleeps (benchmarks, teardown) carry ``# stm-ok: STM506``.
+    """
+
+    def stm_active(fn: _Summary) -> bool:
+        return bool(fn.ops or fn.conns or fn.conn_params or fn.param_attaches)
+
+    findings: list[Finding] = []
+    flagged: set[tuple[str, int]] = set()
+
+    def flag(fn: _Summary, line: int, via: str | None) -> None:
+        site = (fn.file, line)
+        if site in flagged:
+            return
+        flagged.add(site)
+        consequence = (
+            "under the asyncio runtime this parks the whole event loop"
+            if fn.is_async
+            else "on the asyncio runtime the same path parks the event loop"
+        )
+        origin = (
+            f"in '{fn.label}', which performs STM channel operations"
+            if via is None
+            else f"in '{fn.label}', reached from STM-active '{via}'"
+        )
+        findings.append(
+            Finding(
+                "STM506",
+                fn.file,
+                line,
+                f"wall-clock time.sleep {origin}: {consequence}, and on "
+                "any runtime it couples channel pacing to the wall clock "
+                "instead of a blocking get/put or an event",
+            )
+        )
+
+    for fn in prog.summaries:
+        if not stm_active(fn):
+            continue
+        for line in fn.sleeps:
+            flag(fn, line, None)
+        # helpers this STM-active function calls that sleep themselves
+        stack = [(fn, frozenset({fn.id}))]
+        while stack:
+            cur, seen = stack.pop()
+            for call in cur.calls:
+                for callee in prog.resolve(call.callee, cur):
+                    if callee.id in seen or stm_active(callee):
+                        continue  # active callees are flagged on their own
+                    for line in callee.sleeps:
+                        flag(callee, line, fn.label)
+                    stack.append((callee, seen | {callee.id}))
+    return findings
+
+
 # ----------------------------------------------------------------------
 # entry points
 # ----------------------------------------------------------------------
 def extract_graph(sources: list[SourceFile]) -> ChannelGraph:
-    """Extract the whole-program channel graph and run STM501-505."""
+    """Extract the whole-program channel graph and run STM501-506."""
     prog = _link(sources)
     effects = _Effects(prog)
     graph = ChannelGraph()
@@ -1457,6 +1563,7 @@ def extract_graph(sources: list[SourceFile]) -> ChannelGraph:
     graph.findings.extend(_rule_503_orphans(graph))
     graph.findings.extend(_rule_504_ts_regression(prog, effects))
     graph.findings.extend(_rule_505_blocking_under_lock(prog, effects))
+    graph.findings.extend(_rule_506_wall_clock_sleeps(prog))
     return graph
 
 

@@ -400,7 +400,7 @@ def push_ablation(items: int = 15, size: int = IMAGE_BYTES) -> TableResult:
                 boot.set_virtual_time(ts)
                 out.put(ts, payload)
             out.detach()
-            _time.sleep(0.1)  # let the pushes land before timing the gets
+            _time.sleep(0.1)  # stm-ok: STM506 -- settle before timing the gets
             release.set()
             handle.join(60)
             boot.exit()

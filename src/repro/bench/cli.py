@@ -31,6 +31,7 @@ from repro.bench.fig10 import stm_latency_table
 from repro.bench.fig11 import stm_bandwidth_table
 from repro.bench.pr1_hotpath import pr1_hotpath_table
 from repro.bench.pr6_procs import pr6_procs_table
+from repro.bench.pr8_aio import pr8_aio_table
 from repro.bench.tables import TableResult
 
 __all__ = ["EXPERIMENTS", "run", "main"]
@@ -88,6 +89,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[str], list[TableResult]]]] = {
     "pr6-procs": (
         "PR-6 process runtime: GIL escape, shm ring memcpys, kiosk fleet",
         lambda mode: [pr6_procs_table(mode)],
+    ),
+    "pr8-aio": (
+        "PR-8 asyncio scale: 10k-connection GC minima, per-waiter wakeups",
+        lambda mode: [pr8_aio_table(mode)],
     ),
 }
 

@@ -94,11 +94,11 @@ def measure_wakeups(n_consumers: int = 8, settle_s: float = 0.05) -> dict[str, A
         while time.monotonic() < deadline:
             if _blocked_waiters(local) >= n_consumers:
                 break
-            time.sleep(0.01)
+            time.sleep(0.01)  # stm-ok: STM506 -- polling for parked waiters
 
         for ts in range(n_consumers):
             out.put(ts, b"x", refcount=1)
-            time.sleep(settle_s)
+            time.sleep(settle_s)  # stm-ok: STM506 -- settle between wakeups
         _drain_barrier(threads)
         woken = read_woken()
         out.detach()

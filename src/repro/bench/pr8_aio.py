@@ -1,0 +1,262 @@
+"""PR-8 asyncio scale: sparse-connection GC minima and per-waiter wakeups.
+
+The coroutine runtime makes 10k concurrent STM clients realistic — an OS
+thread per camera is fantasy, an asyncio task per camera is a Tuesday —
+so this module re-measures the two hot paths whose cost is a function of
+*connection count* at that scale:
+
+* **sparse unconsumed_min** — one kernel, 10k input connections, each
+  consumed up to a different staggered watermark (the sparsest possible
+  minima distribution).  We time ``unconsumed_min()`` in the steady state
+  (every per-view cache warm: a dict-min over the inputs) and under churn
+  (one view's watermark moves per call, forcing exactly one skip-scan
+  recompute), reading ``min_scan_steps`` to prove the cached scheme does
+  no per-item work for the 9 999 untouched connections.
+
+* **per-waiter wakeups** — N clients, each with its *own* input
+  connection, park in ``get`` for N distinct timestamps on one channel;
+  a producer satisfies them one put at a time.  ``waiters_woken / puts``
+  must stay 1.0 (targeted wakeups) at 10k tasks, and the per-put cost —
+  put + wakeup dispatch through the event loop — must stay flat from
+  256 to 10k.  A 256-OS-thread run of the same program gives the thread
+  runtime's reference point (10k OS threads is not attempted).
+
+Run: ``python -m repro.bench --only pr8-aio`` or
+``python -m repro.bench.pr8_aio [out.json]``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any
+
+from repro.bench.tables import TableResult
+
+__all__ = [
+    "measure_sparse_unconsumed_min",
+    "measure_aio_wakeups",
+    "measure_thread_wakeups",
+    "aio_snapshot",
+    "pr8_aio_table",
+]
+
+_OUT = 0  # the producer connection id in the kernel-level measurement
+
+
+# ----------------------------------------------------------------------
+# 1. unconsumed_min over 10k sparse connections
+# ----------------------------------------------------------------------
+def measure_sparse_unconsumed_min(
+    n_conns: int = 10_000,
+    n_items: int = 64,
+    steady_calls: int = 200,
+    churn_calls: int = 200,
+) -> dict[str, Any]:
+    """Kernel-level ``unconsumed_min`` cost with sparse per-view minima."""
+    from repro.core.channel_state import ChannelKernel
+
+    kernel = ChannelKernel(1)
+    kernel.attach_output(_OUT)
+    for ts in range(n_items):
+        kernel.put(_OUT, ts, b"", 0)
+    conns = range(1, n_conns + 1)
+    for i, conn in enumerate(conns):
+        kernel.attach_input(conn, visibility=0)
+        # stagger the watermarks so every view's minimum differs
+        kernel.consume_until(conn, i % (n_items - 1))
+
+    kernel.unconsumed_min()  # warm every view cache
+    base_steps = kernel.min_scan_steps
+    t0 = time.perf_counter()
+    for _ in range(steady_calls):
+        kernel.unconsumed_min()
+    steady_s = time.perf_counter() - t0
+    steady_steps = kernel.min_scan_steps - base_steps
+
+    # churn: move one view's watermark per call — exactly one recompute
+    churn_conns = list(conns)[:churn_calls]
+    base_steps = kernel.min_scan_steps
+    t0 = time.perf_counter()
+    for i, conn in enumerate(churn_conns):
+        kernel.consume_until(conn, i % (n_items - 1) + 1)
+        kernel.unconsumed_min()
+    churn_s = time.perf_counter() - t0
+    churn_steps = kernel.min_scan_steps - base_steps
+
+    return {
+        "n_connections": n_conns,
+        "n_items": n_items,
+        "steady_call_us": steady_s / steady_calls * 1e6,
+        "steady_scan_steps_per_call": steady_steps / steady_calls,
+        "churn_call_us": churn_s / len(churn_conns) * 1e6,
+        "churn_scan_steps_per_call": churn_steps / len(churn_conns),
+    }
+
+
+# ----------------------------------------------------------------------
+# 2. per-waiter wakeups: one asyncio task (and connection) per waiter
+# ----------------------------------------------------------------------
+def measure_aio_wakeups(n_tasks: int = 10_000) -> dict[str, Any]:
+    """N parked gets on N connections, satisfied one put at a time."""
+    from repro.runtime.aio import AioCluster
+    from repro.stm.aio import AioSTM
+
+    async def main() -> dict[str, Any]:
+        async with AioCluster(n_spaces=1, gc_period=None) as cluster:
+            space = cluster.space(0)
+            me = space.adopt_current_task(virtual_time=0)
+            stm = AioSTM(space)
+            chan = await stm.create_channel("pr8.wakeups")
+            out = await chan.attach_output()
+            local = space._channel(chan.channel_id)
+
+            async def consumer(ts: int) -> None:
+                inp = await (await stm.lookup("pr8.wakeups")).attach_input()
+                await inp.get(ts)
+                await inp.consume(ts)
+                await inp.detach()
+
+            tasks = [
+                space.spawn_task(consumer, (ts,), virtual_time=0,
+                                 name=f"pr8-c{ts}")
+                for ts in range(n_tasks)
+            ]
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if len(local.get_waiters) >= n_tasks:
+                    break
+                await asyncio.sleep(0.01)
+            woken_base = local.waiters_woken
+
+            t0 = time.perf_counter()
+            for ts in range(n_tasks):
+                # consumers attach via an awaited lookup chain the
+                # static pass cannot resolve
+                await out.put(ts, b"x", refcount=1)  # stm-ok: STM503
+            elapsed = time.perf_counter() - t0
+            for task in tasks:
+                await space.ajoin(task, timeout=60.0)
+            woken = local.waiters_woken - woken_base
+            await out.detach()
+            me.exit()
+        return {
+            "runtime": "aio",
+            "parked_getters": n_tasks,
+            "puts": n_tasks,
+            "waiters_woken": woken,
+            "woken_per_put": woken / n_tasks,
+            "put_us": elapsed / n_tasks * 1e6,
+        }
+
+    return asyncio.run(main())
+
+
+def measure_thread_wakeups(n_threads: int = 256) -> dict[str, Any]:
+    """The same program on the thread runtime (one OS thread per waiter)."""
+    from repro.runtime import Cluster
+    from repro.stm import STM
+
+    with Cluster(n_spaces=1, gc_period=None) as cluster:
+        space = cluster.space(0)
+        me = space.adopt_current_thread(virtual_time=0)
+        stm = STM(space)
+        chan = stm.create_channel("pr8.twakeups")
+        out = chan.attach_output()
+        local = space._channel(chan.channel_id)
+        started = threading.Barrier(n_threads + 1)
+
+        def consumer(ts: int) -> None:
+            inp = STM(space).lookup("pr8.twakeups").attach_input()
+            started.wait()
+            inp.get(ts)
+            inp.consume(ts)
+            inp.detach()
+
+        threads = [
+            space.spawn(consumer, (ts,), virtual_time=0)
+            for ts in range(n_threads)
+        ]
+        started.wait()
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            with local.lock:
+                parked = len(local.get_waiters)
+            if parked >= n_threads:
+                break
+            time.sleep(0.005)  # stm-ok: STM506 -- polling for parked waiters
+        woken_base = local.waiters_woken
+
+        t0 = time.perf_counter()
+        for ts in range(n_threads):
+            out.put(ts, b"x", refcount=1)
+        elapsed = time.perf_counter() - t0
+        for t in threads:
+            t.join(60.0)
+        woken = local.waiters_woken - woken_base
+        out.detach()
+        me.exit()
+    return {
+        "runtime": "threads",
+        "parked_getters": n_threads,
+        "puts": n_threads,
+        "waiters_woken": woken,
+        "woken_per_put": woken / n_threads,
+        "put_us": elapsed / n_threads * 1e6,
+    }
+
+
+# ----------------------------------------------------------------------
+# snapshot + table
+# ----------------------------------------------------------------------
+def aio_snapshot(out_path: str | None = None) -> dict[str, Any]:
+    """Run all measurements; optionally write them to ``out_path``."""
+    snapshot = {
+        "sparse_unconsumed_min": measure_sparse_unconsumed_min(),
+        "wakeups": [
+            measure_thread_wakeups(256),
+            measure_aio_wakeups(256),
+            measure_aio_wakeups(10_000),
+        ],
+    }
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+            fh.write("\n")
+    return snapshot
+
+
+def pr8_aio_table(mode: str = "measured") -> TableResult:
+    """The snapshot as a render-able table (for ``python -m repro.bench``)."""
+    snap = aio_snapshot()
+    sparse = snap["sparse_unconsumed_min"]
+    table = TableResult(
+        title="PR-8 asyncio scale (this host)",
+        row_label="metric",
+        col_label="",
+        columns=["value"],
+        unit="(mixed)",
+        notes=(
+            f"unconsumed_min: {sparse['n_connections']} sparse input "
+            f"connections; wakeups: one connection per parked getter"
+        ),
+    )
+    table.rows["unconsumed_min steady (us)"] = {"value": sparse["steady_call_us"]}
+    table.rows["unconsumed_min churn (us)"] = {"value": sparse["churn_call_us"]}
+    table.rows["churn scan steps/call"] = {
+        "value": sparse["churn_scan_steps_per_call"]
+    }
+    for row in snap["wakeups"]:
+        key = f"{row['runtime']}@{row['parked_getters']}"
+        table.rows[f"woken/put {key}"] = {"value": row["woken_per_put"]}
+        table.rows[f"put+wakeup us {key}"] = {"value": row["put_us"]}
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    import sys
+
+    out = sys.argv[1] if len(sys.argv) > 1 else None
+    print(json.dumps(aio_snapshot(out), indent=2))

@@ -125,6 +125,10 @@ def run_pipeline(cluster: Cluster, config: PipelineConfig | None = None) -> Pipe
     result = PipelineResult()
     result_lock = threading.Lock()
     hifi_active = threading.Event()
+    # Set whenever no hi-fi instance is running; the builder waits on this
+    # instead of polling hifi_active with wall-clock sleeps.
+    hifi_idle = threading.Event()
+    hifi_idle.set()
 
     creator_space = cluster.space(config.digitizer_space)
     creator = creator_space.adopt_current_thread(virtual_time=0)
@@ -226,6 +230,7 @@ def run_pipeline(cluster: Cluster, config: PipelineConfig | None = None) -> Pipe
             inp.detach()
             out.detach()
             hifi_active.clear()
+            hifi_idle.set()
 
     # ------------------------------------------------------------------
     def lofi() -> None:
@@ -274,6 +279,7 @@ def run_pipeline(cluster: Cluster, config: PipelineConfig | None = None) -> Pipe
                 and not hifi_active.is_set()
             ):
                 hifi_active.set()
+                hifi_idle.clear()
                 # Spawn directly on the hi-fi space (in-process clusters
                 # need no SpawnReq RPC; closures stay unpickled).  The
                 # child's initial VT is the hypothesis timestamp — legal
@@ -439,11 +445,9 @@ def run_pipeline(cluster: Cluster, config: PipelineConfig | None = None) -> Pipe
     deadline = max(60.0, config.n_frames / config.fps * 20.0)
     for thread in threads:
         thread.join(deadline)
-    # Wait for a possibly still-running hi-fi tracker to notice the sentinel.
-    waited = 0.0
-    while hifi_active.is_set() and waited < deadline:
-        time.sleep(0.01)
-        waited += 0.01
+    # Wait for a possibly still-running hi-fi tracker to notice the sentinel
+    # (event-driven: the hi-fi instance sets hifi_idle on exit).
+    hifi_idle.wait(deadline)
     result.wall_seconds = time.monotonic() - start
     creator.exit()
     return result

@@ -1,0 +1,134 @@
+"""The kiosk fleet on the simulated runtime (discrete-event retelling).
+
+Third retelling of the Fig. 2 fleet — digitizer -> low-fi tracker ->
+decision + GUI — as generator tasks on :class:`~repro.sim.SimStampede`.
+The simulator charges virtual microseconds for copies/transfers but runs
+the *real* trackers on *real* pixels, so its tracking output is directly
+comparable with the thread, process, and asyncio fleets: identical scene
+seed + identical column-by-column gets => identical records, regardless of
+the (simulated or wall-clock) scheduler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import INFINITY
+from repro.kiosk.blob_tracker import BlobTracker
+from repro.kiosk.decision import DecisionModule, GuiModule
+from repro.kiosk.frames import SyntheticScene
+from repro.kiosk.procfleet import FleetConfig, FleetResult
+from repro.sim import SimStampede
+
+__all__ = ["run_sim_fleet"]
+
+#: nominal wire size of a track/decision record in the simulated cluster.
+RECORD_BYTES = 256
+
+
+def run_sim_fleet(
+    config: FleetConfig | None = None, sim: SimStampede | None = None
+) -> FleetResult:
+    """Run the fleet inside a simulated cluster and report.
+
+    Spaces mirror the fleet defaults (driver stage on space 0, digitizer
+    and tracker on their configured spaces); ``sim`` may be passed in to
+    control topology/costs, otherwise a cluster wide enough for the
+    placement is built.
+    """
+    config = config or FleetConfig()
+    n_spaces = max(1, config.digitizer_space, config.tracker_space) + 1
+    if sim is None:
+        sim = SimStampede(n_spaces=n_spaces)
+    result = FleetResult()
+    video = sim.create_channel(
+        home=config.digitizer_space,
+        capacity=config.frame_channel_capacity,
+        name="kiosk.fleet.video",
+    )
+    tracks = sim.create_channel(
+        home=config.tracker_space, name="kiosk.fleet.tracks"
+    )
+    scene_cfg = dict(seed=config.scene_seed, noise_sigma=config.noise_sigma)
+
+    def digitizer(t):
+        out = yield from t.attach_output(video)
+        scene = SyntheticScene(**scene_cfg)
+        for ts in range(config.n_frames):
+            t.set_virtual_time(ts)
+            frame = scene.render(ts)
+            yield from t.put(out, ts, nbytes=frame.nbytes, payload=frame,
+                             refcount=1)
+        t.set_virtual_time(config.n_frames)
+        yield from t.put(out, config.n_frames, nbytes=1, payload=None,
+                         refcount=1)
+        yield from t.detach(video, out)
+        t.set_virtual_time(INFINITY)
+
+    def tracker_stage(t):
+        inp = yield from t.attach_input(video)
+        out = yield from t.attach_output(tracks)
+        t.set_virtual_time(INFINITY)
+        scene = SyntheticScene(**scene_cfg)
+        tracker = BlobTracker(
+            scene.background, threshold=config.threshold,
+            min_area=config.min_area,
+        )
+        for ts in range(config.n_frames + 1):
+            pixels, got_ts, _size = yield from t.get(inp, ts)
+            if pixels is None:
+                yield from t.put(out, ts, nbytes=1, payload=None, refcount=1)
+                yield from t.consume(inp, ts)
+                break
+            record = tracker.analyze(ts, pixels)
+            yield from t.put(out, ts, nbytes=RECORD_BYTES, payload=record,
+                             refcount=1)
+            yield from t.consume(inp, ts)
+            result.frames_tracked += 1
+        yield from t.detach(video, inp)
+        yield from t.detach(tracks, out)
+
+    def decision_stage(t):
+        inp = yield from t.attach_input(tracks)
+        decider = DecisionModule()
+        gui = GuiModule()
+        scene = SyntheticScene(**scene_cfg)
+        errors: list[float] = []
+        for ts in range(config.n_frames + 1):
+            record, got_ts, _size = yield from t.get(inp, ts)
+            yield from t.consume(inp, ts)
+            t.set_virtual_time(ts + 1)
+            if record is None:
+                break
+            if record.detected:
+                result.frames_detected += 1
+                best = record.best()
+                truth = scene.ground_truth(ts)
+                if best is not None and truth:
+                    region, _score = best
+                    errors.append(
+                        min(
+                            float(np.hypot(region.cx - gx, region.cy - gy))
+                            for gx, gy in truth
+                        )
+                    )
+            decision = decider.decide(ts, record)
+            result.decisions.append(decision)
+            event = gui.react(decision)
+            if event is not None:
+                result.transcript.append(event)
+        yield from t.detach(tracks, inp)
+        t.set_virtual_time(INFINITY)
+        if errors:
+            result.mean_tracking_error = float(np.mean(errors))
+
+    sim.spawn(digitizer, space=config.digitizer_space, virtual_time=0,
+              name="sim-fleet-digitizer")
+    sim.spawn(tracker_stage, space=config.tracker_space, virtual_time=0,
+              name="sim-fleet-tracker")
+    sim.spawn(decision_stage, space=0, virtual_time=0,
+              name="sim-fleet-decision")
+    elapsed_us = sim.run()
+    result.frames_digitized = config.n_frames
+    result.wall_seconds = elapsed_us / 1e6  # *simulated* seconds
+    return result

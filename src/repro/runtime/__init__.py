@@ -1,6 +1,7 @@
 """Stampede runtime: address spaces, cluster-wide threads, GC daemon, pacing."""
 
 from repro.runtime.address_space import AddressSpace, ChannelHandle, LocalChannel
+from repro.runtime.aio import AioAddressSpace, AioCluster, AioEvent
 from repro.runtime.cluster import Cluster
 from repro.runtime.gc_daemon import GcDaemon, GcStats
 from repro.runtime.procs import ProcCluster
@@ -17,6 +18,9 @@ from repro.runtime.threads import StampedeThread, current_thread, require_curren
 
 __all__ = [
     "AddressSpace",
+    "AioAddressSpace",
+    "AioCluster",
+    "AioEvent",
     "ChannelHandle",
     "Cluster",
     "GcDaemon",

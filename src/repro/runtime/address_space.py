@@ -123,13 +123,89 @@ class _Waiter:
     error: BaseException | None = None
 
 
+class _GetWaitSet:
+    """Parked gets, striped by requested timestamp.
+
+    With one coroutine per camera, 10k gets can be parked on one channel;
+    retrying every one of them on every put made the put path O(waiters)
+    even though targeted wakeups complete exactly one.  Specific-timestamp
+    requests are bucketed by timestamp, so an item arriving at T retries
+    only T's bucket plus the wildcard waiters; semantic events (attach,
+    detach, GC, destroy) still retry the full set via iteration.
+
+    List-compatible where the runtime and benches touch it: ``len``,
+    truthiness, iteration in park order, ``append``, identity ``remove``,
+    ``clear``, and right-concatenation with the put-waiter list.
+    """
+
+    __slots__ = ("_seq", "_all", "_by_ts", "_wild")
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self._all: dict[int, tuple[int, _Waiter]] = {}   # id -> (seq, waiter)
+        self._by_ts: dict[int, dict[int, _Waiter]] = {}  # ts -> {id: waiter}
+        self._wild: dict[int, _Waiter] = {}              # wildcard requests
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __bool__(self) -> bool:
+        return bool(self._all)
+
+    def __iter__(self):
+        return iter([w for _seq, w in self._all.values()])
+
+    def __radd__(self, other: list) -> list:
+        return list(other) + list(self)
+
+    def append(self, waiter: "_Waiter") -> None:
+        self._all[id(waiter)] = (self._seq, waiter)
+        self._seq += 1
+        request = waiter.body.request
+        if isinstance(request, int):
+            self._by_ts.setdefault(request, {})[id(waiter)] = waiter
+        else:
+            self._wild[id(waiter)] = waiter
+
+    def remove(self, waiter: "_Waiter") -> None:
+        if self._all.pop(id(waiter), None) is None:
+            raise ValueError("waiter is not parked here")
+        request = waiter.body.request
+        if isinstance(request, int):
+            bucket = self._by_ts.get(request)
+            if bucket is not None:
+                bucket.pop(id(waiter), None)
+                if not bucket:
+                    del self._by_ts[request]
+        else:
+            self._wild.pop(id(waiter), None)
+
+    def clear(self) -> None:
+        self._all.clear()
+        self._by_ts.clear()
+        self._wild.clear()
+
+    def candidates(self, timestamps: list[int]) -> list["_Waiter"]:
+        """Waiters an item arrival at these timestamps could satisfy, in
+        park order: the matching specific buckets plus every wildcard."""
+        picked: dict[int, tuple[int, "_Waiter"]] = {}
+        for ts in timestamps:
+            for wid in self._by_ts.get(ts, ()):
+                picked[wid] = self._all[wid]
+        for wid in self._wild:
+            picked[wid] = self._all[wid]
+        return [w for _seq, w in sorted(picked.values(), key=lambda e: e[0])]
+
+
 class LocalChannel:
     """A channel homed in this address space.
 
     Blocked operations park in one of two wait sets keyed by their
     :class:`~repro.core.channel_state.BlockReason`: ``put_waiters`` holds
     operations blocked on CHANNEL_FULL, ``get_waiters`` those blocked on
-    NO_MATCHING_ITEM.  State changes drain only the set they can satisfy.
+    NO_MATCHING_ITEM.  State changes drain only the set they can satisfy —
+    and for pure item arrivals, only the get-waiter stripe the new
+    timestamp can touch.
     """
 
     def __init__(self, kernel: ChannelKernel, handle: ChannelHandle):
@@ -138,7 +214,7 @@ class LocalChannel:
         self.lock = make_lock("LocalChannel.lock")
         guard_kernel(kernel, self.lock)  # STMSAN only; no-op otherwise
         self.put_waiters: list[_Waiter] = []  # blocked on CHANNEL_FULL
-        self.get_waiters: list[_Waiter] = []  # blocked on NO_MATCHING_ITEM
+        self.get_waiters = _GetWaitSet()      # blocked on NO_MATCHING_ITEM
         #: blocked operations completed (woken) since channel creation —
         #: under targeted wakeups this equals the number of blocked ops,
         #: never a multiple of it.
@@ -202,6 +278,9 @@ class AddressSpace:
         # registry space only:
         self._names: dict[str, ChannelHandle] = {}
         self._name_waiters: dict[str, list[tuple[int, int]]] = {}
+        #: name -> events of threads of THIS space blocked in a wait=True
+        #: lookup (remote blockers park as RPCs in _name_waiters instead).
+        self._local_name_events: dict[str, list[Any]] = {}
         self._registry_lock = make_lock("AddressSpace.registry")
         self._gc_horizon_applied: VirtualTime = 0
         # Guards the horizon watermark: concurrent GC applies (daemon round
@@ -317,9 +396,9 @@ class AddressSpace:
             return  # already completed; the reply won the race
         with channel.lock:
             for waiters in (channel.put_waiters, channel.get_waiters):
-                for i, waiter in enumerate(waiters):
+                for waiter in list(waiters):
                     if waiter.call_id == msg.call_id:
-                        del waiters[i]
+                        waiters.remove(waiter)
                         self._reply_error(
                             waiter.src_space,
                             waiter.call_id,
@@ -534,9 +613,11 @@ class AddressSpace:
             )
             if result.status is Status.OK:
                 self._maybe_push(channel, body.timestamp)
-                # A put only adds an item: it can satisfy blocked gets, never
+                # A put only adds an item: it can satisfy blocked gets (and
+                # only those parked on this timestamp or a wildcard), never
                 # unblock another put.
-                self._drain_locked(channel, puts=False, gets=True)
+                self._drain_locked(channel, puts=False, gets=True,
+                                   put_ts=body.timestamp)
                 return None
             if not body.block:
                 raise ChannelFullError(
@@ -587,7 +668,8 @@ class AddressSpace:
                 self._parked_index[waiter.call_id] = channel
 
     def _drain_locked(self, channel: LocalChannel, *,
-                      puts: bool, gets: bool) -> None:
+                      puts: bool, gets: bool,
+                      put_ts: int | None = None) -> None:
         """Complete parked operations a state change may have unblocked.
 
         Runs with the channel lock held, on whichever thread changed the
@@ -596,52 +678,76 @@ class AddressSpace:
         drained too (the cascade never goes the other way — a completed get
         frees nothing).  Waiters whose operation finished (or raised) are
         woken exactly once, result in hand.
-        """
-        if puts and channel.put_waiters:
-            if self._drain_set(channel, channel.put_waiters):
-                gets = True
-        if gets and channel.get_waiters:
-            self._drain_set(channel, channel.get_waiters)
 
-    def _drain_set(self, channel: LocalChannel, waiters: list[_Waiter]) -> bool:
-        """Retry one wait set; return True when any operation completed OK."""
+        ``put_ts`` marks the drain as a *pure item arrival* at that
+        timestamp.  Arrivals (direct or via completed parked puts) retry
+        only the get-waiter stripe their timestamps select — the matching
+        specific-timestamp buckets plus the wildcards — because adding an
+        item cannot change the outcome of a get parked on a different
+        timestamp.  Semantic events (attach, detach, GC, visibility,
+        destroy) pass ``gets=True`` without ``put_ts`` and retry everyone.
+        """
+        full_gets = gets and put_ts is None
+        landed: list[int] = [put_ts] if put_ts is not None else []
+        if puts and channel.put_waiters:
+            landed += self._drain_puts(channel)
+        if not channel.get_waiters:
+            return
+        if full_gets:
+            candidates: list[_Waiter] = list(channel.get_waiters)
+        elif landed:
+            candidates = channel.get_waiters.candidates(landed)
+        else:
+            return
+        if candidates:
+            self._drain_gets(channel, candidates)
+
+    def _drain_puts(self, channel: LocalChannel) -> list[int]:
+        """Retry every parked put; return the timestamps that landed."""
         still_parked: list[_Waiter] = []
-        any_ok = False
-        for waiter in waiters:
+        landed: list[int] = []
+        for waiter in channel.put_waiters:
             body = waiter.body
             try:
-                if isinstance(body, PutReq):
-                    result = channel.kernel.put(
-                        body.conn_id,
-                        body.timestamp,
-                        body.payload,
-                        body.size,
-                        body.refcount,
-                    )
-                    if result.status is Status.OK:
-                        self._maybe_push(channel, body.timestamp)
-                        self._complete_waiter(channel, waiter, None)
-                        any_ok = True
-                    else:
-                        still_parked.append(waiter)
-                else:  # GetReq
-                    result = channel.kernel.get(body.conn_id, body.request)
-                    if result.status is Status.OK:
-                        requester = (
-                            waiter.src_space if waiter.src_space is not None
-                            else self.space_id
-                        )
-                        self._complete_waiter(
-                            channel, waiter,
-                            self._get_reply(channel, body, result, requester),
-                        )
-                        any_ok = True
-                    else:
-                        still_parked.append(waiter)
+                result = channel.kernel.put(
+                    body.conn_id,
+                    body.timestamp,
+                    body.payload,
+                    body.size,
+                    body.refcount,
+                )
             except BaseException as exc:  # noqa: BLE001 - forwarded
                 self._fail_waiter(channel, waiter, exc)
-        waiters[:] = still_parked
-        return any_ok
+                continue
+            if result.status is Status.OK:
+                self._maybe_push(channel, body.timestamp)
+                self._complete_waiter(channel, waiter, None)
+                landed.append(body.timestamp)
+            else:
+                still_parked.append(waiter)
+        channel.put_waiters[:] = still_parked
+        return landed
+
+    def _drain_gets(self, channel: LocalChannel,
+                    candidates: list[_Waiter]) -> None:
+        """Retry candidate parked gets, unparking the ones that finish."""
+        for waiter in candidates:
+            body = waiter.body
+            try:
+                result = channel.kernel.get(body.conn_id, body.request)
+                if result.status is not Status.OK:
+                    continue  # still blocked; stays parked
+                requester = (
+                    waiter.src_space if waiter.src_space is not None
+                    else self.space_id
+                )
+                reply = self._get_reply(channel, body, result, requester)
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                channel.get_waiters.remove(waiter)
+                self._fail_waiter(channel, waiter, exc)
+                continue
+            channel.get_waiters.remove(waiter)
+            self._complete_waiter(channel, waiter, reply)
 
     def _complete_waiter(self, channel: LocalChannel, waiter: _Waiter,
                          value: Any) -> None:
@@ -736,8 +842,28 @@ class AddressSpace:
             payload = Frame(payload)
         return (payload, result.timestamp, result.size, False)
 
+    def _make_event(self) -> Any:
+        """Event a local parked waiter sleeps on.
+
+        Default: the :mod:`repro.runtime.sync` factory (threading.Event, or
+        the model checker's cooperative event).  The asyncio space overrides
+        this with a dual sync/awaitable event so coroutine callers can await
+        the same waiter the drain code sets — the per-space end of the PR 3
+        virtualization seam.
+        """
+        return make_event()
+
     # -- local blocking fast paths ------------------------------------------
-    def _local_put(self, body: PutReq, timeout: float | None) -> None:
+    #
+    # Each path is split into a *start* phase (run the kernel op under the
+    # channel lock; complete, fail fast, or park a waiter) and an *await*
+    # phase (sleep on the waiter's event).  The split is the seam the
+    # asyncio runtime (:mod:`repro.runtime.aio`) builds on: it reuses the
+    # start phase verbatim and substitutes a coroutine await for the
+    # blocking event wait, so the kernel/parking code cannot diverge
+    # between the thread and coroutine drivers.
+    def _local_put_start(self, body: PutReq) -> tuple[LocalChannel, _Waiter | None]:
+        """Kernel put under the lock; ``waiter is None`` means completed."""
         channel = self._channel(body.channel_id)
         with channel.lock:
             result = channel.kernel.put(
@@ -745,31 +871,66 @@ class AddressSpace:
             )
             if result.status is Status.OK:
                 self._maybe_push(channel, body.timestamp)
-                self._drain_locked(channel, puts=False, gets=True)
-                return None
+                self._drain_locked(channel, puts=False, gets=True,
+                                   put_ts=body.timestamp)
+                return channel, None
             if not body.block:
                 raise ChannelFullError(
                     f"channel {body.channel_id} is full "
                     f"(capacity {channel.kernel.capacity})"
                 )
-            waiter = _Waiter(body, event=make_event())
+            waiter = _Waiter(body, event=self._make_event())
             self._park(channel, waiter, result.reason)
-        return self._await_local(channel, waiter, timeout, "put")
+        return channel, waiter
 
-    def _local_get(self, body: GetReq, timeout: float | None):
+    def _local_get_start(
+        self, body: GetReq
+    ) -> tuple[LocalChannel, _Waiter | None, Any]:
+        """Kernel get under the lock; completed result in the third slot."""
         channel = self._channel(body.channel_id)
         with channel.lock:
             result = channel.kernel.get(body.conn_id, body.request)
             if result.status is Status.OK:
-                return (result.payload, result.timestamp, result.size, False)
+                return (
+                    channel,
+                    None,
+                    (result.payload, result.timestamp, result.size, False),
+                )
             if not body.block:
                 raise ChannelEmptyError(
                     f"no item matching {body.request!r} in channel "
                     f"{body.channel_id}; neighbours {result.timestamp_range}"
                 )
-            waiter = _Waiter(body, event=make_event())
+            waiter = _Waiter(body, event=self._make_event())
             self._park(channel, waiter, result.reason)
+        return channel, waiter, None
+
+    def _local_put(self, body: PutReq, timeout: float | None) -> None:
+        channel, waiter = self._local_put_start(body)
+        if waiter is None:
+            return None
+        return self._await_local(channel, waiter, timeout, "put")
+
+    def _local_get(self, body: GetReq, timeout: float | None):
+        channel, waiter, done = self._local_get_start(body)
+        if waiter is None:
+            return done
         return self._await_local(channel, waiter, timeout, "get")
+
+    @staticmethod
+    def _withdraw_local_waiter(channel: LocalChannel, waiter: _Waiter,
+                               op: str) -> None:
+        """Remove a timed-out waiter under the lock, raising TimeoutError.
+
+        Finding the waiter already gone means a completion won the race and
+        must be honoured (the caller then reads the result/error slots).
+        """
+        with channel.lock:
+            for waiters in (channel.put_waiters, channel.get_waiters):
+                for parked in waiters:
+                    if parked is waiter:
+                        waiters.remove(parked)
+                        raise TimeoutError(f"blocking {op} timed out")
 
     @staticmethod
     def _await_local(channel: LocalChannel, waiter: _Waiter,
@@ -792,12 +953,7 @@ class AddressSpace:
                 woke=woke,
             )
         if not woke:
-            with channel.lock:
-                for waiters in (channel.put_waiters, channel.get_waiters):
-                    for i, parked in enumerate(waiters):
-                        if parked is waiter:
-                            del waiters[i]
-                            raise TimeoutError(f"blocking {op} timed out")
+            AddressSpace._withdraw_local_waiter(channel, waiter, op)
         if waiter.error is not None:
             raise waiter.error
         return waiter.result
@@ -813,8 +969,11 @@ class AddressSpace:
                 )
             self._names[body.name] = handle
             waiters = self._name_waiters.pop(body.name, [])
+            local_events = self._local_name_events.pop(body.name, [])
         for waiter_call, waiter_src in waiters:
             self._reply_value(waiter_src, waiter_call, handle)
+        for event in local_events:
+            event.set()
 
     def _h_lookup_name(self, body: LookupNameReq, src: int, call_id) -> Any:
         self._require_registry()
@@ -827,16 +986,50 @@ class AddressSpace:
             self._name_waiters.setdefault(body.name, []).append((call_id, src))
         return _PARKED
 
+    def _local_lookup_start(self, body: LookupNameReq):
+        """Check the registry; returns ``(handle, None)`` or ``(None, event)``.
+
+        When the name is unknown, an event is registered in
+        ``_local_name_events`` under the registry lock — `_h_register_name`
+        sets it after publishing the handle, so there is no
+        check-then-sleep window.  The caller waits on the event (blocking
+        here, awaiting in the asyncio space) and re-checks.
+        """
+        with self._registry_lock:
+            handle = self._names.get(body.name)
+            if handle is not None:
+                return handle, None
+            event = self._make_event()
+            self._local_name_events.setdefault(body.name, []).append(event)
+        return None, event
+
+    def _local_lookup_withdraw(self, body: LookupNameReq, event: Any) -> None:
+        with self._registry_lock:
+            events = self._local_name_events.get(body.name)
+            if events is not None and event in events:
+                events.remove(event)
+                if not events:
+                    del self._local_name_events[body.name]
+
     def _local_lookup_wait(self, body: LookupNameReq, timeout: float | None):
         """Blocking lookup when the registry is this very space."""
         deadline = (time.monotonic() + timeout) if timeout is not None else None
         while True:
-            handle = self._names.get(body.name)
+            handle, event = self._local_lookup_start(body)
             if handle is not None:
                 return handle
-            if deadline is not None and time.monotonic() > deadline:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._local_lookup_withdraw(body, event)
+                    raise TimeoutError(
+                        f"channel name {body.name!r} never registered"
+                    )
+            woke = event.wait(remaining)
+            self._local_lookup_withdraw(body, event)
+            if not woke and deadline is not None and time.monotonic() > deadline:
                 raise TimeoutError(f"channel name {body.name!r} never registered")
-            time.sleep(0.001)
 
     def _require_registry(self) -> None:
         if not self.is_registry:

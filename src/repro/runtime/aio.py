@@ -1,0 +1,513 @@
+"""Asyncio runtime driver: STM threads as coroutine tasks.
+
+The paper treats a thread blocked in ``get``/``put`` as a *scheduling*
+policy, not part of the STM semantics — so the same channel kernel can be
+driven by coroutines instead of OS threads.  This module provides that
+driver:
+
+* :class:`AioCluster` — a :class:`~repro.runtime.cluster.Cluster` whose
+  address spaces are :class:`AioAddressSpace` instances and whose GC daemon
+  is an asyncio task;
+* :class:`AioAddressSpace` — an :class:`~repro.runtime.address_space
+  .AddressSpace` with ``async`` variants of every blocking entry point
+  (``aput``/``aget``/``acall``/``alookup_channel``/...) plus
+  :meth:`~AioAddressSpace.spawn_task` to run an ``async def`` as a Stampede
+  thread;
+* :class:`AioEvent` — the per-space end of the PR 3 sync-factory seam: a
+  dual threading/asyncio event, so one parked waiter can be slept on by an
+  OS thread *or* awaited by a task, and set from either side.
+
+Design notes
+------------
+
+**Exactly one kernel.**  The async paths reuse the thread runtime's
+start/park phases (``_local_put_start``/``_local_get_start``) verbatim and
+substitute an ``await`` for the blocking event wait.  Put/get/consume
+semantics — §4.2 visibility rules, wildcards, GC horizons — cannot diverge
+between drivers because there is no second implementation.
+
+**Locks stay real.**  Runtime-internal locks (channel lock, registry lock,
+...) are held only across short critical sections and never across an
+``await``, so they remain ``threading`` locks: cheap, STMSAN-guardable, and
+safe against the *other* threads that still exist in an asyncio cluster
+(GC executor rounds, dispatcher threads of multi-space clusters).  Only the
+*events* — the things a logical thread sleeps on — are virtualized.
+
+**Task-local thread identity.**  All tasks share one OS thread, so the
+per-OS-thread StampedeThread binding would collide; tasks bind through a
+``contextvars.ContextVar`` instead (see :func:`repro.runtime.threads
+.current_thread`).
+
+**Remote operations.**  Cross-space RPCs ride the default executor (the
+dispatcher reply path is unchanged); the expected asyncio regime — many
+sparse connections, one space — never leaves the local fast path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from typing import Any, Callable, Coroutine
+
+from repro.core.flags import GetWildcard, UNKNOWN_REFCOUNT
+from repro.core.time import VirtualTime
+from repro.errors import AddressSpaceError, StampedeError
+from repro.obs import events as _obs
+from repro.runtime.address_space import (
+    _PARKED,
+    AddressSpace,
+    ChannelHandle,
+    JoinReq,
+    LocalChannel,
+    _Waiter,
+)
+from repro.runtime.cluster import Cluster
+from repro.runtime.messages import (
+    GetReq,
+    LookupNameReq,
+    PutReq,
+)
+from repro.runtime.sync import factories_installed, make_event
+from repro.runtime.threads import StampedeThread, current_thread
+from repro.transport.serialization import Frame
+
+__all__ = ["AioEvent", "AioAddressSpace", "AioCluster"]
+
+
+class AioEvent:
+    """One event, waitable from an OS thread and awaitable from a task.
+
+    The authoritative state is the :class:`threading.Event` — it is set
+    first, so a sync waiter can never observe the asyncio side ahead of it.
+    The asyncio mirror is set inline when the setter already runs on the
+    loop (the common case: a task's put draining a task's get) and via
+    ``call_soon_threadsafe`` when a real thread (GC round, dispatcher)
+    completes the waiter.
+    """
+
+    __slots__ = ("_aevent", "_loop", "_tevent")
+
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self._loop = loop
+        self._tevent = threading.Event()
+        self._aevent = asyncio.Event()
+
+    def set(self) -> None:
+        self._tevent.set()
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is self._loop:
+            self._aevent.set()
+        elif not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(self._aevent.set)
+            except RuntimeError:
+                pass  # loop closed between the check and the call
+
+    def is_set(self) -> bool:
+        return self._tevent.is_set()
+
+    def clear(self) -> None:
+        self._tevent.clear()
+        self._aevent.clear()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Blocking wait (for OS threads sharing the cluster with tasks)."""
+        return self._tevent.wait(timeout)
+
+    async def wait_async(self, timeout: float | None = None) -> bool:
+        if self._tevent.is_set():
+            return True
+        try:
+            await asyncio.wait_for(self._aevent.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            # The threading side is authoritative: a completion that raced
+            # the timeout must be honoured, exactly like Event.wait().
+            return self._tevent.is_set()
+
+
+class AioAddressSpace(AddressSpace):
+    """An address space whose blocking entry points have ``async`` twins.
+
+    The sync API (``put``/``get``/``spawn``/...) keeps working — threads
+    and tasks can share one cluster — but threads of *this* space park on
+    :class:`AioEvent` waiters so either kind of caller can sleep on them.
+    """
+
+    #: set by :class:`AioCluster` before spaces are constructed.
+    loop: asyncio.AbstractEventLoop
+
+    def __init__(self, cluster: "AioCluster", space_id: int, endpoint):
+        self.loop = cluster.loop
+        super().__init__(cluster, space_id, endpoint)
+
+    # -- the event seam -------------------------------------------------
+    def _make_event(self) -> Any:
+        if factories_installed():  # model checker: honour its factories
+            return make_event()
+        return AioEvent(self.loop)
+
+    # -- async RPC client ----------------------------------------------
+    async def acall(
+        self, dst_space: int, body: Any, timeout: float | None = None
+    ) -> Any:
+        """Awaitable twin of :meth:`AddressSpace.call`."""
+        if dst_space == self.space_id:
+            return await self._ahandle_blocking_locally(body, timeout)
+        return await self._in_executor(self.call, dst_space, body, timeout)
+
+    async def _in_executor(self, fn: Callable, *args: Any) -> Any:
+        return await self.loop.run_in_executor(None, lambda: fn(*args))
+
+    async def _ahandle_blocking_locally(
+        self, body: Any, timeout: float | None
+    ) -> Any:
+        """Awaitable twin of ``_handle_blocking_locally``.
+
+        Start phases (kernel op + park under the channel lock) are shared
+        with the thread runtime; only the sleep differs.
+        """
+        if isinstance(body, PutReq):
+            channel, waiter = self._local_put_start(body)
+            if waiter is None:
+                return None
+            return await self._await_local_async(channel, waiter, timeout, "put")
+        if isinstance(body, GetReq):
+            channel, waiter, done = self._local_get_start(body)
+            if waiter is None:
+                return done
+            return await self._await_local_async(channel, waiter, timeout, "get")
+        if isinstance(body, LookupNameReq) and body.wait:
+            return await self._alocal_lookup_wait(body, timeout)
+        if isinstance(body, JoinReq):
+            return await self._in_executor(self._local_join, body, timeout)
+        result = self._handle(body, self.space_id, None)
+        if result is _PARKED:  # pragma: no cover - defensive
+            raise AddressSpaceError("local request parked unexpectedly")
+        return result
+
+    async def _await_local_async(
+        self,
+        channel: LocalChannel,
+        waiter: _Waiter,
+        timeout: float | None,
+        op: str,
+    ) -> Any:
+        """Awaitable twin of ``_await_local`` (same completion contract)."""
+        rec = _obs.recorder
+        t0 = rec.now() if rec is not None else 0
+        wait_async = getattr(waiter.event, "wait_async", None)
+        if wait_async is not None:
+            woke = await wait_async(timeout)
+        else:  # model-checker factories: plain event, wait off-loop
+            woke = await self._in_executor(waiter.event.wait, timeout)
+        if rec is not None:
+            rec.complete(
+                "stm", f"block({op})", t0, channel.handle.home_space,
+                channel=channel.handle.name or f"#{channel.kernel.channel_id}",
+                woke=woke,
+            )
+        if not woke:
+            self._withdraw_local_waiter(channel, waiter, op)
+        if waiter.error is not None:
+            raise waiter.error
+        return waiter.result
+
+    async def _alocal_lookup_wait(
+        self, body: LookupNameReq, timeout: float | None
+    ) -> ChannelHandle:
+        deadline = (
+            (self.loop.time() + timeout) if timeout is not None else None
+        )
+        while True:
+            handle, event = self._local_lookup_start(body)
+            if handle is not None:
+                return handle
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - self.loop.time()
+                if remaining <= 0:
+                    self._local_lookup_withdraw(body, event)
+                    raise TimeoutError(
+                        f"channel name {body.name!r} never registered"
+                    )
+            wait_async = getattr(event, "wait_async", None)
+            if wait_async is not None:
+                await wait_async(remaining)
+            else:  # pragma: no cover - model-checker factories
+                await self._in_executor(event.wait, remaining)
+            self._local_lookup_withdraw(body, event)
+
+    # -- async facade entry points --------------------------------------
+    async def acreate_channel(self, *args: Any, **kwargs: Any) -> ChannelHandle:
+        return await self._in_executor(
+            lambda: self.create_channel(*args, **kwargs)
+        )
+
+    async def alookup_channel(
+        self, name: str, wait: bool = False, timeout: float | None = None
+    ) -> ChannelHandle:
+        handle = self.cluster._named_handle(name)
+        if handle is not None:
+            return handle
+        handle = await self.acall(
+            self.cluster.registry_space, LookupNameReq(name, wait),
+            timeout=timeout,
+        )
+        self.cluster._note_named_handle(handle)
+        return handle
+
+    async def aput(
+        self,
+        handle: ChannelHandle,
+        conn_id: int,
+        timestamp: int,
+        payload: Any,
+        size: int,
+        refcount: int = UNKNOWN_REFCOUNT,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> None:
+        """Awaitable twin of :meth:`AddressSpace.put`."""
+        from repro.core.payload import CopyPolicy
+
+        if (
+            handle.home_space != self.space_id
+            and handle.copy_policy is CopyPolicy.SERIALIZE
+            and isinstance(payload, (bytes, bytearray, memoryview))
+        ):
+            payload = Frame(payload)
+        await self.acall(
+            handle.home_space,
+            PutReq(handle.channel_id, conn_id, timestamp, payload, size,
+                   refcount, block),
+            timeout=timeout,
+        )
+
+    async def aget(
+        self,
+        handle: ChannelHandle,
+        conn_id: int,
+        request: int | GetWildcard,
+        block: bool = True,
+        timeout: float | None = None,
+    ) -> tuple[Any, int, int]:
+        """Awaitable twin of :meth:`AddressSpace.get`."""
+        cache_ok = handle.push and handle.home_space != self.space_id
+        payload, ts, size, cached = await self.acall(
+            handle.home_space,
+            GetReq(handle.channel_id, conn_id, request, block, cache_ok),
+            timeout=timeout,
+        )
+        if cached:
+            with self._push_cache_lock:
+                entry = self._push_cache.get((handle.channel_id, ts))
+            if entry is not None:
+                return (entry[0], ts, size)
+            payload, ts, size, _ = await self.acall(
+                handle.home_space,
+                GetReq(handle.channel_id, conn_id, ts, block, False),
+                timeout=timeout,
+            )
+        if isinstance(payload, Frame):
+            payload = payload.data
+        return (payload, ts, size)
+
+    async def aconsume(
+        self,
+        handle: ChannelHandle,
+        conn_id: int,
+        timestamp: int,
+        until: bool = False,
+    ) -> None:
+        from repro.runtime.messages import ConsumeReq
+
+        await self.acall(
+            handle.home_space,
+            ConsumeReq(handle.channel_id, conn_id, timestamp, until),
+        )
+
+    async def aattach(
+        self, handle: ChannelHandle, *, is_input: bool, thread: StampedeThread
+    ) -> int:
+        return await self._in_executor(
+            lambda: self.attach(handle, is_input=is_input, thread=thread)
+        )
+
+    async def adetach(self, handle: ChannelHandle, conn_id: int) -> None:
+        await self._in_executor(self.detach, handle, conn_id)
+
+    async def adestroy_channel(self, handle: ChannelHandle) -> None:
+        await self._in_executor(self.destroy_channel, handle)
+
+    # -- coroutine Stampede threads --------------------------------------
+    def spawn_task(
+        self,
+        coro_fn: Callable[..., Coroutine[Any, Any, Any]],
+        args: tuple = (),
+        kwargs: dict | None = None,
+        *,
+        name: str | None = None,
+        virtual_time: VirtualTime | None = None,
+    ) -> StampedeThread:
+        """Run an ``async def`` as a Stampede thread (asyncio task).
+
+        Mirrors :meth:`AddressSpace.spawn`: the child's initial virtual
+        time defaults to the parent's current visibility (§4.2).  The
+        returned StampedeThread carries the task as ``aio_task``; await
+        :meth:`ajoin` (not ``join``) for completion and crash propagation.
+        """
+        parent = current_thread()
+        if virtual_time is None:
+            virtual_time = parent.visibility() if parent is not None else 0
+        if name is None:
+            name = f"aio-{self.space_id}-{self._thread_seq.next()}"
+        with self._threads_lock:
+            if name in self._threads:
+                raise StampedeError(
+                    f"thread name {name!r} already in use on space "
+                    f"{self.space_id}"
+                )
+            thread = StampedeThread(self, name, virtual_time, parent=parent)
+            self._threads[name] = thread
+        task = self.loop.create_task(
+            self._run_task(thread, coro_fn, args, kwargs or {}), name=name
+        )
+        thread.aio_task = task
+        return thread
+
+    async def _run_task(
+        self,
+        thread: StampedeThread,
+        coro_fn: Callable[..., Coroutine[Any, Any, Any]],
+        args: tuple,
+        kwargs: dict,
+    ) -> Any:
+        # The task runs in its own contextvars Context (copied at
+        # create_task), so this binding is invisible to sibling tasks.
+        thread._bind_context()
+        try:
+            return await coro_fn(*args, **kwargs)
+        finally:
+            thread._unbind_context()
+            self._thread_exited(thread)
+            thread._alive = False
+
+    async def ajoin(
+        self, thread: StampedeThread, timeout: float | None = None
+    ) -> Any:
+        """Await a task-thread's completion; re-raises its exception."""
+        task = getattr(thread, "aio_task", None)
+        if task is None:
+            # An OS-thread Stampede thread: join it off-loop.
+            return await self._in_executor(thread.join, timeout)
+        try:
+            return await asyncio.wait_for(asyncio.shield(task), timeout)
+        except asyncio.TimeoutError:
+            raise TimeoutError(
+                f"task thread {thread.name!r} did not exit in {timeout}s"
+            ) from None
+
+    def adopt_current_task(
+        self, virtual_time: VirtualTime = 0, name: str | None = None
+    ) -> StampedeThread:
+        """Bind STM thread state to the calling asyncio task.
+
+        The coroutine analogue of :meth:`AddressSpace
+        .adopt_current_thread` — for driver coroutines that operate on STM
+        directly instead of going through :meth:`spawn_task`.
+        """
+        existing = current_thread()
+        if existing is not None and existing.alive and existing.space is self:
+            return existing
+        if name is None:
+            name = f"adopted-aio-{self.space_id}-{self._thread_seq.next()}"
+        with self._threads_lock:
+            if name in self._threads:
+                raise StampedeError(
+                    f"thread name {name!r} already in use on space "
+                    f"{self.space_id}"
+                )
+            thread = StampedeThread(self, name, virtual_time)
+            self._threads[name] = thread
+        thread._bind_context()
+        return thread
+
+
+class AioCluster(Cluster):
+    """A Stampede cluster driven by an asyncio event loop.
+
+    Must be constructed while the loop is running (``async with`` it, or
+    build it inside ``asyncio.run``).  The periodic GC daemon is an asyncio
+    task that off-loads each scatter/gather round to the default executor,
+    so GC never stalls the loop; ``gc_once()`` keeps working synchronously
+    for tests.
+    """
+
+    space_factory = AioAddressSpace
+
+    def __init__(
+        self,
+        n_spaces: int = 1,
+        *,
+        gc_period: float | None = 0.05,
+        loop: asyncio.AbstractEventLoop | None = None,
+        **kwargs: Any,
+    ):
+        if loop is None:
+            loop = asyncio.get_running_loop()
+        self.loop = loop
+        # The thread GcDaemon stays off; the loop drives GC instead.
+        super().__init__(n_spaces, gc_period=None, **kwargs)
+        self._gc_task: asyncio.Task | None = None
+        self._aio_gc_period = gc_period
+        if gc_period is not None:
+            self._gc_task = loop.create_task(
+                self._gc_loop(gc_period), name="stampede-aio-gc"
+            )
+
+    async def _gc_loop(self, period: float) -> None:
+        while not self._shut_down:
+            await asyncio.sleep(period)
+            if self._shut_down:
+                return
+            try:
+                await self.loop.run_in_executor(None, self.gc_once)
+            except concurrent.futures.CancelledError:  # pragma: no cover
+                return
+            except Exception:  # pragma: no cover - GC must keep trying
+                if self._shut_down:
+                    return
+
+    def space(self, space_id: int) -> AioAddressSpace:
+        return self._spaces[space_id]  # narrowed return type
+
+    async def agc_once(self) -> Any:
+        """One GC round without blocking the loop."""
+        return await self.loop.run_in_executor(None, self.gc_once)
+
+    async def ashutdown(self) -> None:
+        if self._gc_task is not None:
+            self._gc_task.cancel()
+            try:
+                await self._gc_task
+            except asyncio.CancelledError:
+                pass
+            self._gc_task = None
+        await self.loop.run_in_executor(None, self.shutdown)
+
+    def shutdown(self) -> None:
+        if self._gc_task is not None and not self.loop.is_closed():
+            self._gc_task.cancel()
+            self._gc_task = None
+        super().shutdown()
+
+    async def __aenter__(self) -> "AioCluster":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.ashutdown()

@@ -52,6 +52,11 @@ class Cluster:
         keep the thread set fully under its control.
     """
 
+    #: address-space class this cluster instantiates — the seam the asyncio
+    #: runtime (:mod:`repro.runtime.aio`) uses to substitute its own space
+    #: type while reusing the interconnect/registry/GC wiring unchanged.
+    space_factory = AddressSpace
+
     def __init__(
         self,
         n_spaces: int = 1,
@@ -72,7 +77,8 @@ class Cluster:
             ClusterTopology(n_spaces, spaces_per_node, inter_node), mtu
         )
         self._spaces = [
-            AddressSpace(self, i, self.network.endpoint(i)) for i in range(n_spaces)
+            self.space_factory(self, i, self.network.endpoint(i))
+            for i in range(n_spaces)
         ]
         self._named_handles: dict[str, ChannelHandle] = {}
         self._named_lock = threading.Lock()

@@ -21,6 +21,7 @@ The rules enforced here:
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from typing import TYPE_CHECKING, Callable
 
@@ -36,9 +37,22 @@ __all__ = ["StampedeThread", "current_thread", "require_current_thread"]
 
 _tls = threading.local()
 
+#: Task-local binding for the asyncio runtime: every asyncio task carries its
+#: own contextvars Context, so a StampedeThread bound here is visible to one
+#: task only — the coroutine analogue of the thread-local slot above.  The
+#: OS-thread slot stays authoritative for real threads; the context slot wins
+#: inside a task (a task never sets the TLS slot, and the loop thread itself
+#: is never an adopted Stampede thread while it hosts tasks).
+_ctx_thread: contextvars.ContextVar["StampedeThread | None"] = contextvars.ContextVar(
+    "stampede_thread", default=None
+)
+
 
 def current_thread() -> "StampedeThread | None":
-    """The StampedeThread bound to the calling OS thread, if any."""
+    """The StampedeThread bound to the calling OS thread or asyncio task."""
+    bound = _ctx_thread.get()
+    if bound is not None and bound.alive:
+        return bound
     return getattr(_tls, "stampede_thread", None)
 
 
@@ -171,6 +185,14 @@ class StampedeThread:
     def _unbind(self) -> None:
         if getattr(_tls, "stampede_thread", None) is self:
             _tls.stampede_thread = None
+
+    def _bind_context(self) -> None:
+        """Bind via contextvars (asyncio-task runtime; one binding per task)."""
+        _ctx_thread.set(self)
+
+    def _unbind_context(self) -> None:
+        if _ctx_thread.get() is self:
+            _ctx_thread.set(None)
 
     def _run(self, fn: Callable, args: tuple, kwargs: dict) -> None:
         """Target wrapper for spawned OS threads."""

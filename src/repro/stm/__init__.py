@@ -1,11 +1,21 @@
 """Space-Time Memory: the user-facing API (Pythonic and spd_* C-style)."""
 
+from repro.stm.aio import (
+    AioChannel,
+    AioInputConnection,
+    AioOutputConnection,
+    AioSTM,
+)
 from repro.stm.api import Channel, InputConnection, Item, OutputConnection, STM
 from repro.stm.dataparallel import DataParallelResult, run_data_parallel
 from repro.stm.monitor import ChannelProbe, ChannelSnapshot, SpaceTimeView
 from repro.stm.ticker import Ticker
 
 __all__ = [
+    "AioChannel",
+    "AioInputConnection",
+    "AioOutputConnection",
+    "AioSTM",
     "Channel",
     "ChannelProbe",
     "ChannelSnapshot",

@@ -1,0 +1,85 @@
+"""A dependency-free per-test timeout guard.
+
+``pytest-timeout`` is not part of this project's pinned environment, so
+test packages that exercise blocking runtimes (tests/conformance,
+tests/procs, tests/runtime) install this guard from their ``conftest.py``
+instead::
+
+    from tests._timeout_guard import install_timeout_guard
+    install_timeout_guard(globals(), 120)
+
+When the real ``pytest-timeout`` plugin is available it takes precedence —
+the guard steps aside so its richer per-test ``@pytest.mark.timeout``
+marks and configuration work unchanged.  Otherwise a ``SIGALRM``-based
+watchdog interrupts any test that exceeds the budget with a plain
+``Failed`` carrying the elapsed time, rather than hanging CI until the job
+ceiling kills the whole run.
+
+The SIGALRM fallback is main-thread only and POSIX only — exactly the
+environment CI provides; elsewhere the guard degrades to a no-op.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+__all__ = ["install_timeout_guard"]
+
+
+def _have_pytest_timeout() -> bool:
+    try:
+        import pytest_timeout  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _alarm_usable() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def install_timeout_guard(conftest_globals: dict, seconds: int) -> None:
+    """Install a per-test timeout into a ``conftest.py``'s namespace.
+
+    With pytest-timeout present, defers to it by injecting the equivalent
+    ``timeout`` marker; otherwise arms SIGALRM around each test call.
+    """
+    if _have_pytest_timeout():
+
+        def pytest_collection_modifyitems(items):
+            for item in items:
+                if item.get_closest_marker("timeout") is None:
+                    item.add_marker(pytest.mark.timeout(seconds))
+
+        conftest_globals["pytest_collection_modifyitems"] = (
+            pytest_collection_modifyitems
+        )
+        return
+
+    @pytest.fixture(autouse=True)
+    def _sigalrm_test_timeout(request):
+        if not _alarm_usable():
+            yield
+            return
+
+        def on_alarm(signum, frame):
+            raise pytest.fail.Exception(
+                f"test exceeded the {seconds}s conformance timeout "
+                f"(blocked STM program?)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, on_alarm)
+        signal.alarm(seconds)
+        try:
+            yield
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
+
+    conftest_globals["_sigalrm_test_timeout"] = _sigalrm_test_timeout

@@ -1,0 +1,52 @@
+"""Seeded STM506: wall-clock sleeps on STM kernel paths.
+
+``producer`` paces its puts with a renamed ``from time import sleep``;
+``paced_producer`` hides the sleep in a helper the STM-active caller
+reaches — only the interprocedural view sees that.  ``settling`` keeps
+a deliberate settle sleep quiet with an inline waiver, and
+``good_unrelated`` sleeps without ever touching a channel.
+"""
+
+import time
+from time import sleep as snooze
+
+FRAMES = "sleepy.frames"
+
+
+def pace():
+    time.sleep(0.01)  # VIOLATION: STM506
+
+
+def producer(space):
+    out = space.lookup(FRAMES).attach_output()
+    for ts in range(3):
+        out.put(ts, b"frame")
+        snooze(0.005)  # VIOLATION: STM506
+    out.detach()
+
+
+def paced_producer(space):
+    out = space.lookup(FRAMES).attach_output()
+    out.put(0, b"frame")
+    pace()
+    out.detach()
+
+
+def settling(space):
+    out = space.lookup(FRAMES).attach_output()
+    out.put(1, b"frame")
+    time.sleep(0.1)  # stm-ok: STM506 -- deliberate settle before teardown
+    out.detach()
+
+
+def consumer(space):
+    inp = space.lookup(FRAMES).attach_input()
+    item = inp.get(0)
+    inp.consume(0)
+    inp.detach()
+    return item
+
+
+def good_unrelated():
+    time.sleep(0.5)
+    return 42

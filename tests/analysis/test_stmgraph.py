@@ -28,6 +28,7 @@ GRAPH_CORPUS = [
     "graph_orphan.py",
     "graph_ts_regression.py",
     "graph_locked.py",
+    "graph_sleep.py",
 ]
 
 

@@ -1,0 +1,25 @@
+"""Fixtures for the runtime-parametrized conformance suite.
+
+``harness`` parametrizes each test over every STM driver (threads, sim,
+asyncio, procs); invariants that only apply to a subset filter via the
+harness capability flags.  A SIGALRM watchdog bounds every test so a
+blocked STM program fails loudly instead of hanging the suite
+(pytest-timeout is not a dependency; see tests/_timeout_guard.py).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests._timeout_guard import install_timeout_guard
+from tests.conformance.harness import HARNESSES
+
+#: generous per-test ceiling; procs runs fork real processes.
+TIMEOUT_S = 120
+
+install_timeout_guard(globals(), TIMEOUT_S)
+
+
+@pytest.fixture(params=HARNESSES, ids=[h.name for h in HARNESSES])
+def harness(request):
+    return request.param

@@ -1,0 +1,568 @@
+"""Runtime-parametrized STM conformance harness.
+
+One tiny program DSL, four interpreters — the thread runtime, the process
+runtime, the discrete-event simulator, and the asyncio runtime.  Each
+invariant in ``test_invariants.py`` is written *once* as a
+:class:`Program` and executed on every driver; the traces the program's
+threads produce must be identical, because STM semantics (§4.2) do not
+mention the scheduling substrate at all.
+
+A :class:`Program` declares channels and threads; each thread is a list of
+op tuples::
+
+    ("attach_in", chan_key, conn_key)     attach an input connection
+    ("attach_out", chan_key, conn_key)    attach an output connection
+    ("detach", conn_key)
+    ("put", conn_key, ts, value[, opts])  opts: refcount/block/expect
+    ("get", conn_key, request[, opts])    opts: block/expect; traces ts+value
+    ("consume", conn_key, ts[, opts])
+    ("consume_until", conn_key, ts)
+    ("set_vt", value[, opts])             opts: expect
+    ("vis",)                              trace (virtual_time, visibility)
+    ("signal", name) / ("barrier", name)  runtime-native one-shot events
+    ("gc",)                               one forced GC round; traces horizon
+    ("destroy", chan_key)                 destroy a channel (not on sim)
+    ("crash", message)                    raise RuntimeError(message)
+
+``opts`` is an optional trailing dict.  ``expect`` names an exception type:
+the op must raise it (an instance of it), and the trace records the
+exception type actually raised — so the *error semantics* are conformance-
+checked too, not just the happy path.
+
+Blocking programs synchronize with ``signal``/``barrier`` (threading /
+asyncio / simulated events — never wall-clock sleeps), which keeps every
+program's trace deterministic across schedulers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.time import INFINITY, VirtualTime
+from repro.runtime import Cluster, ProcCluster
+from repro.runtime.aio import AioCluster
+from repro.sim import SimStampede
+from repro.stm import STM
+from repro.stm.aio import AioSTM
+
+__all__ = [
+    "ChannelSpec",
+    "ThreadSpec",
+    "Program",
+    "RuntimeHarness",
+    "ThreadsHarness",
+    "ProcsHarness",
+    "SimHarness",
+    "AioHarness",
+    "HARNESSES",
+]
+
+JOIN_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    key: str
+    capacity: int | None = None
+    home: int = 0
+
+
+@dataclass(frozen=True)
+class ThreadSpec:
+    key: str
+    ops: tuple
+    virtual_time: VirtualTime = 0
+    space: int = 0
+
+
+@dataclass(frozen=True)
+class Program:
+    channels: tuple
+    threads: tuple
+    n_spaces: int = 1
+
+
+def _split(op: tuple) -> tuple[str, tuple, dict]:
+    """(verb, args, opts) — opts is the optional trailing dict."""
+    if op and isinstance(op[-1], dict):
+        return op[0], op[1:-1], op[-1]
+    return op[0], op[1:], {}
+
+
+@dataclass
+class _Trace:
+    """Mutable per-thread trace being built by an interpreter."""
+
+    entries: list = field(default_factory=list)
+
+    def add(self, *entry: Any) -> None:
+        self.entries.append(tuple(entry))
+
+
+class RuntimeHarness:
+    """Common surface of the four drivers."""
+
+    name = "abstract"
+    #: channel destruction (the sim models no destroy operation).
+    supports_destroy = True
+    #: thread crashes surface at join (sim + asyncio re-raise; OS threads
+    #: and cross-process spawns do not propagate exceptions).
+    crash_surfaces_at_join = False
+
+    def run(self, program: Program) -> dict[str, list]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# thread runtime (and, by subclassing, the process runtime)
+# ----------------------------------------------------------------------
+class ThreadsHarness(RuntimeHarness):
+    name = "threads"
+
+    def _make_cluster(self, n_spaces: int):
+        return Cluster(n_spaces=n_spaces, gc_period=None)
+
+    def run(self, program: Program) -> dict[str, list]:
+        n_spaces = program.n_spaces
+        barriers: dict[str, threading.Event] = {}
+        barrier_lock = threading.Lock()
+
+        def barrier(name: str) -> threading.Event:
+            with barrier_lock:
+                event = barriers.get(name)
+                if event is None:
+                    event = barriers[name] = threading.Event()
+                return event
+
+        with self._make_cluster(n_spaces) as cluster:
+            driver_space = cluster.space(0)
+            # Spawning a child below the parent's visibility is illegal
+            # (§4.2), so the driver adopts at 0, spawns, raises itself to
+            # INFINITY, and only then opens the start gate — guaranteeing
+            # no program thread ever sees the driver pinning the horizon.
+            driver = driver_space.adopt_current_thread(virtual_time=0)
+            start_gate = threading.Event()
+            try:
+                stm0 = STM(driver_space)
+                channels = {
+                    spec.key: stm0.create_channel(
+                        capacity=spec.capacity, home=spec.home
+                    )
+                    for spec in program.channels
+                }
+                traces = {spec.key: _Trace() for spec in program.threads}
+
+                def interp(tspec: ThreadSpec) -> None:
+                    start_gate.wait(JOIN_TIMEOUT)
+                    stm = STM(cluster.space(tspec.space))
+                    trace = traces[tspec.key]
+                    conns: dict[str, Any] = {}
+                    try:
+                        for op in tspec.ops:
+                            self._step(
+                                op, stm, cluster, channels, conns, trace,
+                                barrier,
+                            )
+                    except BaseException as exc:  # crash invariant
+                        # Recorded, not re-raised: OS threads don't propagate
+                        # exceptions anyway, and re-raising only trips
+                        # pytest's unhandled-thread-exception warning.
+                        trace.add("crashed", type(exc).__name__)
+                    finally:
+                        for conn in conns.values():
+                            try:
+                                if not conn.closed:
+                                    conn.detach()
+                            except Exception:
+                                pass  # e.g. channel destroyed mid-program
+
+                threads = [
+                    cluster.space(tspec.space).spawn(
+                        interp, (tspec,), virtual_time=tspec.virtual_time,
+                        name=f"conf-{tspec.key}",
+                    )
+                    for tspec in program.threads
+                ]
+                driver.set_virtual_time(INFINITY)
+                start_gate.set()
+                for thread in threads:
+                    thread.join(JOIN_TIMEOUT)
+            finally:
+                driver.exit()
+        return {key: trace.entries for key, trace in traces.items()}
+
+    def _step(self, op, stm, cluster, channels, conns, trace, barrier):
+        verb, args, opts = _split(op)
+        expect = opts.get("expect")
+        try:
+            if verb == "attach_in":
+                conns[args[1]] = stm.channel(channels[args[0]].handle).attach_input()
+            elif verb == "attach_out":
+                conns[args[1]] = stm.channel(channels[args[0]].handle).attach_output()
+            elif verb == "detach":
+                conns[args[0]].detach()
+            elif verb == "put":
+                conn, ts, value = args
+                conns[conn].put(
+                    ts, value,
+                    refcount=opts.get("refcount", -1),
+                    block=opts.get("block", True),
+                )
+                trace.add("put", conn, ts)
+            elif verb == "get":
+                conn, request = args
+                item = conns[conn].get(request, block=opts.get("block", True))
+                trace.add("get", conn, item.timestamp, item.value)
+            elif verb == "consume":
+                conns[args[0]].consume(args[1])
+                trace.add("consume", args[0], args[1])
+            elif verb == "consume_until":
+                conns[args[0]].consume_until(args[1])
+                trace.add("consume_until", args[0], args[1])
+            elif verb == "set_vt":
+                from repro.runtime.threads import require_current_thread
+
+                require_current_thread().set_virtual_time(args[0])
+            elif verb == "vis":
+                from repro.runtime.threads import require_current_thread
+
+                me = require_current_thread()
+                trace.add("vis", str(me.virtual_time), str(me.visibility()))
+            elif verb == "signal":
+                barrier(args[0]).set()
+            elif verb == "barrier":
+                assert barrier(args[0]).wait(JOIN_TIMEOUT)
+            elif verb == "gc":
+                horizon = cluster.gc_once()
+                trace.add("gc", str(horizon))
+            elif verb == "destroy":
+                stm.channel(channels[args[0]].handle).destroy()
+                trace.add("destroy", args[0])
+            elif verb == "crash":
+                raise RuntimeError(args[0])
+            else:  # pragma: no cover - DSL misuse
+                raise ValueError(f"unknown conformance op {verb!r}")
+        except Exception as exc:
+            if expect is not None and isinstance(exc, expect):
+                trace.add("error", verb, type(exc).__name__)
+                return
+            raise
+        if expect is not None:
+            trace.add("noerror", verb)
+
+
+class ProcsHarness(ThreadsHarness):
+    """Process runtime: program logic runs in the driver process (closures
+    stay unpickled) while every channel is homed in a *child* process, so
+    each op crosses the real shm/TCP wire."""
+
+    name = "procs"
+    #: destroying a remotely homed channel while a local get is parked
+    #: exercises the cancel path differently; the invariant that matters
+    #: (ChannelDestroyedError) is covered on the in-process drivers.
+    supports_destroy = False
+
+    def _make_cluster(self, n_spaces: int):
+        return ProcCluster(n_spaces=n_spaces, gc_period=None)
+
+    def run(self, program: Program) -> dict[str, list]:
+        remapped = Program(
+            channels=tuple(
+                ChannelSpec(spec.key, spec.capacity, home=1)
+                for spec in program.channels
+            ),
+            threads=tuple(
+                ThreadSpec(spec.key, spec.ops, spec.virtual_time, space=0)
+                for spec in program.threads
+            ),
+            n_spaces=2,
+        )
+        return super().run(remapped)
+
+
+# ----------------------------------------------------------------------
+# discrete-event simulator
+# ----------------------------------------------------------------------
+class SimHarness(RuntimeHarness):
+    name = "sim"
+    supports_destroy = False
+    crash_surfaces_at_join = True
+
+    #: nominal payload size; the simulator charges time, not bytes.
+    NBYTES = 8
+
+    def run(self, program: Program) -> dict[str, list]:
+        sim = SimStampede(n_spaces=max(program.n_spaces, 1))
+        channels = {
+            spec.key: sim.create_channel(
+                home=spec.home, capacity=spec.capacity, name=spec.key
+            )
+            for spec in program.channels
+        }
+        barriers: dict[str, Any] = {}
+
+        def barrier(name: str):
+            event = barriers.get(name)
+            if event is None:
+                event = barriers[name] = sim.engine.event(f"conf-{name}")
+            return event
+
+        traces = {spec.key: _Trace() for spec in program.threads}
+
+        def make_task(tspec: ThreadSpec):
+            def task(t):
+                trace = traces[tspec.key]
+                conns: dict[str, tuple] = {}
+                try:
+                    for op in tspec.ops:
+                        yield from self._step(
+                            op, t, sim, channels, conns, trace, barrier
+                        )
+                except BaseException as exc:
+                    trace.add("crashed", type(exc).__name__)
+                    raise
+                finally:
+                    for chan, conn_id in conns.values():
+                        if conn_id is not None:
+                            try:
+                                yield from t.detach(chan, conn_id)
+                            except Exception:
+                                pass
+
+            return task
+
+        for tspec in program.threads:
+            sim.spawn(
+                make_task(tspec), space=tspec.space,
+                virtual_time=tspec.virtual_time, name=f"conf-{tspec.key}",
+            )
+        # A crashing program task re-raises out of engine.run(); its trace
+        # already recorded the crash, so resume the remaining tasks.
+        while True:
+            try:
+                sim.run()
+                break
+            except Exception as exc:
+                crash = ("crashed", type(exc).__name__)
+                if not any(
+                    crash in trace.entries for trace in traces.values()
+                ):
+                    raise
+        for thread in sim.threads:
+            if thread.handle is not None and not thread.handle.done:
+                raise AssertionError(
+                    f"sim conformance thread {thread.name!r} never finished"
+                )
+        return {key: trace.entries for key, trace in traces.items()}
+
+    def _step(self, op, t, sim, channels, conns, trace, barrier):
+        verb, args, opts = _split(op)
+        expect = opts.get("expect")
+        try:
+            if verb == "attach_in":
+                chan = channels[args[0]]
+                conn_id = yield from t.attach_input(chan)
+                conns[args[1]] = (chan, conn_id)
+            elif verb == "attach_out":
+                chan = channels[args[0]]
+                conn_id = yield from t.attach_output(chan)
+                conns[args[1]] = (chan, conn_id)
+            elif verb == "detach":
+                chan, conn_id = conns[args[0]]
+                yield from t.detach(chan, conn_id)
+                conns[args[0]] = (chan, None)
+            elif verb == "put":
+                conn, ts, value = args
+                yield from t.put(
+                    conns[conn], ts, nbytes=self.NBYTES, payload=value,
+                    refcount=opts.get("refcount", -1),
+                    block=opts.get("block", True),
+                )
+                trace.add("put", conn, ts)
+            elif verb == "get":
+                conn, request = args
+                payload, ts, _size = yield from t.get(
+                    conns[conn], request, block=opts.get("block", True)
+                )
+                trace.add("get", conn, ts, payload)
+            elif verb == "consume":
+                yield from t.consume(conns[args[0]], args[1])
+                trace.add("consume", args[0], args[1])
+            elif verb == "consume_until":
+                yield from t.consume_until(conns[args[0]], args[1])
+                trace.add("consume_until", args[0], args[1])
+            elif verb == "set_vt":
+                t.set_virtual_time(args[0])
+            elif verb == "vis":
+                trace.add("vis", str(t.virtual_time), str(t.visibility()))
+            elif verb == "signal":
+                barrier(args[0]).set()
+            elif verb == "barrier":
+                event = barrier(args[0])
+                while not event.is_set:
+                    yield ("wait", event)
+            elif verb == "gc":
+                report = sim.gc_once_instant()
+                trace.add("gc", str(report.horizon))
+            elif verb == "crash":
+                raise RuntimeError(args[0])
+            elif verb == "destroy":  # pragma: no cover - capability-gated
+                raise NotImplementedError("sim models no channel destroy")
+            else:  # pragma: no cover - DSL misuse
+                raise ValueError(f"unknown conformance op {verb!r}")
+        except Exception as exc:
+            if expect is not None and isinstance(exc, expect):
+                trace.add("error", verb, type(exc).__name__)
+                return
+            raise
+        if expect is not None:
+            trace.add("noerror", verb)
+
+
+# ----------------------------------------------------------------------
+# asyncio runtime
+# ----------------------------------------------------------------------
+class AioHarness(RuntimeHarness):
+    name = "aio"
+    crash_surfaces_at_join = True
+
+    def run(self, program: Program) -> dict[str, list]:
+        return asyncio.run(self._arun(program))
+
+    async def _arun(self, program: Program) -> dict[str, list]:
+        barriers: dict[str, asyncio.Event] = {}
+
+        def barrier(name: str) -> asyncio.Event:
+            event = barriers.get(name)
+            if event is None:
+                event = barriers[name] = asyncio.Event()
+            return event
+
+        async with AioCluster(n_spaces=program.n_spaces, gc_period=None) as cluster:
+            driver_space = cluster.space(0)
+            driver = driver_space.adopt_current_task(virtual_time=0)
+            start_gate = asyncio.Event()
+            try:
+                stm0 = AioSTM(driver_space)
+                channels = {
+                    spec.key: await stm0.create_channel(
+                        capacity=spec.capacity, home=spec.home
+                    )
+                    for spec in program.channels
+                }
+                traces = {spec.key: _Trace() for spec in program.threads}
+
+                async def interp(tspec: ThreadSpec) -> None:
+                    await asyncio.wait_for(start_gate.wait(), JOIN_TIMEOUT)
+                    stm = AioSTM(cluster.space(tspec.space))
+                    trace = traces[tspec.key]
+                    conns: dict[str, Any] = {}
+                    try:
+                        for op in tspec.ops:
+                            await self._step(
+                                op, stm, cluster, channels, conns, trace,
+                                barrier,
+                            )
+                    except BaseException as exc:
+                        trace.add("crashed", type(exc).__name__)
+                        raise
+                    finally:
+                        for conn in conns.values():
+                            try:
+                                if not conn.closed:
+                                    await conn.detach()
+                            except Exception:
+                                pass  # e.g. channel destroyed mid-program
+
+                tasks = [
+                    cluster.space(tspec.space).spawn_task(
+                        interp, (tspec,), virtual_time=tspec.virtual_time,
+                        name=f"conf-{tspec.key}",
+                    )
+                    for tspec in program.threads
+                ]
+                driver.set_virtual_time(INFINITY)
+                start_gate.set()
+                for tspec, thread in zip(program.threads, tasks):
+                    try:
+                        await cluster.space(tspec.space).ajoin(
+                            thread, timeout=JOIN_TIMEOUT
+                        )
+                    except RuntimeError:
+                        pass  # crash programs: recorded in the trace
+            finally:
+                driver.exit()
+        return {key: trace.entries for key, trace in traces.items()}
+
+    async def _step(self, op, stm, cluster, channels, conns, trace, barrier):
+        verb, args, opts = _split(op)
+        expect = opts.get("expect")
+        try:
+            if verb == "attach_in":
+                conns[args[1]] = await stm.channel(
+                    channels[args[0]].handle
+                ).attach_input()
+            elif verb == "attach_out":
+                conns[args[1]] = await stm.channel(
+                    channels[args[0]].handle
+                ).attach_output()
+            elif verb == "detach":
+                await conns[args[0]].detach()
+            elif verb == "put":
+                conn, ts, value = args
+                await conns[conn].put(
+                    ts, value,
+                    refcount=opts.get("refcount", -1),
+                    block=opts.get("block", True),
+                )
+                trace.add("put", conn, ts)
+            elif verb == "get":
+                conn, request = args
+                item = await conns[conn].get(
+                    request, block=opts.get("block", True)
+                )
+                trace.add("get", conn, item.timestamp, item.value)
+            elif verb == "consume":
+                await conns[args[0]].consume(args[1])
+                trace.add("consume", args[0], args[1])
+            elif verb == "consume_until":
+                await conns[args[0]].consume_until(args[1])
+                trace.add("consume_until", args[0], args[1])
+            elif verb == "set_vt":
+                from repro.runtime.threads import require_current_thread
+
+                require_current_thread().set_virtual_time(args[0])
+            elif verb == "vis":
+                from repro.runtime.threads import require_current_thread
+
+                me = require_current_thread()
+                trace.add("vis", str(me.virtual_time), str(me.visibility()))
+            elif verb == "signal":
+                barrier(args[0]).set()
+            elif verb == "barrier":
+                await asyncio.wait_for(barrier(args[0]).wait(), JOIN_TIMEOUT)
+            elif verb == "gc":
+                horizon = await cluster.agc_once()
+                trace.add("gc", str(horizon))
+            elif verb == "destroy":
+                await stm.channel(channels[args[0]].handle).destroy()
+                trace.add("destroy", args[0])
+            elif verb == "crash":
+                raise RuntimeError(args[0])
+            else:  # pragma: no cover - DSL misuse
+                raise ValueError(f"unknown conformance op {verb!r}")
+        except Exception as exc:
+            if expect is not None and isinstance(exc, expect):
+                trace.add("error", verb, type(exc).__name__)
+                return
+            raise
+        if expect is not None:
+            trace.add("noerror", verb)
+
+
+#: every driver the conformance suite runs on; ``procs`` spawns real OS
+#: processes per run, so the fixture list puts it last (slowest first-fail).
+HARNESSES = [ThreadsHarness(), SimHarness(), AioHarness(), ProcsHarness()]

@@ -1,0 +1,702 @@
+"""The STM semantic invariants, pinned on every runtime driver.
+
+Each test is one :class:`~tests.conformance.harness.Program` executed by the
+``harness`` fixture — the thread runtime, the discrete-event simulator, the
+asyncio runtime, and (wire-crossing) the process runtime.  The *expected
+trace* in each assertion is shared by all drivers: §4.2 semantics are
+scheduler-independent, so a driver that produces a different trace has a
+semantics bug, not a scheduling difference.
+
+Sections mirror the paper:
+
+* gets and wildcards (§4.1) — ordering, UNSEEN progression, specific gets
+* put/consume discipline (§4.2) — duplicates, double consume, capacity
+* virtual time and visibility (§4.2) — VT/visibility interlock
+* garbage collection (§4.2, §6) — horizons, reclamation, error surfaces
+* connections and lifecycle — isolation, implicit consume, detach, destroy
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    INFINITY,
+    STM_LATEST,
+    STM_LATEST_UNSEEN,
+    STM_OLDEST,
+    STM_OLDEST_UNSEEN,
+)
+from repro.errors import (
+    AlreadyConsumedError,
+    ChannelDestroyedError,
+    ChannelEmptyError,
+    ChannelFullError,
+    DuplicateTimestampError,
+    ItemGarbageCollectedError,
+    VirtualTimeError,
+    VisibilityError,
+)
+
+from tests.conformance.harness import ChannelSpec, Program, ThreadSpec
+
+pytestmark = pytest.mark.conformance
+
+
+def one_thread(ops, channels=(ChannelSpec("ch"),), virtual_time=0):
+    """A single-threaded program over ``channels``."""
+    return Program(
+        channels=tuple(channels),
+        threads=(ThreadSpec("t", tuple(ops), virtual_time=virtual_time),),
+    )
+
+
+# ======================================================================
+# gets and wildcards (§4.1)
+# ======================================================================
+def test_put_get_roundtrip(harness):
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 7, "v7"),
+        ("get", "i", 7),
+        ("consume", "i", 7),
+    ]))
+    assert traces["t"] == [
+        ("put", "o", 7),
+        ("get", "i", 7, "v7"),
+        ("consume", "i", 7),
+    ]
+
+
+def test_oldest_returns_minimum_timestamp(harness):
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 5, "v5"),
+        ("put", "o", 2, "v2"),
+        ("put", "o", 9, "v9"),
+        ("get", "i", STM_OLDEST),
+        ("get", "i", STM_OLDEST),  # not consumed: OLDEST is idempotent
+    ]))
+    assert traces["t"] == [
+        ("put", "o", 5),
+        ("put", "o", 2),
+        ("put", "o", 9),
+        ("get", "i", 2, "v2"),
+        ("get", "i", 2, "v2"),
+    ]
+
+
+def test_latest_returns_maximum_timestamp(harness):
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 5, "v5"),
+        ("put", "o", 9, "v9"),
+        ("put", "o", 2, "v2"),
+        ("get", "i", STM_LATEST),
+    ]))
+    assert traces["t"][-1] == ("get", "i", 9, "v9")
+
+
+def test_oldest_unseen_progresses_in_order(harness):
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 3, "v3"),
+        ("put", "o", 1, "v1"),
+        ("put", "o", 2, "v2"),
+        ("get", "i", STM_OLDEST_UNSEEN),
+        ("get", "i", STM_OLDEST_UNSEEN),
+        ("get", "i", STM_OLDEST_UNSEEN),
+        ("get", "i", STM_OLDEST_UNSEEN, {"block": False,
+                                         "expect": ChannelEmptyError}),
+    ]))
+    assert traces["t"][3:] == [
+        ("get", "i", 1, "v1"),
+        ("get", "i", 2, "v2"),
+        ("get", "i", 3, "v3"),
+        ("error", "get", "ChannelEmptyError"),
+    ]
+
+
+def test_latest_unseen_skips_stale_items(harness):
+    """The paper's headline wildcard: a slow consumer drops stale frames."""
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 1, "v1"),
+        ("put", "o", 2, "v2"),
+        ("put", "o", 3, "v3"),
+        ("get", "i", STM_LATEST_UNSEEN),   # 3; marks 1-3 seen
+        ("get", "i", STM_LATEST_UNSEEN, {"block": False,
+                                         "expect": ChannelEmptyError}),
+        ("put", "o", 4, "v4"),
+        ("get", "i", STM_LATEST_UNSEEN),   # 4
+    ]))
+    assert traces["t"][3:] == [
+        ("get", "i", 3, "v3"),
+        ("error", "get", "ChannelEmptyError"),
+        ("put", "o", 4),
+        ("get", "i", 4, "v4"),
+    ]
+
+
+def test_specific_timestamp_get(harness):
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 1, "v1"),
+        ("put", "o", 2, "v2"),
+        ("get", "i", 1),
+        ("get", "i", 2),
+        ("get", "i", 1),  # re-get of an unconsumed item is legal
+    ]))
+    assert traces["t"][2:] == [
+        ("get", "i", 1, "v1"),
+        ("get", "i", 2, "v2"),
+        ("get", "i", 1, "v1"),
+    ]
+
+
+def test_nonblocking_miss_raises_channel_empty(harness):
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 5, "v5"),
+        ("get", "i", 3, {"block": False, "expect": ChannelEmptyError}),
+    ]))
+    assert traces["t"][-1] == ("error", "get", "ChannelEmptyError")
+
+
+# ======================================================================
+# put/consume discipline (§4.2)
+# ======================================================================
+def test_duplicate_timestamp_rejected(harness):
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("put", "o", 4, "first"),
+        ("put", "o", 4, "second", {"expect": DuplicateTimestampError}),
+    ]))
+    assert traces["t"] == [
+        ("put", "o", 4),
+        ("error", "put", "DuplicateTimestampError"),
+    ]
+
+
+def test_double_consume_is_idempotent(harness):
+    """Consume marks disinterest; re-marking (or marking an absent ts) is
+    legal — only the *marking* matters for GC progress (§4.2)."""
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 1, "v1"),
+        ("get", "i", 1),
+        ("consume", "i", 1),
+        ("consume", "i", 1),
+        ("consume", "i", 99),             # never put: still legal
+    ]))
+    assert traces["t"][2:] == [
+        ("consume", "i", 1),
+        ("consume", "i", 1),
+        ("consume", "i", 99),
+    ]
+
+
+def test_get_after_consume_rejected(harness):
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 1, "v1"),
+        ("get", "i", 1),
+        ("consume", "i", 1),
+        ("get", "i", 1, {"expect": AlreadyConsumedError}),
+    ]))
+    assert traces["t"][-1] == ("error", "get", "AlreadyConsumedError")
+
+
+def test_consume_without_get_is_legal(harness):
+    """§4.2: consume declares disinterest; a prior get is not required."""
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 1, "v1"),
+        ("consume", "i", 1),
+        ("get", "i", 1, {"expect": AlreadyConsumedError}),
+    ]))
+    assert traces["t"][1:] == [
+        ("consume", "i", 1),
+        ("error", "get", "AlreadyConsumedError"),
+    ]
+
+
+def test_consume_until_consumes_prefix(harness):
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 1, "v1"),
+        ("put", "o", 2, "v2"),
+        ("put", "o", 3, "v3"),
+        ("consume_until", "i", 2),
+        ("get", "i", 1, {"expect": AlreadyConsumedError}),
+        ("get", "i", 2, {"expect": AlreadyConsumedError}),
+        ("get", "i", 3),
+    ]))
+    assert traces["t"][3:] == [
+        ("consume_until", "i", 2),
+        ("error", "get", "AlreadyConsumedError"),
+        ("error", "get", "AlreadyConsumedError"),
+        ("get", "i", 3, "v3"),
+    ]
+
+
+def test_nonblocking_put_on_full_channel_raises(harness):
+    traces = harness.run(one_thread(
+        [
+            ("attach_out", "ch", "o"),
+            ("put", "o", 0, "v0"),
+            ("put", "o", 1, "v1", {"block": False,
+                                   "expect": ChannelFullError}),
+        ],
+        channels=[ChannelSpec("ch", capacity=1)],
+    ))
+    assert traces["t"] == [
+        ("put", "o", 0),
+        ("error", "put", "ChannelFullError"),
+    ]
+
+
+def test_bounded_put_blocks_until_consume(harness):
+    """capacity=1 + refcount=1: each consume reclaims the slot and wakes
+    the parked producer — the §6 eager-reclamation flow."""
+    program = Program(
+        channels=(ChannelSpec("ch", capacity=1),),
+        threads=(
+            ThreadSpec("prod", (
+                ("attach_out", "ch", "o"),
+                ("signal", "attached"),
+                ("put", "o", 0, "v0", {"refcount": 1}),
+                ("put", "o", 1, "v1", {"refcount": 1}),
+                ("put", "o", 2, "v2", {"refcount": 1}),
+            )),
+            ThreadSpec("cons", (
+                ("barrier", "attached"),
+                ("attach_in", "ch", "i"),
+                ("get", "i", 0), ("consume", "i", 0),
+                ("get", "i", 1), ("consume", "i", 1),
+                ("get", "i", 2), ("consume", "i", 2),
+            )),
+        ),
+    )
+    traces = harness.run(program)
+    assert traces["prod"] == [("put", "o", ts) for ts in (0, 1, 2)]
+    assert traces["cons"] == [
+        ("get", "i", 0, "v0"), ("consume", "i", 0),
+        ("get", "i", 1, "v1"), ("consume", "i", 1),
+        ("get", "i", 2, "v2"), ("consume", "i", 2),
+    ]
+
+
+def test_blocking_get_woken_by_later_put(harness):
+    program = Program(
+        channels=(ChannelSpec("ch"),),
+        threads=(
+            ThreadSpec("cons", (
+                ("attach_in", "ch", "i"),
+                ("signal", "attached"),
+                ("get", "i", 0),          # parks until the producer puts
+                ("consume", "i", 0),
+            )),
+            ThreadSpec("prod", (
+                ("barrier", "attached"),
+                ("attach_out", "ch", "o"),
+                ("put", "o", 0, "v0"),
+            )),
+        ),
+    )
+    traces = harness.run(program)
+    assert traces["cons"] == [("get", "i", 0, "v0"), ("consume", "i", 0)]
+    assert traces["prod"] == [("put", "o", 0)]
+
+
+def test_refcount_reaching_zero_reclaims_item(harness):
+    """refcount=1: the single consume reclaims the item immediately (§6).
+    The consuming connection then sees AlreadyConsumed; a second,
+    non-consuming connection simply no longer finds the item."""
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "a"),
+        ("attach_in", "ch", "b"),
+        ("put", "o", 0, "v0", {"refcount": 1}),
+        ("get", "a", 0),
+        ("consume", "a", 0),
+        ("get", "a", 0, {"expect": AlreadyConsumedError}),
+        ("get", "b", 0, {"block": False, "expect": ChannelEmptyError}),
+    ]))
+    assert traces["t"][1:] == [
+        ("get", "a", 0, "v0"),
+        ("consume", "a", 0),
+        ("error", "get", "AlreadyConsumedError"),
+        ("error", "get", "ChannelEmptyError"),
+    ]
+
+
+# ======================================================================
+# virtual time and visibility (§4.2)
+# ======================================================================
+def test_put_below_virtual_time_rejected(harness):
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("set_vt", 5),
+        ("put", "o", 3, "late", {"expect": VisibilityError}),
+        ("put", "o", 5, "ontime"),
+    ]))
+    assert traces["t"] == [
+        ("error", "put", "VisibilityError"),
+        ("put", "o", 5),
+    ]
+
+
+def test_open_item_holds_visibility_down(harness):
+    """While an item is open, its timestamp — not the VT — bounds legal
+    puts; closing it snaps visibility back up to the VT."""
+    traces = harness.run(one_thread(
+        [
+            ("attach_out", "src", "so"),
+            ("attach_in", "src", "i"),
+            ("attach_out", "dst", "o"),
+            ("put", "so", 2, "frame"),
+            ("set_vt", 10),
+            ("vis",),                      # vt=10, but nothing open yet
+            ("get", "i", 2),               # opens ts=2
+            ("vis",),                      # visibility drops to 2
+            ("put", "o", 2, "derived"),    # inherit the open timestamp: legal
+            ("consume", "i", 2),
+            ("vis",),                      # back to 10
+            ("put", "o", 3, "late", {"expect": VisibilityError}),
+        ],
+        channels=[ChannelSpec("src"), ChannelSpec("dst")],
+    ))
+    assert traces["t"] == [
+        ("put", "so", 2),
+        ("vis", "10", "10"),
+        ("get", "i", 2, "frame"),
+        ("vis", "10", "2"),
+        ("put", "o", 2),
+        ("consume", "i", 2),
+        ("vis", "10", "10"),
+        ("error", "put", "VisibilityError"),
+    ]
+
+
+def test_set_virtual_time_below_visibility_rejected(harness):
+    traces = harness.run(one_thread([
+        ("set_vt", 5),
+        ("set_vt", 3, {"expect": VirtualTimeError}),
+        ("set_vt", 5),  # idempotent re-set stays legal
+        ("vis",),
+    ]))
+    assert traces["t"] == [
+        ("error", "set_vt", "VirtualTimeError"),
+        ("vis", "5", "5"),
+    ]
+
+
+def test_open_item_permits_lowering_virtual_time(harness):
+    """set_virtual_time may go *below* the current VT as long as an open
+    item already holds visibility down that far."""
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 2, "v2"),
+        ("set_vt", 8),
+        ("get", "i", 2),                  # visibility: min(8, 2) = 2
+        ("set_vt", 4),                    # legal: 4 >= 2
+        ("set_vt", 1, {"expect": VirtualTimeError}),  # 1 < 2
+        ("vis",),
+    ]))
+    assert traces["t"][-2:] == [
+        ("error", "set_vt", "VirtualTimeError"),
+        ("vis", "4", "2"),
+    ]
+
+
+def test_infinity_forbids_all_puts(harness):
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("set_vt", INFINITY),
+        ("vis",),
+        ("put", "o", 10 ** 9, "never", {"expect": VisibilityError}),
+    ]))
+    assert traces["t"] == [
+        ("vis", "INFINITY", "INFINITY"),
+        ("error", "put", "VisibilityError"),
+    ]
+
+
+# ======================================================================
+# garbage collection (§4.2, §6)
+# ======================================================================
+def test_gc_horizon_is_channel_unconsumed_minimum(harness):
+    """With the thread at INFINITY, the channel's oldest unconsumed item
+    bounds the horizon; items strictly below it are collected, the
+    unconsumed minimum itself is never reclaimed."""
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 0, "v0"),
+        ("put", "o", 1, "v1"),
+        ("put", "o", 2, "v2"),
+        ("get", "i", 0),
+        ("consume", "i", 0),
+        ("set_vt", INFINITY),
+        ("gc",),
+        ("get", "i", 1),                  # the unconsumed minimum survives
+        ("get", "i", 2),
+        ("get", "i", 0, {"expect": ItemGarbageCollectedError}),
+    ]))
+    assert traces["t"][5:] == [
+        ("gc", "1"),
+        ("get", "i", 1, "v1"),
+        ("get", "i", 2, "v2"),
+        ("error", "get", "ItemGarbageCollectedError"),
+    ]
+
+
+def test_consume_until_then_gc_collects_prefix(harness):
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 0, "v0"),
+        ("put", "o", 1, "v1"),
+        ("put", "o", 2, "v2"),
+        ("put", "o", 3, "v3"),
+        ("consume_until", "i", 1),
+        ("set_vt", 2),
+        ("gc",),
+        ("get", "i", 0, {"expect": ItemGarbageCollectedError}),
+        ("get", "i", 2),
+    ]))
+    assert traces["t"][4:] == [
+        ("consume_until", "i", 1),
+        ("gc", "2"),
+        ("error", "get", "ItemGarbageCollectedError"),
+        ("get", "i", 2, "v2"),
+    ]
+
+
+def test_thread_virtual_time_pins_gc_horizon(harness):
+    """A thread sitting at VT=1 holds the horizon at 1 even though the
+    channel itself has no unconsumed claim below 2."""
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 0, "v0"),
+        ("get", "i", 0),
+        ("consume", "i", 0),              # channel minimum now clear
+        ("set_vt", 1),
+        ("gc",),                          # horizon: this thread's VT
+        ("get", "i", 0, {"expect": ItemGarbageCollectedError}),
+    ]))
+    # ts=0 < horizon=1 was consumed everywhere, so it is collected; the
+    # horizon itself is the thread's virtual time.
+    assert traces["t"][2:] == [
+        ("consume", "i", 0),
+        ("gc", "1"),
+        ("error", "get", "ItemGarbageCollectedError"),
+    ]
+
+
+def test_detach_releases_gc_claim(harness):
+    """An idle input connection holds every item; detaching it lets the
+    horizon jump to INFINITY."""
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "i"),
+        ("put", "o", 0, "v0"),
+        ("put", "o", 1, "v1"),
+        ("set_vt", INFINITY),
+        ("gc",),                          # held at 0 by the idle input conn
+        ("detach", "i"),
+        ("gc",),                          # claim gone
+    ]))
+    assert traces["t"][2:] == [
+        ("gc", "0"),
+        ("gc", "INFINITY"),
+    ]
+
+
+# ======================================================================
+# connections and lifecycle
+# ======================================================================
+def test_unseen_state_is_per_connection(harness):
+    """Two input connections each have their own UNSEEN frontier."""
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "a"),
+        ("attach_in", "ch", "b"),
+        ("put", "o", 1, "v1"),
+        ("put", "o", 2, "v2"),
+        ("get", "a", STM_OLDEST_UNSEEN),
+        ("get", "a", STM_OLDEST_UNSEEN),
+        ("get", "b", STM_OLDEST_UNSEEN),  # b starts from scratch
+    ]))
+    assert traces["t"][2:] == [
+        ("get", "a", 1, "v1"),
+        ("get", "a", 2, "v2"),
+        ("get", "b", 1, "v1"),
+    ]
+
+
+def test_consume_is_per_connection(harness):
+    """Consuming on one connection leaves the item visible to another."""
+    traces = harness.run(one_thread([
+        ("attach_out", "ch", "o"),
+        ("attach_in", "ch", "a"),
+        ("attach_in", "ch", "b"),
+        ("put", "o", 0, "v0"),
+        ("consume", "a", 0),
+        ("get", "b", 0),                  # still there for b
+        ("get", "a", 0, {"expect": AlreadyConsumedError}),
+    ]))
+    assert traces["t"][1:] == [
+        ("consume", "a", 0),
+        ("get", "b", 0, "v0"),
+        ("error", "get", "AlreadyConsumedError"),
+    ]
+
+
+def test_attach_implicitly_consumes_below_visibility(harness):
+    """§4.2: a connection attached at VT=5 has items below 5 implicitly
+    consumed — it can never reach back before its own visibility."""
+    program = Program(
+        channels=(ChannelSpec("ch"),),
+        threads=(
+            ThreadSpec("prod", (
+                ("attach_out", "ch", "o"),
+                ("put", "o", 3, "v3"),
+                ("put", "o", 7, "v7"),
+                ("signal", "filled"),
+            )),
+            ThreadSpec("late", (
+                ("barrier", "filled"),
+                ("attach_in", "ch", "i"),
+                ("get", "i", 3, {"expect": AlreadyConsumedError}),
+                ("get", "i", 7),
+            ), virtual_time=5),
+        ),
+    )
+    traces = harness.run(program)
+    assert traces["late"] == [
+        ("error", "get", "AlreadyConsumedError"),
+        ("get", "i", 7, "v7"),
+    ]
+
+
+def test_crash_in_one_thread_does_not_corrupt_channel(harness):
+    """A thread dying mid-pipeline leaves items intact for other conns."""
+    program = Program(
+        channels=(ChannelSpec("ch"),),
+        threads=(
+            ThreadSpec("doomed", (
+                ("attach_out", "ch", "o"),
+                ("put", "o", 0, "v0"),
+                ("signal", "put-done"),
+                ("crash", "boom"),
+            )),
+            ThreadSpec("survivor", (
+                ("barrier", "put-done"),
+                ("attach_in", "ch", "i"),
+                ("get", "i", 0),
+                ("consume", "i", 0),
+            )),
+        ),
+    )
+    traces = harness.run(program)
+    assert traces["doomed"] == [
+        ("put", "o", 0),
+        ("crashed", "RuntimeError"),
+    ]
+    assert traces["survivor"] == [
+        ("get", "i", 0, "v0"),
+        ("consume", "i", 0),
+    ]
+
+
+def test_destroy_wakes_blocked_getter(harness):
+    """A destroy must *fail* a parked get, never strand it.  The exact
+    error class depends on the race (parked waiter vs. op-after-destroy),
+    so only the family is pinned."""
+    if not harness.supports_destroy:
+        pytest.skip(f"{harness.name} runtime models no channel destroy")
+    from repro.errors import StampedeError
+
+    program = Program(
+        channels=(ChannelSpec("ch"),),
+        threads=(
+            ThreadSpec("blocked", (
+                ("attach_in", "ch", "i"),
+                ("signal", "attached"),
+                ("get", "i", 0, {"expect": StampedeError}),
+            )),
+            ThreadSpec("destroyer", (
+                ("barrier", "attached"),
+                ("destroy", "ch"),
+            )),
+        ),
+    )
+    traces = harness.run(program)
+    [(kind, verb, error)] = traces["blocked"]
+    assert (kind, verb) == ("error", "get")
+    assert error in {"ChannelDestroyedError", "NoSuchChannelError"}
+    assert traces["destroyer"] == [("destroy", "ch")]
+
+
+# ======================================================================
+# cross-runtime differential check
+# ======================================================================
+def test_identical_traces_across_all_runtimes():
+    """One richer mixed program, run on every driver; the traces must be
+    *equal across runtimes*, not merely each plausible in isolation."""
+    from tests.conformance.harness import HARNESSES
+
+    program = Program(
+        channels=(ChannelSpec("video", capacity=4), ChannelSpec("tracks")),
+        threads=(
+            ThreadSpec("producer", (
+                ("attach_out", "video", "o"),
+                ("put", "o", 0, "f0", {"refcount": 1}),
+                ("put", "o", 1, "f1", {"refcount": 1}),
+                ("put", "o", 2, "f2", {"refcount": 1}),
+                ("set_vt", INFINITY),
+            )),
+            ThreadSpec("stage", (
+                ("attach_in", "video", "i"),
+                ("attach_out", "tracks", "o"),
+                ("get", "i", 0),
+                ("put", "o", 0, ("track", 0)),
+                ("consume", "i", 0),
+                ("get", "i", 1),
+                ("put", "o", 1, ("track", 1)),
+                ("consume", "i", 1),
+                ("get", "i", 2),
+                ("put", "o", 2, ("track", 2)),
+                ("consume", "i", 2),
+                ("set_vt", INFINITY),
+            )),
+            ThreadSpec("sink", (
+                ("attach_in", "tracks", "i"),
+                ("get", "i", 0), ("consume", "i", 0), ("set_vt", 1),
+                ("get", "i", 1), ("consume", "i", 1), ("set_vt", 2),
+                ("get", "i", 2), ("consume", "i", 2),
+                ("set_vt", INFINITY),
+            )),
+        ),
+    )
+    results = {h.name: h.run(program) for h in HARNESSES}
+    reference = results["threads"]
+    for name, traces in results.items():
+        assert traces == reference, (
+            f"runtime {name!r} diverged from the thread runtime"
+        )

@@ -1,0 +1,68 @@
+"""End-to-end conformance: the kiosk fleet on every runtime driver.
+
+The Fig. 2 pipeline (digitizer -> blob tracker -> decision/GUI) runs real
+trackers on real synthetic pixels, so its output is a scalar fingerprint of
+the whole runtime: if any driver delivered a different frame, dropped an
+item, or mis-sequenced a timestamp, the tracking error and decision stream
+would change.  All drivers must match the thread runtime exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.kiosk.aiofleet import run_aio_fleet
+from repro.kiosk.procfleet import FleetConfig, run_fleet
+from repro.kiosk.simfleet import run_sim_fleet
+from repro.runtime import Cluster, ProcCluster
+from repro.runtime.aio import AioCluster
+
+pytestmark = pytest.mark.conformance
+
+N_FRAMES = 8
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The thread runtime's fleet output, shared by every comparison."""
+    config = FleetConfig(n_frames=N_FRAMES)
+    with Cluster(n_spaces=3, gc_period=0.05) as cluster:
+        return run_fleet(cluster, config)
+
+
+def assert_identical(result, reference):
+    assert result.frames_tracked == reference.frames_tracked
+    assert result.frames_detected == reference.frames_detected
+    assert result.mean_tracking_error == reference.mean_tracking_error
+    assert [d.action for d in result.decisions] == [
+        d.action for d in reference.decisions
+    ]
+
+
+def test_thread_fleet_is_sane(reference):
+    assert reference.frames_tracked == N_FRAMES
+    assert reference.frames_detected > 0
+    assert len(reference.decisions) == N_FRAMES
+    assert reference.mean_tracking_error < 5.0
+
+
+def test_aio_fleet_matches_thread_fleet(reference):
+    async def main():
+        async with AioCluster(n_spaces=3, gc_period=0.05) as cluster:
+            return await run_aio_fleet(cluster, FleetConfig(n_frames=N_FRAMES))
+
+    assert_identical(asyncio.run(main()), reference)
+
+
+def test_sim_fleet_matches_thread_fleet(reference):
+    result = run_sim_fleet(FleetConfig(n_frames=N_FRAMES))
+    assert_identical(result, reference)
+    assert result.wall_seconds > 0  # simulated time was actually charged
+
+
+def test_proc_fleet_matches_thread_fleet(reference):
+    with ProcCluster(n_spaces=3, gc_period=0.05) as cluster:
+        result = run_fleet(cluster, FleetConfig(n_frames=N_FRAMES))
+    assert_identical(result, reference)

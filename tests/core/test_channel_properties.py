@@ -5,7 +5,7 @@ interleavings of puts, gets, consumes, attaches, and GC sweeps against one
 kernel and checks the §4.1-4.2 invariants after every step.
 """
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
 
@@ -18,7 +18,7 @@ from repro.core.flags import (
 )
 from repro.core.item import ItemState
 from repro.core.time import INFINITY, vt_le
-from repro.errors import StampedeError
+from repro.errors import AlreadyConsumedError, StampedeError
 
 OUT = 0
 INPUTS = [1, 2, 3]
@@ -39,6 +39,50 @@ def op(draw):
 
 @given(st.lists(op(), max_size=120), st.one_of(st.none(), st.integers(1, 8)))
 @settings(max_examples=150, deadline=None)
+# Regression seeds found while building the runtime-parametrized
+# conformance suite (PR 8): interleavings whose intermediate states once
+# looked suspicious are pinned so they run on every build, not only when
+# hypothesis rediscovers them.
+@example(
+    # consume-before-get then GC at the minimum: the consumed ts must be
+    # collected while its successor (the unconsumed minimum) survives.
+    ops=[
+        ("put", 0, 1, STM_OLDEST),
+        ("put", 1, 1, STM_OLDEST),
+        ("consume", 0, 1, STM_OLDEST),
+        ("consume", 0, 2, STM_OLDEST),
+        ("consume", 0, 3, STM_OLDEST),
+        ("gc", 0, 1, STM_OLDEST),
+        ("get_specific", 1, 2, STM_OLDEST),
+    ],
+    capacity=None,
+)
+@example(
+    # bounded channel at capacity: a full put is BLOCKED (not an error),
+    # and a consume+gc cycle opens the slot again.
+    ops=[
+        ("put", 0, 1, STM_OLDEST),
+        ("put", 1, 1, STM_OLDEST),
+        ("consume_until", 0, 1, STM_OLDEST),
+        ("consume_until", 0, 2, STM_OLDEST),
+        ("consume_until", 0, 3, STM_OLDEST),
+        ("gc", 0, 1, STM_OLDEST),
+        ("put", 1, 1, STM_OLDEST),
+    ],
+    capacity=1,
+)
+@example(
+    # LATEST_UNSEEN strict progression across interleaved puts.
+    ops=[
+        ("put", 5, 1, STM_LATEST_UNSEEN),
+        ("get_wild", 0, 1, STM_LATEST_UNSEEN),
+        ("put", 3, 1, STM_LATEST_UNSEEN),
+        ("get_wild", 0, 1, STM_LATEST_UNSEEN),
+        ("put", 9, 1, STM_LATEST_UNSEEN),
+        ("get_wild", 0, 1, STM_LATEST_UNSEEN),
+    ],
+    capacity=None,
+)
 def test_kernel_invariants_under_random_ops(ops, capacity):
     kernel = ChannelKernel(1, capacity=capacity)
     kernel.attach_output(OUT)
@@ -210,3 +254,130 @@ TestChannelComparison = ChannelComparison.TestCase
 TestChannelComparison.settings = settings(
     max_examples=60, stateful_step_count=40, deadline=None
 )
+
+
+# ----------------------------------------------------------------------
+# §6 eager reclamation: declared refcounts
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(1, 4)), max_size=12,
+        unique_by=lambda pr: pr[0],
+    ),
+    st.lists(st.tuples(st.sampled_from(INPUTS), st.integers(0, 15)), max_size=40),
+)
+@settings(max_examples=120, deadline=None)
+@example(puts=[(0, 1)], consumes=[(1, 0), (2, 0)])       # reclaim on 1st, not 2nd
+@example(puts=[(0, 3)], consumes=[(1, 0), (1, 0), (2, 0)])  # same conn counts once
+def test_refcount_reclamation_is_exact(puts, consumes):
+    """An item with declared refcount r is reclaimed inline exactly when r
+    *distinct* connections have consumed it — never earlier, and without
+    any GC round (§6)."""
+    kernel = ChannelKernel(1)
+    kernel.attach_output(OUT)
+    for conn in INPUTS:
+        kernel.attach_input(conn, visibility=0)
+    remaining = {}
+    for ts, refcount in puts:
+        assert kernel.put(OUT, ts, b"r", 1, refcount).status is Status.OK
+        remaining[ts] = refcount
+    consumed_by: dict[int, set[int]] = {ts: set() for ts, _ in puts}
+    for conn, ts in consumes:
+        if ts not in remaining:
+            try:
+                kernel.consume(conn, ts)
+            except StampedeError:
+                pass
+            continue
+        if conn in consumed_by[ts]:
+            # a second consume on the same connection is rejected or inert;
+            # either way the count must not advance
+            try:
+                kernel.consume(conn, ts)
+            except StampedeError:
+                pass
+        else:
+            kernel.consume(conn, ts)
+            consumed_by[ts].add(conn)
+        stored = set(kernel.timestamps())
+        if len(consumed_by[ts]) >= remaining[ts]:
+            assert ts not in stored, (
+                f"ts={ts} refcount={remaining[ts]} should be reclaimed after "
+                f"{sorted(consumed_by[ts])} consumed it"
+            )
+        else:
+            assert ts in stored, (
+                f"ts={ts} reclaimed early: only {len(consumed_by[ts])} of "
+                f"{remaining[ts]} declared consumes happened"
+            )
+
+
+# ----------------------------------------------------------------------
+# §4.2 attach visibility: implicit consumption of the past
+# ----------------------------------------------------------------------
+@given(
+    st.sets(st.integers(0, 20), min_size=1, max_size=10),
+    st.integers(0, 25),
+)
+@settings(max_examples=120, deadline=None)
+@example(timestamps={0, 5, 10}, visibility=5)   # boundary: ts == visibility stays
+@example(timestamps={3}, visibility=25)         # everything pre-consumed
+def test_attach_implicitly_consumes_below_visibility(timestamps, visibility):
+    """A connection attached at visibility v: every stored ts < v is
+    CONSUMED on it (gets fail), every ts >= v is UNSEEN (gets succeed) —
+    and the connection's GC claim starts at its first ts >= v."""
+    kernel = ChannelKernel(1)
+    kernel.attach_output(OUT)
+    for ts in sorted(timestamps):
+        assert kernel.put(OUT, ts, b"v", 1).status is Status.OK
+    conn = 99
+    kernel.attach_input(conn, visibility=visibility)
+    for ts in sorted(timestamps):
+        if ts < visibility:
+            assert kernel.item_state(conn, ts) is ItemState.CONSUMED
+            try:
+                result = kernel.get(conn, ts)
+            except AlreadyConsumedError:
+                pass
+            else:
+                raise AssertionError(
+                    f"get({ts}) below visibility {visibility} returned "
+                    f"{result.status} instead of AlreadyConsumedError"
+                )
+        else:
+            result = kernel.get(conn, ts)
+            assert result.status is Status.OK and result.timestamp == ts
+    live = [ts for ts in timestamps if ts >= visibility]
+    expected_min = min(live) if live else INFINITY
+    assert kernel.unconsumed_min() == expected_min
+
+
+# ----------------------------------------------------------------------
+# GC never reclaims the unconsumed minimum
+# ----------------------------------------------------------------------
+@given(
+    st.sets(st.integers(0, 20), min_size=1, max_size=10),
+    st.integers(0, 20),
+)
+@settings(max_examples=120, deadline=None)
+@example(timestamps={0, 1, 2}, consume_below=1)
+def test_gc_never_reclaims_unconsumed_minimum(timestamps, consume_below):
+    """Collecting at the self-reported horizon always preserves the oldest
+    item some connection still wants — the §4.2 safety condition the whole
+    runtime leans on."""
+    kernel = ChannelKernel(1)
+    kernel.attach_output(OUT)
+    kernel.attach_input(1, visibility=0)
+    for ts in sorted(timestamps):
+        assert kernel.put(OUT, ts, b"g", 1).status is Status.OK
+    kernel.consume_until(1, consume_below)
+    horizon = kernel.unconsumed_min()
+    dead = kernel.collect_below(horizon)
+    survivors = [ts for ts in timestamps if ts > consume_below]
+    if survivors:
+        assert horizon == min(survivors)
+        assert min(survivors) in kernel.timestamps()
+        assert set(dead) == {ts for ts in timestamps if ts <= consume_below}
+    else:
+        assert horizon is INFINITY
+        assert kernel.timestamps() == []

@@ -1,0 +1,15 @@
+"""Watchdog for the multi-process runtime tests.
+
+A wedged child process (or a dispatcher that never answers) would
+otherwise hang the whole suite; the guard turns that into a loud
+failure.  Generous ceiling — forking and teardown are slow under load.
+pytest-timeout is not a dependency; see tests/_timeout_guard.py.
+"""
+
+from __future__ import annotations
+
+from tests._timeout_guard import install_timeout_guard
+
+TIMEOUT_S = 180
+
+install_timeout_guard(globals(), TIMEOUT_S)

@@ -1,0 +1,14 @@
+"""Watchdog for the runtime driver tests.
+
+These tests spawn real threads and asyncio loops that block on STM
+waits; a missed wakeup should fail the one test, not wedge the suite.
+pytest-timeout is not a dependency; see tests/_timeout_guard.py.
+"""
+
+from __future__ import annotations
+
+from tests._timeout_guard import install_timeout_guard
+
+TIMEOUT_S = 120
+
+install_timeout_guard(globals(), TIMEOUT_S)

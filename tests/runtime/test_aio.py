@@ -1,0 +1,357 @@
+"""Unit tests of the asyncio runtime driver (AioEvent, AioAddressSpace,
+AioCluster, and the async STM facade).
+
+Cross-runtime *semantics* live in tests/conformance; this file covers the
+asyncio-only machinery: the dual-sided event, task identity binding, crash
+propagation through ajoin, async context-manager attachments, and
+thread/task interop on one cluster.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core import INFINITY, STM_OLDEST
+from repro.errors import StampedeError
+from repro.runtime.aio import AioCluster, AioEvent
+from repro.runtime.threads import current_thread
+from repro.stm.aio import AioSTM
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAioEvent:
+    def test_set_on_loop_wakes_async_waiter(self):
+        async def main():
+            event = AioEvent(asyncio.get_running_loop())
+
+            async def setter():
+                event.set()
+
+            waiter = asyncio.create_task(event.wait_async(5.0))
+            await setter()
+            assert await waiter is True
+            assert event.is_set()
+
+        run(main())
+
+    def test_set_from_foreign_thread_wakes_async_waiter(self):
+        """The GC daemon / dispatcher path: set() off-loop must wake an
+        awaiting task via call_soon_threadsafe."""
+
+        async def main():
+            event = AioEvent(asyncio.get_running_loop())
+            threading.Timer(0.01, event.set).start()
+            assert await event.wait_async(5.0) is True
+
+        run(main())
+
+    def test_sync_wait_sees_set_from_loop(self):
+        async def main():
+            event = AioEvent(asyncio.get_running_loop())
+            seen = {}
+
+            def blocker():
+                seen["woke"] = event.wait(5.0)
+
+            thread = threading.Thread(target=blocker)
+            thread.start()
+            event.set()
+            await asyncio.get_running_loop().run_in_executor(
+                None, thread.join
+            )
+            assert seen["woke"] is True
+
+        run(main())
+
+    def test_wait_async_timeout_returns_false(self):
+        async def main():
+            event = AioEvent(asyncio.get_running_loop())
+            assert await event.wait_async(0.01) is False
+
+        run(main())
+
+    def test_threading_side_is_authoritative_on_timeout_race(self):
+        """A completion that lands on the threading side but whose asyncio
+        mirror has not run yet must still be honoured."""
+
+        async def main():
+            event = AioEvent(asyncio.get_running_loop())
+            event._tevent.set()  # as if a foreign thread just set it
+            assert await event.wait_async(0.0) is True
+
+        run(main())
+
+
+class TestSpawnAndIdentity:
+    def test_spawn_task_binds_stampede_identity(self):
+        async def main():
+            async with AioCluster(n_spaces=1, gc_period=None) as cluster:
+                space = cluster.space(0)
+                names = []
+
+                async def body():
+                    names.append(current_thread().name)
+
+                t1 = space.spawn_task(body, name="one")
+                t2 = space.spawn_task(body, name="two")
+                await space.ajoin(t1, timeout=10.0)
+                await space.ajoin(t2, timeout=10.0)
+                assert sorted(names) == ["one", "two"]
+                # the driver itself is not bound
+                assert current_thread() is None
+
+        run(main())
+
+    def test_concurrent_tasks_have_independent_identities(self):
+        """Tasks interleave on one OS thread; the contextvar binding must
+        never leak across an await."""
+
+        async def main():
+            async with AioCluster(n_spaces=1, gc_period=None) as cluster:
+                space = cluster.space(0)
+                observed = {}
+
+                async def body(key):
+                    me = current_thread()
+                    await asyncio.sleep(0)   # force an interleave
+                    observed[key] = current_thread() is me
+
+                tasks = [
+                    space.spawn_task(body, (k,), name=f"task-{k}")
+                    for k in range(4)
+                ]
+                for t in tasks:
+                    await space.ajoin(t, timeout=10.0)
+                assert all(observed.values())
+
+        run(main())
+
+    def test_child_inherits_parent_visibility(self):
+        async def main():
+            async with AioCluster(n_spaces=1, gc_period=None) as cluster:
+                space = cluster.space(0)
+                me = space.adopt_current_task(virtual_time=7)
+                vts = []
+
+                async def child():
+                    vts.append(current_thread().virtual_time)
+
+                task = space.spawn_task(child)
+                await space.ajoin(task, timeout=10.0)
+                me.exit()
+                assert vts == [7]
+
+        run(main())
+
+    def test_duplicate_task_name_rejected(self):
+        async def main():
+            async with AioCluster(n_spaces=1, gc_period=None) as cluster:
+                space = cluster.space(0)
+
+                async def body():
+                    pass
+
+                t = space.spawn_task(body, name="dup")
+                with pytest.raises(StampedeError):
+                    space.spawn_task(body, name="dup")
+                await space.ajoin(t, timeout=10.0)
+
+        run(main())
+
+    def test_ajoin_propagates_crash(self):
+        async def main():
+            async with AioCluster(n_spaces=1, gc_period=None) as cluster:
+                space = cluster.space(0)
+
+                async def doomed():
+                    raise ValueError("task exploded")
+
+                task = space.spawn_task(doomed)
+                with pytest.raises(ValueError, match="task exploded"):
+                    await space.ajoin(task, timeout=10.0)
+
+        run(main())
+
+    def test_ajoin_times_out_on_stuck_task(self):
+        async def main():
+            async with AioCluster(n_spaces=1, gc_period=None) as cluster:
+                space = cluster.space(0)
+                release = asyncio.Event()
+
+                async def stuck():
+                    await release.wait()
+
+                task = space.spawn_task(stuck)
+                with pytest.raises(TimeoutError):
+                    await space.ajoin(task, timeout=0.05)
+                release.set()
+                await space.ajoin(task, timeout=10.0)
+
+        run(main())
+
+
+class TestAsyncFacade:
+    def test_async_with_attach(self):
+        """TUTORIAL spelling: ``async with chan.attach_output() as out``."""
+
+        async def main():
+            async with AioCluster(n_spaces=1, gc_period=None) as cluster:
+                space = cluster.space(0)
+                me = space.adopt_current_task()
+                stm = AioSTM(space)
+                chan = await stm.create_channel("aio.ctx")
+                async with chan.attach_output() as out:
+                    await out.put(0, b"frame")
+                    assert not out.closed
+                assert out.closed
+                async with chan.attach_input() as inp:
+                    item = await inp.get(STM_OLDEST)
+                    assert (item.timestamp, item.value) == (0, b"frame")
+                    await inp.consume(0)
+                assert inp.closed
+                me.exit()
+
+        run(main())
+
+    def test_lookup_wait_woken_by_later_create(self):
+        async def main():
+            async with AioCluster(n_spaces=1, gc_period=None) as cluster:
+                space = cluster.space(0)
+                me = space.adopt_current_task()
+                stm = AioSTM(space)
+
+                async def late_creator():
+                    await asyncio.sleep(0.01)
+                    await stm.create_channel("aio.late", home=0)
+
+                creator = asyncio.create_task(late_creator())
+                chan = await stm.lookup("aio.late", wait=True, timeout=10.0)
+                assert chan.name == "aio.late"
+                await creator
+                me.exit()
+
+        run(main())
+
+    def test_lookup_wait_timeout(self):
+        async def main():
+            async with AioCluster(n_spaces=1, gc_period=None) as cluster:
+                space = cluster.space(0)
+                me = space.adopt_current_task()
+                stm = AioSTM(space)
+                with pytest.raises(TimeoutError):
+                    await stm.lookup("aio.never", wait=True, timeout=0.05)
+                me.exit()
+
+        run(main())
+
+    def test_get_timeout_withdraws_waiter(self):
+        async def main():
+            async with AioCluster(n_spaces=1, gc_period=None) as cluster:
+                space = cluster.space(0)
+                me = space.adopt_current_task()
+                stm = AioSTM(space)
+                chan = await stm.create_channel()
+                inp = await chan.attach_input()
+                out = await chan.attach_output()
+                with pytest.raises(TimeoutError):
+                    await inp.get(5, timeout=0.05)
+                # The parked waiter must be gone: a later put at another
+                # timestamp should not complete (or crash into) it.
+                await out.put(6, "v6")
+                item = await inp.get(6)
+                assert item.value == "v6"
+                await inp.detach()
+                await out.detach()
+                me.exit()
+
+        run(main())
+
+    def test_remote_space_ops_and_gc(self):
+        """Two spaces: puts/gets traverse the dispatcher from a task, and
+        an explicit agc_once advances the horizon."""
+
+        async def main():
+            async with AioCluster(n_spaces=2, gc_period=None) as cluster:
+                space = cluster.space(0)
+                me = space.adopt_current_task(virtual_time=0)
+                stm = AioSTM(space)
+                chan = await stm.create_channel("aio.remote", home=1)
+                out = await chan.attach_output()
+                inp = await chan.attach_input()
+                await out.put(0, b"abc")
+                item = await inp.get(0)
+                assert item.value == b"abc"
+                await inp.consume(0)
+                me.set_virtual_time(INFINITY)
+                horizon = await cluster.agc_once()
+                assert horizon is INFINITY
+                await inp.detach()
+                await out.detach()
+                me.exit()
+
+        run(main())
+
+
+class TestThreadTaskInterop:
+    def test_os_thread_and_task_share_a_channel(self):
+        """A synchronous producer on a spawned OS thread feeds an awaiting
+        task — the AioEvent's dual nature end-to-end."""
+
+        async def main():
+            async with AioCluster(n_spaces=1, gc_period=None) as cluster:
+                space = cluster.space(0)
+                me = space.adopt_current_task()
+                stm = AioSTM(space)
+                chan = await stm.create_channel("interop")
+                inp = await chan.attach_input()
+
+                def producer():
+                    from repro.stm import STM
+
+                    sync_chan = STM(space).lookup("interop")
+                    out = sync_chan.attach_output()
+                    out.put(0, "from-thread")
+                    out.detach()
+
+                thread = space.spawn(producer, (), virtual_time=0)
+                item = await inp.get(0)   # parks as a task, woken by thread
+                assert item.value == "from-thread"
+                await inp.consume(0)
+                await space.ajoin(thread, timeout=10.0)
+                await inp.detach()
+                me.exit()
+
+        run(main())
+
+    def test_periodic_gc_task_drains_bounded_put(self):
+        """The asyncio GC daemon must reclaim consumed-unknown-refcount
+        items and wake a parked bounded put without any manual gc call."""
+
+        async def main():
+            async with AioCluster(n_spaces=1, gc_period=0.01) as cluster:
+                space = cluster.space(0)
+                me = space.adopt_current_task(virtual_time=0)
+                stm = AioSTM(space)
+                chan = await stm.create_channel(capacity=1)
+                out = await chan.attach_output()
+                inp = await chan.attach_input()
+                await out.put(0, "v0")
+                item = await inp.get(0)
+                assert item.value == "v0"
+                await inp.consume(0)
+                me.set_virtual_time(1)
+                # capacity=1 and ts=0 consumed: only a GC round (horizon 1)
+                # reclaims the slot and completes this parked put.
+                await out.put(1, "v1", timeout=10.0)
+                await inp.get_consume(1)
+                await inp.detach()
+                await out.detach()
+                me.exit()
+
+        run(main())

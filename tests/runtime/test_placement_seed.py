@@ -1,0 +1,131 @@
+"""Statically seeded placement: stmgraph topology -> placement search.
+
+The whole-program analyzer extracts a thread/channel dataflow graph;
+``ChannelGraph.placement_model()`` turns its longest stage chain into a
+:class:`repro.runtime.placement.PipelineModel` the exhaustive search can
+optimize.  These tests pin that bridge end-to-end on a synthetic
+pipeline source: extraction order, the model's cost conventions (only
+the terminal stage emits nothing), and that the seeded model is
+actually searchable and pinnable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.source import load_sources
+from repro.analysis.stmgraph import extract_graph
+from repro.runtime.placement import optimal_placement, predict
+
+PIPELINE_SRC = '''\
+"""Three-stage linear pipeline plus an off-chain logger."""
+
+RAW = "seed.raw"
+COOKED = "seed.cooked"
+LOG = "seed.log"
+
+
+def digitize(space):
+    out = space.lookup(RAW).attach_output()
+    out.put(0, b"frame")
+    out.detach()
+
+
+def track(space):
+    inp = space.lookup(RAW).attach_input()
+    out = space.lookup(COOKED).attach_output()
+    item = inp.get(0)
+    out.put(0, item)
+    inp.consume(0)
+    inp.detach()
+    out.detach()
+
+
+def display(space):
+    inp = space.lookup(COOKED).attach_input()
+    log = space.lookup(LOG).attach_output()
+    inp.get_consume(0)
+    log.put(0, b"shown")
+    inp.detach()
+    log.detach()
+
+
+def audit(space):
+    inp = space.lookup(LOG).attach_input()
+    inp.get_consume(0)
+    inp.detach()
+
+
+def main(space):
+    space.spawn(digitize, (space,))
+    space.spawn(track, (space,))
+    space.spawn(display, (space,))
+    space.spawn(audit, (space,))
+'''
+
+
+@pytest.fixture(scope="module")
+def graph(tmp_path_factory):
+    path = tmp_path_factory.mktemp("seed") / "pipeline.py"
+    path.write_text(PIPELINE_SRC)
+    sources = load_sources([str(path)], root=path.parent)
+    return extract_graph(sources)
+
+
+def test_main_chain_follows_the_dataflow(graph):
+    # digitize -> track -> display -> audit is the longest put/get path;
+    # the spawn edges from main() must not enter the chain.
+    assert graph.main_chain() == ["digitize", "track", "display", "audit"]
+
+
+def test_seeded_model_stage_costs(graph):
+    model = graph.placement_model(compute_us=500.0, output_bytes=4096)
+    assert model.names == ["digitize", "track", "display", "audit"]
+    assert all(s.compute_us == 500.0 for s in model.stages)
+    # every stage feeds its successor except the terminal one
+    assert [s.output_bytes for s in model.stages] == [4096, 4096, 4096, 0]
+
+
+def test_seeded_model_is_searchable(graph):
+    model = graph.placement_model()
+    colocated = predict(model, (0,) * len(model.stages))
+    best = optimal_placement(model, n_spaces=2, objective="latency")
+    assert len(best.placement) == len(model.stages)
+    # the search can never do worse than a placement it enumerates
+    assert best.latency_us <= colocated.latency_us
+    # uniform placeholder costs make colocation latency-optimal
+    assert len(set(best.placement)) == 1
+
+
+def test_seeded_model_respects_pins(graph):
+    model = graph.placement_model()
+    best = optimal_placement(
+        model, n_spaces=3, pinned={"digitize": 2, "audit": 1}
+    )
+    by_name = dict(zip(model.names, best.placement, strict=True))
+    assert by_name["digitize"] == 2
+    assert by_name["audit"] == 1
+
+
+def test_lone_producer_seeds_a_single_stage(tmp_path):
+    # a lone producer is a degenerate but placeable one-stage pipeline
+    path = tmp_path / "solo.py"
+    path.write_text(
+        "def solo(space):\n"
+        "    out = space.lookup('solo.out').attach_output()\n"
+        "    out.put(0, b'x')\n"
+        "    out.detach()\n"
+    )
+    graph = extract_graph(load_sources([str(path)], root=tmp_path))
+    model = graph.placement_model()
+    assert model.names == ["solo"]
+    assert model.stages[0].output_bytes == 0  # terminal stage emits nothing
+
+
+def test_chainless_graph_refuses_to_seed(tmp_path):
+    # no scanned function touches STM: no threads, nothing to place
+    path = tmp_path / "plain.py"
+    path.write_text("def helper(x):\n    return x + 1\n")
+    graph = extract_graph(load_sources([str(path)], root=tmp_path))
+    with pytest.raises(ValueError, match="no thread-to-thread dataflow"):
+        graph.placement_model()
