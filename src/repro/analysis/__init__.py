@@ -8,7 +8,12 @@ Three coordinated passes, one ``Finding`` model, one CLI::
                                              # kernel mutations, use-after-reclaim)
 
 * :mod:`repro.analysis.lockcheck` — static lock-discipline pass (STM101-103).
-* :mod:`repro.analysis.protolint` — static STM protocol linter (STM201-205).
+* :mod:`repro.analysis.absint` — CFG-based abstract interpreter: the
+  path-sensitive STM201-205 protocol checker (backing the ``protolint``
+  pass) plus the STM601-604 symbolic virtual-time rules (``absint``
+  subcommand).
+* :mod:`repro.analysis.protolint` — the legacy lexical STM201-205 walker,
+  kept as the differential oracle for the abstract interpreter.
 * :mod:`repro.analysis.sanitizer` — runtime shim recording dynamic findings
   (STM301-303) when ``STMSAN=1`` or :func:`sanitizer.enable` is called.
 * :mod:`repro.analysis.stmgraph` — whole-program channel dataflow graph and

@@ -1,0 +1,57 @@
+"""Abstract interpreter for STM programs (the ``absint`` pass).
+
+A per-function CFG IR (:mod:`~repro.analysis.absint.cfg`) plus a worklist
+fixpoint engine (:mod:`~repro.analysis.absint.engine`) running two
+cooperating abstract domains:
+
+* a **connection-typestate lattice** (unattached → attached → gotten →
+  consumed → detached, powerset joins) re-implementing the STM2xx
+  protocol rules path-sensitively — ``detach`` inside ``finally``,
+  conditional re-attach, and ``conn2 = conn`` aliasing are understood
+  instead of false-positives, and stmgraph summaries make detach-in-callee
+  visible across function boundaries;
+* a **symbolic virtual-time interval domain** over timestamps, powering
+  STM601 (non-monotonic put), STM602 (get/consume at or below the GC
+  horizon), STM603 (unbounded channel growth) and STM604 (blocking sync
+  STM call in an ``async def`` scope).
+
+`check_protocol` is the STM2xx-only pass the CLI's ``protolint`` entry
+now routes through; `check_absint` adds the STM6xx rules and backs the
+``absint`` subcommand.
+"""
+
+from __future__ import annotations
+
+from ..findings import Finding, sort_findings
+from ..source import SourceFile
+from .engine import analyze_cfg
+from .interproc import ProgramContext, check_growth
+
+__all__ = ["check_absint", "check_protocol"]
+
+
+def _run(sources: list[SourceFile], prefixes: tuple[str, ...]) -> list[Finding]:
+    ctx = ProgramContext(sources)
+    findings: list[Finding] = []
+    for entry in ctx.per_source:
+        consts = ctx.consts.get(entry.src.display, {})
+        for scope in entry.scopes:
+            result = analyze_cfg(
+                ctx.cfg_for(scope), ctx, ctx.summary_for(scope), consts
+            )
+            findings.extend(result.findings)
+    if any(p.startswith("STM6") for p in prefixes):
+        findings.extend(check_growth(ctx))
+    return sort_findings(
+        [f for f in findings if f.rule_id.startswith(prefixes)]
+    )
+
+
+def check_absint(sources: list[SourceFile]) -> list[Finding]:
+    """The full abstract-interpretation pass: STM2xx + STM6xx."""
+    return _run(sources, ("STM2", "STM6"))
+
+
+def check_protocol(sources: list[SourceFile]) -> list[Finding]:
+    """CFG-based STM2xx protocol checking (the ``protolint`` pass)."""
+    return _run(sources, ("STM2",))

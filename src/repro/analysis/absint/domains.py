@@ -1,0 +1,119 @@
+"""Abstract value domains for the STM abstract interpreter.
+
+Two cooperating lattices:
+
+* the **connection typestate** lattice — a powerset over the base states
+  ``unattached < attached < gotten < consumed < detached``; a singleton set
+  is a *must* fact, a larger set records the join of diverging paths
+  (⊤ = all five).  Represented directly as ``frozenset[str]``.
+* the **symbolic virtual-time** domain — :class:`Val`, an integer interval
+  ``[lo, hi]`` optionally anchored to a symbolic base (``b + [lo, hi]``).
+  Bases are minted fresh at every ``get`` binding site, which makes
+  same-base comparisons (``t - 1 < t``) decidable without knowing ``t``.
+
+Joins are set-union / interval hulls; :func:`widen_val` drops unstable
+bounds to ±∞ so loop counters converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "UNATTACHED", "ATTACHED", "GOTTEN", "CONSUMED", "DETACHED",
+    "STATES_TOP", "Val", "TsRec", "join_states", "join_val", "widen_val",
+    "join_rec", "NEG_INF", "POS_INF",
+]
+
+UNATTACHED = "unattached"
+ATTACHED = "attached"
+GOTTEN = "gotten"
+CONSUMED = "consumed"
+DETACHED = "detached"
+STATES_TOP = frozenset({UNATTACHED, ATTACHED, GOTTEN, CONSUMED, DETACHED})
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+def join_states(a: frozenset[str], b: frozenset[str]) -> frozenset[str]:
+    return a | b
+
+
+@dataclass(frozen=True)
+class Val:
+    """``base + [lo, hi]`` with ``base=None`` meaning a concrete interval."""
+
+    base: str | None
+    lo: float
+    hi: float
+
+    @staticmethod
+    def const(n: int) -> "Val":
+        return Val(None, n, n)
+
+    @staticmethod
+    def symbol(base: str) -> "Val":
+        return Val(base, 0, 0)
+
+    def shift(self, n: float) -> "Val":
+        return Val(self.base, self.lo + n, self.hi + n)
+
+    def is_singleton(self) -> bool:
+        return self.lo == self.hi
+
+    # -- ordering facts (None = unknown) --------------------------------
+
+    def definitely_lt(self, other: "Val") -> bool:
+        """True iff every concretization of self < every one of other."""
+        if self.base != other.base:
+            return False
+        return self.hi < other.lo
+
+    def definitely_le(self, other: "Val") -> bool:
+        if self.base != other.base:
+            return False
+        return self.hi <= other.lo
+
+    def definitely_eq(self, other: "Val") -> bool:
+        return (
+            self.base == other.base
+            and self.is_singleton()
+            and other.is_singleton()
+            and self.lo == other.lo
+        )
+
+
+def join_val(a: Val | None, b: Val | None) -> Val | None:
+    """Interval hull; incomparable bases (or a missing side) go to ⊤ (None)."""
+    if a is None or b is None or a.base != b.base:
+        return None
+    return Val(a.base, min(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def widen_val(a: Val | None, b: Val | None) -> Val | None:
+    """Classic interval widening: unstable bounds jump to ±∞."""
+    if a is None or b is None or a.base != b.base:
+        return None
+    lo = a.lo if b.lo >= a.lo else NEG_INF
+    hi = a.hi if b.hi <= a.hi else POS_INF
+    return Val(a.base, lo, hi)
+
+
+@dataclass(frozen=True)
+class TsRec:
+    """A timestamp fact recorded at a program point: the last ``put`` on a
+    connection, the ``consume_until`` horizon, or an exact consume point."""
+
+    val: Val
+    line: int
+    literal: bool = False
+
+
+def join_rec(a: TsRec | None, b: TsRec | None, widen: bool = False) -> TsRec | None:
+    if a is None or b is None:
+        return None
+    v = widen_val(a.val, b.val) if widen else join_val(a.val, b.val)
+    if v is None:
+        return None
+    return TsRec(v, max(a.line, b.line), a.literal and b.literal)

@@ -1,0 +1,448 @@
+"""Worklist fixpoint engine over the absint CFG, plus replay reporting.
+
+One analysis run has three phases:
+
+1. **fixpoint** — classic worklist iteration computing the join of
+   :class:`~.state.AbsState` over every block entry, with interval
+   widening at loop heads after a few visits;
+2. **collect replay** — re-execute every reachable block from its fixed
+   entry state, gathering per-attach-site facts (escapes, op kinds,
+   helper effects, rebinds) into :class:`~.typestate.SiteFlags`;
+3. **report replay** — the same walk again, now emitting point findings
+   (STM203 must-detached ops, STM204/STM601 put regressions, STM602
+   horizon violations, STM604 async blocking, STM202 stale item uses)
+   with full escape knowledge, followed by the scope-end verdicts
+   (STM201/STM205) against the exit join.
+
+The same function doubles as the interprocedural summary builder: with
+``seed_params=True`` each parameter is bound to a pseudo-site starting
+``{attached}``, reporting is disabled, and the exit join per parameter
+becomes the callee's must-transform used at call sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..findings import Finding
+from . import vtime
+from .cfg import CFG, Instr
+from .domains import ATTACHED, DETACHED, UNATTACHED, Val
+from .state import AbsState, UNBOUND, join
+from .typestate import SiteFlags, apply_kinds, report_scope, transition
+
+__all__ = ["ScopeResult", "analyze_cfg"]
+
+_WIDEN_AFTER = 3
+_MAX_STEPS = 20000
+_DET_ONLY = frozenset({DETACHED})
+_ATT_ONLY = frozenset({ATTACHED})
+_UNATT = frozenset({UNATTACHED})
+#: stmgraph effect kinds that actually touch items on the connection
+_TOUCH_KINDS = {"get", "put", "consume"}
+
+
+@dataclass
+class ScopeResult:
+    findings: list[Finding]
+    param_exit: dict[int, frozenset[str] | None]
+
+
+@dataclass
+class _Sink:
+    file: str
+    flags: dict[str, SiteFlags] = field(default_factory=dict)
+    findings: list[Finding] = field(default_factory=list)
+    report: bool = False
+    _seen: set[tuple] = field(default_factory=set)
+
+    def flag(self, site: str) -> SiteFlags:
+        return self.flags.setdefault(site, SiteFlags())
+
+    def emit(self, rule: str, line: int, message: str) -> None:
+        key = (rule, line, message)
+        if key not in self._seen:
+            self._seen.add(key)
+            self.findings.append(Finding(rule, self.file, line, message))
+
+
+@dataclass
+class _Env:
+    cfg: CFG
+    ctx: object          # interproc.ProgramContext
+    summary: object      # stmgraph _Summary for this scope (or None)
+    consts: dict[str, object]
+    file: str
+
+
+# ----------------------------------------------------------------------
+# the transfer function
+# ----------------------------------------------------------------------
+def _transfer(instr: Instr, state: AbsState, env: _Env, sink: _Sink | None) -> None:
+    kind = instr.kind
+    if kind == "attach":
+        _attach(instr, state, sink)
+    elif kind == "op":
+        _op(instr, state, env, sink)
+    elif kind == "call":
+        _call(instr, state, env, sink)
+    elif kind == "alias":
+        _alias(instr, state, sink)
+    elif kind == "assign":
+        val = vtime.eval_expr(instr.expr, state, env.consts)
+        _note_rebound(state, instr.dst, sink)
+        state.kill(instr.dst)
+        if val is not None:
+            state.num[instr.dst] = val
+    elif kind == "kill":
+        _note_rebound(state, instr.dst, sink)
+        state.kill(instr.dst)
+    elif kind == "use":
+        if sink is not None:
+            for site in state.conn.get(instr.var, ()):
+                if site != UNBOUND:
+                    sink.flag(site).escaped = True
+            _item_use(instr.var, instr.line, state, env, sink)
+    elif kind == "havoc":
+        # entering an except/finally region: the try body may have stopped
+        # anywhere, so per-path must-facts about items and timestamps die
+        for var, binds in list(state.items.items()):
+            state.items[var] = frozenset((s, True) for s, _fresh in binds)
+        state.last_put.clear()
+        state.horizon.clear()
+        state.last_consume.clear()
+    # "test" is deliberately a no-op: a truth/None check leaks nothing
+
+
+def _note_rebound(
+    state: AbsState, var: str | None, sink: _Sink | None, keep: str | None = None
+) -> None:
+    if sink is None or var is None:
+        return
+    for site in state.conn.get(var, ()):
+        if site not in (UNBOUND, keep):
+            sink.flag(site).rebound = True
+
+
+def _attach(instr: Instr, state: AbsState, sink: _Sink | None) -> None:
+    _note_rebound(state, instr.var, sink, keep=instr.site)
+    state.kill(instr.var)
+    state.conn[instr.var] = frozenset({instr.site})
+    state.objs[instr.site] = _ATT_ONLY
+    for table in (state.last_put, state.horizon, state.last_consume):
+        table.pop(instr.site, None)
+    # item bindings from a previous attach epoch of this site make no claims
+    for var, binds in list(state.items.items()):
+        kept = frozenset(b for b in binds if b[0] != instr.site)
+        if kept:
+            state.items[var] = kept
+        else:
+            del state.items[var]
+
+
+def _alias(instr: Instr, state: AbsState, sink: _Sink | None) -> None:
+    src = instr.src
+    refs = state.conn.get(src)
+    items = state.items.get(src)
+    num = state.num.get(src)
+    dotted = {
+        k: v for k, v in state.num.items() if k.startswith(f"{src}.")
+    }
+    _note_rebound(state, instr.dst, sink)
+    state.kill(instr.dst)
+    if refs is not None:
+        state.conn[instr.dst] = refs
+    if items is not None:
+        state.items[instr.dst] = items
+    if num is not None:
+        state.num[instr.dst] = num
+    for key, val in dotted.items():
+        state.num[instr.dst + key[len(src):]] = val
+
+
+def _stale_items(state: AbsState, sites: set[str]) -> None:
+    for var, binds in list(state.items.items()):
+        state.items[var] = frozenset(
+            (s, False if s in sites else fresh) for s, fresh in binds
+        )
+
+
+def _item_use(
+    var: str, line: int, state: AbsState, env: _Env, sink: _Sink
+) -> None:
+    binds = state.items.get(var)
+    if not binds or not sink.report:
+        return
+    if all(not fresh for _s, fresh in binds) and all(
+        s in env.cfg.sites and not sink.flag(s).escaped for s, _fresh in binds
+    ):
+        sink.emit(
+            "STM202",
+            line,
+            f"item '{var}' is used after being consumed on every path "
+            "reaching this line: the payload may already be reclaimed",
+        )
+
+
+def _op(instr: Instr, state: AbsState, env: _Env, sink: _Sink | None) -> None:
+    refs = state.conn.get(instr.var, frozenset())
+    real = sorted(s for s in refs if s != UNBOUND)
+    if not real:
+        # ``x.get(...)`` on something that is not a tracked connection
+        if instr.op in ("get", "get_consume") and instr.item:
+            state.kill(instr.item)
+        return
+    strong = len(refs) == 1
+    wildcard = vtime.is_wildcard(instr.ts)
+    ts_val = None if wildcard else vtime.eval_expr(instr.ts, state, env.consts)
+
+    if sink is not None:
+        for site in real:
+            sink.flag(site).note_op(instr.op, instr.line)
+
+    if sink is not None and sink.report:
+        _op_point_rules(instr, state, env, sink, real, strong, wildcard, ts_val)
+
+    # typestate transition (strong when the receiver is unambiguous)
+    for site in real:
+        cur = state.objs.get(site, _UNATT)
+        nxt = transition(cur, instr.op)
+        state.objs[site] = nxt if strong else cur | nxt
+
+    if instr.op in ("consume", "consume_until", "get_consume") and strong:
+        _stale_items(state, set(real))
+    if instr.op in ("get", "get_consume") and instr.item:
+        state.kill(instr.item)
+        state.items[instr.item] = frozenset((s, True) for s in real)
+        vtime.bind_get(state, instr.uid, instr.item, ts_val, instr.line)
+    if instr.op == "put":
+        literal = isinstance(instr.ts, ast.Constant)
+        vtime.apply_put(state, real, strong, ts_val, instr.line, literal)
+    elif instr.op == "consume":
+        vtime.apply_consume(state, real, strong, ts_val, instr.line)
+    elif instr.op == "consume_until":
+        vtime.apply_consume_until(state, real, strong, ts_val, instr.line)
+
+
+def _op_point_rules(
+    instr: Instr,
+    state: AbsState,
+    env: _Env,
+    sink: _Sink,
+    real: list[str],
+    strong: bool,
+    wildcard: bool,
+    ts_val: Val | None,
+) -> None:
+    if (
+        env.cfg.is_async
+        and strong
+        and instr.blocking
+        and not instr.awaited
+        and instr.op in ("get", "get_consume", "put")
+    ):
+        sink.emit(
+            "STM604",
+            instr.line,
+            f"blocking '{instr.op}' inside async scope "
+            f"'{env.cfg.qualname}' stalls the event loop; use the aio "
+            "facade (await) or pass block=False / a timeout",
+        )
+    must = strong and state.objs.get(real[0]) == _DET_ONLY
+    if instr.op != "detach" and must:
+        sink.emit(
+            "STM203",
+            instr.line,
+            f"connection '{instr.var}' is detached on every path reaching "
+            f"this {instr.op}",
+        )
+    if instr.op == "put" and strong and ts_val is not None:
+        prev = vtime.regression(state, real[0], ts_val)
+        if prev is not None:
+            literal_pair = prev.literal and isinstance(instr.ts, ast.Constant)
+            rule = "STM204" if literal_pair else "STM601"
+            sink.emit(
+                rule,
+                instr.line,
+                f"put timestamp on '{instr.var}' is provably below the "
+                f"put at line {prev.line}: virtual time must not regress "
+                "on a connection",
+            )
+    if (
+        instr.op in ("get", "get_consume", "consume")
+        and strong
+        and not wildcard
+        and ts_val is not None
+    ):
+        hit = vtime.below_horizon(state, real[0], ts_val)
+        if hit is not None:
+            rec, why = hit
+            sink.emit(
+                "STM602",
+                instr.line,
+                f"'{instr.op}' on '{instr.var}' requests a timestamp "
+                f"{why} (line {rec.line}): guaranteed "
+                "ItemGarbageCollectedError/AlreadyConsumedError",
+            )
+
+
+def _call(instr: Instr, state: AbsState, env: _Env, sink: _Sink | None) -> None:
+    ctx = env.ctx
+    if (
+        sink is not None
+        and sink.report
+        and env.cfg.is_async
+        and not instr.awaited
+    ):
+        for cand in ctx.resolve(instr.callee, env.summary):
+            if cand.is_async:
+                continue
+            blocking, why = ctx.effects.blocking_stm(cand)
+            if blocking:
+                sink.emit(
+                    "STM604",
+                    instr.line,
+                    f"sync call to '{instr.callee}' ({why or 'blocks on STM'}) "
+                    f"from async scope '{env.cfg.qualname}' stalls the "
+                    "event loop",
+                )
+                break
+    for pos in sorted(instr.conn_args):
+        var = instr.conn_args[pos]
+        if sink is not None:
+            _item_use(var, instr.line, state, env, sink)
+        refs = state.conn.get(var, frozenset())
+        real = sorted(s for s in refs if s != UNBOUND)
+        if not real:
+            continue
+        strong = len(refs) == 1
+        candidates = ctx.resolve(instr.callee, env.summary)
+        if not candidates:
+            if sink is not None:
+                for site in real:
+                    sink.flag(site).escaped = True
+            continue
+        kinds: set[str] = set()
+        must: frozenset[str] = frozenset()
+        opaque = False
+        for cand in candidates:
+            eff = ctx.effects.params(cand).get(pos)
+            if eff is not None:
+                kinds |= set(eff.kinds)
+            exit_states = ctx.must_transform(cand, pos)
+            if exit_states is None:
+                opaque = True
+                break
+            must |= exit_states
+        if opaque:
+            if sink is not None:
+                for site in real:
+                    sink.flag(site).escaped = True
+            continue
+        if sink is not None and kinds:
+            for site in real:
+                flag = sink.flag(site)
+                flag.helpers_took = True
+                flag.helper_kinds |= kinds
+        if (
+            sink is not None
+            and sink.report
+            and strong
+            and state.objs.get(real[0]) == _DET_ONLY
+            and kinds & _TOUCH_KINDS
+        ):
+            sink.emit(
+                "STM203",
+                instr.line,
+                f"connection '{var}' is detached on every path when passed "
+                f"to '{instr.callee}', which performs "
+                f"{'/'.join(sorted(kinds & _TOUCH_KINDS))} on it",
+            )
+        for site in real:
+            cur = state.objs.get(site, _UNATT)
+            if strong and cur == _ATT_ONLY:
+                state.objs[site] = must
+            else:
+                state.objs[site] = apply_kinds(cur, kinds)
+        if "put" in kinds:
+            for site in real:
+                state.last_put.pop(site, None)
+        if "consume" in kinds:
+            for site in real:
+                state.last_consume.pop(site, None)
+
+
+# ----------------------------------------------------------------------
+# fixpoint + replay
+# ----------------------------------------------------------------------
+def analyze_cfg(
+    cfg: CFG,
+    ctx: object,
+    summary: object,
+    consts: dict[str, object],
+    seed_params: bool = False,
+    report: bool = True,
+) -> ScopeResult:
+    env = _Env(cfg, ctx, summary, consts, cfg.file)
+    entry = AbsState()
+    for idx, param in enumerate(cfg.params):
+        entry.num[param] = Val.symbol(f"param:{param}")
+        if seed_params:
+            site = f"p{idx}"
+            entry.conn[param] = frozenset({site})
+            entry.objs[site] = _ATT_ONLY
+
+    in_states: dict[int, AbsState | None] = {cfg.entry: entry}
+    visits: dict[int, int] = {}
+    work: deque[int] = deque([cfg.entry])
+    steps = 0
+    while work:
+        steps += 1
+        if steps > _MAX_STEPS:
+            # give up on this scope rather than report from a partial
+            # (unsound-for-must-facts) fixpoint
+            return ScopeResult([], {i: None for i in range(len(cfg.params))})
+        bid = work.popleft()
+        st = in_states.get(bid)
+        if st is None:
+            continue
+        out = st.copy()
+        for instr in cfg.blocks[bid].instrs:
+            _transfer(instr, out, env, None)
+        for succ in cfg.blocks[bid].succs:
+            visits[succ] = visits.get(succ, 0) + 1
+            widen = (
+                cfg.blocks[succ].is_loop_head
+                and visits[succ] > _WIDEN_AFTER
+            )
+            merged = join(in_states.get(succ), out, widen=widen)
+            if merged != in_states.get(succ):
+                in_states[succ] = merged
+                if succ not in work:
+                    work.append(succ)
+
+    # replay passes over the reachable blocks in program order
+    sink = _Sink(cfg.file)
+    order = [bid for bid in cfg.reachable() if in_states.get(bid) is not None]
+    for phase_report in (False, True) if report else (False,):
+        sink.report = phase_report
+        for bid in order:
+            st = in_states[bid].copy()
+            for instr in cfg.blocks[bid].instrs:
+                _transfer(instr, st, env, sink)
+
+    if report:
+        report_scope(cfg, sink.flags, in_states.get(cfg.exit), sink.findings)
+
+    param_exit: dict[int, frozenset[str] | None] = {}
+    if seed_params:
+        exit_state = in_states.get(cfg.exit)
+        for idx in range(len(cfg.params)):
+            site = f"p{idx}"
+            if exit_state is None or sink.flags.get(site, SiteFlags()).escaped:
+                param_exit[idx] = None
+            else:
+                param_exit[idx] = exit_state.objs.get(site, _ATT_ONLY)
+    return ScopeResult(sink.findings, param_exit)

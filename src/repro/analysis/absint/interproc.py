@@ -1,0 +1,219 @@
+"""Interprocedural context: stmgraph summary composition and STM603.
+
+The abstract interpreter stays per-function; everything cross-function
+comes from stmgraph's linked program (`summarize_program`): call-site
+resolution, transitive per-parameter may-effects (``_Effects.params``),
+blocking verdicts for STM604, and resolved channel identities for STM603.
+
+On top of the may-effects this module computes **must-transforms**: for a
+callee parameter, the typestate exit join obtained by running the engine
+on the callee's own CFG with the parameter seeded ``{attached}``.  A
+caller holding a must-``{attached}`` connection can then apply the callee
+exactly — which is what turns ``helper_detach(conn); conn.put(...)`` into
+a cross-function STM203 and keeps ``helper_cleanup(conn)`` out of STM205.
+``None`` means "cannot summarize" (recursion, escapes, no source): the
+caller escapes the connection, never reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..findings import Finding
+from ..source import SourceFile
+from ..stmgraph import _module_constants, summarize_program
+from .cfg import CFG, Scope, build_cfg, collect_scopes
+from .domains import ATTACHED
+
+__all__ = ["ProgramContext", "check_growth"]
+
+_ATT_ONLY = frozenset({ATTACHED})
+
+
+@dataclass
+class _SourceScopes:
+    src: SourceFile
+    scopes: list[Scope]
+
+
+class ProgramContext:
+    """Everything one `check_absint` run shares across scopes."""
+
+    def __init__(self, sources: list[SourceFile]) -> None:
+        self.sources = sources
+        self.prog, self.effects = summarize_program(sources)
+        self.consts: dict[str, dict[str, object]] = {
+            src.display: _module_constants(src.tree) for src in sources
+        }
+        self.per_source: list[_SourceScopes] = [
+            _SourceScopes(src, collect_scopes(src.tree, src.display))
+            for src in sources
+        ]
+        self._scope_index: dict[tuple[str, str], Scope] = {}
+        for entry in self.per_source:
+            for scope in entry.scopes:
+                self._scope_index[(scope.file, scope.qualname)] = scope
+        self._summary_index = {
+            (s.module, s.qualname): s for s in self.prog.summaries
+        }
+        self._cfgs: dict[tuple[str, str], CFG] = {}
+        self._transforms: dict[str, dict[int, frozenset[str] | None]] = {}
+        self._in_progress: set[str] = set()
+
+    # -- lookups ---------------------------------------------------------
+
+    def cfg_for(self, scope: Scope) -> CFG:
+        key = (scope.file, scope.qualname)
+        cfg = self._cfgs.get(key)
+        if cfg is None:
+            cfg = build_cfg(scope)
+            self._cfgs[key] = cfg
+        return cfg
+
+    def summary_for(self, scope: Scope):
+        return self._summary_index.get((scope.file, scope.qualname))
+
+    def resolve(self, name: str, caller) -> list:
+        if caller is not None:
+            return self.prog.resolve(name, caller)
+        return self.prog.by_name.get(name, [])
+
+    # -- must-transform summaries ---------------------------------------
+
+    def must_transform(self, callee, pos: int) -> frozenset[str] | None:
+        """Typestate exit join of ``callee``'s parameter ``pos`` starting
+        from ``{attached}``, or None if it cannot be summarized."""
+        table = self._transforms.get(callee.id)
+        if table is None:
+            table = self._compute_transforms(callee)
+            self._transforms[callee.id] = table
+        return table.get(pos, _ATT_ONLY)
+
+    def _compute_transforms(self, callee) -> dict[int, frozenset[str] | None]:
+        scope = self._scope_index.get((callee.module, callee.qualname))
+        nparams = len(callee.params)
+        opaque = {i: None for i in range(nparams)}
+        if scope is None or callee.id in self._in_progress:
+            return opaque
+        self._in_progress.add(callee.id)
+        try:
+            from .engine import analyze_cfg
+
+            result = analyze_cfg(
+                self.cfg_for(scope),
+                self,
+                callee,
+                self.consts.get(callee.module, {}),
+                seed_params=True,
+                report=False,
+            )
+            return result.param_exit
+        finally:
+            self._in_progress.discard(callee.id)
+
+
+# ----------------------------------------------------------------------
+# STM603: unbounded channel growth
+# ----------------------------------------------------------------------
+@dataclass
+class _ChannelUse:
+    """All resolved attachments of one named channel across the program."""
+
+    producers: list[tuple[str, str, int]] = field(default_factory=list)
+    consumers: list[tuple[set[str], bool]] = field(default_factory=list)
+    opaque: bool = False                # some consumer we cannot see through
+
+
+def check_growth(ctx: ProgramContext) -> list[Finding]:
+    """STM603 — a channel some producer puts into while no input
+    connection anywhere ever consumes, advances the horizon
+    (``consume_until``), or even detaches: every put pins an item forever,
+    so the kernel's storage grows without bound (the static complement of
+    the runtime GC invariants).  Channels with *no* consumer at all are
+    STM503's (orphan) domain and are skipped here."""
+    channels: dict[str, _ChannelUse] = {}
+
+    def use(key: str) -> _ChannelUse:
+        return channels.setdefault(key, _ChannelUse())
+
+    for fn in ctx.prog.summaries:
+        for var, decl in fn.conns.items():
+            if not isinstance(decl.channel, str):
+                continue
+            kinds, _bg, _bp, _helpers, lines = ctx.effects.conn_kinds(fn, var)
+            if decl.direction == "output":
+                if "put" in kinds:
+                    use(decl.channel).producers.append(
+                        (fn.file, var, lines.get("put", decl.line))
+                    )
+            else:
+                use(decl.channel).consumers.append((kinds, decl.escaped))
+        # a channel handed to a helper that attaches its parameter: credit
+        # the helper's connection ops to the channel (one level; anything
+        # deeper is opaque and suppresses the rule for that channel)
+        for call in fn.calls:
+            chan_args = {
+                pos: val[1]
+                for pos, val in call.args.items()
+                if val[0] == "chan" and isinstance(val[1], str)
+            }
+            if not chan_args:
+                continue
+            callees = ctx.prog.resolve(call.callee, fn)
+            if not callees:
+                for key in chan_args.values():
+                    use(key).opaque = True
+                continue
+            for callee in callees:
+                attached_positions = set()
+                for pa in callee.param_attaches:
+                    attached_positions.add(pa.param)
+                    key = chan_args.get(pa.param)
+                    if key is None:
+                        continue
+                    if pa.conn_var is None:
+                        use(key).opaque = True
+                        continue
+                    kinds, _bg, _bp, _helpers, lines = ctx.effects.conn_kinds(
+                        callee, pa.conn_var
+                    )
+                    decl = callee.conns.get(pa.conn_var)
+                    escaped = bool(decl and decl.escaped)
+                    if pa.direction == "output":
+                        if "put" in kinds:
+                            use(key).producers.append(
+                                (callee.file, pa.conn_var,
+                                 lines.get("put", pa.line))
+                            )
+                    else:
+                        use(key).consumers.append((kinds, escaped))
+                # the channel may also be forwarded deeper — opaque
+                for sub in callee.calls:
+                    for _pos, val in sub.args.items():
+                        if val[0] == "fwd" and val[1] in chan_args:
+                            use(chan_args[val[1]]).opaque = True
+
+    findings: list[Finding] = []
+    for key in sorted(channels):
+        ch = channels[key]
+        if ch.opaque or not ch.producers or not ch.consumers:
+            continue
+        if any(esc for _kinds, esc in ch.consumers):
+            continue
+        if any(
+            {"consume", "detach"} & kinds for kinds, _esc in ch.consumers
+        ):
+            continue
+        file, var, line = ch.producers[0]
+        findings.append(
+            Finding(
+                "STM603",
+                file,
+                line,
+                f"channel '{key}': '{var}' puts items but no attached "
+                "input connection ever consumes or detaches — the GC "
+                "horizon never advances and the channel grows without "
+                "bound",
+            )
+        )
+    return findings

@@ -1,0 +1,121 @@
+"""The product abstract state threaded through the CFG by the engine.
+
+One :class:`AbsState` carries both domains:
+
+* typestate — ``conn`` (variable → attach-site references), ``objs``
+  (attach site → powerset of base states), ``items`` (item variable →
+  ``(site, fresh)`` bindings for use-after-consume tracking);
+* virtual time — ``num`` (variable → :class:`~.domains.Val`), plus the
+  per-site ``last_put`` / ``horizon`` / ``last_consume`` facts.
+
+All values are immutable, so copies are shallow dict copies and equality
+is structural.  ``join`` is the pointwise lattice join; missing keys mean
+"unbound" for ``conn``/``items``, "never attached" for ``objs`` and ⊤ for
+the numeric facts, which keeps every numeric claim a *must* fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .domains import (
+    TsRec,
+    UNATTACHED,
+    Val,
+    join_rec,
+    join_val,
+    widen_val,
+)
+
+__all__ = ["AbsState", "UNBOUND", "join"]
+
+#: a reference that may not be a tracked connection at all
+UNBOUND = "?"
+_UNATT = frozenset({UNATTACHED})
+
+
+@dataclass
+class AbsState:
+    conn: dict[str, frozenset[str]] = field(default_factory=dict)
+    objs: dict[str, frozenset[str]] = field(default_factory=dict)
+    items: dict[str, frozenset[tuple[str, bool]]] = field(default_factory=dict)
+    num: dict[str, Val] = field(default_factory=dict)
+    last_put: dict[str, TsRec] = field(default_factory=dict)
+    horizon: dict[str, TsRec] = field(default_factory=dict)
+    last_consume: dict[str, TsRec] = field(default_factory=dict)
+
+    def copy(self) -> "AbsState":
+        return AbsState(
+            dict(self.conn),
+            dict(self.objs),
+            dict(self.items),
+            dict(self.num),
+            dict(self.last_put),
+            dict(self.horizon),
+            dict(self.last_consume),
+        )
+
+    # -- binding helpers -------------------------------------------------
+
+    def kill(self, var: str) -> None:
+        self.conn.pop(var, None)
+        self.items.pop(var, None)
+        self.num.pop(var, None)
+        prefix = f"{var}."
+        for key in [k for k in self.num if k.startswith(prefix)]:
+            del self.num[key]
+
+    def set_refs(self, var: str, refs: frozenset[str]) -> None:
+        if refs and refs != frozenset({UNBOUND}):
+            self.conn[var] = refs
+        else:
+            self.conn.pop(var, None)
+
+    def invalidate_base(self, base: str, keep_num: str | None = None) -> None:
+        """A symbolic base is being re-minted (its ``get`` re-executed):
+        every fact still referring to the old incarnation is now stale."""
+        for name, val in list(self.num.items()):
+            if val.base == base and name != keep_num:
+                del self.num[name]
+        for table in (self.last_put, self.horizon, self.last_consume):
+            for site, rec in list(table.items()):
+                if rec.val.base == base:
+                    del table[site]
+
+
+def join(a: AbsState | None, b: AbsState | None, widen: bool = False) -> AbsState | None:
+    """Pointwise join (⊥ joins transparently); ``widen`` relaxes unstable
+    numeric bounds to ±∞ so loop-carried timestamps converge."""
+    if a is None:
+        return b.copy() if b is not None else None
+    if b is None:
+        return a.copy()
+    out = AbsState()
+    for var in a.conn.keys() | b.conn.keys():
+        refs = a.conn.get(var, frozenset({UNBOUND})) | b.conn.get(
+            var, frozenset({UNBOUND})
+        )
+        out.set_refs(var, refs)
+    for site in a.objs.keys() | b.objs.keys():
+        out.objs[site] = a.objs.get(site, _UNATT) | b.objs.get(site, _UNATT)
+    for var in a.items.keys() | b.items.keys():
+        binds = a.items.get(var, frozenset()) | b.items.get(var, frozenset())
+        if binds:
+            out.items[var] = binds
+    joiner = widen_val if widen else join_val
+    for var in a.num.keys() & b.num.keys():
+        v = joiner(a.num[var], b.num[var])
+        if v is not None:
+            out.num[var] = v
+    for site in a.last_put.keys() & b.last_put.keys():
+        rec = join_rec(a.last_put[site], b.last_put[site], widen=widen)
+        if rec is not None:
+            out.last_put[site] = rec
+    for site in a.horizon.keys() & b.horizon.keys():
+        rec = join_rec(a.horizon[site], b.horizon[site], widen=widen)
+        if rec is not None:
+            out.horizon[site] = rec
+    for site in a.last_consume.keys() & b.last_consume.keys():
+        if a.last_consume[site] == b.last_consume[site]:
+            out.last_consume[site] = a.last_consume[site]
+    return out

@@ -1,0 +1,137 @@
+"""Connection-typestate lattice: transitions and scope-end verdicts.
+
+States live in the powerset over ``unattached → attached → gotten →
+consumed → detached``; a singleton is a *must* fact.  The point rules
+(STM203 on a must-detached receiver, interprocedural variants at call
+sites) fire during replay in the engine; this module owns the pure
+transition algebra and the end-of-scope rules that need the exit join:
+
+* STM201 — an input connection with direct ``get``s whose exit can never
+  have consumed (no direct or transitive consume), and
+* STM205 — an attach site whose exit-state join does not contain
+  ``detached`` (i.e. *no* path detached it).  Because a ``detach`` inside
+  a ``finally`` region reaches the exit on every CFG path, the legacy
+  walker's lexical blind spots cannot resurface here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..findings import Finding
+from .cfg import CFG
+from .domains import ATTACHED, CONSUMED, DETACHED, GOTTEN
+from .state import AbsState
+
+__all__ = ["transition", "apply_kinds", "SiteFlags", "report_scope"]
+
+#: states an operation advances (errors like get-after-detach do not
+#: rewrite the state — the point rule reports them, and keeping the state
+#: stable avoids cascading reports)
+_ACTIVE = frozenset({ATTACHED, GOTTEN, CONSUMED})
+
+
+def transition(states: frozenset[str], op: str) -> frozenset[str]:
+    if op in ("get", "get_consume"):
+        target = CONSUMED if op == "get_consume" else GOTTEN
+        return frozenset(target if s in _ACTIVE else s for s in states)
+    if op in ("consume", "consume_until"):
+        return frozenset(CONSUMED if s in _ACTIVE else s for s in states)
+    if op == "detach":
+        return frozenset({DETACHED})
+    return states  # put keeps the connection active
+
+
+def apply_kinds(states: frozenset[str], kinds: set[str]) -> frozenset[str]:
+    """May-effect of a callee described only by stmgraph op kinds: the
+    union of every possible transition (including "did nothing")."""
+    out = states
+    for kind in kinds:
+        out = out | transition(states, kind)
+    return out
+
+
+@dataclass
+class SiteFlags:
+    """Facts about one attach site gathered on the reachable replay."""
+
+    direct: set[str] = field(default_factory=set)     # op kinds seen
+    lines: dict[str, int] = field(default_factory=dict)
+    helper_kinds: set[str] = field(default_factory=set)
+    helpers_took: bool = False
+    escaped: bool = False
+    rebound: bool = False
+    has_detach: bool = False
+
+    def note_op(self, kind: str, line: int) -> None:
+        self.direct.add(kind)
+        self.lines.setdefault(kind, line)
+        if kind == "detach":
+            self.has_detach = True
+
+    @property
+    def lonely(self) -> bool:
+        """Attach with no ops, no helper, no escape, no rebind at all —
+        the legacy "attach and forget" STM205 shape."""
+        return not (
+            self.direct or self.helper_kinds or self.helpers_took
+            or self.escaped or self.rebound
+        )
+
+
+def report_scope(
+    cfg: CFG,
+    flags: dict[str, SiteFlags],
+    exit_state: AbsState | None,
+    findings: list[Finding],
+) -> None:
+    for site, info in cfg.sites.items():
+        f = flags.get(site)
+        if f is None or f.escaped:
+            continue
+
+        # STM201: gets but can never consume (directly or via helpers).
+        consumed = (
+            {"consume", "consume_until", "get_consume"} & f.direct
+            or {"consume", "detach"} & f.helper_kinds
+        )
+        if (
+            info.direction == "input"
+            and "get" in f.direct
+            and not consumed
+            and not f.helpers_took
+        ):
+            findings.append(
+                Finding(
+                    "STM201",
+                    cfg.file,
+                    f.lines.get("get", info.line),
+                    f"input connection '{info.var}' gets items but never "
+                    "consumes: the channel's GC horizon cannot advance "
+                    "(unbounded growth)",
+                )
+            )
+
+        # STM205: no path from this attach reaches the exit detached.
+        used = bool(
+            {"get", "get_consume", "put", "consume", "consume_until"}
+            & (f.direct | f.helper_kinds)
+        )
+        if exit_state is not None and site in exit_state.objs:
+            exit_states = exit_state.objs[site]
+            leaks = DETACHED not in exit_states and bool(exit_states & _ACTIVE)
+        else:
+            # the attach never reaches the exit (e.g. a ``while True``
+            # service loop): leak unless *some* reachable path detaches
+            leaks = not f.has_detach and "detach" not in f.helper_kinds
+        if leaks and (used or f.lonely):
+            findings.append(
+                Finding(
+                    "STM205",
+                    cfg.file,
+                    info.line,
+                    f"connection '{info.var}' attached here is never "
+                    "detached on any path to the end of "
+                    f"'{cfg.qualname}'",
+                )
+            )

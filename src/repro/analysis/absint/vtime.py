@@ -1,0 +1,175 @@
+"""Symbolic virtual-time interval domain: evaluation and the STM204 /
+STM601 / STM602 point rules.
+
+Timestamps are :class:`~.domains.Val` — ``base + [lo, hi]`` where the
+base is a symbol minted fresh at each ``get`` binding site (so
+``item.timestamp - 1`` is comparable to ``item.timestamp`` without
+knowing either).  Rebinding a ``get`` on a loop back-edge re-mints its
+base, which first invalidates every fact referring to the previous
+incarnation — cross-iteration comparisons are never made against a stale
+symbol.  All checks here are *must* facts over the joined intervals:
+
+* STM204 — a literal put timestamp strictly below the previous literal
+  put (the legacy straight-line rule, kept under its historical id);
+* STM601 — the same regression with at least one computed/symbolic
+  operand, along any path;
+* STM602 — a ``get``/``consume`` of a timestamp provably at or below the
+  connection's GC horizon (``consume_until``) or equal to an exact prior
+  ``consume`` — a guaranteed ``ItemGarbageCollectedError`` /
+  ``AlreadyConsumedError`` at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .domains import NEG_INF, POS_INF, TsRec, Val
+from .state import AbsState
+
+__all__ = [
+    "WILDCARDS", "eval_expr", "is_wildcard", "regression",
+    "below_horizon", "apply_put", "apply_consume", "apply_consume_until",
+    "bind_get",
+]
+
+WILDCARDS = {
+    "STM_LATEST",
+    "STM_OLDEST",
+    "STM_LATEST_UNSEEN",
+    "STM_OLDEST_UNSEEN",
+    "LATEST",
+    "OLDEST",
+    "LATEST_UNSEEN",
+    "OLDEST_UNSEEN",
+}
+
+
+def is_wildcard(expr: ast.expr | None) -> bool:
+    if expr is None:
+        return True  # ``get()`` defaults to STM_LATEST_UNSEEN
+    if isinstance(expr, ast.Name):
+        return expr.id in WILDCARDS
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in WILDCARDS
+    return False
+
+
+def eval_expr(
+    expr: ast.expr | None, state: AbsState, consts: dict[str, object]
+) -> Val | None:
+    if expr is None or is_wildcard(expr):
+        return None
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, int) and not isinstance(expr.value, bool):
+            return Val.const(expr.value)
+        return None
+    if isinstance(expr, ast.Name):
+        val = state.num.get(expr.id)
+        if val is not None:
+            return val
+        const = consts.get(expr.id)
+        if isinstance(const, int) and not isinstance(const, bool):
+            return Val.const(const)
+        return None
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        return state.num.get(f"{expr.value.id}.{expr.attr}")
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+        v = eval_expr(expr.operand, state, consts)
+        if v is not None and v.base is None:
+            return Val(None, -v.hi, -v.lo)
+        return None
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, (ast.Add, ast.Sub)):
+        left = eval_expr(expr.left, state, consts)
+        right = eval_expr(expr.right, state, consts)
+        if left is None or right is None:
+            return None
+        if isinstance(expr.op, ast.Sub):
+            if right.base is None:
+                return Val(left.base, left.lo - right.hi, left.hi - right.lo)
+            return None
+        if right.base is None:
+            return Val(left.base, left.lo + right.lo, left.hi + right.hi)
+        if left.base is None:
+            return Val(right.base, right.lo + left.lo, right.hi + left.hi)
+    return None
+
+
+# ----------------------------------------------------------------------
+# point checks (replay pass — read the state *before* the update lands)
+# ----------------------------------------------------------------------
+def regression(state: AbsState, site: str, val: Val) -> TsRec | None:
+    """The previous put this one provably regresses below, if any."""
+    prev = state.last_put.get(site)
+    if prev is not None and val.definitely_lt(prev.val):
+        return prev
+    return None
+
+
+def below_horizon(state: AbsState, site: str, val: Val) -> tuple[TsRec, str] | None:
+    hz = state.horizon.get(site)
+    if hz is not None and val.definitely_le(hz.val):
+        return hz, "at or below the GC horizon advanced by consume_until"
+    lc = state.last_consume.get(site)
+    if lc is not None and val.definitely_eq(lc.val):
+        return lc, "equal to the timestamp already consumed"
+    return None
+
+
+# ----------------------------------------------------------------------
+# state updates
+# ----------------------------------------------------------------------
+def apply_put(
+    state: AbsState, sites: list[str], strong: bool,
+    val: Val | None, line: int, literal: bool,
+) -> None:
+    for site in sites:
+        if strong and val is not None:
+            state.last_put[site] = TsRec(val, line, literal)
+        else:
+            state.last_put.pop(site, None)
+
+
+def apply_consume(
+    state: AbsState, sites: list[str], strong: bool, val: Val | None, line: int
+) -> None:
+    for site in sites:
+        if strong and val is not None and val.is_singleton():
+            state.last_consume[site] = TsRec(val, line)
+        else:
+            state.last_consume.pop(site, None)
+
+
+def apply_consume_until(
+    state: AbsState, sites: list[str], strong: bool, val: Val | None, line: int
+) -> None:
+    """``consume_until(ts)`` guarantees consumed-through ≥ ts; it only
+    advances, so an unknown ts keeps the previous (still valid) bound."""
+    if val is None or not strong:
+        return
+    for site in sites:
+        old = state.horizon.get(site)
+        if old is not None and old.val.base == val.base:
+            merged = Val(
+                val.base, max(old.val.lo, val.lo), max(old.val.hi, val.hi)
+            )
+            state.horizon[site] = TsRec(merged, line)
+        else:
+            state.horizon[site] = TsRec(val, line)
+
+
+def bind_get(
+    state: AbsState, uid: int, item: str | None,
+    request: Val | None, line: int,
+) -> None:
+    """Bind ``item = conn.get(...)``: mint this site's symbolic base anew
+    (invalidating the previous loop iteration's facts first) unless the
+    request pins the timestamp exactly."""
+    if item is None:
+        return
+    key = f"{item}.timestamp"
+    base = f"g{uid}"
+    state.invalidate_base(base)
+    if request is not None and NEG_INF < request.lo and request.hi < POS_INF:
+        state.num[key] = request
+    else:
+        state.num[key] = Val.symbol(base)

@@ -3,6 +3,7 @@
 Subcommands::
 
     python -m repro.analysis [static] ...         # static passes (default)
+    python -m repro.analysis absint               # abstract interpreter (STM2xx+STM6xx)
     python -m repro.analysis stmgraph             # whole-program channel graph
     python -m repro.analysis modelcheck           # schedule exploration
     python -m repro.analysis replay SEED          # replay one schedule seed
@@ -42,7 +43,7 @@ from typing import Callable
 from repro.analysis import baseline as baseline_mod
 from repro.analysis.findings import Finding, RULES, sort_findings
 from repro.analysis.lockcheck import check_lock_discipline
-from repro.analysis.protolint import check_protocol
+from repro.analysis.absint import check_absint, check_protocol
 from repro.analysis.sarif import sarif_report
 from repro.analysis.source import SourceFile, filter_suppressed, load_sources
 
@@ -53,6 +54,7 @@ __all__ = ["PASSES", "run_static_passes", "main"]
 #: actually have re-confirmed.
 _PASS_PREFIXES = {"lockcheck": ("STM1",), "protolint": ("STM2",)}
 _STMGRAPH_PREFIXES = ("STM5",)
+_ABSINT_PREFIXES = ("STM2", "STM6")
 
 #: pass id -> (description, callable(sources) -> findings); the registration
 #: idiom mirrors repro.bench.cli's EXPERIMENTS table.
@@ -63,8 +65,9 @@ PASSES: dict[str, tuple[str, Callable[[list[SourceFile]], list[Finding]]]] = {
         check_lock_discipline,
     ),
     "protolint": (
-        "STM protocol: get/consume pairing, use-after-consume, "
-        "put-after-detach, timestamp monotonicity, attach/detach (STM201-205)",
+        "STM protocol via the CFG abstract interpreter: get/consume "
+        "pairing, use-after-consume, use-after-detach, timestamp "
+        "monotonicity, attach/detach (STM201-205)",
         check_protocol,
     ),
 }
@@ -334,6 +337,7 @@ def _main_racecheck(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     subcommands = {
+        "absint": _main_absint,
         "stmgraph": _main_stmgraph,
         "modelcheck": _main_modelcheck,
         "replay": _main_replay,
@@ -421,6 +425,70 @@ def _main_static(argv: list[str]) -> int:
 
     if args.format == "sarif":
         print(json.dumps(sarif_report(new, old), indent=2))
+    elif args.format == "json":
+        print(json.dumps([_finding_json(f, f in old) for f in findings], indent=2))
+    else:
+        for f in new:
+            print(f.render())
+        summary = f"{len(new)} new finding(s)"
+        if old:
+            summary += f", {len(old)} baselined"
+        print(summary, file=sys.stderr)
+    return 1 if new else 0
+
+
+def _main_absint(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis absint",
+        description="Abstract interpretation of STM programs: CFG-based "
+        "STM201-205 typestate plus the STM601-604 symbolic virtual-time "
+        "rules.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files/directories to scan (default: {' '.join(_DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: {_DEFAULT_BASELINE} if it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current STM2xx/STM6xx findings to the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite the baseline file dropping stale STM2xx/STM6xx entries",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="report format (json: one object per finding; sarif: 2.1.0)",
+    )
+    args = parser.parse_args(argv)
+
+    sources = load_sources(list(args.paths or _DEFAULT_PATHS))
+    findings = sort_findings(filter_suppressed(check_absint(sources), sources))
+
+    outcome = _apply_baseline(args, findings, _ABSINT_PREFIXES)
+    if isinstance(outcome, int):
+        return outcome
+    new, old, _stale = outcome
+
+    if args.format == "sarif":
+        print(
+            json.dumps(
+                sarif_report(new, old, tool_name="repro.analysis.absint"),
+                indent=2,
+            )
+        )
     elif args.format == "json":
         print(json.dumps([_finding_json(f, f in old) for f in findings], indent=2))
     else:

@@ -38,7 +38,9 @@ class Rule:
 #: The rule catalog.  STM1xx = lock discipline (static), STM2xx = STM
 #: protocol (static), STM3xx = dynamic sanitizer findings, STM4xx =
 #: model-checker findings (schedule exploration), STM5xx = whole-program
-#: channel-graph findings (interprocedural static).
+#: channel-graph findings (interprocedural static), STM6xx = abstract
+#: interpretation findings (path-sensitive typestate + symbolic virtual
+#: time).
 RULES: dict[str, Rule] = {
     r.rule_id: r
     for r in [
@@ -83,10 +85,11 @@ RULES: dict[str, Rule] = {
         ),
         Rule(
             "STM203",
-            "put after detach",
+            "operation on a detached connection",
             Severity.ERROR,
-            "An output connection is put to after it was detached on the "
-            "same path; the put raises at runtime.",
+            "A connection is used (put, get, consume, ...) after every "
+            "path to the operation has already detached it; the call "
+            "raises at runtime.",
         ),
         Rule(
             "STM204",
@@ -224,6 +227,44 @@ RULES: dict[str, Rule] = {
             "the space — and on any runtime it couples virtual-time "
             "progress to the wall clock; wait on a channel, an event, or "
             "the driver's timeout parameters instead.",
+        ),
+        Rule(
+            "STM601",
+            "non-monotonic put timestamps along a path",
+            Severity.WARNING,
+            "The symbolic virtual-time domain proves that on some "
+            "execution path a put's timestamp is strictly below an "
+            "earlier put to the same output connection (computed values "
+            "included, not just literals): the later put targets an older "
+            "column that may already be consumed or collected.",
+        ),
+        Rule(
+            "STM602",
+            "get or consume below the advanced GC horizon",
+            Severity.ERROR,
+            "A get/consume targets a virtual time at or below a horizon "
+            "this same connection already advanced past (consume_until / "
+            "consume): the item is guaranteed reclaimed, so the call can "
+            "only miss or raise.",
+        ),
+        Rule(
+            "STM603",
+            "unbounded channel growth",
+            Severity.WARNING,
+            "A channel has at least one producer putting items while no "
+            "attached input connection anywhere in the program ever "
+            "consumes, advances the horizon, or detaches: the per-item "
+            "state is never reclaimed and the channel's storage grows "
+            "without bound.",
+        ),
+        Rule(
+            "STM604",
+            "blocking sync STM call in async code",
+            Severity.ERROR,
+            "A blocking synchronous STM operation (blocking get or put, "
+            "or a call into a helper that performs one) is reachable from "
+            "an 'async def' without being awaited: it parks the event "
+            "loop, stalling every task in the space.",
         ),
     ]
 }

@@ -1,4 +1,4 @@
-"""Static STM protocol linter (rules STM201-205).
+"""Legacy lexical STM protocol linter (rules STM201-205).
 
 Checks the paper's §4.1 API contract on application code: every connection
 obtained from ``attach_input()`` / ``attach_output()`` (or the C-style
@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from repro.analysis.findings import Finding
 from repro.analysis.source import SourceFile
 
-__all__ = ["check_protocol"]
+__all__ = ["check_protocol_legacy"]
 
 _ATTACH_INPUT = {"attach_input", "spd_attach_input_channel"}
 _ATTACH_OUTPUT = {"attach_output", "spd_attach_output_channel"}
@@ -465,8 +465,15 @@ def _check_scope(walker: _ScopeWalker, src: SourceFile) -> list[Finding]:
     return findings
 
 
-def check_protocol(sources: list[SourceFile]) -> list[Finding]:
-    """Run STM201-205 over the parsed sources."""
+def check_protocol_legacy(sources: list[SourceFile]) -> list[Finding]:
+    """Run STM201-205 over the parsed sources (lexical approximation).
+
+    The CLI's ``protolint`` pass now routes through the CFG-based
+    :func:`repro.analysis.absint.check_protocol`; this walker is kept as
+    the differential oracle the abstract interpreter must dominate
+    (every true detection here is reproduced there, minus the
+    false-positive classes the CFG understands).
+    """
     findings: list[Finding] = []
     for src in sources:
         # module body plus every (nested) function, each as its own scope

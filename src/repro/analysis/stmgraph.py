@@ -1570,3 +1570,12 @@ def extract_graph(sources: list[SourceFile]) -> ChannelGraph:
 def check_channel_graph(sources: list[SourceFile]) -> list[Finding]:
     """The pass entry point: findings only (the CLI may also export)."""
     return extract_graph(sources).findings
+
+
+def summarize_program(sources: list[SourceFile]) -> tuple[_Program, _Effects]:
+    """Public seam for the abstract interpreter (`repro.analysis.absint`):
+    the linked per-function summary program plus its memoized transitive
+    effects engine, so call sites can be resolved and composed without
+    re-walking the sources."""
+    prog = _link(sources)
+    return prog, _Effects(prog)

@@ -1,0 +1,24 @@
+"""Seeded STM601: provably non-monotonic put timestamps.
+
+The regression here flows through *computed* timestamps (``base - 1``
+after ``base``), which the lexical STM204 literal check cannot see; the
+symbolic virtual-time domain proves the second put is strictly below the
+first on every path.  The loop producer below it is the classic monotone
+idiom and must stay silent (widening, not a false alarm).
+"""
+
+
+def computed_regression(channel, base):
+    out = channel.attach_output()
+    out.put(base, b"newer")
+    out.put(base - 1, b"older")  # VIOLATION: STM601
+    out.detach()
+
+
+def monotone_loop_is_fine(channel):
+    out = channel.attach_output()
+    t = 0
+    for _ in range(10):
+        out.put(t, b"frame")
+        t = t + 1
+    out.detach()

@@ -1,0 +1,27 @@
+"""Seeded STM602: get/consume at or below the advanced GC horizon.
+
+``consume_until(item.timestamp)`` tells the kernel everything at or below
+that virtual time is garbage; a later ``get(item.timestamp - 1)`` on the
+same connection is then *guaranteed* to target a reclaimed column — as is
+consuming the stale handle it returns.  Reading strictly above the
+horizon (``item.timestamp + 1``) is the normal streaming idiom and must
+stay silent.
+"""
+
+
+def reads_below_horizon(channel):
+    inp = channel.attach_input()
+    item = inp.get(5)
+    inp.consume_until(item.timestamp)
+    stale = inp.get(item.timestamp - 1)  # VIOLATION: STM602
+    inp.consume(stale.timestamp)  # VIOLATION: STM602
+    inp.detach()
+
+
+def forward_reads_are_fine(channel):
+    inp = channel.attach_input()
+    item = inp.get(5)
+    inp.consume_until(item.timestamp)
+    nxt = inp.get(item.timestamp + 1)
+    inp.consume(nxt.timestamp)
+    inp.detach()

@@ -1,0 +1,28 @@
+"""Seeded STM603: unbounded channel growth.
+
+The producer puts frames forever; the consumer *does* attach an input
+connection (so this is not STM503's orphan case) but only ever gets —
+it never consumes, never advances the horizon, never detaches.  Every
+item ever put is pinned for the life of the program, so the channel's
+storage grows without bound.  The attach/get leaks are real defects in
+their own right and carry their usual intra-procedural markers.
+"""
+
+CHAN = "frames"
+
+
+def producer(runtime):
+    ch = runtime.create_channel(CHAN)
+    out = ch.attach_output()  # VIOLATION: STM205
+    t = 0
+    while True:
+        out.put(t, b"frame")  # VIOLATION: STM603
+        t = t + 1
+
+
+def consumer(runtime):
+    ch = runtime.lookup(CHAN)
+    inp = ch.attach_input()  # VIOLATION: STM205
+    while True:
+        item = inp.get(-1)  # VIOLATION: STM201
+        print(item.value)

@@ -1,0 +1,35 @@
+"""Seeded STM604: blocking sync STM calls reachable from ``async def``.
+
+A blocking ``get`` (or ``put``) issued without ``await`` inside an async
+scope parks the entire event loop — every task in the space stalls until
+an item happens to arrive.  The rule also sees through one call level:
+a non-awaited call into a sync helper whose summary says it blocks is
+just as bad.  Non-blocking probes (``block=False``) are the sanctioned
+async escape hatch and must stay silent.
+"""
+
+
+async def blocking_get_in_async(channel):
+    inp = channel.attach_input()
+    item = inp.get(0)  # VIOLATION: STM604
+    inp.consume(item.timestamp)
+    inp.detach()
+
+
+def sync_helper(inp):
+    return inp.get(0)
+
+
+async def helper_blocks_the_loop(channel):
+    inp = channel.attach_input()
+    item = sync_helper(inp)  # VIOLATION: STM604
+    inp.consume(item.timestamp)
+    inp.detach()
+
+
+async def nonblocking_probe_is_fine(channel):
+    inp = channel.attach_input()
+    item = inp.get(0, block=False)
+    if item is not None:
+        inp.consume(item.timestamp)
+    inp.detach()

@@ -1,0 +1,25 @@
+"""Seeded cross-function STM203: use after a helper detached the conn.
+
+``shutdown`` detaches its parameter on every path, so its must-transform
+summary maps {attached} to {detached}; the caller's put after the call
+is then provably an operation on a detached connection — a finding no
+intra-procedural walker can reach.  The sibling function that puts
+*before* handing the connection to the same helper is correct and must
+stay silent.
+"""
+
+
+def shutdown(conn):
+    conn.detach()
+
+
+def put_then_handoff(channel):
+    conn = channel.attach_output()
+    conn.put(1, b"x")
+    shutdown(conn)
+
+
+def use_after_helper_detach(channel):
+    conn = channel.attach_output()
+    shutdown(conn)
+    conn.put(2, b"y")  # VIOLATION: STM203

@@ -1,0 +1,57 @@
+"""Negative corpus: path-sensitive idioms the CFG engine must NOT flag.
+
+Every function here is protocol-correct, but each exercised a blind spot
+of the legacy lexical walker (see ``test_absint.py``'s differential
+test): detach in ``finally``, a ``None``-guarded detach, conditional
+detach-and-re-attach, aliasing, and helper-performed cleanup composed
+through a must-transform summary.  The abstract interpreter reports
+nothing on this file — that is the regression being guarded.
+"""
+
+
+def detach_in_finally(channel):
+    conn = channel.attach_input()
+    try:
+        item = conn.get(0)
+        conn.consume(item.timestamp)
+    finally:
+        conn.detach()
+
+
+def guarded_detach(channel):
+    conn = None
+    try:
+        conn = channel.attach_input()
+        item = conn.get(0)
+        conn.consume(item.timestamp)
+    finally:
+        if conn is not None:
+            conn.detach()
+
+
+def conditional_reattach(channel, rotate):
+    out = channel.attach_output()
+    out.put(0, b"a")
+    if rotate:
+        out.detach()
+        out = channel.attach_output()
+    out.put(1, b"b")
+    out.detach()
+
+
+def alias_detach(channel):
+    conn = channel.attach_input()
+    conn2 = conn
+    item = conn2.get(0)
+    conn2.consume(item.timestamp)
+    conn2.detach()
+
+
+def cleanup(conn):
+    conn.detach()
+
+
+def helper_detaches(channel):
+    conn = channel.attach_output()
+    conn.put(1, b"x")
+    cleanup(conn)
