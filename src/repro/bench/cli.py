@@ -32,6 +32,7 @@ from repro.bench.fig11 import stm_bandwidth_table
 from repro.bench.pr1_hotpath import pr1_hotpath_table
 from repro.bench.pr6_procs import pr6_procs_table
 from repro.bench.pr8_aio import pr8_aio_table
+from repro.bench.pr10_telemetry import pr10_telemetry_table
 from repro.bench.tables import TableResult
 
 __all__ = ["EXPERIMENTS", "run", "main"]
@@ -93,6 +94,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[str], list[TableResult]]]] = {
     "pr8-aio": (
         "PR-8 asyncio scale: 10k-connection GC minima, per-waiter wakeups",
         lambda mode: [pr8_aio_table(mode)],
+    ),
+    "pr10-telemetry": (
+        "PR-10 telemetry plane: harvest cost, scrape latency, overhead",
+        lambda mode: [pr10_telemetry_table(mode)],
     ),
 }
 

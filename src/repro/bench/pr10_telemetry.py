@@ -1,0 +1,286 @@
+"""PR-10 telemetry-plane costs: harvest, scrape, and hot-path overhead.
+
+Three measurements, all on this host:
+
+1. **harvest cost vs ring size** — a traced two-process cluster whose
+   child fills its recorder ring, then the collector drains it over the
+   ``TelemetryHarvestReq`` control RPC (clock probes + pickle + transport).
+   The interesting scaling is events-harvested vs wall time: the harvest
+   is off the hot path, but a kiosk operator pressing "save trace" feels
+   it, so it should stay well under a second even at the largest ring.
+2. **exposition latency under concurrent scrapes** — 100 simultaneous
+   ``GET /metrics`` against one :class:`~repro.obs.promtext.ExpositionServer`
+   (stdlib ``ThreadingHTTPServer``), reporting per-request p50/p95/max.
+   This is the "a fleet of Prometheus instances all fire at once" worst
+   case; the render is recomputed per request, never cached.
+3. **hot-path overhead delta** — re-runs :func:`repro.bench.obs_overhead.run`
+   and compares against the figures frozen in ``BENCH_pr5.json``, proving
+   the telemetry plane (flow ids on every CLF send/recv, wire counters)
+   did not regress the PR-5 acceptance bound (<5% with tracing disarmed).
+
+Run: ``python -m repro.bench --only pr10-telemetry`` or
+``python -m repro.bench.pr10_telemetry [out.json]`` (the latter wrote
+``BENCH_pr10.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from typing import Any
+
+from repro.bench import obs_overhead
+from repro.bench.tables import TableResult
+
+__all__ = [
+    "measure_harvest",
+    "measure_scrape",
+    "measure_overhead_delta",
+    "telemetry_snapshot",
+    "pr10_telemetry_table",
+]
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+# ----------------------------------------------------------------------
+# 1. harvest cost vs ring size
+# ----------------------------------------------------------------------
+def _fill_ring(n: int) -> int:
+    """Spawn worker: tick virtual time ``n`` times to fill the local ring."""
+    from repro.runtime.threads import require_current_thread
+
+    me = require_current_thread()
+    for ts in range(n):
+        me.set_virtual_time(ts)
+    return n
+
+
+def measure_harvest(
+    capacities: tuple[int, ...] = (4096, 16384, 65536),
+    reps: int = 3,
+) -> dict[str, Any]:
+    """Wall time of ``ProcCluster.harvest_telemetry`` as rings grow.
+
+    The child fills its ring to capacity before the collector drains it;
+    ``harvest_ms`` is the best of ``reps`` harvests (the rings are not
+    cleared between them, so every rep moves the same payload).
+    """
+    from repro.obs import events as obs_events
+    from repro.runtime import ProcCluster
+
+    rows = []
+    for capacity in capacities:
+        obs_events.disable()
+        obs_events.enable(capacity=capacity)
+        try:
+            with ProcCluster(n_spaces=2, gc_period=None) as cluster:
+                worker = cluster.space(0).spawn(
+                    _fill_ring, (capacity,), on_space=1, name="ring-filler"
+                )
+                worker.join(timeout=120.0)
+                best_s = None
+                telemetry = None
+                for _ in range(reps):
+                    t0 = time.perf_counter()
+                    telemetry = cluster.harvest_telemetry()
+                    elapsed = time.perf_counter() - t0
+                    if best_s is None or elapsed < best_s:
+                        best_s = elapsed
+                events = sum(
+                    len(ring["events"])
+                    for proc in telemetry.processes
+                    for ring in proc.rings
+                )
+        finally:
+            obs_events.disable()
+        rows.append({
+            "ring_capacity": capacity,
+            "events_harvested": events,
+            "harvest_ms": best_s * 1e3,
+            "us_per_event": best_s * 1e6 / events if events else None,
+        })
+    return {"reps": reps, "rows": rows}
+
+
+# ----------------------------------------------------------------------
+# 2. exposition latency under concurrent scrapes
+# ----------------------------------------------------------------------
+def _scrape_registry(n_channels: int):
+    """A registry shaped like a real run: per-channel latency histograms."""
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for chan in range(n_channels):
+        put = registry.histogram("stm_put_ns", channel=f"chan-{chan}")
+        get = registry.histogram("stm_get_ns", channel=f"chan-{chan}")
+        for i in range(200):
+            put.observe(500 + 37 * i)
+            get.observe(900 + 53 * i)
+        registry.counter("frames_total", channel=f"chan-{chan}").inc(200)
+    registry.gauge("stm_virtual_time", space=0).set(1e6)
+    return registry
+
+
+def measure_scrape(
+    n_clients: int = 100, n_channels: int = 32
+) -> dict[str, Any]:
+    """Per-request latency of ``n_clients`` simultaneous ``GET /metrics``.
+
+    Every client blocks on one barrier, then fires; each request renders
+    the full Prometheus text afresh (no caching in the handler), so this
+    bounds the stampede a misconfigured scrape fleet could produce.
+    """
+    from repro.obs.promtext import ExpositionServer
+
+    registry = _scrape_registry(n_channels)
+    server = ExpositionServer(source=registry.dump).start()
+    latencies_s: list[float | None] = [None] * n_clients
+    body_bytes = [0]
+    barrier = threading.Barrier(n_clients)
+
+    def client(idx: int) -> None:
+        barrier.wait()
+        t0 = time.perf_counter()
+        with urllib.request.urlopen(server.url, timeout=300.0) as resp:
+            body = resp.read()
+        latencies_s[idx] = time.perf_counter() - t0
+        body_bytes[0] = len(body)
+
+    try:
+        threads = [
+            threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(n_clients)
+        ]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        wall_s = time.perf_counter() - t0
+    finally:
+        server.stop()
+    done = sorted(lat for lat in latencies_s if lat is not None)
+    if len(done) != n_clients:
+        raise RuntimeError(
+            f"only {len(done)}/{n_clients} scrapes completed"
+        )
+    return {
+        "clients": n_clients,
+        "series_channels": n_channels,
+        "body_bytes": body_bytes[0],
+        "p50_ms": done[len(done) // 2] * 1e3,
+        "p95_ms": done[int(len(done) * 0.95)] * 1e3,
+        "max_ms": done[-1] * 1e3,
+        "wall_ms": wall_s * 1e3,
+    }
+
+
+# ----------------------------------------------------------------------
+# 3. hot-path overhead delta vs the PR-5 baseline
+# ----------------------------------------------------------------------
+def measure_overhead_delta(
+    items: int = 4000,
+    baseline_path: str | Path | None = None,
+) -> dict[str, Any]:
+    """Re-run the PR-5 overhead gate and diff against ``BENCH_pr5.json``.
+
+    The telemetry plane added work on the traced paths (flow ids on CLF
+    instants) and none on the disarmed path, so ``disabled_overhead_bound_pct``
+    must still clear the <5% acceptance criterion and stay in the same
+    regime as the frozen PR-5 figure.
+    """
+    report = obs_overhead.run(items=items)
+    out: dict[str, Any] = {
+        "micro_op": report,
+        "within_disabled_budget": report["disabled_overhead_bound_pct"] < 5.0,
+    }
+    if baseline_path is None:
+        baseline_path = _REPO_ROOT / "BENCH_pr5.json"
+    baseline_path = Path(baseline_path)
+    if baseline_path.exists():
+        pr5 = json.loads(baseline_path.read_text())["micro_op"]
+        out["pr5_reference"] = {
+            "disabled_overhead_bound_pct": pr5["disabled_overhead_bound_pct"],
+            "enabled_overhead_pct": pr5["enabled_overhead_pct"],
+        }
+        out["enabled_overhead_delta_pct"] = (
+            report["enabled_overhead_pct"] - pr5["enabled_overhead_pct"]
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# the snapshot and the table
+# ----------------------------------------------------------------------
+def telemetry_snapshot(out_path: str | None = None) -> dict[str, Any]:
+    """Run all three measurements; optionally write ``BENCH_pr10.json``."""
+    snapshot = {
+        "_generated_by": (
+            "PYTHONPATH=src python -m repro.bench.pr10_telemetry "
+            "BENCH_pr10.json"
+        ),
+        "_note": (
+            "harvest = best-of-reps TelemetryHarvestReq drain of a traced "
+            "2-process cluster (clock probes + pickle + control RPC); "
+            "scrape = 100 simultaneous GET /metrics against one "
+            "ExpositionServer, per-request latency; overhead = "
+            "repro.bench.obs_overhead re-run diffed against the frozen "
+            "PR-5 figures; all on the same host"
+        ),
+        "harvest": measure_harvest(),
+        "scrape": measure_scrape(),
+        "overhead": measure_overhead_delta(),
+    }
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+            fh.write("\n")
+    return snapshot
+
+
+def pr10_telemetry_table(mode: str = "measured") -> TableResult:
+    """The snapshot as a render-able table (for ``python -m repro.bench``)."""
+    snap = telemetry_snapshot()
+    scrape = snap["scrape"]
+    overhead = snap["overhead"]
+    table = TableResult(
+        title="PR-10 telemetry plane: harvest, scrape, overhead (this host)",
+        row_label="metric",
+        col_label="",
+        columns=["value"],
+        unit="(mixed)",
+        notes=(
+            f"scrape: {scrape['clients']} concurrent clients, "
+            f"{scrape['body_bytes']} B exposition body; overhead gate "
+            f"bound must stay < 5%"
+        ),
+    )
+    for row in snap["harvest"]["rows"]:
+        table.rows[
+            f"harvest ms, ring capacity {row['ring_capacity']}"
+        ] = {"value": row["harvest_ms"]}
+    table.rows["scrape p50 (ms)"] = {"value": scrape["p50_ms"]}
+    table.rows["scrape p95 (ms)"] = {"value": scrape["p95_ms"]}
+    table.rows["scrape max (ms)"] = {"value": scrape["max_ms"]}
+    table.rows["disabled overhead bound (%)"] = {
+        "value": overhead["micro_op"]["disabled_overhead_bound_pct"]
+    }
+    table.rows["enabled overhead (%)"] = {
+        "value": overhead["micro_op"]["enabled_overhead_pct"]
+    }
+    if "enabled_overhead_delta_pct" in overhead:
+        table.rows["enabled overhead delta vs PR-5 (%)"] = {
+            "value": overhead["enabled_overhead_delta_pct"]
+        }
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    import sys
+
+    out = sys.argv[1] if len(sys.argv) > 1 else None
+    print(json.dumps(telemetry_snapshot(out), indent=2))

@@ -80,6 +80,9 @@ class FleetResult:
     transcript: list[GuiEvent] = field(default_factory=list)
     mean_tracking_error: float = float("nan")
     wall_seconds: float = 0.0
+    #: cluster-wide harvest (``collect_telemetry=True`` on a ProcCluster
+    #: with tracing armed); None otherwise.
+    telemetry: object | None = None
 
     @property
     def fps(self) -> float:
@@ -147,13 +150,23 @@ def fleet_tracker(config: FleetConfig) -> int:
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
-def run_fleet(cluster, config: FleetConfig | None = None) -> FleetResult:
+def run_fleet(
+    cluster,
+    config: FleetConfig | None = None,
+    collect_telemetry: bool = False,
+) -> FleetResult:
     """Run the fleet on ``cluster`` (thread or process runtime) and report.
 
     The driver hosts the decision + GUI stage on the cluster's space 0 —
     the only space a :class:`~repro.runtime.procs.ProcCluster` can address
     in-process — and spawns the digitizer and tracker on the configured
     spaces, which may live in other OS processes.
+
+    ``collect_telemetry`` harvests the whole cluster's telemetry right
+    after the run (before the child processes can exit) into
+    ``result.telemetry`` — a :class:`~repro.obs.collect.ClusterTelemetry`
+    when the cluster supports the harvest RPC (ProcCluster), else a
+    single-process snapshot of the local recorder/registry.
     """
     config = config or FleetConfig()
     space = cluster.space(0)
@@ -216,4 +229,14 @@ def run_fleet(cluster, config: FleetConfig | None = None) -> FleetResult:
     result.wall_seconds = time.perf_counter() - t0
     if errors:
         result.mean_tracking_error = float(np.mean(errors))
+    if collect_telemetry:
+        harvest = getattr(cluster, "harvest_telemetry", None)
+        if harvest is not None:
+            result.telemetry = harvest()
+        else:
+            # Thread runtime: every space shares this process, so the local
+            # snapshot already *is* the cluster-wide telemetry.
+            from repro.obs.collect import ClusterTelemetry, snapshot_local
+
+            result.telemetry = ClusterTelemetry([snapshot_local(space=0)])
     return result

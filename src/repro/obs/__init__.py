@@ -22,11 +22,28 @@ three layers:
   address space, spans colored by op), the space-time lag report
   (per-thread virtual time vs. wall clock, paper §8), and text/JSON dumps.
 
+PR 10 adds the **distributed telemetry plane** on top:
+
+* :mod:`repro.obs.collect` — cross-process harvest: a ``ProcCluster``
+  drains every child's rings + registry over a control RPC, estimates each
+  child's monotonic-clock offset, and merges everything into one Perfetto
+  document with cross-process flow arrows (CLF send/recv pairs stitched by
+  per-message flow ids).
+* :mod:`repro.obs.promtext` — Prometheus text exposition (format 0.0.4)
+  over stdlib ``http.server`` (``python -m repro.obs serve``), plus the
+  ``stmtop`` terminal view (``python -m repro.obs top``).
+
 Command line: ``python -m repro.obs`` (see :mod:`repro.obs.cli`), plus a
 ``--trace OUT.json`` flag on ``examples/vision_pipeline.py`` and on the
 benchmark suite (``pytest benchmarks --trace OUT.json``).
 """
 
+from repro.obs.collect import (
+    ClusterTelemetry,
+    ProcessTelemetry,
+    estimate_clock_offset,
+    snapshot_local,
+)
 from repro.obs.events import (
     Recorder,
     Ring,
@@ -38,7 +55,9 @@ from repro.obs.events import (
     trace,
 )
 from repro.obs.export import (
+    add_flow_events,
     lag_report,
+    lag_report_from_doc,
     render_lag_report,
     summarize_trace,
     to_chrome_trace,
@@ -52,27 +71,47 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     OnlineStats,
+    dump_as_snapshot,
+    merge_dumps,
     percentile,
     summarize,
 )
+from repro.obs.promtext import (
+    CONTENT_TYPE,
+    ExpositionServer,
+    render_prometheus,
+    render_top,
+)
 
 __all__ = [
+    "CONTENT_TYPE",
     "REGISTRY",
+    "ClusterTelemetry",
     "Counter",
+    "ExpositionServer",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "OnlineStats",
+    "ProcessTelemetry",
     "Recorder",
     "Ring",
     "TraceEvent",
+    "add_flow_events",
     "armed",
     "disable",
+    "dump_as_snapshot",
     "enable",
+    "estimate_clock_offset",
     "get_recorder",
     "lag_report",
+    "lag_report_from_doc",
+    "merge_dumps",
     "percentile",
     "render_lag_report",
+    "render_prometheus",
+    "render_top",
+    "snapshot_local",
     "summarize",
     "summarize_trace",
     "to_chrome_trace",

@@ -18,6 +18,18 @@ Subcommands::
     python -m repro.obs validate TRACE.json
         Schema-check a trace; exit 1 with the problems listed otherwise.
 
+    python -m repro.obs serve --port 9464 [--frames 200] [--procs]
+        Run the kiosk workload with a live Prometheus exposition endpoint:
+        ``curl http://127.0.0.1:9464/metrics`` during the run returns the
+        current metrics in text exposition format (merged across all
+        address-space processes under ``--procs``, each series labelled by
+        space); ``/snapshot`` is the same data as JSON.
+
+    python -m repro.obs top TARGET [--watch SECONDS]
+        The stmtop view — per-channel latency percentiles, GC epochs, wire
+        traffic, per-thread virtual time — from a serve endpoint URL or a
+        saved JSON snapshot; ``--watch`` refreshes until interrupted.
+
 Exit codes: 0 ok, 1 invalid trace / failed run, 2 usage error.
 """
 
@@ -50,6 +62,8 @@ def _load(path: str) -> dict:
 def _cmd_kiosk(args: argparse.Namespace) -> int:
     # Imported lazily: the CLI must stay usable for trace inspection even
     # where numpy (pulled in by the kiosk stages) is unavailable.
+    if args.procs:
+        return _kiosk_procs(args)
     from repro.kiosk import PipelineConfig, run_pipeline
     from repro.runtime import Cluster
 
@@ -93,6 +107,55 @@ def _cmd_kiosk(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kiosk_procs(args: argparse.Namespace) -> int:
+    """The kiosk fleet on a 3-space ProcCluster, harvested and merged."""
+    from repro.kiosk.procfleet import FleetConfig, run_fleet
+    from repro.runtime.procs import ProcCluster
+
+    was_armed = obs_events.armed()
+    obs_events.enable(capacity=args.capacity)
+    try:
+        with ProcCluster(n_spaces=3, gc_period=0.02) as cluster:
+            result = run_fleet(
+                cluster, FleetConfig(n_frames=args.frames),
+                collect_telemetry=True,
+            )
+    finally:
+        if not was_armed:
+            obs_events.disable()
+    telemetry = result.telemetry
+    doc = telemetry.write_chrome_trace(args.trace)
+    problems = validate_chrome_trace(doc)
+    if problems:  # pragma: no cover - would be a bug in the merger
+        print("merged trace failed schema validation:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    summary = summarize_trace(doc)
+    lag = lag_report_from_doc(doc, fps=args.fps)
+    if args.format == "json":
+        print(json.dumps({
+            "trace": str(args.trace),
+            "processes": len(telemetry.processes),
+            "frames_tracked": result.frames_tracked,
+            "summary": summary,
+            "lag": lag,
+            "metrics": telemetry.metrics_snapshot(),
+        }, indent=2, default=str))
+        return 0
+    print(f"kiosk fleet run across {len(telemetry.processes)} processes: "
+          f"{result.frames_tracked} frames tracked, "
+          f"{result.wall_seconds:.2f} s wall")
+    print(f"merged cluster trace written to {args.trace} "
+          f"({summary['flows']} cross-process flows; open in "
+          f"https://ui.perfetto.dev)")
+    print()
+    print(render_trace_summary(summary))
+    print()
+    print(render_lag_report(lag))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     doc = _load(args.trace)
     problems = validate_chrome_trace(doc)
@@ -129,6 +192,96 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.promtext import ExpositionServer
+
+    # The source is swapped under the scraper's feet as the run progresses:
+    # registry-only before the cluster is up, live cluster harvest during a
+    # --procs run, the final merged harvest after teardown.
+    source_holder = {"fn": REGISTRY.dump}
+    server = ExpositionServer(
+        source=lambda: source_holder["fn"](), port=args.port
+    )
+    server.start()
+    print(f"exposition endpoint: {server.url} (/snapshot for JSON, /healthz)")
+    sys.stdout.flush()
+    try:
+        if args.frames > 0:
+            if args.procs:
+                from repro.kiosk.procfleet import FleetConfig, run_fleet
+                from repro.runtime.procs import ProcCluster
+
+                was_armed = obs_events.armed()
+                obs_events.enable(capacity=args.capacity)
+                try:
+                    with ProcCluster(n_spaces=3, gc_period=0.02) as cluster:
+                        source_holder["fn"] = (
+                            lambda: cluster.harvest_telemetry().metrics_dump()
+                        )
+                        result = run_fleet(
+                            cluster, FleetConfig(n_frames=args.frames),
+                            collect_telemetry=True,
+                        )
+                        source_holder["fn"] = result.telemetry.metrics_dump
+                finally:
+                    if not was_armed:
+                        obs_events.disable()
+                print(f"fleet run done: {result.frames_tracked} frames "
+                      f"tracked across 3 processes")
+            else:
+                from repro.kiosk import PipelineConfig, run_pipeline
+                from repro.runtime import Cluster
+
+                with Cluster(n_spaces=args.spaces, gc_period=0.02) as cluster:
+                    result = run_pipeline(
+                        cluster, PipelineConfig(n_frames=args.frames)
+                    )
+                print(f"kiosk run done: {result.frames_digitized} frames "
+                      f"digitized")
+        if args.linger > 0:
+            _time.sleep(args.linger)
+        elif args.frames <= 0:
+            print("no workload requested; serving until interrupted (Ctrl-C)")
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+    from urllib.request import urlopen
+
+    from repro.obs.promtext import render_top
+
+    def fetch() -> dict:
+        if args.target.startswith(("http://", "https://")):
+            url = args.target.rstrip("/")
+            if not url.endswith("/snapshot"):
+                url += "/snapshot"
+            with urlopen(url) as resp:
+                return json.load(resp)
+        with open(args.target) as fh:
+            return json.load(fh)
+
+    while True:
+        snapshot = fetch()
+        if args.watch:
+            print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+        print(render_top(snapshot))
+        if not args.watch:
+            return 0
+        try:
+            _time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -146,6 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default=obs_events.DEFAULT_CAPACITY,
                        help="per-thread ring capacity in events")
     kiosk.add_argument("--format", choices=["text", "json"], default="text")
+    kiosk.add_argument("--procs", action="store_true",
+                       help="run the fleet on a 3-space ProcCluster and "
+                            "write the harvested, merged cluster trace")
     kiosk.set_defaults(fn=_cmd_kiosk)
 
     report = sub.add_parser("report", help="summarize a captured trace")
@@ -163,6 +319,32 @@ def build_parser() -> argparse.ArgumentParser:
     validate = sub.add_parser("validate", help="schema-check a trace file")
     validate.add_argument("trace")
     validate.set_defaults(fn=_cmd_validate)
+
+    serve = sub.add_parser(
+        "serve", help="Prometheus exposition endpoint over a kiosk run"
+    )
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default: ephemeral, printed)")
+    serve.add_argument("--frames", type=int, default=60,
+                       help="kiosk workload length; 0 = serve idle forever")
+    serve.add_argument("--spaces", type=int, default=1, choices=[1, 3])
+    serve.add_argument("--procs", action="store_true",
+                       help="drive a 3-space ProcCluster; /metrics serves "
+                            "the live cluster-merged harvest")
+    serve.add_argument("--capacity", type=int,
+                       default=obs_events.DEFAULT_CAPACITY)
+    serve.add_argument("--linger", type=float, default=0.0,
+                       help="keep serving this many seconds after the run")
+    serve.set_defaults(fn=_cmd_serve)
+
+    top = sub.add_parser(
+        "top", help="stmtop: live metrics view from a serve endpoint"
+    )
+    top.add_argument("target",
+                     help="serve endpoint URL or a saved /snapshot JSON file")
+    top.add_argument("--watch", type=float, default=None,
+                     help="refresh every N seconds until interrupted")
+    top.set_defaults(fn=_cmd_top)
     return parser
 
 

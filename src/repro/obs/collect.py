@@ -1,0 +1,313 @@
+"""The distributed telemetry plane: harvest, clock-align, and merge.
+
+The PR 5 observability layer is strictly in-process: each address space owns
+its recorder rings and its :data:`~repro.obs.metrics.REGISTRY`, and in the
+process runtime those die with the child.  This module is the collection
+side of the telemetry plane:
+
+* :func:`snapshot_local` packages the calling process's rings + registry
+  into one picklable :class:`ProcessTelemetry` — this is what a
+  ``TelemetryHarvestReq`` handler returns over the control RPC;
+* :func:`estimate_clock_offset` maps a child's monotonic clock onto the
+  collector's using the request/response midpoint (both sides read
+  ``time.perf_counter_ns``, i.e. ``CLOCK_MONOTONIC`` — same origin per
+  boot on one host, but the estimate also absorbs genuinely different
+  origins, e.g. containers or a future cross-machine harvest);
+* :class:`ClusterTelemetry` merges many per-process snapshots into **one**
+  Chrome trace document on a common timeline — with cross-process flow
+  arrows stitched from the CLF flow ids — and one metrics dump where every
+  series carries a ``space`` label.
+
+The merged document passes :func:`~repro.obs.export.validate_chrome_trace`
+and loads in Perfetto exactly like a single-process export; the merged
+metrics dump feeds :mod:`repro.obs.promtext` for Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+from repro.obs.export import _cname, add_flow_events
+from repro.obs.metrics import dump_as_snapshot, merge_dumps
+
+__all__ = [
+    "ProcessTelemetry",
+    "ClusterTelemetry",
+    "snapshot_local",
+    "estimate_clock_offset",
+]
+
+
+def estimate_clock_offset(
+    t_request_ns: int, t_response_ns: int, remote_clock_ns: int
+) -> int:
+    """Offset to add to remote timestamps to land on the collector clock.
+
+    The remote side read its clock somewhere inside the RPC round trip;
+    the midpoint is the minimum-error estimate of *when* (on the collector
+    clock) that reading was taken, so the error is bounded by half the
+    round-trip time — tens of microseconds for an on-host control RPC,
+    far below the span durations being aligned.
+    """
+    midpoint = (t_request_ns + t_response_ns) // 2
+    return midpoint - remote_clock_ns
+
+
+@dataclass
+class ProcessTelemetry:
+    """One process's harvested telemetry, ready to ship over the control RPC.
+
+    ``rings`` preserves the recorder's per-thread structure as plain dicts
+    (``{"tid", "thread_name", "events"}``) so the merged document keeps one
+    track per OS thread; event timestamps are on the *local* clock, and
+    ``clock_offset_ns`` (filled in by the collector, zero for the local
+    process) maps them onto the collector's timeline.  ``metrics`` is a
+    mergeable :meth:`~repro.obs.metrics.MetricsRegistry.dump`.  Everything
+    is picklable.
+    """
+
+    space: int
+    clock_ns: int
+    rings: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    wall_t0: float = 0.0
+    overwritten: int = 0
+    clock_offset_ns: int = 0
+
+
+def snapshot_local(
+    space: int = -1,
+    registry: _metrics.MetricsRegistry | None = None,
+    recorder: _events.Recorder | None = None,
+) -> ProcessTelemetry:
+    """Snapshot this process's recorder rings and metrics registry.
+
+    Works with tracing disarmed (``recorder`` None): the registry half of
+    the telemetry plane — counters feed unconditionally — still ships, and
+    ``rings`` comes back empty.
+    """
+    if registry is None:
+        registry = _metrics.REGISTRY
+    if recorder is None:
+        recorder = _events.recorder
+    if recorder is None:
+        return ProcessTelemetry(
+            space=space,
+            clock_ns=time.perf_counter_ns(),
+            metrics=registry.dump(),
+        )
+    rings = [
+        {"tid": ring.tid, "thread_name": ring.thread_name,
+         "events": ring.events()}
+        for ring in recorder.rings()
+    ]
+    return ProcessTelemetry(
+        space=space,
+        clock_ns=recorder.clock(),
+        rings=rings,
+        metrics=registry.dump(),
+        wall_t0=recorder.wall_t0,
+        overwritten=recorder.overwritten(),
+    )
+
+
+@dataclass
+class ClusterTelemetry:
+    """Telemetry harvested from every process of a cluster run."""
+
+    processes: list[ProcessTelemetry] = field(default_factory=list)
+
+    def spaces(self) -> list[int]:
+        return sorted(p.space for p in self.processes)
+
+    # ------------------------------------------------------------------
+    # clock alignment
+    # ------------------------------------------------------------------
+    def clock_offsets(self) -> dict[int, int]:
+        """Per-space clock offsets, causally refined from the flow pairs.
+
+        The probe-based ``clock_offset_ns`` estimates carry an error of up
+        to half the probe round trip — and a systematic bias, because the
+        reply path includes the collector thread's wakeup latency while the
+        request path does not.  But the harvest itself carries ground
+        truth: every cross-process CLF flow pair is a happens-before edge,
+        ``send_ts + off(sender) <= recv_ts + off(receiver)``.  This method
+        relaxes the probe estimates against those difference constraints
+        (clamping each space into its feasible interval, Gauss–Seidel
+        style, with the lowest space as the fixed reference) so the merged
+        timeline never shows a message arriving before it was sent.
+        """
+        offsets = {p.space: p.clock_offset_ns for p in self.processes}
+        sends: dict[str, tuple[int, int]] = {}
+        recvs: dict[str, tuple[int, int]] = {}
+        for proc in self.processes:
+            for ring in proc.rings:
+                for ev in ring["events"]:
+                    ph, cat, name, ts_ns, _dur, _pid, args = ev
+                    if ph != "i" or cat != "clf" or not args:
+                        continue
+                    flow = args.get("flow")
+                    if flow is None:
+                        continue
+                    if name == "clf.send":
+                        sends.setdefault(str(flow), (proc.space, ts_ns))
+                    elif name == "clf.recv":
+                        recvs.setdefault(str(flow), (proc.space, ts_ns))
+        pairs = []
+        for fid, (s_space, s_ts) in sends.items():
+            hit = recvs.get(fid)
+            if hit is None or hit[0] == s_space:
+                continue
+            pairs.append((s_space, s_ts, hit[0], hit[1]))
+        if not pairs or not offsets:
+            return offsets
+        reference = min(offsets)
+        for _ in range(4):
+            moved = False
+            for space in offsets:
+                if space == reference:
+                    continue
+                lo: int | None = None  # from messages received by `space`
+                hi: int | None = None  # from messages sent by `space`
+                for s_space, s_ts, r_space, r_ts in pairs:
+                    if s_space == space and r_space in offsets:
+                        bound = r_ts + offsets[r_space] - s_ts
+                        hi = bound if hi is None else min(hi, bound)
+                    elif r_space == space and s_space in offsets:
+                        bound = s_ts + offsets[s_space] - r_ts
+                        lo = bound if lo is None else max(lo, bound)
+                new = off = offsets[space]
+                if lo is not None and hi is not None and lo > hi:
+                    new = (lo + hi) // 2  # inconsistent: split the difference
+                elif hi is not None and off > hi:
+                    new = hi
+                elif lo is not None and off < lo:
+                    new = lo
+                if new != off:
+                    offsets[space] = new
+                    moved = True
+            if not moved:
+                break
+        return offsets
+
+    # ------------------------------------------------------------------
+    # merged trace
+    # ------------------------------------------------------------------
+    def chrome_trace(self) -> dict:
+        """One Chrome ``trace_event`` doc spanning every harvested process.
+
+        Child timestamps are shifted by their (causally refined, see
+        :meth:`clock_offsets`) clock offsets onto the collector clock; the
+        merged origin is the earliest mapped event, so exported ``ts``
+        stay non-negative.  CLF send/recv instants that crossed process
+        boundaries get flow arrows — the cross-process stitch the
+        single-process exporter cannot draw.
+        """
+        overwritten = sum(p.overwritten for p in self.processes)
+        offsets = self.clock_offsets()
+        wall_t0s = [
+            p.wall_t0 - offsets[p.space] / 1e9
+            for p in self.processes if p.wall_t0
+        ]
+        # Pass 1: the merged origin, so exported ts stay non-negative.
+        origin: int | None = None
+        for proc in self.processes:
+            for ring in proc.rings:
+                for ev in ring["events"]:
+                    ts = ev[3] + offsets[proc.space]
+                    if origin is None or ts < origin:
+                        origin = ts
+        trace_events: list[dict] = []
+        seen_tracks: set[tuple[int, int]] = set()
+        thread_names: dict[tuple[int, int], str] = {}
+        for proc in self.processes:
+            default_pid = proc.space if proc.space >= 0 else 0
+            for ring in proc.rings:
+                tid = ring["tid"]
+                for ev in ring["events"]:
+                    ph, cat, name, ts_ns, dur_ns, pid, args = ev
+                    if pid < 0:
+                        pid = default_pid
+                    seen_tracks.add((pid, tid))
+                    thread_names.setdefault((pid, tid), ring["thread_name"])
+                    out = {
+                        "name": name,
+                        "cat": cat,
+                        "ph": ph,
+                        "ts": (ts_ns + offsets[proc.space] - origin) / 1000.0,
+                        "pid": pid,
+                        "tid": tid,
+                    }
+                    if ph == "X":
+                        out["dur"] = dur_ns / 1000.0
+                        cname = _cname(cat, name)
+                        if cname is not None:
+                            out["cname"] = cname
+                    elif ph == "i":
+                        out["s"] = "t"
+                    if args:
+                        out["args"] = dict(args)
+                    trace_events.append(out)
+        add_flow_events(trace_events)
+        trace_events.sort(key=lambda ev: ev["ts"])
+        meta: list[dict] = []
+        for pid in sorted({pid for pid, _tid in seen_tracks}):
+            meta.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"address space {pid}"},
+            })
+        for (pid, tid), tname in sorted(thread_names.items()):
+            meta.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": tname},
+            })
+        return {
+            "traceEvents": meta + trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "producer": "repro.obs.collect",
+                "processes": len(self.processes),
+                "wall_t0": min(wall_t0s) if wall_t0s else None,
+                "overwritten_events": overwritten,
+            },
+        }
+
+    def write_chrome_trace(self, path: str | os.PathLike) -> dict:
+        doc = self.chrome_trace()
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=1, default=str)
+        return doc
+
+    # ------------------------------------------------------------------
+    # merged metrics
+    # ------------------------------------------------------------------
+    def metrics_dump(self) -> dict:
+        """One mergeable dump pooling every process, ``space``-labelled.
+
+        Series that do not already carry a ``space`` label (per-channel STM
+        latency, GC timings) gain one naming the harvested process, so
+        per-space distributions stay distinguishable after the merge;
+        series that do (wire-byte counters) pass through unchanged.
+        """
+        labelled: list[dict] = []
+        for proc in self.processes:
+            relabelled: dict[str, list] = {}
+            for name, entries in proc.metrics.items():
+                out_entries = []
+                for entry in entries:
+                    labels = dict(entry["labels"])
+                    if "space" not in labels and proc.space >= 0:
+                        labels["space"] = proc.space
+                    out_entries.append({**entry, "labels": labels})
+                relabelled[name] = out_entries
+            labelled.append(relabelled)
+        return merge_dumps(labelled)
+
+    def metrics_snapshot(self) -> dict:
+        """The merged metrics in the human ``snapshot()`` shape."""
+        return dump_as_snapshot(self.metrics_dump())

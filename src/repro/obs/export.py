@@ -27,6 +27,7 @@ from repro.obs.metrics import percentile
 __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
+    "add_flow_events",
     "validate_chrome_trace",
     "lag_report",
     "lag_report_from_doc",
@@ -91,6 +92,7 @@ def to_chrome_trace(recorder: Recorder) -> dict:
             if args:
                 out["args"] = dict(args)
             trace_events.append(out)
+    add_flow_events(trace_events)
     trace_events.sort(key=lambda ev: ev["ts"])
     meta: list[dict] = []
     for pid in sorted({pid for pid, _ in seen_tracks}):
@@ -114,6 +116,48 @@ def to_chrome_trace(recorder: Recorder) -> dict:
     }
 
 
+def add_flow_events(trace_events: list[dict]) -> int:
+    """Stitch ``clf.send``/``clf.recv`` pairs with Chrome flow arrows.
+
+    CLF endpoints stamp both sides of every message with the same ``flow``
+    id (the msgid in the thread runtime, ``"src>dst#seq"`` in the socket
+    runtime).  For every id seen on exactly one send and one receive this
+    appends a flow-start (``ph: "s"``) at the send instant and a binding
+    flow-finish (``ph: "f"``, ``bp: "e"``) at the receive — Perfetto then
+    draws the arrow across thread (and, in a merged cluster doc, process)
+    tracks.  Returns the number of flows stitched; unmatched ids (message
+    still in flight at harvest) are skipped, never half-drawn.
+    """
+    sends: dict[str, dict] = {}
+    recvs: dict[str, dict] = {}
+    for ev in trace_events:
+        if ev.get("ph") != "i" or ev.get("cat") != "clf":
+            continue
+        flow = (ev.get("args") or {}).get("flow")
+        if flow is None:
+            continue
+        if ev.get("name") == "clf.send":
+            sends.setdefault(str(flow), ev)
+        elif ev.get("name") == "clf.recv":
+            recvs.setdefault(str(flow), ev)
+    stitched = 0
+    for flow_id, send_ev in sends.items():
+        recv_ev = recvs.get(flow_id)
+        if recv_ev is None:
+            continue
+        common = {"name": "clf.flow", "cat": "clf", "id": flow_id}
+        trace_events.append({
+            **common, "ph": "s", "ts": send_ev["ts"],
+            "pid": send_ev["pid"], "tid": send_ev["tid"],
+        })
+        trace_events.append({
+            **common, "ph": "f", "bp": "e", "ts": recv_ev["ts"],
+            "pid": recv_ev["pid"], "tid": recv_ev["tid"],
+        })
+        stitched += 1
+    return stitched
+
+
 def write_chrome_trace(path: str | os.PathLike, recorder: Recorder) -> dict:
     """Export ``recorder`` to ``path`` as Chrome trace JSON; returns the doc."""
     doc = to_chrome_trace(recorder)
@@ -125,7 +169,8 @@ def write_chrome_trace(path: str | os.PathLike, recorder: Recorder) -> dict:
 # ----------------------------------------------------------------------
 # schema validation
 # ----------------------------------------------------------------------
-_PHASES = {"X", "i", "C", "M", "B", "E"}
+_PHASES = {"X", "i", "C", "M", "B", "E", "s", "t", "f"}
+_FLOW_PHASES = {"s", "t", "f"}
 _META_NAMES = {"process_name", "thread_name", "process_labels",
                "process_sort_index", "thread_sort_index"}
 
@@ -173,6 +218,11 @@ def validate_chrome_trace(doc: Any) -> list[str]:
                 problems.append(f"{where}: counter needs a non-empty 'args'")
             elif not all(isinstance(v, (int, float)) for v in args.values()):
                 problems.append(f"{where}: counter args must be numeric")
+        if ph in _FLOW_PHASES:
+            if not isinstance(ev.get("id"), (str, int)):
+                problems.append(f"{where}: flow event needs an 'id'")
+            if ph == "f" and ev.get("bp") not in (None, "e"):
+                problems.append(f"{where}: flow finish 'bp' must be 'e'")
     return problems
 
 
@@ -288,6 +338,7 @@ def summarize_trace(doc: dict) -> dict:
     instants: dict[str, int] = {}
     counters: dict[str, int] = {}
     n_tracks: set[tuple[int, int]] = set()
+    flows = 0
     for ev in doc.get("traceEvents", []):
         ph = ev.get("ph")
         if ph == "M":
@@ -300,6 +351,8 @@ def summarize_trace(doc: dict) -> dict:
             instants[name] = instants.get(name, 0) + 1
         elif ph == "C":
             counters[name] = counters.get(name, 0) + 1
+        elif ph == "s":
+            flows += 1
     span_stats = {
         name: {
             "count": len(durs),
@@ -315,6 +368,7 @@ def summarize_trace(doc: dict) -> dict:
         "spans": span_stats,
         "instants": dict(sorted(instants.items())),
         "counters": dict(sorted(counters.items())),
+        "flows": flows,
     }
 
 
@@ -335,6 +389,8 @@ def render_trace_summary(summary: dict) -> str:
         lines.append("counter samples:")
         for name, count in summary["counters"].items():
             lines.append(f"  {name:<14} x{count}")
+    if summary.get("flows"):
+        lines.append(f"cross-track flows: {summary['flows']}")
     return "\n".join(lines)
 
 

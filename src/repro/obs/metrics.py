@@ -37,6 +37,8 @@ __all__ = [
     "REGISTRY",
     "DEFAULT_LATENCY_BUCKETS_NS",
     "DEFAULT_SECONDS_BUCKETS",
+    "merge_dumps",
+    "dump_as_snapshot",
 ]
 
 
@@ -197,6 +199,16 @@ class Counter:
     def as_dict(self) -> dict:
         return {"value": self._value}
 
+    def dump(self) -> dict:
+        """Complete, mergeable state (see :func:`merge_dumps`)."""
+        return {"value": self._value}
+
+    def merge(self, other: "Counter") -> "Counter":
+        """A new counter carrying both counts (cross-process aggregation)."""
+        merged = Counter(self.name, self.labels)
+        merged._value = self._value + other._value
+        return merged
+
 
 class Gauge:
     """A value that goes up and down (occupancy, virtual time, lag)."""
@@ -223,6 +235,20 @@ class Gauge:
 
     def as_dict(self) -> dict:
         return {"value": self._value}
+
+    def dump(self) -> dict:
+        return {"value": self._value}
+
+    def merge(self, other: "Gauge") -> "Gauge":
+        """A new gauge; the other side's sample wins when it has one.
+
+        Gauges are point-in-time readings, so "merge" can only pick one —
+        harvest order puts the most recently snapshotted process last, and
+        that reading is the freshest available.
+        """
+        merged = Gauge(self.name, self.labels)
+        merged._value = other._value if other._value is not None else self._value
+        return merged
 
 
 class Histogram:
@@ -311,6 +337,62 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    def dump(self) -> dict:
+        """Complete, mergeable state: bucket bounds *and* per-bucket counts.
+
+        ``as_dict`` is the human stats view (percentiles only); merging
+        histograms across processes needs the raw bucket occupancy, which
+        is what the telemetry harvest ships.
+        """
+        return {
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_dump(
+        cls,
+        entry: dict,
+        name: str = "",
+        labels: tuple[tuple[str, object], ...] = (),
+    ) -> "Histogram":
+        """Reconstruct a histogram from :meth:`dump` output (no locking state)."""
+        hist = cls(name, labels, buckets=tuple(entry["buckets"]))
+        hist.counts = list(entry["bucket_counts"])
+        hist.count = entry["count"]
+        hist.sum = entry["sum"]
+        hist.min = entry["min"] if entry.get("min") is not None else math.inf
+        hist.max = entry["max"] if entry.get("max") is not None else -math.inf
+        return hist
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """A new histogram pooling both sides' samples (exact, not approximate).
+
+        Fixed-bucket histograms over the *same* bounds merge losslessly:
+        per-bucket counts, count, sum, min, and max all add/extremize
+        exactly, so percentile estimates of the merged histogram equal the
+        estimates a single histogram fed the pooled sample stream would
+        give.  Mismatched bucket bounds raise — resolution cannot be
+        invented after the fact.
+        """
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{len(self.buckets)} vs {len(other.buckets)} bounds"
+            )
+        merged = Histogram(self.name, self.labels, buckets=self.buckets)
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts,
+                                               strict=True)]
+        merged.count = self.count + other.count
+        merged.sum = self.sum + other.sum
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
 
 class MetricsRegistry:
     """Get-or-create registry of metrics keyed by (name, labels)."""
@@ -374,6 +456,82 @@ class MetricsRegistry:
     def reset(self) -> None:
         with self._lock:
             self._metrics.clear()
+
+    def dump(self) -> dict:
+        """Mergeable dump: name -> list of {labels, kind, ...full state}.
+
+        Same outer shape as :meth:`snapshot`, but each entry carries the
+        *complete* metric state (raw bucket counts, not percentiles), so
+        dumps harvested from different processes can be pooled with
+        :func:`merge_dumps` and only then rendered with
+        :func:`dump_as_snapshot`.  Everything inside is picklable and
+        JSON-ready.
+        """
+        out: dict[str, list] = {}
+        for metric in self.collect():
+            out.setdefault(metric.name, []).append(
+                {"labels": dict(metric.labels), "kind": metric.kind,
+                 **metric.dump()}
+            )
+        return out
+
+
+def _merge_dump_entries(kind: str, a: dict, b: dict) -> dict:
+    """Merge two same-kind dump entries (labels already known equal)."""
+    if kind == "counter":
+        return {**a, "value": a["value"] + b["value"]}
+    if kind == "gauge":
+        return {**a, "value": b["value"] if b["value"] is not None
+                else a["value"]}
+    if kind == "histogram":
+        merged = Histogram.from_dump(a).merge(Histogram.from_dump(b))
+        return {"labels": a["labels"], "kind": kind, **merged.dump()}
+    raise ValueError(f"unknown metric kind {kind!r}")
+
+
+def merge_dumps(dumps: list[dict]) -> dict:
+    """Pool several :meth:`MetricsRegistry.dump` documents into one.
+
+    Entries sharing (name, labels, kind) are combined — counters add,
+    gauges keep the last non-None reading, histograms merge their bucket
+    counts exactly.  Entries unique to one dump pass through unchanged.
+    The result is itself a valid dump (mergeable again, renderable with
+    :func:`dump_as_snapshot`).
+    """
+    merged: dict[str, dict[tuple, dict]] = {}
+    for dump in dumps:
+        for name, entries in dump.items():
+            per_name = merged.setdefault(name, {})
+            for entry in entries:
+                key = (tuple(sorted(entry["labels"].items())), entry["kind"])
+                prior = per_name.get(key)
+                if prior is None:
+                    per_name[key] = dict(entry)
+                else:
+                    per_name[key] = _merge_dump_entries(
+                        entry["kind"], prior, entry)
+    return {name: list(per_name.values())
+            for name, per_name in merged.items()}
+
+
+def dump_as_snapshot(dump: dict) -> dict:
+    """Render a dump in the human :meth:`MetricsRegistry.snapshot` shape.
+
+    Histogram entries are reconstructed so p50/p95/p99 come from the
+    (possibly merged) bucket counts, exactly as a live registry would
+    report them.
+    """
+    out: dict[str, list] = {}
+    for name, entries in dump.items():
+        for entry in entries:
+            if entry["kind"] == "histogram":
+                stats = Histogram.from_dump(entry, name=name).as_dict()
+            else:
+                stats = {"value": entry["value"]}
+            out.setdefault(name, []).append(
+                {"labels": entry["labels"], "kind": entry["kind"], **stats}
+            )
+    return out
 
 
 #: The process-wide default registry (instrumentation points feed this one).

@@ -62,6 +62,7 @@ from repro.runtime.messages import (
     GcCollectMsg,
     GcSummaryReq,
     GetReq,
+    ClockProbeReq,
     LookupNameReq,
     PutReq,
     RegisterNameReq,
@@ -70,6 +71,7 @@ from repro.runtime.messages import (
     RpcRequest,
     ShutdownMsg,
     SpawnReq,
+    TelemetryHarvestReq,
 )
 from repro.runtime.sync import make_event, make_lock
 from repro.runtime.threads import StampedeThread, current_thread
@@ -1081,6 +1083,17 @@ class AddressSpace:
             frame_stats.reset()
         return snap
 
+    def _h_telemetry_harvest(self, body: TelemetryHarvestReq, src: int, cid):
+        from repro.obs.collect import snapshot_local
+
+        telemetry = snapshot_local(space=self.space_id)
+        if body.disarm:
+            _obs.disable()
+        return telemetry
+
+    def _h_clock_probe(self, body: ClockProbeReq, src: int, cid):
+        return time.perf_counter_ns()
+
     _HANDLERS: ClassVar[dict[type, Callable]] = {}
 
     # ==================================================================
@@ -1456,4 +1469,6 @@ AddressSpace._HANDLERS = {
     GcSummaryReq: AddressSpace._h_gc_summary,
     GcApplyReq: AddressSpace._h_gc_apply,
     EndpointStatsReq: AddressSpace._h_endpoint_stats,
+    TelemetryHarvestReq: AddressSpace._h_telemetry_harvest,
+    ClockProbeReq: AddressSpace._h_clock_probe,
 }

@@ -42,6 +42,8 @@ __all__ = [
     "GcSummaryReq",
     "GcApplyReq",
     "EndpointStatsReq",
+    "ClockProbeReq",
+    "TelemetryHarvestReq",
     "GcCollectMsg",
     "ShutdownMsg",
     "CachePushMsg",
@@ -229,6 +231,34 @@ class EndpointStatsReq:
     """
 
     reset_frames: bool = False
+
+
+@dataclass
+class TelemetryHarvestReq:
+    """Drain a space's telemetry: recorder rings + metrics registry.
+
+    Replies with a picklable ``ProcessTelemetry`` (see
+    :mod:`repro.obs.collect`) whose ``clock_ns`` is the responder's
+    monotonic clock at snapshot time; the collector turns the RPC's
+    request/response midpoint into a per-child clock offset, putting every
+    harvested span on one cluster timeline.  Works with tracing disarmed —
+    the registry half (wire bytes, op counters) still ships.
+    """
+
+    #: disarm the child's tracer after snapshotting (shutdown harvest).
+    disarm: bool = False
+
+
+@dataclass
+class ClockProbeReq:
+    """Read a space's monotonic clock (``time.perf_counter_ns``).
+
+    Replies with a bare integer.  The collector fires a few of these per
+    child before a telemetry harvest and keeps the estimate from the probe
+    with the smallest round trip — the NTP trick — because the harvest RPC
+    itself is heavyweight (it pickles every ring) and its round trip bounds
+    the clock-offset error.
+    """
 
 
 @register_message(4)

@@ -44,10 +44,22 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.analysis import racecheck, sanitizer
 from repro.errors import StampedeError, TransportClosedError, TransportError
+from repro.obs import events as _obs_events
+from repro.obs.collect import (
+    ClusterTelemetry,
+    estimate_clock_offset,
+    snapshot_local,
+)
 from repro.runtime.address_space import AddressSpace, ChannelHandle
 from repro.runtime.gc_daemon import GcDaemon
-from repro.runtime.messages import EndpointStatsReq, ShutdownMsg
+from repro.runtime.messages import (
+    ClockProbeReq,
+    EndpointStatsReq,
+    ShutdownMsg,
+    TelemetryHarvestReq,
+)
 from repro.runtime.nameservice import NameService, register
 from repro.runtime.sync import factories_installed
 from repro.transport.clf import ClusterTopology
@@ -69,6 +81,10 @@ class _ChildSpec:
     session: str
     ns_port: int
     heartbeat_interval: float
+    #: ring capacity to arm the child's tracer with; None = tracing off.
+    obs_capacity: int | None = None
+    #: "" (off), "1" (sanitizer), or "race" (sanitizer + race detector).
+    san_mode: str = ""
 
 
 class _SpaceHost:
@@ -99,6 +115,21 @@ class _SpaceHost:
 
 def _space_main(spec: _ChildSpec) -> None:
     """Entry point of a child process: host one address space until told to stop."""
+    # Arm instrumentation from the parent's *config*, not the environ: under
+    # the spawn start method a child re-imports everything, so programmatic
+    # arming in the parent — events.enable(), the trace() context manager,
+    # sanitizer.enable() from a test — has no environment variable for the
+    # child to inherit and would be silently lost.
+    # The spec is authoritative in both directions: a child of a *disarmed*
+    # cluster must run dark even if an inherited STMOBS armed it at import.
+    if spec.obs_capacity is not None:
+        _obs_events.enable(capacity=spec.obs_capacity)
+    else:
+        _obs_events.disable()
+    if spec.san_mode:
+        sanitizer.enable()
+        if spec.san_mode == "race":
+            racecheck.enable()
     topology = ClusterTopology(spec.n_spaces, spec.spaces_per_node)
     endpoint = SocketEndpoint(
         spec.space,
@@ -182,6 +213,9 @@ class ProcCluster:
             n_spaces if spaces_per_node is None else spaces_per_node,
         )
         self.failure: BaseException | None = None
+        #: filled by the shutdown harvest when tracing was armed (also
+        #: available any time via :meth:`harvest_telemetry`).
+        self.telemetry: ClusterTelemetry | None = None
         self._failed = threading.Event()
         self._failed_lock = threading.Lock()
         self._shut_down = False
@@ -205,6 +239,11 @@ class ProcCluster:
                         )
             self._ns = NameService(n_spaces)
             ctx = multiprocessing.get_context("spawn")
+            rec = _obs_events.recorder
+            obs_capacity = rec.capacity if rec is not None else None
+            san_mode = ""
+            if sanitizer.enabled():
+                san_mode = "race" if racecheck.enabled() else "1"
             for space in range(1, n_spaces):
                 spec = _ChildSpec(
                     space=space,
@@ -214,6 +253,8 @@ class ProcCluster:
                     session=self.session,
                     ns_port=self._ns.port,
                     heartbeat_interval=heartbeat_interval,
+                    obs_capacity=obs_capacity,
+                    san_mode=san_mode,
                 )
                 proc = ctx.Process(
                     target=_space_main,
@@ -301,6 +342,59 @@ class ProcCluster:
             space_id, EndpointStatsReq(reset_frames=reset_frames), timeout=10.0
         )
 
+    def harvest_telemetry(self, disarm: bool = False) -> ClusterTelemetry:
+        """Drain every process's recorder rings + metrics into one harvest.
+
+        Each child answers a ``TelemetryHarvestReq`` control RPC; the
+        request/response midpoint against the child's reported clock gives
+        its offset onto this process's monotonic clock, so
+        ``ClusterTelemetry.chrome_trace()`` lands all spans on one
+        timeline.  Usable mid-run (a live snapshot) or at shutdown
+        (``disarm=True`` also disarms the children's tracers).
+        """
+        processes = [snapshot_local(space=self.registry_space)]
+        for space in sorted(self._procs):
+            offset = self._probe_clock_offset(space)
+            t_req = time.perf_counter_ns()
+            telemetry = self._space.call(
+                space, TelemetryHarvestReq(disarm=disarm), timeout=10.0
+            )
+            t_resp = time.perf_counter_ns()
+            if offset is None:
+                # Probe-less fallback: the harvest RPC itself (pickling
+                # every ring) bounds the error, so this is coarser.
+                offset = estimate_clock_offset(
+                    t_req, t_resp, telemetry.clock_ns
+                )
+            telemetry.clock_offset_ns = offset
+            processes.append(telemetry)
+        return ClusterTelemetry(processes)
+
+    def _probe_clock_offset(
+        self, space: int, n_probes: int = 3
+    ) -> int | None:
+        """Clock offset of ``space`` from the lowest-RTT of a few probes.
+
+        The midpoint estimate's error is bounded by half the round trip,
+        so among several cheap probes the fastest one wins (NTP's trick);
+        a loaded dispatcher queue then costs accuracy on the slow probes
+        without poisoning the estimate.  None if every probe failed.
+        """
+        best_rtt: int | None = None
+        best_offset: int | None = None
+        for _ in range(n_probes):
+            t_req = time.perf_counter_ns()
+            try:
+                remote = self._space.call(space, ClockProbeReq(), timeout=10.0)
+            except (StampedeError, TransportError, TransportClosedError):
+                break
+            t_resp = time.perf_counter_ns()
+            rtt = t_resp - t_req
+            if best_rtt is None or rtt < best_rtt:
+                best_rtt = rtt
+                best_offset = estimate_clock_offset(t_req, t_resp, remote)
+        return best_offset
+
     def check_failure(self) -> None:
         """Raise the recorded cluster failure, if any."""
         if self.failure is not None:
@@ -369,6 +463,21 @@ class ProcCluster:
         if self._shut_down:
             return
         self._shut_down = True
+        # Final harvest: children's rings and registries die with their
+        # processes, so a traced run's telemetry must be pulled out *before*
+        # the ShutdownMsg broadcast.  Best-effort — a cluster that is being
+        # torn down because it failed still shuts down cleanly.
+        if (
+            _obs_events.recorder is not None
+            and self.failure is None
+            and self.telemetry is None
+            and self.endpoint is not None
+            and not self.endpoint.closed
+        ):
+            try:
+                self.telemetry = self.harvest_telemetry(disarm=True)
+            except (StampedeError, TransportError, TransportClosedError):
+                pass
         if self.gc_daemon is not None:
             self.gc_daemon.stop()
         if self.endpoint is not None and not self.endpoint.closed:

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.core.time import INFINITY, VirtualTime, vt_lt, vt_min
 from repro.errors import StampedeError, VirtualTimeError, VisibilityError
 from repro.obs import events as _obs
+from repro.obs.metrics import REGISTRY
 from repro.runtime.sync import make_lock
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -95,6 +96,10 @@ class StampedeThread:
         self._open: set[tuple[int, int, int]] = set()
         self._alive = True
         self.os_thread: threading.Thread | None = None
+        #: lazily fetched stm_virtual_time gauge — the labels are fixed for
+        #: the thread's lifetime, and the registry get-or-create (label
+        #: sort + dict lookup under a lock) is too slow for every tick.
+        self._vt_gauge = None
 
     # ------------------------------------------------------------------
     # virtual time and visibility
@@ -131,9 +136,21 @@ class StampedeThread:
             if value is INFINITY:
                 rec.instant("vt", "vt.infinity", self.space.space_id,
                             thread=self.name)
+                vt_gauge = float("inf")
             else:
                 rec.counter("vt", f"vt {self.name}", int(value),
                             self.space.space_id, series="virtual_time")
+                vt_gauge = int(value)
+            # The gauge is the live-snapshot view of the same signal the
+            # counter track records over time: stmtop and the Prometheus
+            # endpoint read it without touching the rings.
+            gauge = self._vt_gauge
+            if gauge is None:
+                gauge = self._vt_gauge = REGISTRY.gauge(
+                    "stm_virtual_time", space=self.space.space_id,
+                    thread=self.name,
+                )
+            gauge.set(vt_gauge)
 
     def advance_virtual_time(self, value: VirtualTime) -> None:
         """Alias of :meth:`set_virtual_time`; the paper phrases the GC-progress

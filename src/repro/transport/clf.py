@@ -33,7 +33,12 @@ from repro.analysis.sanitizer import san_lock
 from repro.errors import TransportClosedError, TransportError
 from repro.obs import events as _obs
 from repro.transport.media import CLF_MTU, MEMORY_CHANNEL, Medium, SHARED_MEMORY
-from repro.transport.packets import Reassembler, fragment, fragment_sg
+from repro.transport.packets import (
+    Reassembler,
+    fragment,
+    fragment_sg,
+    max_payload,
+)
 
 __all__ = ["ClusterTopology", "ClfStats", "ClfEndpoint", "ClfNetwork"]
 
@@ -86,6 +91,7 @@ class ClfStats:
     bytes_sent: int = 0
     bytes_received: int = 0
     per_peer_sent: dict[int, int] = field(default_factory=dict)
+    per_peer_recv: dict[int, int] = field(default_factory=dict)
 
     def snapshot(self) -> dict:
         return {
@@ -138,6 +144,19 @@ class ClfEndpoint:
             segments = [data] if isinstance(data, memoryview) else data
             nbytes = sum(memoryview(seg).nbytes for seg in segments)
             packets = fragment_sg(msgid, segments, self._network.mtu)
+        rec = _obs.recorder
+        if rec is not None:
+            # ``flow`` is the causal stitch: the receiver's clf.recv instant
+            # carries the same id (msgids are globally unique — the counter
+            # strides by n_spaces from ``space``), so the trace exporter can
+            # draw a Chrome flow arrow from this send to its receive.
+            # Recorded *before* the packets reach the receiver's inbox —
+            # the receiving thread can stamp its clf.recv the moment the
+            # last packet lands, so an instant taken afterward may postdate
+            # the receive and make the flow arrow point backward in time.
+            expected = max(1, -(-nbytes // max_payload(self._network.mtu)))
+            rec.instant("clf", "clf.send", self.space,
+                        dst=dst, bytes=nbytes, packets=expected, flow=msgid)
         npackets = 0
         with self._network._order_locks[(self.space, dst)]:
             # The per-(src,dst) lock keeps packets of concurrent sends from
@@ -150,10 +169,6 @@ class ClfEndpoint:
         self.stats.packets_sent += npackets
         self.stats.bytes_sent += nbytes
         self.stats.per_peer_sent[dst] = self.stats.per_peer_sent.get(dst, 0) + 1
-        rec = _obs.recorder
-        if rec is not None:
-            rec.instant("clf", "clf.send", self.space,
-                        dst=dst, bytes=nbytes, packets=npackets)
 
     # -- receiving ------------------------------------------------------------
     def recv(self, timeout: float | None = None) -> tuple[int, bytes]:
@@ -184,7 +199,8 @@ class ClfEndpoint:
                 rec = _obs.recorder
                 if rec is not None:
                     rec.instant("clf", "clf.recv", self.space,
-                                src=src, bytes=len(message))
+                                src=src, bytes=len(message),
+                                flow=reasm.last_msgid)
                 return src, message
 
     def close(self) -> None:

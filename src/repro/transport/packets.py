@@ -129,6 +129,10 @@ class Reassembler:
         self._expect_index = 0
         self._count = 0
         self._parts: list[memoryview] = []
+        #: msgid of the most recently *completed* message (None before the
+        #: first one).  The sender stamps the same id on its trace instant,
+        #: so this is what lets the tracer pair a send with its receive.
+        self.last_msgid: int | None = None
 
     def feed(self, packet) -> bytes | None:
         """Consume one packet; return the completed message or None."""
@@ -152,6 +156,7 @@ class Reassembler:
         self._expect_index += 1
         if self._expect_index == self._count:
             data = b"".join(self._parts)
+            self.last_msgid = msgid
             self._msgid = None
             self._parts = []
             return data

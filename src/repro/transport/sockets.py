@@ -282,6 +282,25 @@ class SocketEndpoint:
         medium = "shm" if use_ring else "tcp"
         try:
             with self._send_locks[dst]:
+                # The flow sequence number is the position of this message in
+                # the ordered (src, dst) stream; assigned *inside* the send
+                # lock so it matches wire order even under concurrent
+                # senders.  The receiver counts the same stream, so
+                # "src>dst#seq" names one message identically on both sides
+                # of the process boundary — no wire-format change needed.
+                seq = self.stats.per_peer_sent.get(dst, 0)
+                self.stats.per_peer_sent[dst] = seq + 1
+                rec = _obs.recorder
+                if rec is not None:
+                    # Recorded *before* the wire write: the receiver can
+                    # pick the message up (and stamp its clf.recv) the
+                    # moment the doorbell lands, so an instant taken after
+                    # the write may postdate the receive — and a flow
+                    # arrow pointing backward in time breaks the causal
+                    # ordering the merged cluster trace is aligned by.
+                    rec.instant("clf", "clf.send", self.space,
+                                dst=dst, bytes=nbytes, medium=medium,
+                                flow=f"{self.space}>{dst}#{seq}")
                 if use_ring:
                     ring.write(segments, nbytes)
                     peer.sock.sendall(FRAME_HEADER.pack(_SHMD, nbytes))
@@ -297,15 +316,10 @@ class SocketEndpoint:
         self.stats.messages_sent += 1
         self.stats.packets_sent += 1
         self.stats.bytes_sent += nbytes
-        self.stats.per_peer_sent[dst] = self.stats.per_peer_sent.get(dst, 0) + 1
         REGISTRY.counter(
             "clf_wire_bytes_total", space=self.space, medium=medium,
             direction="tx",
         ).inc(nbytes)
-        rec = _obs.recorder
-        if rec is not None:
-            rec.instant("clf", "clf.send", self.space,
-                        dst=dst, bytes=nbytes, medium=medium)
 
     def recv(self, timeout: float | None = None):
         """Block for the next complete message; return ``(src, message)``."""
@@ -348,6 +362,11 @@ class SocketEndpoint:
                     medium = "tcp"
                 else:
                     raise TransportError(f"unknown frame kind {kind} from {src}")
+                # Mirror of the sender's flow numbering: this reader is the
+                # only consumer of the (src -> self) stream, so counting
+                # completed messages here reproduces the sender's seq.
+                seq = self.stats.per_peer_recv.get(src, 0)
+                self.stats.per_peer_recv[src] = seq + 1
                 self.stats.messages_received += 1
                 self.stats.packets_received += 1
                 self.stats.bytes_received += length
@@ -358,7 +377,8 @@ class SocketEndpoint:
                 rec = _obs.recorder
                 if rec is not None:
                     rec.instant("clf", "clf.recv", self.space,
-                                src=src, bytes=length, medium=medium)
+                                src=src, bytes=length, medium=medium,
+                                flow=f"{src}>{self.space}#{seq}")
                 self._inbox.put((src, message))
         except (OSError, ConnectionError, TransportError, ValueError) as exc:
             if self._closed:

@@ -1,0 +1,248 @@
+"""Telemetry-plane collection tests: clock alignment, harvest snapshots,
+and the cluster-merged Chrome trace with cross-process flow stitching.
+
+These are pure unit tests — they build synthetic recorders standing in for
+the per-process recorders a real harvest drains; the end-to-end ProcCluster
+harvest lives in tests/procs/test_telemetry.py.
+"""
+
+import pickle
+
+from repro.obs.collect import (
+    ClusterTelemetry,
+    ProcessTelemetry,
+    estimate_clock_offset,
+    snapshot_local,
+)
+from repro.obs.events import Recorder
+from repro.obs.export import validate_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+
+
+def stepping_clock(start_ns=0, step_ns=1000):
+    state = {"t": start_ns}
+
+    def clock():
+        state["t"] += step_ns
+        return state["t"]
+
+    return clock
+
+
+class TestClockOffset:
+    def test_midpoint_estimate(self):
+        # Remote read its clock exactly at the collector-time midpoint:
+        # offset maps the remote reading back onto that midpoint.
+        offset = estimate_clock_offset(1000, 3000, remote_clock_ns=500)
+        assert offset == 2000 - 500
+        assert 500 + offset == 2000
+
+    def test_identical_clocks_zero_offset(self):
+        # Same clock on both sides, instantaneous RPC: no shift.
+        assert estimate_clock_offset(5000, 5000, 5000) == 0
+
+    def test_remote_ahead_gives_negative_offset(self):
+        assert estimate_clock_offset(1000, 1000, remote_clock_ns=9000) < 0
+
+
+class TestSnapshotLocal:
+    def test_disarmed_snapshot_ships_metrics_only(self):
+        reg = MetricsRegistry()
+        reg.counter("frames_total", space=2).inc(9)
+        telemetry = snapshot_local(space=2, registry=reg, recorder=None)
+        assert telemetry.space == 2
+        assert telemetry.rings == []
+        assert telemetry.metrics["frames_total"][0]["value"] == 9
+        assert telemetry.clock_ns > 0
+        assert telemetry.clock_offset_ns == 0
+
+    def test_armed_snapshot_preserves_ring_structure(self):
+        rec = Recorder(clock=stepping_clock())
+        t0 = rec.now()
+        rec.complete("stm", "put", t0, 1, channel="video")
+        rec.instant("clf", "clf.send", 1, dst=2, flow="1>2#0")
+        telemetry = snapshot_local(space=1, registry=MetricsRegistry(),
+                                   recorder=rec)
+        assert len(telemetry.rings) == 1
+        ring = telemetry.rings[0]
+        assert isinstance(ring["tid"], int)
+        assert isinstance(ring["thread_name"], str)
+        names = [ev[2] for ev in ring["events"]]
+        assert names == ["put", "clf.send"]
+        assert telemetry.overwritten == 0
+        assert telemetry.wall_t0 == rec.wall_t0
+
+    def test_snapshot_pickles(self):
+        rec = Recorder(clock=stepping_clock())
+        rec.instant("stm", "wakeup", 0, channel=3)
+        telemetry = snapshot_local(space=0, registry=MetricsRegistry(),
+                                   recorder=rec)
+        clone = pickle.loads(pickle.dumps(telemetry))
+        assert clone.space == telemetry.space
+        assert clone.rings[0]["events"] == telemetry.rings[0]["events"]
+        assert clone.metrics == telemetry.metrics
+
+
+def two_process_telemetry() -> ClusterTelemetry:
+    """Parent space 0 + child space 1 whose clock runs 1 ms behind.
+
+    The parent sends one CLF message the child receives; both stamp the
+    same flow id.  The child records on its *own* clock, and its snapshot
+    carries the offset a harvest would have estimated.
+    """
+    parent_reg = MetricsRegistry()
+    parent_reg.histogram("stm_put_ns", channel="video").observe(500)
+    parent_reg.counter(
+        "clf_wire_bytes_total", space=0, medium="shm", direction="tx"
+    ).inc(64)
+    parent = Recorder(clock=stepping_clock(start_ns=10_000))
+    t0 = parent.now()
+    parent.complete("stm", "put", t0, 0, channel="video", timestamp=0)
+    parent.instant("clf", "clf.send", 0, dst=1, bytes=64, flow="0>1#0")
+
+    child_reg = MetricsRegistry()
+    child_reg.histogram("stm_get_ns", channel="video").observe(900)
+    child = Recorder(clock=stepping_clock(start_ns=2_000))
+    child.instant("clf", "clf.recv", 1, src=0, bytes=64, flow="0>1#0")
+    t1 = child.now()
+    child.complete("stm", "get", t1, 1, channel="video", timestamp=0)
+
+    p0 = snapshot_local(space=0, registry=parent_reg, recorder=parent)
+    p1 = snapshot_local(space=1, registry=child_reg, recorder=child)
+    p1.clock_offset_ns = 1_000_000  # child clock is 1 ms behind
+    return ClusterTelemetry([p0, p1])
+
+
+class TestClusterTelemetry:
+    def test_spaces(self):
+        assert two_process_telemetry().spaces() == [0, 1]
+
+    def test_merged_trace_validates(self):
+        doc = two_process_telemetry().chrome_trace()
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["producer"] == "repro.obs.collect"
+        assert doc["otherData"]["processes"] == 2
+
+    def test_merged_trace_has_all_process_tracks(self):
+        doc = two_process_telemetry().chrome_trace()
+        meta = [ev for ev in doc["traceEvents"] if ev["ph"] == "M"]
+        proc_names = {ev["pid"]: ev["args"]["name"] for ev in meta
+                      if ev["name"] == "process_name"}
+        assert proc_names == {0: "address space 0", 1: "address space 1"}
+        data = [ev for ev in doc["traceEvents"] if ev["ph"] not in "Msf"]
+        assert {ev["pid"] for ev in data} == {0, 1}
+
+    def test_cross_process_flow_stitched(self):
+        doc = two_process_telemetry().chrome_trace()
+        starts = [ev for ev in doc["traceEvents"] if ev["ph"] == "s"]
+        finishes = [ev for ev in doc["traceEvents"] if ev["ph"] == "f"]
+        assert len(starts) == 1 and len(finishes) == 1
+        (s,), (f,) = starts, finishes
+        assert s["id"] == f["id"] == "0>1#0"
+        assert s["pid"] == 0 and f["pid"] == 1     # the arrow crosses
+        assert f["bp"] == "e"
+        assert f["ts"] >= s["ts"]  # offset put the recv after the send
+
+    def test_clock_offset_orders_timeline(self):
+        # Without the offset the child's raw clock (2 µs origin) would sort
+        # its recv *before* the parent's send; the mapped timeline must not.
+        doc = two_process_telemetry().chrome_trace()
+        data = [ev for ev in doc["traceEvents"] if ev["ph"] not in "Ms"]
+        send = next(ev for ev in data if ev["name"] == "clf.send")
+        recv = next(ev for ev in data if ev["name"] == "clf.recv")
+        assert recv["ts"] > send["ts"]
+        assert all(ev["ts"] >= 0 for ev in data)
+
+    def test_bad_probe_offset_refined_by_causality(self):
+        # Give the child an offset that would map its recv *before* the
+        # parent's send; the flow pair is a happens-before edge, so the
+        # merged timeline must reject the estimate and clamp it.
+        telemetry = two_process_telemetry()
+        child = next(p for p in telemetry.processes if p.space == 1)
+        child.clock_offset_ns = -50_000
+        refined = telemetry.clock_offsets()
+        assert refined[0] == 0
+        assert refined[1] > child.clock_offset_ns
+        doc = telemetry.chrome_trace()
+        send = next(ev for ev in doc["traceEvents"]
+                    if ev["name"] == "clf.send")
+        recv = next(ev for ev in doc["traceEvents"]
+                    if ev["name"] == "clf.recv")
+        assert recv["ts"] >= send["ts"]
+        assert validate_chrome_trace(doc) == []
+
+    def test_plausible_offset_left_alone(self):
+        telemetry = two_process_telemetry()
+        refined = telemetry.clock_offsets()
+        # 1 ms is causally consistent with the single 0->1 flow: no clamp.
+        assert refined[1] == 1_000_000
+
+    def test_unmatched_flow_not_drawn(self):
+        rec = Recorder(clock=stepping_clock())
+        rec.instant("clf", "clf.send", 0, dst=1, flow="0>1#7")  # in flight
+        telemetry = ClusterTelemetry(
+            [snapshot_local(space=0, registry=MetricsRegistry(),
+                            recorder=rec)]
+        )
+        doc = telemetry.chrome_trace()
+        assert validate_chrome_trace(doc) == []
+        assert not [ev for ev in doc["traceEvents"] if ev["ph"] in "sf"]
+
+    def test_empty_cluster(self):
+        doc = ClusterTelemetry([]).chrome_trace()
+        assert validate_chrome_trace(doc) == []
+        assert doc["traceEvents"] == []
+
+    def test_write_roundtrip(self, tmp_path):
+        import json
+
+        path = tmp_path / "merged.json"
+        doc = two_process_telemetry().write_chrome_trace(path)
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+        assert len(loaded["traceEvents"]) == len(doc["traceEvents"])
+
+
+class TestMergedMetrics:
+    def test_space_label_added_where_missing(self):
+        dump = two_process_telemetry().metrics_dump()
+        put = dump["stm_put_ns"][0]
+        assert put["labels"] == {"channel": "video", "space": 0}
+        get = dump["stm_get_ns"][0]
+        assert get["labels"] == {"channel": "video", "space": 1}
+
+    def test_existing_space_label_untouched(self):
+        dump = two_process_telemetry().metrics_dump()
+        wire = dump["clf_wire_bytes_total"][0]
+        assert wire["labels"] == {
+            "space": 0, "medium": "shm", "direction": "tx"}
+        assert wire["value"] == 64
+
+    def test_snapshot_has_percentiles(self):
+        snap = two_process_telemetry().metrics_snapshot()
+        put = snap["stm_put_ns"][0]
+        assert put["count"] == 1
+        assert put["p50"] is not None
+
+    def test_negative_space_not_labelled(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1)
+        telemetry = ClusterTelemetry(
+            [ProcessTelemetry(space=-1, clock_ns=0, metrics=reg.dump())]
+        )
+        assert telemetry.metrics_dump()["c"][0]["labels"] == {}
+
+    def test_same_series_pooled_across_processes(self):
+        regs = []
+        for _space in (0, 1):
+            reg = MetricsRegistry()
+            reg.counter("clf_wire_bytes_total", space=9, medium="tcp",
+                        direction="rx").inc(100)
+            regs.append(reg)
+        telemetry = ClusterTelemetry([
+            ProcessTelemetry(space=i, clock_ns=0, metrics=reg.dump())
+            for i, reg in enumerate(regs)
+        ])
+        merged = telemetry.metrics_dump()["clf_wire_bytes_total"]
+        assert len(merged) == 1
+        assert merged[0]["value"] == 200

@@ -179,3 +179,80 @@ class TestSummary:
         assert summary["counters"]["vt digitizer"] == 2
         text = render_trace_summary(summary)
         assert "put" in text and "gc.epoch" in text
+
+
+class TestFlowEvents:
+    def make_instants(self):
+        return [
+            {"name": "clf.send", "cat": "clf", "ph": "i", "ts": 10.0,
+             "pid": 0, "tid": 11, "s": "t", "args": {"flow": 42}},
+            {"name": "clf.recv", "cat": "clf", "ph": "i", "ts": 25.0,
+             "pid": 1, "tid": 22, "s": "t", "args": {"flow": 42}},
+        ]
+
+    def test_pairs_send_and_recv(self):
+        from repro.obs.export import add_flow_events
+
+        events = self.make_instants()
+        assert add_flow_events(events) == 1
+        start = next(ev for ev in events if ev["ph"] == "s")
+        finish = next(ev for ev in events if ev["ph"] == "f")
+        # The arrow starts at the send instant, ends at the receive.
+        assert start["id"] == finish["id"] == "42"
+        assert (start["ts"], start["pid"], start["tid"]) == (10.0, 0, 11)
+        assert (finish["ts"], finish["pid"], finish["tid"]) == (25.0, 1, 22)
+        assert finish["bp"] == "e"
+        assert start["name"] == finish["name"] == "clf.flow"
+        assert validate_chrome_trace({"traceEvents": events}) == []
+
+    def test_unmatched_and_foreign_instants_skipped(self):
+        from repro.obs.export import add_flow_events
+
+        events = [
+            # send still in flight: no recv with this id
+            {"name": "clf.send", "cat": "clf", "ph": "i", "ts": 1.0,
+             "pid": 0, "tid": 1, "s": "t", "args": {"flow": "0>1#9"}},
+            # recv whose send was overwritten in the ring
+            {"name": "clf.recv", "cat": "clf", "ph": "i", "ts": 2.0,
+             "pid": 1, "tid": 2, "s": "t", "args": {"flow": "1>0#3"}},
+            # non-clf instant, and a clf instant without a flow id
+            {"name": "wakeup", "cat": "stm", "ph": "i", "ts": 3.0,
+             "pid": 0, "tid": 1, "s": "t", "args": {"flow": 5}},
+            {"name": "clf.send", "cat": "clf", "ph": "i", "ts": 4.0,
+             "pid": 0, "tid": 1, "s": "t", "args": {"dst": 1}},
+        ]
+        before = len(events)
+        assert add_flow_events(events) == 0
+        assert len(events) == before  # nothing half-drawn
+
+    def test_string_and_int_flow_ids_match(self):
+        from repro.obs.export import add_flow_events
+
+        events = self.make_instants()
+        events[1]["args"]["flow"] = "42"  # receiver stamped a string
+        assert add_flow_events(events) == 1
+
+    def test_validator_requires_flow_id(self):
+        bad = {"traceEvents": [
+            {"name": "flow", "cat": "c", "ph": "s", "ts": 0.0,
+             "pid": 0, "tid": 0},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert len(problems) == 1 and "id" in problems[0]
+
+    def test_validator_rejects_bad_binding_point(self):
+        bad = {"traceEvents": [
+            {"name": "flow", "cat": "c", "ph": "f", "ts": 0.0,
+             "pid": 0, "tid": 0, "id": "x", "bp": "q"},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert len(problems) == 1 and "bp" in problems[0]
+
+    def test_flow_count_in_summary(self):
+        from repro.obs.export import add_flow_events
+
+        events = self.make_instants()
+        add_flow_events(events)
+        summary = summarize_trace({"traceEvents": events})
+        assert summary["flows"] == 1
+        assert "cross-track flows: 1" in render_trace_summary(summary)

@@ -1,0 +1,210 @@
+"""Property tests for metric merging: sharded-then-merged == pooled.
+
+The telemetry plane's correctness hinges on one algebraic fact — dumping
+per-process metrics, shipping them over the control RPC, and merging on
+the collector must give the same answer as if every observation had hit
+one registry.  Hypothesis drives that equivalence over arbitrary sample
+streams and arbitrary shardings.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    OnlineStats,
+    dump_as_snapshot,
+    merge_dumps,
+)
+
+import pytest
+
+#: Latency-like sample values: non-negative, spanning the bucket range.
+samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+              allow_infinity=False),
+    max_size=200,
+)
+#: How many shards to scatter the stream over (processes in a cluster).
+n_shards = st.integers(min_value=1, max_value=5)
+
+BOUNDS = (10.0, 100.0, 1e3, 1e4, 1e5, 1e6)
+
+
+def shard(values, n):
+    """Round-robin scatter, like frames landing in different spaces."""
+    out = [[] for _ in range(n)]
+    for i, v in enumerate(values):
+        out[i % n].append(v)
+    return out
+
+
+class TestHistogramMerge:
+    @given(values=samples, n=n_shards)
+    @settings(max_examples=60, deadline=None)
+    def test_merged_shards_equal_pooled(self, values, n):
+        pooled = Histogram("h", buckets=BOUNDS)
+        for v in values:
+            pooled.observe(v)
+        shards = []
+        for chunk in shard(values, n):
+            h = Histogram("h", buckets=BOUNDS)
+            for v in chunk:
+                h.observe(v)
+            shards.append(h)
+        merged = shards[0]
+        for h in shards[1:]:
+            merged = merged.merge(h)
+        assert merged.counts == pooled.counts
+        assert merged.count == pooled.count
+        assert merged.min == pooled.min
+        assert merged.max == pooled.max
+        # Sum is the one field where float addition order differs between
+        # the pooled and the per-shard paths.
+        assert math.isclose(merged.sum, pooled.sum,
+                            rel_tol=1e-9, abs_tol=1e-9)
+        if pooled.count:
+            for q in (50, 95, 99):
+                assert math.isclose(
+                    merged.percentile(q), pooled.percentile(q),
+                    rel_tol=1e-9, abs_tol=1e-6,
+                )
+
+    @given(values=samples)
+    @settings(max_examples=40, deadline=None)
+    def test_dump_roundtrip_preserves_stats(self, values):
+        h = Histogram("h", buckets=BOUNDS)
+        for v in values:
+            h.observe(v)
+        clone = Histogram.from_dump(h.dump(), name="h")
+        assert clone.counts == h.counts
+        assert clone.count == h.count
+        assert clone.as_dict() == h.as_dict()
+
+    def test_mismatched_buckets_raise(self):
+        a = Histogram("h", buckets=(1.0, 2.0))
+        b = Histogram("h", buckets=(1.0, 2.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_with_empty_is_identity(self):
+        a = Histogram("h", buckets=BOUNDS)
+        a.observe(42.0)
+        merged = a.merge(Histogram("h", buckets=BOUNDS))
+        assert merged.as_dict() == a.as_dict()
+
+
+class TestScalarMerge:
+    @given(values=st.lists(st.integers(min_value=0, max_value=10**9),
+                           max_size=50),
+           n=n_shards)
+    @settings(max_examples=40, deadline=None)
+    def test_counter_shards_sum(self, values, n):
+        shards = []
+        for chunk in shard(values, n):
+            c = Counter("c")
+            for v in chunk:
+                c.inc(v)
+            shards.append(c)
+        merged = shards[0]
+        for c in shards[1:]:
+            merged = merged.merge(c)
+        assert merged.value == sum(values)
+
+    def test_gauge_last_non_none_wins(self):
+        a, b, c = Gauge("g"), Gauge("g"), Gauge("g")
+        a.set(1)
+        b.set(2)
+        assert a.merge(b).value == 2
+        assert b.merge(c).value == 2   # unset right side keeps the reading
+        assert c.merge(a).value == 1
+
+
+class TestOnlineStatsMerge:
+    @given(values=samples, n=n_shards)
+    @settings(max_examples=60, deadline=None)
+    def test_merged_shards_match_pooled(self, values, n):
+        pooled = OnlineStats()
+        pooled.extend(values)
+        shards = []
+        for chunk in shard(values, n):
+            s = OnlineStats()
+            s.extend(chunk)
+            shards.append(s)
+        merged = shards[0]
+        for s in shards[1:]:
+            merged = merged.merge(s)
+        assert merged.count == pooled.count
+        if pooled.count:
+            assert merged.min == pooled.min
+            assert merged.max == pooled.max
+            assert math.isclose(merged.mean, pooled.mean,
+                                rel_tol=1e-9, abs_tol=1e-6)
+            assert math.isclose(merged.variance, pooled.variance,
+                                rel_tol=1e-6, abs_tol=1e-3)
+
+
+class TestDumpMerging:
+    @given(values=samples, n=n_shards)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_dumps_matches_single_registry(self, values, n):
+        from repro.obs.metrics import MetricsRegistry
+
+        pooled = MetricsRegistry()
+        shard_regs = [MetricsRegistry() for _ in range(n)]
+        for i, chunk in enumerate(shard(values, n)):
+            for v in chunk:
+                pooled.histogram("lat", buckets=BOUNDS,
+                                 channel="video").observe(v)
+                pooled.counter("n_total", channel="video").inc()
+                shard_regs[i].histogram("lat", buckets=BOUNDS,
+                                        channel="video").observe(v)
+                shard_regs[i].counter("n_total", channel="video").inc()
+        merged = merge_dumps([reg.dump() for reg in shard_regs])
+        expect = pooled.dump()
+        if not values:
+            assert merged == expect == {}
+            return
+        assert merged["n_total"] == expect["n_total"]
+        m, e = merged["lat"][0], expect["lat"][0]
+        assert m["bucket_counts"] == e["bucket_counts"]
+        assert m["count"] == e["count"]
+        assert math.isclose(m["sum"], e["sum"], rel_tol=1e-9, abs_tol=1e-9)
+
+    def test_disjoint_series_pass_through(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("only_a").inc(1)
+        b.counter("only_b").inc(2)
+        merged = merge_dumps([a.dump(), b.dump()])
+        assert merged["only_a"][0]["value"] == 1
+        assert merged["only_b"][0]["value"] == 2
+
+    def test_dump_as_snapshot_matches_live_snapshot(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        for v in (5.0, 50.0, 5000.0):
+            reg.histogram("lat", buckets=BOUNDS, channel="x").observe(v)
+        reg.counter("n_total").inc(3)
+        reg.gauge("vt", thread="t").set(7)
+        via_dump = dump_as_snapshot(reg.dump())
+        live = reg.snapshot()
+        assert via_dump == live
+
+    def test_merge_result_is_mergeable_again(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        regs = []
+        for _ in range(3):
+            reg = MetricsRegistry()
+            reg.histogram("lat", buckets=BOUNDS).observe(10.0)
+            regs.append(reg)
+        once = merge_dumps([regs[0].dump(), regs[1].dump()])
+        twice = merge_dumps([once, regs[2].dump()])
+        assert twice["lat"][0]["count"] == 3

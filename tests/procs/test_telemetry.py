@@ -1,0 +1,192 @@
+"""End-to-end telemetry-plane tests on a real multi-process cluster.
+
+Two things only a live :class:`~repro.runtime.procs.ProcCluster` can prove:
+
+* **arming propagation** — programmatic ``events.enable()`` in the parent
+  must reach spawn children, which re-import everything and inherit no
+  environment variable (the pre-PR-10 bug: children silently ran dark);
+* **the merged document** — a traced 3-space kiosk fleet run must harvest
+  into one Chrome trace with spans from every process, cross-process flow
+  arrows, a clean validator pass, and a coherent space-time lag report.
+
+Worker functions are module-level so ``spawn`` ships them by import
+reference.
+"""
+
+import pytest
+
+from repro.kiosk.procfleet import FleetConfig, run_fleet
+from repro.obs import events as obs_events
+from repro.obs.export import lag_report_from_doc, validate_chrome_trace
+from repro.runtime.procs import ProcCluster
+
+N_FRAMES = 12
+
+
+@pytest.fixture(autouse=True)
+def disarmed_tracing():
+    """Tracing is process-global; leave every test the way it started."""
+    obs_events.disable()
+    yield
+    obs_events.disable()
+
+
+def _tick_worker(n: int) -> int:
+    """Advance virtual time n times — each tick lands in the local ring."""
+    from repro.runtime.threads import require_current_thread
+
+    me = require_current_thread()
+    for ts in range(n):
+        me.set_virtual_time(ts)
+    return n
+
+
+class TestArmingPropagation:
+    def test_programmatic_enable_reaches_children(self):
+        """The regression: enable() without STMOBS in the environ must
+        still arm spawn children, or a traced multi-process run harvests
+        empty rings from every child."""
+        obs_events.enable(capacity=16384)
+        with ProcCluster(n_spaces=2, gc_period=None) as cluster:
+            worker = cluster.space(0).spawn(
+                _tick_worker, (5,), on_space=1, name="ticker"
+            )
+            worker.join(timeout=30.0)
+            harvest = cluster.harvest_telemetry()
+        assert harvest.spaces() == [0, 1]
+        child = next(p for p in harvest.processes if p.space == 1)
+        events = [ev for ring in child.rings for ev in ring["events"]]
+        assert events, "child process recorded nothing: arming was lost"
+        # The ticks specifically made it into the child's rings.
+        vt = [ev for ev in events if ev[0] == "C" and ev[1] == "vt"]
+        assert len(vt) == 5
+
+    def test_disarm_on_harvest_stops_child_recording(self):
+        obs_events.enable(capacity=16384)
+        with ProcCluster(n_spaces=2, gc_period=None) as cluster:
+            first = cluster.space(0).spawn(
+                _tick_worker, (3,), on_space=1, name="ticker-1"
+            )
+            first.join(timeout=30.0)
+            cluster.harvest_telemetry(disarm=True)
+            second = cluster.space(0).spawn(
+                _tick_worker, (3,), on_space=1, name="ticker-2"
+            )
+            second.join(timeout=30.0)
+            again = cluster.harvest_telemetry()
+        child = next(p for p in again.processes if p.space == 1)
+        assert child.rings == []  # tracer disarmed by the first harvest
+
+    def test_shutdown_leaves_final_harvest_on_cluster(self):
+        obs_events.enable(capacity=16384)
+        with ProcCluster(n_spaces=2, gc_period=None) as cluster:
+            worker = cluster.space(0).spawn(
+                _tick_worker, (4,), on_space=1, name="ticker"
+            )
+            worker.join(timeout=30.0)
+        assert cluster.telemetry is not None
+        assert cluster.telemetry.spaces() == [0, 1]
+
+    def test_disarmed_cluster_still_harvests_metrics(self):
+        with ProcCluster(n_spaces=2, gc_period=None) as cluster:
+            worker = cluster.space(0).spawn(
+                _tick_worker, (3,), on_space=1, name="ticker"
+            )
+            worker.join(timeout=30.0)
+            harvest = cluster.harvest_telemetry()
+        assert all(p.rings == [] for p in harvest.processes)
+        dump = harvest.metrics_dump()
+        wire = dump.get("clf_wire_bytes_total", [])
+        spaces = {entry["labels"].get("space") for entry in wire}
+        # Both sides' wire counters came through, space-labelled.
+        assert {0, 1} <= spaces
+        assert cluster.telemetry is None  # nothing to save disarmed
+
+
+@pytest.fixture(scope="module")
+def fleet_harvest():
+    """One traced 3-space kiosk fleet run, harvested and merged."""
+    obs_events.disable()
+    obs_events.enable(capacity=65536)
+    try:
+        with ProcCluster(n_spaces=3, gc_period=0.02) as cluster:
+            result = run_fleet(
+                cluster,
+                FleetConfig(n_frames=N_FRAMES),
+                collect_telemetry=True,
+            )
+    finally:
+        obs_events.disable()
+    assert result.telemetry is not None
+    return result, result.telemetry, result.telemetry.chrome_trace()
+
+
+class TestFleetMergedTrace:
+    def test_pipeline_actually_ran(self, fleet_harvest):
+        result, _telemetry, _doc = fleet_harvest
+        assert result.frames_tracked == N_FRAMES
+
+    def test_every_process_harvested(self, fleet_harvest):
+        _result, telemetry, _doc = fleet_harvest
+        assert telemetry.spaces() == [0, 1, 2]
+        for proc in telemetry.processes:
+            assert proc.rings, f"space {proc.space} harvested no events"
+
+    def test_children_clock_offsets_estimated(self, fleet_harvest):
+        _result, telemetry, _doc = fleet_harvest
+        offsets = {p.space: p.clock_offset_ns for p in telemetry.processes}
+        assert offsets[0] == 0  # the collector is its own reference
+
+    def test_merged_document_validates(self, fleet_harvest):
+        _result, _telemetry, doc = fleet_harvest
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["processes"] == 3
+
+    def test_spans_from_every_process(self, fleet_harvest):
+        _result, _telemetry, doc = fleet_harvest
+        span_pids = {ev["pid"] for ev in doc["traceEvents"]
+                     if ev["ph"] == "X"}
+        assert span_pids == {0, 1, 2}
+        meta_pids = {ev["pid"] for ev in doc["traceEvents"]
+                     if ev["ph"] == "M" and ev["name"] == "process_name"}
+        assert meta_pids == {0, 1, 2}
+
+    def test_cross_process_flows_stitched(self, fleet_harvest):
+        _result, _telemetry, doc = fleet_harvest
+        starts = {ev["id"]: ev for ev in doc["traceEvents"]
+                  if ev["ph"] == "s"}
+        finishes = {ev["id"]: ev for ev in doc["traceEvents"]
+                    if ev["ph"] == "f"}
+        assert starts, "no flow arrows in a traced cluster run"
+        assert set(starts) == set(finishes)  # never half-drawn
+        crossings = [
+            fid for fid, s in starts.items()
+            if finishes[fid]["pid"] != s["pid"]
+        ]
+        assert crossings, "every flow stayed inside one process"
+        # Causal offset refinement guarantees no message arrives before it
+        # was sent on the merged timeline (probe estimates alone cannot).
+        for fid in crossings:
+            assert finishes[fid]["ts"] >= starts[fid]["ts"]
+
+    def test_lag_report_consistent_with_run(self, fleet_harvest):
+        _result, _telemetry, doc = fleet_harvest
+        report = lag_report_from_doc(doc)
+        by_thread = {entry["thread"]: entry for entry in report}
+        digitizer = by_thread["fleet-digitizer"]
+        # The digitizer ticked 0..N_FRAMES on space 1's clock; after the
+        # offset mapping the merged doc must tell the same story.
+        assert digitizer["space"] == 1
+        assert digitizer["first_vt"] == 0
+        assert digitizer["last_vt"] == N_FRAMES
+        assert digitizer["ticks"] == N_FRAMES + 1
+        assert digitizer["wall_seconds"] >= 0
+
+    def test_merged_metrics_per_space(self, fleet_harvest):
+        _result, telemetry, _doc = fleet_harvest
+        dump = telemetry.metrics_dump()
+        put_spaces = {entry["labels"].get("space")
+                      for entry in dump.get("stm_put_ns", [])}
+        assert len(put_spaces) >= 2  # puts observed in several processes
+        snap = telemetry.metrics_snapshot()
+        assert any(entry["count"] for entry in snap.get("stm_put_ns", []))
